@@ -1,0 +1,16 @@
+"""Helpers shared by the benchmark harness."""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+
+def emit(title: str, lines: Iterable[object]) -> None:
+    """Print a reproduced table/figure in a uniform, greppable format.
+
+    Run the benchmarks with ``pytest benchmarks/ --benchmark-only -s`` to
+    see the reproduced rows/series alongside the timing results.
+    """
+    print(f"\n===== {title} =====")
+    for line in lines:
+        print(f"  {line}")

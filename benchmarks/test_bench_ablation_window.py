@@ -1,0 +1,58 @@
+"""Ablation: Alexa's ranking-window length (the January 2018 change).
+
+The paper attributes Alexa's sudden instability to a (presumed) shortening
+of its aggregation window.  This ablation regenerates the Alexa-style list
+with different window lengths over the same traffic and measures the
+resulting daily churn and weekly pattern — isolating the design choice the
+paper could only observe from the outside.
+"""
+
+import numpy as np
+import pytest
+
+from bench_utils import emit
+from repro.providers.alexa import AlexaProvider
+
+
+def _churn_series(provider, days):
+    snapshots = [provider.snapshot(day) for day in days]
+    return [len(a.domain_set() - b.domain_set()) / len(a)
+            for a, b in zip(snapshots, snapshots[1:])]
+
+
+@pytest.mark.bench
+def test_ablation_alexa_window_length(benchmark, bench_run, bench_config):
+    days = list(range(10, bench_config.n_days))
+    windows = (1, 3, bench_config.alexa_window_days)
+
+    def compute():
+        results = {}
+        for window in windows:
+            provider = AlexaProvider(bench_run.internet, bench_run.traffic,
+                                     window_days=window, change_day=None,
+                                     config=bench_config)
+            results[window] = _churn_series(provider, days)
+        return results
+
+    churn = benchmark.pedantic(compute, rounds=1, iterations=1)
+
+    lines = [f"{'window (days)':<15} {'mean churn':>11} {'weekend/weekday churn ratio':>28}"]
+    ratios = {}
+    for window, series in churn.items():
+        weekday = [c for offset, c in enumerate(series, start=days[0] + 1)
+                   if not bench_config.is_weekend(offset)]
+        weekend = [c for offset, c in enumerate(series, start=days[0] + 1)
+                   if bench_config.is_weekend(offset)]
+        ratio = (np.mean(weekend) / np.mean(weekday)) if weekday and weekend else float("nan")
+        ratios[window] = ratio
+        lines.append(f"{window:<15} {100 * np.mean(series):>10.2f}% {ratio:>28.2f}")
+    emit("Ablation: Alexa sliding-window length vs churn", lines)
+
+    means = {window: np.mean(series) for window, series in churn.items()}
+    # Shorter windows mean more churn; the 1-day window is dramatically
+    # less stable than the long window (the paper's observed regime change).
+    assert means[1] > means[3] > means[windows[-1]]
+    assert means[1] > 2 * means[windows[-1]]
+
+    benchmark.extra_info["mean_churn_by_window"] = {w: round(float(m), 4)
+                                                    for w, m in means.items()}

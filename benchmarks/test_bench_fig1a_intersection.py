@@ -1,0 +1,47 @@
+"""Figure 1a: intersection between the Top-1M lists over time.
+
+Reproduces the daily pairwise and three-way intersections (normalised to
+base domains) over the JOINT period, including the drop in the
+Alexa/Majestic intersection after Alexa's structural change.
+"""
+
+import pytest
+
+from bench_utils import emit
+from repro.core.intersection import intersection_over_time
+
+
+@pytest.mark.bench
+def test_fig1a_intersection_over_time(benchmark, bench_run, bench_config):
+    series = benchmark.pedantic(
+        lambda: intersection_over_time(bench_run.archives), rounds=1, iterations=1)
+
+    dates = sorted(series)
+    lines = [f"{'date':<12} {'alexa∩majestic':>15} {'alexa∩umbrella':>15} "
+             f"{'majestic∩umbrella':>18} {'all three':>10}"]
+    for date in dates:
+        row = series[date]
+        lines.append(f"{date.isoformat():<12} {row[('alexa', 'majestic')]:>15} "
+                     f"{row[('alexa', 'umbrella')]:>15} "
+                     f"{row[('majestic', 'umbrella')]:>18} "
+                     f"{row[('alexa', 'majestic', 'umbrella')]:>10}")
+    emit("Figure 1a: Top-1M intersections over time", lines)
+
+    first = series[dates[0]]
+    last = series[dates[-1]]
+    list_size = bench_config.list_size
+    # Paper shape: intersections are well below the list size; the two
+    # web-based lists agree most; the three-way intersection is smallest;
+    # and the Alexa/Majestic intersection drops after Alexa's change.
+    for row in (first, last):
+        assert row[("alexa", "majestic")] < 0.75 * list_size
+        assert row[("alexa", "majestic")] > row[("alexa", "umbrella")]
+        assert row[("alexa", "majestic")] > row[("majestic", "umbrella")]
+        assert row[("alexa", "majestic", "umbrella")] <= row[("alexa", "umbrella")]
+    change_day = bench_config.alexa_change_day
+    before = series[dates[change_day - 1]][("alexa", "majestic")]
+    after = series[dates[-1]][("alexa", "majestic")]
+    assert after < before
+
+    benchmark.extra_info["alexa_majestic_before_change"] = before
+    benchmark.extra_info["alexa_majestic_after_change"] = after

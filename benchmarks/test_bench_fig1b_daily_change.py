@@ -1,0 +1,53 @@
+"""Figure 1b: daily changes of Top-1M entries.
+
+Reproduces the daily count of removed domains per list, the weekly pattern
+of the DNS-based list, and the jump in Alexa's churn after its structural
+change.
+"""
+
+import numpy as np
+import pytest
+
+from bench_utils import emit
+from repro.core.stability import daily_changes
+
+
+@pytest.mark.bench
+def test_fig1b_daily_changes(benchmark, bench_run, bench_config):
+    changes = benchmark(
+        lambda: {name: daily_changes(archive) for name, archive in bench_run.archives.items()})
+
+    dates = sorted(next(iter(changes.values())))
+    lines = [f"{'date':<12} {'weekday':<9} " + " ".join(f"{name:>10}" for name in changes)]
+    for date in dates:
+        lines.append(f"{date.isoformat():<12} {date.strftime('%a'):<9} "
+                     + " ".join(f"{changes[name][date]:>10}" for name in changes))
+    emit("Figure 1b: daily changes of Top-1M entries", lines)
+
+    change_day = bench_config.alexa_change_day
+    change_date = bench_config.date_of(change_day)
+    alexa_pre = np.mean([v for d, v in changes["alexa"].items() if d < change_date])
+    alexa_post = np.mean([v for d, v in changes["alexa"].items() if d > change_date])
+    umbrella_mean = np.mean(list(changes["umbrella"].values()))
+    majestic_mean = np.mean(list(changes["majestic"].values()))
+
+    # Paper shape (Table 2 µΔ): Majestic ~0.6%, Umbrella ~10-12%, Alexa
+    # ~2% before its change and ~48% after, becoming the most unstable.
+    list_size = bench_config.list_size
+    assert majestic_mean < 0.02 * list_size
+    assert 0.03 * list_size < umbrella_mean < 0.5 * list_size
+    assert alexa_pre < umbrella_mean
+    assert alexa_post > umbrella_mean
+    assert alexa_post > 5 * alexa_pre
+
+    # Weekly pattern: the DNS-based list changes more around weekends.
+    weekend = [v for d, v in changes["umbrella"].items() if d.weekday() in (5, 6, 0)]
+    weekday = [v for d, v in changes["umbrella"].items() if d.weekday() in (2, 3, 4)]
+    assert np.mean(weekend) != pytest.approx(np.mean(weekday), rel=0.01)
+
+    benchmark.extra_info.update({
+        "alexa_pre": round(float(alexa_pre), 1),
+        "alexa_post": round(float(alexa_post), 1),
+        "umbrella": round(float(umbrella_mean), 1),
+        "majestic": round(float(majestic_mean), 1),
+    })

@@ -1,0 +1,47 @@
+"""Figure 2b: list intersection against a fixed starting set.
+
+Reproduces the decay of each list's intersection with its first-week
+snapshots (median over the seven starting days): slow decay for Majestic,
+fast and non-monotonic (weekly rebound) decay for the volatile lists.
+"""
+
+import pytest
+
+from bench_utils import emit
+from repro.core.stability import intersection_with_reference
+
+
+@pytest.mark.bench
+def test_fig2b_intersection_with_reference(benchmark, bench_run, bench_config):
+    decay = benchmark.pedantic(
+        lambda: {name: intersection_with_reference(archive, reference_days=range(7))
+                 for name, archive in bench_run.archives.items()},
+        rounds=1, iterations=1)
+
+    offsets = sorted(next(iter(decay.values())))
+    lines = [f"{'day offset':<12} " + " ".join(f"{name:>10}" for name in decay)]
+    for offset in offsets:
+        lines.append(f"{offset:<12} "
+                     + " ".join(f"{decay[name].get(offset, float('nan')):>10.0f}"
+                                for name in decay))
+    emit("Figure 2b: intersection with the first week's lists", lines)
+
+    list_size = bench_config.list_size
+    last = max(offsets)
+    # Day-0 intersections equal the list size; Majestic retains most of its
+    # starting set while the volatile lists lose a large share of it.
+    for name in decay:
+        assert decay[name][0] == pytest.approx(list_size)
+    assert decay["majestic"][last] > 0.9 * list_size
+    assert decay["umbrella"][last] < decay["majestic"][last]
+    assert decay["alexa"][last] < decay["majestic"][last]
+
+    # Non-monotonic decay for the lists with a weekly pattern: some set of
+    # domains leaves and re-joins, so the curve rebounds at least once.
+    def rebounds(series):
+        values = [series[o] for o in sorted(series)]
+        return any(later > earlier + 1 for earlier, later in zip(values, values[1:]))
+
+    assert rebounds(decay["umbrella"]) or rebounds(decay["alexa"])
+
+    benchmark.extra_info["final_intersection"] = {name: decay[name][last] for name in decay}

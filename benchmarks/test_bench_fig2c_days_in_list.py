@@ -1,0 +1,48 @@
+"""Figure 2c: CDF of the share of days a domain spends in a list.
+
+Reproduces the days-in-list CDF for the Top-1M and Top-1k scopes of every
+list: Majestic's curves hug the lower-right corner (domains stay in for
+the whole period), Alexa's Top-1M hugs the upper-left (domains leave
+quickly), and every Top-1k is more stable than its Top-1M.
+"""
+
+import pytest
+
+from bench_utils import emit
+from repro.core.stability import days_in_list, days_in_list_cdf
+
+
+@pytest.mark.bench
+def test_fig2c_days_in_list_cdf(benchmark, bench_run, bench_config):
+    top_k = bench_config.top_k
+
+    def compute():
+        cdfs = {}
+        full_share = {}
+        for name, archive in bench_run.archives.items():
+            for scope, top_n in ((f"{name}-1M", None), (f"{name}-1k", top_k)):
+                cdfs[scope] = days_in_list_cdf(archive, top_n=top_n)
+                counts = days_in_list(archive, top_n=top_n)
+                full_share[scope] = (sum(1 for v in counts.values()
+                                         if v == bench_config.n_days) / len(counts))
+        return cdfs, full_share
+
+    cdfs, full_share = benchmark.pedantic(compute, rounds=1, iterations=1)
+
+    lines = [f"{'scope':<14} {'ever-listed':>12} {'always listed':>14} "
+             f"{'median share of days':>22}"]
+    for scope, cdf in cdfs.items():
+        median_share = cdf[len(cdf) // 2][0]
+        lines.append(f"{scope:<14} {len(cdf):>12} {100 * full_share[scope]:>13.1f}% "
+                     f"{100 * median_share:>21.1f}%")
+    emit("Figure 2c: share of days spent in the list", lines)
+
+    # Paper ordering (most to least stable): Majestic 1k, Majestic 1M,
+    # the Top-1k lists, then Umbrella 1M and Alexa 1M at the bottom.
+    assert full_share["majestic-1k"] >= full_share["majestic-1M"]
+    assert full_share["majestic-1M"] > full_share["umbrella-1M"]
+    assert full_share["majestic-1M"] > full_share["alexa-1M"]
+    assert full_share["alexa-1k"] > full_share["alexa-1M"]
+    assert full_share["umbrella-1k"] > full_share["umbrella-1M"]
+
+    benchmark.extra_info["always_listed_share"] = {k: round(v, 3) for k, v in full_share.items()}

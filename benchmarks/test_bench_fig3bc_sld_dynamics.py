@@ -1,0 +1,70 @@
+"""Figures 3b/3c: weekday/weekend dynamics of second-level-domain groups.
+
+Reproduces the SLD-group analysis: groups whose membership count varies by
+more than 40% between weekdays and weekends, split into weekend-heavy
+(leisure-style) and weekday-heavy (office-style) groups, for the
+post-change Alexa list and the Umbrella list.
+"""
+
+import pytest
+
+from bench_utils import emit
+from repro.core.weekly import sld_group_dynamics
+from repro.population.categories import CATEGORY_PROFILES, DomainCategory
+from repro.providers.base import ListArchive
+
+
+def _post_change_alexa(bench_run, bench_config) -> ListArchive:
+    change_date = bench_config.date_of(bench_config.alexa_change_day)
+    post = ListArchive(provider="alexa")
+    for snapshot in bench_run.alexa:
+        if snapshot.date >= change_date:
+            post.add(snapshot)
+    return post
+
+
+@pytest.mark.bench
+def test_fig3bc_sld_group_dynamics(benchmark, bench_run, bench_config):
+    archives = {
+        "alexa (post-change)": _post_change_alexa(bench_run, bench_config),
+        "umbrella": bench_run.umbrella,
+        "majestic": bench_run.majestic,
+    }
+
+    groups = benchmark.pedantic(
+        lambda: {name: sld_group_dynamics(archive, threshold=0.4, min_group_size=2)
+                 for name, archive in archives.items()},
+        rounds=1, iterations=1)
+
+    lines = []
+    for name, dynamics in groups.items():
+        weekend_heavy = [g for g in dynamics.values() if g.more_popular_on_weekends]
+        weekday_heavy = [g for g in dynamics.values() if not g.more_popular_on_weekends]
+        lines.append(f"{name}: {len(dynamics)} groups vary >40% "
+                     f"({len(weekend_heavy)} weekend-heavy, {len(weekday_heavy)} weekday-heavy)")
+        for group in sorted(dynamics.values(), key=lambda g: -abs(g.relative_change))[:6]:
+            direction = "weekend" if group.more_popular_on_weekends else "weekday"
+            lines.append(f"    {group.group:<22} weekday {group.weekday_mean:6.1f}  "
+                         f"weekend {group.weekend_mean:6.1f}  ({direction}-heavy)")
+    emit("Figures 3b/3c: SLD groups with weekday/weekend dynamics", lines)
+
+    # The volatile lists exhibit such groups; the backlink-based list shows
+    # (almost) none, matching "Majestic does not display a weekly pattern".
+    assert len(groups["umbrella"]) > 0
+    assert len(groups["alexa (post-change)"]) > 0
+    assert len(groups["majestic"]) <= min(len(groups["umbrella"]),
+                                          len(groups["alexa (post-change)"]))
+
+    # Both directions exist somewhere: leisure-style groups gain on
+    # weekends, office-style groups gain on weekdays (the paper's
+    # blogspot/tumblr vs sharepoint example).
+    volatile = list(groups["umbrella"].values()) + list(groups["alexa (post-change)"].values())
+    assert any(g.more_popular_on_weekends for g in volatile)
+    assert any(not g.more_popular_on_weekends for g in volatile)
+
+    # Sanity-check against the synthetic ground truth: leisure-type domains
+    # have weekend factors > 1, office-type < 1.
+    assert CATEGORY_PROFILES[DomainCategory.LEISURE].weekend_factor > 1
+    assert CATEGORY_PROFILES[DomainCategory.OFFICE].weekend_factor < 1
+
+    benchmark.extra_info["group_counts"] = {name: len(d) for name, d in groups.items()}

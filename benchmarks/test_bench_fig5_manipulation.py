@@ -1,0 +1,68 @@
+"""Figure 5: Umbrella rank achieved by injected measurement traffic.
+
+Reproduces the probe-count x query-frequency grid on a weekday and a
+weekend day, the probe-count-beats-query-volume headline, the quick
+disappearance after the measurement stops, and the TTL sweep.
+"""
+
+import pytest
+
+from bench_utils import emit
+from repro.ranking.manipulation import UmbrellaInjectionExperiment, UmbrellaTtlExperiment
+
+PROBE_COUNTS = (100, 1_000, 5_000, 10_000)
+FREQUENCIES = (1, 10, 50, 100)
+
+
+@pytest.mark.bench
+def test_fig5_umbrella_rank_injection(benchmark, bench_run, bench_config):
+    provider = bench_run.provider("umbrella")
+    experiment = UmbrellaInjectionExperiment(provider)
+    weekday = next(d for d in range(7, bench_config.n_days) if not bench_config.is_weekend(d))
+    weekend = next(d for d in range(7, bench_config.n_days) if bench_config.is_weekend(d))
+
+    def compute():
+        return {
+            "weekday": experiment.run_grid(weekday, PROBE_COUNTS, FREQUENCIES),
+            "weekend": experiment.run_grid(weekend, PROBE_COUNTS, FREQUENCIES),
+        }
+
+    grids = benchmark.pedantic(compute, rounds=1, iterations=1)
+
+    lines = []
+    for label, grid in grids.items():
+        lines.append(f"-- {label} --")
+        row_label = "probes / q-day"
+        lines.append(f"{row_label:<16}" + "".join(f"{f:>9}" for f in FREQUENCIES))
+        for probes in PROBE_COUNTS:
+            row = "".join(f"{grid[(probes, f)].rank if grid[(probes, f)].rank else '-':>9}"
+                          for f in FREQUENCIES)
+            lines.append(f"{probes:<16}{row}")
+    ttl = UmbrellaTtlExperiment(provider)
+    ttl_ranks = ttl.run(weekday)
+    lines.append("-- TTL sweep (1000 probes, ~96 q/day) --")
+    lines.append("   ".join(f"ttl {t}s: {r}" for t, r in ttl_ranks.items()))
+    emit("Figure 5: Umbrella rank vs probe count and query frequency", lines)
+
+    weekday_grid = grids["weekday"]
+    # More probes always help; within a probe count, extra query volume
+    # helps little.
+    for freq in FREQUENCIES:
+        ranks = [weekday_grid[(p, freq)].rank for p in PROBE_COUNTS]
+        listed = [r for r in ranks if r is not None]
+        assert listed == sorted(listed, reverse=True) or len(listed) < 2
+    best_small_volume = weekday_grid[(10_000, 1)].rank
+    best_large_volume = weekday_grid[(1_000, 100)].rank
+    assert best_small_volume is not None and best_large_volume is not None
+    assert best_small_volume < best_large_volume
+
+    # Stopping the measurement removes the domain from the list.
+    assert experiment.rank_after_stopping(weekday + 1) is None
+
+    # TTL has no meaningful influence on the achieved rank.
+    spread = ttl.max_rank_spread(weekday)
+    assert spread is not None
+    assert spread <= 0.05 * bench_config.list_size
+
+    benchmark.extra_info["rank_10k_probes_1q"] = best_small_volume
+    benchmark.extra_info["rank_1k_probes_100q"] = best_large_volume

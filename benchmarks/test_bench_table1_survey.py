@@ -1,0 +1,52 @@
+"""Table 1: use of top lists at 10 networking venues in 2017.
+
+Reproduces both halves of Table 1 from the reference survey corpus: the
+per-venue usage/dependence counts and the histogram of list subsets used.
+"""
+
+import pytest
+
+from bench_utils import emit
+from repro.survey import (
+    list_usage_histogram,
+    reference_corpus,
+    replicability_summary,
+    venue_usage_table,
+)
+from repro.survey.tables import totals_row
+
+
+@pytest.mark.bench
+def test_table1_survey(benchmark):
+    corpus = reference_corpus()
+
+    def compute():
+        rows = venue_usage_table(corpus)
+        return rows, totals_row(rows), list_usage_histogram(corpus), replicability_summary(corpus)
+
+    rows, total, histogram, replicability = benchmark(compute)
+
+    lines = [f"{'venue':<16} {'papers':>6} {'using':>6} {'%':>6} {'Y':>3} {'V':>3} {'N':>3} "
+             f"{'list-date':>9} {'meas-date':>9}"]
+    for row in rows + [total]:
+        lines.append(f"{row.venue:<16} {row.total_papers:>6} {row.using:>6} "
+                     f"{100 * row.usage_share:>5.1f}% {row.dependent:>3} {row.verification:>3} "
+                     f"{row.independent:>3} {row.states_list_date:>9} "
+                     f"{row.states_measurement_date:>9}")
+    lines.append("-- list subsets used (right half) --")
+    for usage, count in sorted(histogram.items(), key=lambda kv: -kv[1]):
+        lines.append(f"{usage:<18} {count}")
+    lines.append(f"papers documenting both dates: {replicability.states_both}")
+    emit("Table 1: top-list use in 2017 venues", lines)
+
+    # Paper ground truth: 687 papers, 69 users (10.0%), Y/V/N = 45/17/7,
+    # 7 list dates, 9 measurement dates, 2 with both, Alexa 1M used 29x.
+    assert total.total_papers == 687
+    assert total.using == 69
+    assert (total.dependent, total.verification, total.independent) == (45, 17, 7)
+    assert (total.states_list_date, total.states_measurement_date) == (7, 9)
+    assert replicability.states_both == 2
+    assert histogram["alexa-1M"] == 29
+    assert histogram["umbrella-1M"] == 3
+    benchmark.extra_info["users"] = total.using
+    benchmark.extra_info["usage_share"] = round(total.usage_share, 4)

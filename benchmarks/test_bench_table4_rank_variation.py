@@ -1,0 +1,60 @@
+"""Table 4: rank variation of example domains across the lists.
+
+Reproduces the highest/median/lowest rank of the paper's six example
+domains (google, facebook, netflix, jetblue, mdc.edu, puresight) over the
+JOINT period in every list: head domains keep almost constant ranks,
+lower-ranked domains vary by orders of magnitude.
+"""
+
+import pytest
+
+from bench_utils import emit
+from repro.core.rank_dynamics import rank_variation
+
+EXAMPLE_DOMAINS = ("google.com", "facebook.com", "netflix.com",
+                   "jetblue.com", "mdc.edu", "puresight.com")
+
+
+@pytest.mark.bench
+def test_table4_rank_variation(benchmark, bench_run):
+    variation = benchmark(
+        lambda: {name: rank_variation(archive, EXAMPLE_DOMAINS)
+                 for name, archive in bench_run.archives.items()})
+
+    lines = [f"{'domain':<16} " + " ".join(f"{name + ' hi/med/lo':>28}" for name in variation)]
+    for domain in EXAMPLE_DOMAINS:
+        cells = []
+        for name in variation:
+            row = variation[name][domain]
+            if row.highest is None:
+                cells.append(f"{'not listed':>28}")
+            else:
+                cells.append(f"{row.highest:>8} {row.median:>9.1f} {row.lowest:>9}")
+        lines.append(f"{domain:<16} " + " ".join(cells))
+    emit("Table 4: rank variation of example domains", lines)
+
+    alexa = variation["alexa"]
+    majestic = variation["majestic"]
+    # Head domains: listed every day, tiny rank spread, always near the top.
+    for domain in ("google.com", "facebook.com"):
+        for provider in variation.values():
+            row = provider[domain]
+            assert row.always_listed
+            assert row.highest <= 5
+            assert row.lowest - row.highest <= 20
+    # google.com tops every list most days (median rank 1 in the paper).
+    assert alexa["google.com"].median <= 2
+
+    # Mid/low-tier domains: jetblue sits well below the head and varies far
+    # more; puresight is near the list boundary (huge spread or missing).
+    jetblue_spread = alexa["jetblue.com"].lowest - alexa["jetblue.com"].highest
+    google_spread = alexa["google.com"].lowest - alexa["google.com"].highest
+    assert alexa["jetblue.com"].highest > 10
+    assert jetblue_spread > 5 * max(1, google_spread)
+    assert majestic["mdc.edu"].highest is None or majestic["mdc.edu"].highest > 50
+    puresight = alexa["puresight.com"]
+    assert (puresight.highest is None or not puresight.always_listed
+            or (puresight.lowest - puresight.highest) > jetblue_spread)
+
+    benchmark.extra_info["alexa_jetblue"] = (
+        alexa["jetblue.com"].highest, alexa["jetblue.com"].lowest)

@@ -1,0 +1,67 @@
+"""Table 5: measurement characteristics across top lists vs the population.
+
+Reproduces the full comparison table — NXDOMAIN, IPv6, CAA, CNAME, CDN,
+unique origin ASes, top-5 AS concentration, TLS, HSTS and HTTP/2 — for the
+Top-1k and Top-1M scopes of every list against the com/net/org general
+population, with the paper's significance flags (▲ / ▼ / ■).
+"""
+
+import pytest
+
+from bench_utils import emit
+from repro.measurement.report import build_comparison_table
+from repro.stats.summary import DeviationFlag
+
+
+@pytest.mark.bench
+def test_table5_measurement_impact(benchmark, bench_run, bench_harness, bench_config):
+    table = benchmark.pedantic(
+        lambda: build_comparison_table(bench_run, harness=bench_harness,
+                                       sample_days=(-3, -1), top_k=bench_config.top_k),
+        rounds=1, iterations=1)
+
+    emit("Table 5: characteristics across lists vs the general population",
+         table.render(precision=2).splitlines())
+
+    adoption_rows = ("IPv6-enabled", "CAA-enabled", "CDNs (via CNAME)",
+                     "TLS-capable", "HTTP2")
+    scopes_1k = ("alexa-1k", "umbrella-1k", "majestic-1k")
+    scopes_1m = ("alexa-1M", "umbrella-1M", "majestic-1M")
+
+    # Headline: top lists significantly exaggerate adoption metrics, most
+    # extremely for the Top-1k heads (up to two orders of magnitude for CAA
+    # in the paper).
+    for characteristic in adoption_rows:
+        row = table[characteristic]
+        for scope in scopes_1k:
+            assert row.flag(scope) is DeviationFlag.EXCEEDS, (characteristic, scope)
+        for scope in scopes_1m:
+            assert row.cells[scope].value.mean >= row.base_value.mean, (characteristic, scope)
+    caa = table["CAA-enabled"]
+    assert caa.exaggeration_factor("alexa-1k") > 5
+    assert caa.exaggeration_factor("alexa-1k") > caa.exaggeration_factor("alexa-1M")
+
+    # NXDOMAIN: Umbrella and Majestic exceed the population, Alexa falls
+    # behind it (Table 5's first row).
+    nxdomain = table["NXDOMAIN"]
+    assert nxdomain.flag("umbrella-1M") is DeviationFlag.EXCEEDS
+    assert nxdomain.flag("majestic-1M") is DeviationFlag.EXCEEDS
+    assert nxdomain.flag("alexa-1M") is DeviationFlag.FALLS_BEHIND
+    assert nxdomain.cells["umbrella-1M"].value.mean > nxdomain.cells["majestic-1M"].value.mean
+
+    # AS structure: the population reaches more distinct origin ASes than
+    # any list, and the Top-1k heads are far more concentrated (top-5 AS
+    # share) than the population.
+    unique_as = table["Unique AS IPv4"]
+    for scope in scopes_1m:
+        assert unique_as.cells[scope].value.mean < unique_as.base_value.mean
+    top5 = table["Top 5 AS (Share)"]
+    for scope in scopes_1k:
+        assert top5.cells[scope].value.mean > top5.base_value.mean
+
+    # Overall distortion: the vast majority of cells deviate significantly.
+    summary = table.distortion_summary()
+    overall = sum(summary.values()) / len(summary)
+    assert overall > 0.6
+
+    benchmark.extra_info["distortion_share"] = {k: round(v, 2) for k, v in summary.items()}

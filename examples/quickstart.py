@@ -1,0 +1,66 @@
+#!/usr/bin/env python3
+"""Quickstart: simulate a top-list observation period and analyse it.
+
+Builds a small synthetic Internet, generates daily Alexa-, Umbrella- and
+Majestic-style lists, and prints the paper's headline statistics: daily
+churn, list intersections, structure, and the measurement bias of top
+lists against the general population.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+from repro import SimulationConfig, run_simulation
+from repro.core import (
+    intersection_matrix,
+    mean_daily_change,
+    structure_summary,
+)
+from repro.measurement import MeasurementHarness, TargetSet
+
+
+def main() -> None:
+    config = SimulationConfig.small(alexa_change_day=9)
+    print(f"Simulating {config.n_days} days over {config.total_domains()} domains "
+          f"(lists of {config.list_size} entries, seed {config.seed}) ...")
+    run = run_simulation(config)
+
+    print("\n== Top of the lists (last day) ==")
+    for name, archive in run.archives.items():
+        print(f"  {name:<9} {', '.join(archive[-1].entries[:5])}")
+
+    print("\n== Daily churn (domains leaving the list per day, Fig. 1b) ==")
+    for name, archive in run.archives.items():
+        change = mean_daily_change(archive)
+        print(f"  {name:<9} {change:7.1f} domains/day "
+              f"({100 * change / config.list_size:.1f}% of the list)")
+
+    print("\n== Intersection between the lists (last day, Fig. 1a) ==")
+    snapshots = {name: archive[-1] for name, archive in run.archives.items()}
+    for lists, count in intersection_matrix(snapshots).items():
+        print(f"  {' ∩ '.join(lists):<35} {count:5d} of {config.list_size}")
+
+    print("\n== Structure (Table 2) ==")
+    for name, archive in run.archives.items():
+        summary = structure_summary(archive[-1])
+        print(f"  {name:<9} base domains {100 * summary.base_domain_share:5.1f}%  "
+              f"valid TLDs {summary.valid_tlds:4d}  invalid-TLD entries "
+              f"{summary.invalid_tld_domains:4d}  max subdomain depth {summary.max_depth}")
+
+    print("\n== Measurement bias: top list vs general population (Table 5) ==")
+    harness = MeasurementHarness(run.internet)
+    population = harness.measure(TargetSet.from_zonefile(run.zonefile))
+    alexa_head = harness.measure(TargetSet.from_snapshot(run.alexa[-1], top_n=config.top_k))
+    print(f"  {'metric':<12} {'alexa top-' + str(config.top_k):>14} {'com/net/org':>14}")
+    for metric in ("ipv6", "caa", "tls", "http2"):
+        print(f"  {metric:<12} {alexa_head.metric(metric):13.1f}% "
+              f"{population.metric(metric):13.1f}%")
+    print("\nTop lists exaggerate adoption metrics relative to the general "
+          "population — the paper's central warning.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,86 @@
+#!/usr/bin/env python3
+"""Rank manipulation: place a test domain in a DNS-query-based top list.
+
+Reproduces the Section 7 experiments:
+
+* the Umbrella rank-injection grid (RIPE-Atlas-style probes x query
+  frequency, Figure 5),
+* the TTL sweep showing caching/TTL barely matters,
+* the "how many backlinks buy which Majestic rank" sweep,
+* and the Alexa toolbar telemetry model (what the panel leaks).
+
+Run with::
+
+    python examples/rank_manipulation.py
+"""
+
+from __future__ import annotations
+
+from repro import SimulationConfig, run_simulation
+from repro.ranking import (
+    AlexaToolbar,
+    MajesticBacklinkExperiment,
+    ProbeFleet,
+    UmbrellaInjectionExperiment,
+    UmbrellaTtlExperiment,
+)
+
+
+def main() -> None:
+    config = SimulationConfig.small(alexa_change_day=None)
+    run = run_simulation(config)
+    day = config.n_days // 2
+
+    print("== Umbrella rank injection (Figure 5) ==")
+    fleet = ProbeFleet.paper_grid()
+    print(f"  total measurement workload: {fleet.total_daily_queries():,.0f} queries/day "
+          f"across {len(fleet)} measurements")
+    experiment = UmbrellaInjectionExperiment(run.provider("umbrella"))
+    probe_counts = (100, 1_000, 5_000, 10_000)
+    frequencies = (1, 10, 50, 100)
+    grid = experiment.run_grid(day, probe_counts=probe_counts, query_frequencies=frequencies)
+    header = "".join(f"{f:>10}" for f in frequencies)
+    row_label = "probes / q-day"
+    print(f"  {row_label:<15}{header}")
+    for probes in probe_counts:
+        cells = ""
+        for freq in frequencies:
+            rank = grid[(probes, freq)].rank
+            cells += f"{rank if rank is not None else '-':>10}"
+        print(f"  {probes:<15}{cells}")
+    effect = experiment.probes_vs_volume_effect(day)
+    print(f"  10k probes @ 1 q/day  -> rank {effect['10k-probes-1q']}")
+    print(f"  1k probes  @ 100 q/day -> rank {effect['1k-probes-100q']}  "
+          "(10x the query volume, much worse rank)")
+    print(f"  after stopping the probes -> rank {experiment.rank_after_stopping(day + 1)}")
+
+    print("\n== TTL sweep (Section 7.2) ==")
+    ttl_experiment = UmbrellaTtlExperiment(run.provider("umbrella"))
+    for ttl, rank in ttl_experiment.run(day).items():
+        print(f"  TTL {ttl:>6}s -> rank {rank}")
+    print(f"  maximum rank spread across TTLs: {ttl_experiment.max_rank_spread(day)}")
+
+    print("\n== Majestic backlink purchasing (Section 7.3) ==")
+    backlinks = MajesticBacklinkExperiment(run.provider("majestic"))
+    for count, rank in backlinks.sweep(day, [10, 100, 500, 2_000, 10_000]).items():
+        print(f"  {count:>6} referring /24 subnets -> rank {rank}")
+    wanted = config.top_k
+    print(f"  reaching rank {wanted} requires about "
+          f"{backlinks.backlinks_for_rank(day, wanted):,} referring subnets")
+
+    print("\n== Alexa toolbar telemetry (Section 7.1) ==")
+    toolbar = AlexaToolbar(demographics={"age": "30-39", "gender": "f",
+                                         "install_location": "home"})
+    toolbar.visit("https://www.google.com/search?q=embarrassing+medical+question")
+    toolbar.visit("https://shop.example.com/basket?credit_card_last4=1234")
+    toolbar.visit("https://broken.example.org/", loaded=False)
+    print(f"  installation id (aid): {toolbar.aid}")
+    for record in toolbar.telemetry:
+        label = "anonymised" if record.anonymised else "FULL URL"
+        print(f"  transmitted [{label}]: {record.url}")
+    print(f"  pages that never loaded are not transmitted "
+          f"({len(toolbar.telemetry)} of 3 visits reported)")
+
+
+if __name__ == "__main__":
+    main()

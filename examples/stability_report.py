@@ -1,0 +1,91 @@
+#!/usr/bin/env python3
+"""Stability report: reproduce the Section 6 analyses for a simulated period.
+
+Generates the JOINT-style dataset and prints, per list: daily changes and
+the weekly pattern, new-domain rates, cumulative growth, how long domains
+stay in a list, Kendall's tau rank correlation, and the weekday/weekend KS
+analysis — the data behind Figures 1b/1c, 2a-c, 3a and 4.
+
+Run with::
+
+    python examples/stability_report.py
+"""
+
+from __future__ import annotations
+
+from repro import SimulationConfig, run_simulation
+from repro.core import (
+    churn_by_rank,
+    cumulative_unique_domains,
+    daily_changes,
+    days_in_list,
+    intersection_with_reference,
+    kendall_tau_series,
+    new_domains_per_day,
+    weekday_weekend_ks,
+)
+from repro.core.rank_dynamics import strong_correlation_share
+
+
+def main() -> None:
+    config = SimulationConfig.small(n_days=21, alexa_change_day=14)
+    run = run_simulation(config)
+    top_k = config.top_k
+
+    print("== Daily changes per list (Figure 1b) ==")
+    for name, archive in run.archives.items():
+        changes = daily_changes(archive)
+        weekend = [count for date, count in changes.items() if date.weekday() >= 5]
+        weekday = [count for date, count in changes.items() if date.weekday() < 5]
+        print(f"  {name:<9} mean {sum(changes.values()) / len(changes):8.1f}   "
+              f"weekday mean {sum(weekday) / max(1, len(weekday)):8.1f}   "
+              f"weekend mean {sum(weekend) / max(1, len(weekend)):8.1f}")
+
+    print("\n== Churn by rank subset (Figure 1c) ==")
+    sizes = [top_k // 2, top_k, config.list_size // 2, config.list_size]
+    for name, archive in run.archives.items():
+        churn = churn_by_rank(archive, sizes)
+        cells = "  ".join(f"top{size}: {100 * churn[size]:5.2f}%" for size in sizes)
+        print(f"  {name:<9} {cells}")
+
+    print("\n== New domains and cumulative growth (Figure 2a) ==")
+    for name, archive in run.archives.items():
+        new = new_domains_per_day(archive)
+        cumulative = cumulative_unique_domains(archive)
+        print(f"  {name:<9} new/day {sum(new.values()) / max(1, len(new)):7.1f}   "
+              f"distinct domains over the period "
+              f"{list(cumulative.values())[-1]:6d} (list size {config.list_size})")
+
+    print("\n== Decay against the first week (Figure 2b) ==")
+    for name, archive in run.archives.items():
+        decay = intersection_with_reference(archive, reference_days=range(7))
+        last_offset = max(decay)
+        print(f"  {name:<9} day0 {decay[0]:7.0f}  ->  day{last_offset} {decay[last_offset]:7.0f}")
+
+    print("\n== Share of domains present on every day (Figure 2c) ==")
+    for name, archive in run.archives.items():
+        counts = days_in_list(archive)
+        always = sum(1 for v in counts.values() if v == config.n_days) / len(counts)
+        print(f"  {name:<9} {100 * always:5.1f}% of ever-listed domains were listed every day")
+
+    print("\n== Kendall's tau of the Top-%d (Figure 4) ==" % top_k)
+    for name, archive in run.archives.items():
+        day_to_day = kendall_tau_series(archive, top_n=top_k, mode="day-to-day")
+        vs_first = kendall_tau_series(archive, top_n=top_k, mode="vs-first")
+        print(f"  {name:<9} tau>0.95 day-to-day: "
+              f"{100 * strong_correlation_share(day_to_day):5.1f}%   "
+              f"vs first day: {100 * strong_correlation_share(vs_first):5.1f}%")
+
+    print("\n== Weekday/weekend KS distance (Figure 3a) ==")
+    for name, archive in run.archives.items():
+        distances = weekday_weekend_ks(archive)
+        if not distances:
+            print(f"  {name:<9} (not enough weekend observations)")
+            continue
+        disjoint = sum(1 for v in distances.values() if v >= 0.999) / len(distances)
+        print(f"  {name:<9} {100 * disjoint:5.1f}% of domains have fully disjoint "
+              f"weekday/weekend ranks")
+
+
+if __name__ == "__main__":
+    main()

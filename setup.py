@@ -1,0 +1,11 @@
+"""Setuptools entry point.
+
+The project is configured through ``pyproject.toml``; this shim exists so
+that legacy editable installs (``pip install -e . --no-use-pep517`` or
+``python setup.py develop``) work on environments without the ``wheel``
+package, e.g. offline machines.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,48 @@
+"""repro — reproduction of "A Long Way to the Top" (IMC 2018).
+
+A library for analysing Internet top lists (Alexa, Cisco Umbrella,
+Majestic Million): their structure, stability, ranking mechanisms, and
+the bias they introduce into measurement studies.  Because the original
+study depends on proprietary list archives and live Internet
+measurements, the library ships a seeded synthetic Internet
+(:mod:`repro.population`) and list-provider simulators
+(:mod:`repro.providers`) that exercise the identical analysis code paths;
+every analysis also runs on real downloaded list snapshots via
+:mod:`repro.listio`.
+
+Typical use::
+
+    from repro import SimulationConfig, run_simulation
+    from repro.core import mean_daily_change, intersection_over_time
+
+    run = run_simulation(SimulationConfig.small())
+    print(mean_daily_change(run.alexa), mean_daily_change(run.majestic))
+
+Package map:
+
+* :mod:`repro.core` — the paper's analyses (structure, stability, rank
+  dynamics, weekly patterns, bias comparison).
+* :mod:`repro.providers` — Alexa/Umbrella/Majestic list-creation
+  simulators, snapshots, archives, the simulation orchestrator.
+* :mod:`repro.population` — the synthetic Internet and its traffic.
+* :mod:`repro.measurement` — the Section-8 measurement harness.
+* :mod:`repro.ranking` — the Section-7 ranking-mechanism experiments.
+* :mod:`repro.survey` — the Section-3 literature survey.
+* :mod:`repro.domain`, :mod:`repro.dns`, :mod:`repro.web`,
+  :mod:`repro.routing`, :mod:`repro.stats` — substrates.
+"""
+
+from repro.population.config import SimulationConfig
+from repro.providers.base import ListArchive, ListSnapshot
+from repro.providers.simulation import SimulationRun, run_simulation
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ListArchive",
+    "ListSnapshot",
+    "SimulationConfig",
+    "SimulationRun",
+    "__version__",
+    "run_simulation",
+]

@@ -1,0 +1,125 @@
+"""Intersection analysis between top lists (Section 5.2/5.3, Figure 1a, Table 3).
+
+The paper normalises all lists to unique base domains before intersecting
+(so Umbrella's FQDNs do not artificially depress the overlap), computes
+pairwise and three-way intersections per day, and studies the domains
+found in only one list ("disjunct" domains).
+"""
+
+from __future__ import annotations
+
+import datetime as dt
+from itertools import combinations
+from typing import Iterable, Mapping, Optional, Sequence
+
+from repro.core.structure import normalise_to_base_domains
+from repro.domain.psl import PublicSuffixList
+from repro.providers.base import ListArchive, ListSnapshot
+
+
+def _domain_set(snapshot: ListSnapshot, normalise: bool,
+                psl: Optional[PublicSuffixList]) -> frozenset[str]:
+    if normalise:
+        return frozenset(normalise_to_base_domains(snapshot.entries, psl=psl))
+    return snapshot.domain_set()
+
+
+def pairwise_intersection(a: ListSnapshot, b: ListSnapshot,
+                          normalise: bool = True,
+                          psl: Optional[PublicSuffixList] = None) -> int:
+    """Number of (base) domains shared by two snapshots."""
+    return len(_domain_set(a, normalise, psl) & _domain_set(b, normalise, psl))
+
+
+def intersection_matrix(snapshots: Mapping[str, ListSnapshot],
+                        normalise: bool = True,
+                        psl: Optional[PublicSuffixList] = None
+                        ) -> dict[tuple[str, ...], int]:
+    """All pairwise intersections plus the all-lists intersection.
+
+    Keys are sorted tuples of provider names; the full-combination key
+    contains every provider (only added when there are 3+ snapshots).
+    """
+    sets = {name: _domain_set(snap, normalise, psl) for name, snap in snapshots.items()}
+    result: dict[tuple[str, ...], int] = {}
+    for name_a, name_b in combinations(sorted(sets), 2):
+        result[(name_a, name_b)] = len(sets[name_a] & sets[name_b])
+    if len(sets) >= 3:
+        names = tuple(sorted(sets))
+        common = set.intersection(*(set(s) for s in sets.values()))
+        result[names] = len(common)
+    return result
+
+
+def intersection_over_time(archives: Mapping[str, ListArchive],
+                           top_n: Optional[int] = None,
+                           normalise: bool = True,
+                           psl: Optional[PublicSuffixList] = None
+                           ) -> dict[dt.date, dict[tuple[str, ...], int]]:
+    """Per-day intersection matrix over the dates shared by all archives.
+
+    This is Figure 1a: the daily intersection counts between the Top-1M
+    (or, with ``top_n``, Top-1k) lists.
+    """
+    date_sets = [set(a.dates()) for a in archives.values()]
+    if not date_sets:
+        return {}
+    common_dates = sorted(set.intersection(*date_sets))
+    series: dict[dt.date, dict[tuple[str, ...], int]] = {}
+    for date in common_dates:
+        snapshots = {}
+        for name, archive in archives.items():
+            snapshot = archive[date]
+            snapshots[name] = snapshot.top(top_n) if top_n else snapshot
+        series[date] = intersection_matrix(snapshots, normalise=normalise, psl=psl)
+    return series
+
+
+def aggregate_top(archive: ListArchive, top_n: int,
+                  last_days: Optional[int] = None) -> set[str]:
+    """Union of the Top-``top_n`` entries over the archive's (last) days.
+
+    The paper aggregates the Top 1k lists over the last week of April 2018
+    before computing disjunct domains (Section 5.3).
+    """
+    snapshots = archive.snapshots()
+    if last_days is not None:
+        snapshots = snapshots[-last_days:]
+    aggregated: set[str] = set()
+    for snapshot in snapshots:
+        aggregated.update(snapshot.top(top_n).entries)
+    return aggregated
+
+
+def disjunct_domains(sets_by_list: Mapping[str, Iterable[str]],
+                     normalise: bool = True,
+                     psl: Optional[PublicSuffixList] = None) -> dict[str, set[str]]:
+    """Domains found in exactly one of the given lists (Table 3 input).
+
+    ``sets_by_list`` maps a provider name to its aggregated domain
+    collection; the result maps each provider to the domains appearing in
+    its collection and no other.
+    """
+    normalised: dict[str, set[str]] = {}
+    for name, names in sets_by_list.items():
+        if normalise:
+            normalised[name] = set(normalise_to_base_domains(names, psl=psl))
+        else:
+            normalised[name] = set(names)
+    result: dict[str, set[str]] = {}
+    for name, domains in normalised.items():
+        others: set[str] = set()
+        for other_name, other_domains in normalised.items():
+            if other_name != name:
+                others |= other_domains
+        result[name] = domains - others
+    return result
+
+
+def jaccard_index(a: Sequence[str] | set[str], b: Sequence[str] | set[str]) -> float:
+    """Jaccard similarity of two domain collections."""
+    set_a, set_b = set(a), set(b)
+    union = set_a | set_b
+    if not union:
+        return 1.0
+    return len(set_a & set_b) / len(union)

@@ -1,0 +1,121 @@
+"""Rank dynamics: churn by rank subset, rank correlation, rank variation.
+
+Covers Figure 1c (average daily change over rank), Figure 4 (CDF of
+Kendall's tau between days) and Table 4 (highest/median/lowest rank of
+example domains over the observation period).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Optional, Sequence
+
+from repro.providers.base import ListArchive
+from repro.stats.kendall import kendall_tau_ranked_lists
+from repro.stats.summary import median
+
+
+def churn_by_rank(archive: ListArchive, subset_sizes: Sequence[int]) -> dict[int, float]:
+    """Mean share of daily changing domains within each Top-``X`` subset.
+
+    For each ``X`` in ``subset_sizes`` the daily change is the number of
+    domains in the Top-X on day *n* that are absent from the Top-X on day
+    *n+1*, averaged over all day pairs and normalised by ``X``
+    (Figure 1c's y-axis).
+    """
+    snapshots = archive.snapshots()
+    result: dict[int, float] = {}
+    for size in subset_sizes:
+        if size <= 0:
+            raise ValueError("subset sizes must be positive")
+        changes: list[float] = []
+        for previous, current in zip(snapshots, snapshots[1:]):
+            prev_top = frozenset(previous.entries[:size])
+            curr_top = frozenset(current.entries[:size])
+            if not prev_top:
+                continue
+            changes.append(len(prev_top - curr_top) / len(prev_top))
+        result[size] = sum(changes) / len(changes) if changes else 0.0
+    return result
+
+
+def kendall_tau_series(archive: ListArchive, top_n: Optional[int] = None,
+                       mode: str = "day-to-day") -> list[float]:
+    """Kendall's tau between snapshots of an archive (Figure 4).
+
+    ``mode`` is ``"day-to-day"`` (each day against the previous day) or
+    ``"vs-first"`` (each day against the first day of the archive).  Days
+    with fewer than two common entries are skipped.
+    """
+    if mode not in ("day-to-day", "vs-first"):
+        raise ValueError(f"unknown mode {mode!r}")
+    snapshots = archive.snapshots()
+    if top_n is not None:
+        snapshots = [s.top(top_n) for s in snapshots]
+    if len(snapshots) < 2:
+        return []
+    taus: list[float] = []
+    if mode == "day-to-day":
+        pairs = zip(snapshots, snapshots[1:])
+    else:
+        pairs = ((snapshots[0], later) for later in snapshots[1:])
+    for reference, other in pairs:
+        try:
+            taus.append(kendall_tau_ranked_lists(reference.entries, other.entries))
+        except ValueError:
+            continue
+    return taus
+
+
+def strong_correlation_share(taus: Iterable[float], threshold: float = 0.95) -> float:
+    """Share of tau values above ``threshold`` ("very strongly correlated")."""
+    values = list(taus)
+    if not values:
+        return 0.0
+    return sum(1 for tau in values if tau > threshold) / len(values)
+
+
+@dataclass(frozen=True)
+class RankVariation:
+    """Highest (best), median and lowest (worst) rank of one domain (Table 4)."""
+
+    domain: str
+    provider: str
+    highest: Optional[int]
+    median: Optional[float]
+    lowest: Optional[int]
+    days_listed: int
+    days_total: int
+
+    @property
+    def always_listed(self) -> bool:
+        return self.days_listed == self.days_total
+
+
+def rank_variation(archive: ListArchive, domains: Iterable[str]) -> dict[str, RankVariation]:
+    """Per-domain rank variation over the archive (Table 4).
+
+    Days on which a domain is not listed are ignored for the
+    highest/median/lowest statistics (but reflected in ``days_listed``).
+    """
+    snapshots = archive.snapshots()
+    ranks: dict[str, list[int]] = {domain: [] for domain in domains}
+    for snapshot in snapshots:
+        for domain in ranks:
+            rank = snapshot.rank_of(domain)
+            if rank is not None:
+                ranks[domain].append(rank)
+    result: dict[str, RankVariation] = {}
+    for domain, observed in ranks.items():
+        if observed:
+            result[domain] = RankVariation(
+                domain=domain, provider=archive.provider,
+                highest=min(observed), median=median(observed),
+                lowest=max(observed), days_listed=len(observed),
+                days_total=len(snapshots))
+        else:
+            result[domain] = RankVariation(
+                domain=domain, provider=archive.provider,
+                highest=None, median=None, lowest=None,
+                days_listed=0, days_total=len(snapshots))
+    return result

@@ -1,0 +1,233 @@
+"""Recommendations for top-list use (Section 9).
+
+The paper closes with concrete advice for studies that use top lists:
+match the list to the study purpose, account for stability and weekly
+patterns by measuring longitudinally, and document the exact list and
+dates.  This module turns that advice into an executable checker: give it
+the archives you plan to use and a description of your study, and it
+produces the paper's checklist as structured findings.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Mapping, Optional, Sequence
+
+from repro.core.stability import daily_changes, mean_daily_change
+from repro.core.structure import structure_summary
+from repro.core.weekly import weekday_weekend_ks
+from repro.providers.base import ListArchive
+
+
+class StudyPurpose(enum.Enum):
+    """Broad study purposes distinguished by the paper's recommendations."""
+
+    WEB_CONTENT = "web content"          # human-visited web sites
+    DNS_TRAFFIC = "dns traffic"          # names resolved on the Internet
+    PROTOCOL_ADOPTION = "protocol adoption"  # e.g. IPv6/TLS/HTTP2 scans
+    GENERAL_POPULATION = "general population"  # claims about "the Internet"
+
+
+class Severity(enum.Enum):
+    """How strongly a finding affects the study's validity."""
+
+    INFO = "info"
+    WARNING = "warning"
+    CRITICAL = "critical"
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One recommendation-check outcome."""
+
+    check: str
+    severity: Severity
+    message: str
+
+    def __str__(self) -> str:  # pragma: no cover - formatting helper
+        return f"[{self.severity.value}] {self.check}: {self.message}"
+
+
+@dataclass(frozen=True)
+class StudyPlan:
+    """Description of how a study intends to use top lists."""
+
+    purpose: StudyPurpose
+    lists_used: tuple[str, ...]
+    measurement_days: int = 1
+    documents_list_date: bool = False
+    documents_measurement_date: bool = False
+    publishes_list_copy: bool = False
+    generalises_to_internet: bool = False
+
+
+#: Which provider mechanisms suit which study purposes (Section 9.1).
+_SUITABLE_LISTS: Mapping[StudyPurpose, tuple[str, ...]] = {
+    StudyPurpose.WEB_CONTENT: ("alexa", "majestic"),
+    StudyPurpose.DNS_TRAFFIC: ("umbrella",),
+    StudyPurpose.PROTOCOL_ADOPTION: ("alexa", "umbrella", "majestic"),
+    StudyPurpose.GENERAL_POPULATION: (),
+}
+
+#: Daily churn (as a fraction of the list) above which one-off
+#: measurements are considered unstable.
+HIGH_CHURN_THRESHOLD = 0.05
+#: Share of domains with disjoint weekday/weekend ranks above which the
+#: download day meaningfully changes results.
+WEEKLY_PATTERN_THRESHOLD = 0.05
+
+
+@dataclass
+class RecommendationReport:
+    """All findings for one study plan."""
+
+    plan: StudyPlan
+    findings: list[Finding] = field(default_factory=list)
+
+    def add(self, check: str, severity: Severity, message: str) -> None:
+        self.findings.append(Finding(check=check, severity=severity, message=message))
+
+    @property
+    def critical(self) -> list[Finding]:
+        return [f for f in self.findings if f.severity is Severity.CRITICAL]
+
+    @property
+    def warnings(self) -> list[Finding]:
+        return [f for f in self.findings if f.severity is Severity.WARNING]
+
+    @property
+    def passes(self) -> bool:
+        """True when no critical findings were raised."""
+        return not self.critical
+
+    def render(self) -> str:
+        """Human-readable report."""
+        lines = [f"Study purpose: {self.plan.purpose.value}; "
+                 f"lists: {', '.join(self.plan.lists_used) or '(none)'}"]
+        lines.extend(str(finding) for finding in self.findings)
+        return "\n".join(lines)
+
+
+def evaluate_study_plan(plan: StudyPlan,
+                        archives: Optional[Mapping[str, ListArchive]] = None,
+                        weekend: Sequence[int] = (5, 6)) -> RecommendationReport:
+    """Check a study plan against the paper's Section 9 recommendations.
+
+    ``archives`` (optional) supplies the actual list data the study will
+    use, enabling the data-driven checks (churn, weekly pattern,
+    structural pitfalls); without it only the plan-level checks run.
+    """
+    report = RecommendationReport(plan=plan)
+    _check_list_choice(plan, report)
+    _check_documentation(plan, report)
+    _check_generalisation(plan, report)
+    if archives:
+        for name in plan.lists_used:
+            archive = archives.get(name)
+            if archive is None or len(archive) == 0:
+                report.add("data availability", Severity.WARNING,
+                           f"no archive provided for {name!r}; stability checks skipped")
+                continue
+            _check_stability(name, archive, plan, report)
+            _check_weekly_pattern(name, archive, plan, report, weekend)
+            _check_structure_pitfalls(name, archive, plan, report)
+    return report
+
+
+def _check_list_choice(plan: StudyPlan, report: RecommendationReport) -> None:
+    suitable = _SUITABLE_LISTS[plan.purpose]
+    if plan.purpose is StudyPurpose.GENERAL_POPULATION:
+        report.add("list choice", Severity.CRITICAL,
+                   "claims about the general population should be based on a large "
+                   "sample such as all com/net/org domains, not on a top list")
+        return
+    if not plan.lists_used:
+        report.add("list choice", Severity.WARNING, "no top list selected")
+        return
+    for name in plan.lists_used:
+        if name not in suitable:
+            report.add("list choice", Severity.WARNING,
+                       f"{name!r} ranks by a mechanism that does not match a "
+                       f"{plan.purpose.value} study (suitable: {', '.join(suitable)})")
+    if plan.purpose is StudyPurpose.PROTOCOL_ADOPTION:
+        report.add("list choice", Severity.INFO,
+                   "top lists significantly exaggerate protocol adoption relative to "
+                   "the general population; report results as an upper bound")
+
+
+def _check_documentation(plan: StudyPlan, report: RecommendationReport) -> None:
+    if not plan.documents_list_date:
+        report.add("documentation", Severity.CRITICAL,
+                   "the list download date is not documented (only 7 of 69 surveyed "
+                   "papers did); results cannot be replicated without it")
+    if not plan.documents_measurement_date:
+        report.add("documentation", Severity.CRITICAL,
+                   "the measurement date is not documented (only 9 of 69 surveyed papers did)")
+    if not plan.publishes_list_copy:
+        report.add("documentation", Severity.WARNING,
+                   "consider publishing the exact list copy with the paper's dataset")
+
+
+def _check_generalisation(plan: StudyPlan, report: RecommendationReport) -> None:
+    if plan.generalises_to_internet and plan.purpose is not StudyPurpose.GENERAL_POPULATION:
+        report.add("generalisation", Severity.WARNING,
+                   "conclusions drawn from top-list domains generally do not "
+                   "generalise to the Internet at large (Section 9)")
+
+
+def _check_stability(name: str, archive: ListArchive, plan: StudyPlan,
+                     report: RecommendationReport) -> None:
+    if len(archive) < 2:
+        report.add("stability", Severity.WARNING,
+                   f"{name}: a single snapshot cannot reveal churn; obtain several days")
+        return
+    churn = mean_daily_change(archive) / max(1, len(archive[0]))
+    if churn > HIGH_CHURN_THRESHOLD and plan.measurement_days <= 1:
+        report.add("stability", Severity.CRITICAL,
+                   f"{name}: {100 * churn:.1f}% of the list changes per day but the study "
+                   "measures only once; repeat measurements and aggregate")
+    elif churn > HIGH_CHURN_THRESHOLD:
+        report.add("stability", Severity.INFO,
+                   f"{name}: {100 * churn:.1f}% daily churn; the planned "
+                   f"{plan.measurement_days}-day repetition is appropriate")
+    else:
+        report.add("stability", Severity.INFO,
+                   f"{name}: daily churn is low ({100 * churn:.1f}%)")
+    # Abrupt regime changes (like Alexa's in January 2018).
+    changes = list(daily_changes(archive).values())
+    if changes:
+        largest = max(changes)
+        typical = sorted(changes)[len(changes) // 2]
+        if typical > 0 and largest > 5 * typical:
+            report.add("stability", Severity.WARNING,
+                       f"{name}: the list's characteristics changed abruptly during the "
+                       "period (largest daily change is >5x the median); check for "
+                       "unannounced provider-side changes")
+
+
+def _check_weekly_pattern(name: str, archive: ListArchive, plan: StudyPlan,
+                          report: RecommendationReport,
+                          weekend: Sequence[int]) -> None:
+    distances = weekday_weekend_ks(archive, weekend=weekend)
+    if not distances:
+        return
+    disjoint = sum(1 for v in distances.values() if v >= 0.999) / len(distances)
+    if disjoint > WEEKLY_PATTERN_THRESHOLD:
+        severity = Severity.WARNING if plan.measurement_days < 7 else Severity.INFO
+        report.add("weekly pattern", severity,
+                   f"{name}: {100 * disjoint:.1f}% of domains rank disjointly on weekends; "
+                   "results depend on the weekday of the list download")
+
+
+def _check_structure_pitfalls(name: str, archive: ListArchive, plan: StudyPlan,
+                              report: RecommendationReport) -> None:
+    summary = structure_summary(archive[-1])
+    if summary.invalid_tld_domains > 0:
+        report.add("structure", Severity.WARNING,
+                   f"{name}: {summary.invalid_tld_domains} entries use invalid TLDs and "
+                   "will never resolve; filter them before measuring")
+    if summary.base_domain_share < 0.6 and plan.purpose is StudyPurpose.WEB_CONTENT:
+        report.add("structure", Severity.WARNING,
+                   f"{name}: {100 * (1 - summary.base_domain_share):.0f}% of entries are "
+                   "subdomains (FQDNs); a web-content study should normalise to base domains")

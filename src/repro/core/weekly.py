@@ -1,0 +1,164 @@
+"""Weekly-pattern analysis (Section 6.2, Figure 3).
+
+Two analyses:
+
+* the per-domain Kolmogorov-Smirnov distance between the distribution of
+  its ranks on weekdays and on weekends (Figure 3a), including the
+  weekday-vs-weekday / weekend-vs-weekend control;
+* the dynamics of second-level-domain (SLD) groups whose membership count
+  in the list differs by more than a threshold between weekdays and
+  weekends (Figures 3b/3c), which the paper uses to show that
+  leisure-oriented domains gain on weekends and office platforms lose.
+"""
+
+from __future__ import annotations
+
+import datetime as dt
+from collections import Counter, defaultdict
+from dataclasses import dataclass
+from typing import Mapping, Optional, Sequence
+
+from repro.domain.name import DomainName
+from repro.domain.psl import PublicSuffixList
+from repro.providers.base import ListArchive
+from repro.stats.ks import ks_distance
+
+_DEFAULT_PSL = PublicSuffixList()
+
+#: Saturday and Sunday (Python weekday numbers), the paper's weekend.
+WEEKEND_WEEKDAYS: tuple[int, ...] = (5, 6)
+
+
+def _is_weekend(date: dt.date, weekend: Sequence[int]) -> bool:
+    return date.weekday() in weekend
+
+
+def weekday_weekend_ks(archive: ListArchive, top_n: Optional[int] = None,
+                       weekend: Sequence[int] = WEEKEND_WEEKDAYS,
+                       min_observations: int = 2) -> dict[str, float]:
+    """Per-domain KS distance between weekday and weekend rank distributions.
+
+    Only domains with at least ``min_observations`` ranks in *both* groups
+    are reported.  A value of 1.0 means the two distributions share no
+    common rank (the paper finds ~35% such domains in the late Alexa list).
+    """
+    snapshots = archive.snapshots()
+    if top_n is not None:
+        snapshots = [s.top(top_n) for s in snapshots]
+    weekday_ranks: dict[str, list[int]] = defaultdict(list)
+    weekend_ranks: dict[str, list[int]] = defaultdict(list)
+    for snapshot in snapshots:
+        target = weekend_ranks if _is_weekend(snapshot.date, weekend) else weekday_ranks
+        for rank, domain in enumerate(snapshot.entries, start=1):
+            target[domain].append(rank)
+    distances: dict[str, float] = {}
+    for domain in set(weekday_ranks) | set(weekend_ranks):
+        on_weekdays = weekday_ranks.get(domain, [])
+        on_weekends = weekend_ranks.get(domain, [])
+        if len(on_weekdays) < min_observations or len(on_weekends) < min_observations:
+            continue
+        distances[domain] = ks_distance(on_weekdays, on_weekends)
+    return distances
+
+
+def within_group_ks(archive: ListArchive, top_n: Optional[int] = None,
+                    weekend: Sequence[int] = WEEKEND_WEEKDAYS,
+                    use_weekends: bool = False,
+                    min_observations: int = 2) -> dict[str, float]:
+    """Control comparison: KS distance between two halves of the *same* group.
+
+    The paper contrasts the weekday-vs-weekend distances with
+    weekday-vs-weekday (and weekend-vs-weekend) distances, which stay very
+    small.  The halves are formed by alternating the group's days.
+    """
+    snapshots = archive.snapshots()
+    if top_n is not None:
+        snapshots = [s.top(top_n) for s in snapshots]
+    selected = [s for s in snapshots if _is_weekend(s.date, weekend) == use_weekends]
+    first_half: dict[str, list[int]] = defaultdict(list)
+    second_half: dict[str, list[int]] = defaultdict(list)
+    for index, snapshot in enumerate(selected):
+        target = first_half if index % 2 == 0 else second_half
+        for rank, domain in enumerate(snapshot.entries, start=1):
+            target[domain].append(rank)
+    distances: dict[str, float] = {}
+    for domain in set(first_half) | set(second_half):
+        a = first_half.get(domain, [])
+        b = second_half.get(domain, [])
+        if len(a) < min_observations or len(b) < min_observations:
+            continue
+        distances[domain] = ks_distance(a, b)
+    return distances
+
+
+@dataclass(frozen=True)
+class SldGroupDynamics:
+    """Weekday/weekend behaviour of one SLD group (Figure 3b/3c)."""
+
+    group: str
+    weekday_mean: float
+    weekend_mean: float
+    series: Mapping[dt.date, int]
+
+    @property
+    def relative_change(self) -> float:
+        """Relative weekend-vs-weekday change in group membership count."""
+        base = max(self.weekday_mean, 1e-9)
+        return (self.weekend_mean - self.weekday_mean) / base
+
+    @property
+    def more_popular_on_weekends(self) -> bool:
+        return self.weekend_mean > self.weekday_mean
+
+
+def sld_group_dynamics(archive: ListArchive, top_n: Optional[int] = None,
+                       threshold: float = 0.4,
+                       weekend: Sequence[int] = WEEKEND_WEEKDAYS,
+                       min_group_size: int = 3,
+                       psl: Optional[PublicSuffixList] = None
+                       ) -> dict[str, SldGroupDynamics]:
+    """SLD groups whose list membership varies by more than ``threshold``
+    between weekdays and weekends.
+
+    Groups domains by the label left of the public suffix (all
+    ``blogspot.*`` names form one group), counts the group's members per
+    day, and reports groups whose weekday/weekend mean counts differ by
+    more than ``threshold`` (40% in the paper).
+    """
+    psl = psl or _DEFAULT_PSL
+    snapshots = archive.snapshots()
+    if top_n is not None:
+        snapshots = [s.top(top_n) for s in snapshots]
+    all_dates = [s.date for s in snapshots]
+    series: dict[str, dict[dt.date, int]] = defaultdict(dict)
+    for snapshot in snapshots:
+        counts: Counter[str] = Counter()
+        for domain in snapshot.entries:
+            sld = DomainName.parse(domain, psl=psl).sld
+            if sld is not None:
+                counts[sld] += 1
+        for group, count in counts.items():
+            series[group][snapshot.date] = count
+    has_weekdays = any(not _is_weekend(d, weekend) for d in all_dates)
+    has_weekends = any(_is_weekend(d, weekend) for d in all_dates)
+    result: dict[str, SldGroupDynamics] = {}
+    for group, per_day in series.items():
+        # Days on which the group has no member in the list count as zero.
+        weekday_counts = [per_day.get(date, 0) for date in all_dates
+                          if not _is_weekend(date, weekend)]
+        weekend_counts = [per_day.get(date, 0) for date in all_dates
+                          if _is_weekend(date, weekend)]
+        if not has_weekdays or not has_weekends:
+            continue
+        weekday_mean = sum(weekday_counts) / len(weekday_counts)
+        weekend_mean = sum(weekend_counts) / len(weekend_counts)
+        if max(weekday_mean, weekend_mean) < min_group_size:
+            continue
+        base = max(weekday_mean, 1e-9)
+        if abs(weekend_mean - weekday_mean) / base > threshold:
+            full_series = {date: per_day.get(date, 0) for date in all_dates}
+            result[group] = SldGroupDynamics(group=group,
+                                             weekday_mean=weekday_mean,
+                                             weekend_mean=weekend_mean,
+                                             series=full_series)
+    return result

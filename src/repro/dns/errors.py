@@ -1,0 +1,13 @@
+"""Exceptions raised by the DNS substrate."""
+
+
+class DnsError(Exception):
+    """Base class for DNS substrate errors."""
+
+
+class ResolutionLoopError(DnsError):
+    """Raised when CNAME chasing exceeds the configured chain limit."""
+
+
+class ZoneConfigurationError(DnsError):
+    """Raised when inconsistent records are added to a zone database."""

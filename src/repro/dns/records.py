@@ -1,0 +1,133 @@
+"""DNS record types, response codes and resource records.
+
+Only the record types exercised by the paper's measurements are modelled:
+A, AAAA (IPv6 adoption), CNAME (CDN detection, chain chasing), CAA
+(Certification Authority Authorization adoption), NS and TXT (zone
+plumbing and tests).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Optional
+
+
+class RecordType(enum.Enum):
+    """Subset of DNS RR types used by the reproduction."""
+
+    A = "A"
+    AAAA = "AAAA"
+    CNAME = "CNAME"
+    NS = "NS"
+    TXT = "TXT"
+    CAA = "CAA"
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.value
+
+
+class Rcode(enum.Enum):
+    """DNS response codes relevant to the measurements."""
+
+    NOERROR = 0
+    SERVFAIL = 2
+    NXDOMAIN = 3
+    REFUSED = 5
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.name
+
+
+@dataclass(frozen=True)
+class RData:
+    """Typed record data.
+
+    ``address`` holds A/AAAA addresses, ``target`` CNAME/NS targets,
+    ``text`` TXT payloads, and ``caa_tag``/``caa_value`` the CAA property
+    (``issue``/``issuewild``/``iodef``) and its value.
+    """
+
+    address: Optional[str] = None
+    target: Optional[str] = None
+    text: Optional[str] = None
+    caa_tag: Optional[str] = None
+    caa_value: Optional[str] = None
+    caa_flags: int = 0
+
+    @classmethod
+    def for_address(cls, address: str) -> "RData":
+        return cls(address=address)
+
+    @classmethod
+    def for_target(cls, target: str) -> "RData":
+        return cls(target=target.lower().rstrip("."))
+
+    @classmethod
+    def for_text(cls, text: str) -> "RData":
+        return cls(text=text)
+
+    @classmethod
+    def for_caa(cls, tag: str, value: str, flags: int = 0) -> "RData":
+        tag = tag.lower()
+        if tag not in ("issue", "issuewild", "iodef"):
+            raise ValueError(f"unknown CAA tag {tag!r}")
+        return cls(caa_tag=tag, caa_value=value, caa_flags=flags)
+
+
+@dataclass(frozen=True)
+class ResourceRecord:
+    """A single resource record in presentation-style form."""
+
+    name: str
+    rtype: RecordType
+    rdata: RData
+    ttl: int = 300
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "name", self.name.lower().rstrip("."))
+        if self.ttl < 0:
+            raise ValueError("TTL must be non-negative")
+        self._validate()
+
+    def _validate(self) -> None:
+        if self.rtype in (RecordType.A, RecordType.AAAA) and not self.rdata.address:
+            raise ValueError(f"{self.rtype} record requires an address")
+        if self.rtype in (RecordType.CNAME, RecordType.NS) and not self.rdata.target:
+            raise ValueError(f"{self.rtype} record requires a target")
+        if self.rtype is RecordType.CAA and not self.rdata.caa_tag:
+            raise ValueError("CAA record requires a tag")
+        if self.rtype is RecordType.A and self.rdata.address and ":" in self.rdata.address:
+            raise ValueError("A record cannot carry an IPv6 address")
+        if self.rtype is RecordType.AAAA and self.rdata.address and ":" not in self.rdata.address:
+            raise ValueError("AAAA record must carry an IPv6 address")
+
+    @property
+    def value(self) -> str:
+        """Human-readable record value (address, target, text or CAA)."""
+        if self.rtype in (RecordType.A, RecordType.AAAA):
+            return self.rdata.address or ""
+        if self.rtype in (RecordType.CNAME, RecordType.NS):
+            return self.rdata.target or ""
+        if self.rtype is RecordType.TXT:
+            return self.rdata.text or ""
+        return f'{self.rdata.caa_flags} {self.rdata.caa_tag} "{self.rdata.caa_value}"'
+
+
+@dataclass
+class DnsResponse:
+    """A response to a single-question DNS query."""
+
+    qname: str
+    qtype: RecordType
+    rcode: Rcode
+    answers: list[ResourceRecord] = field(default_factory=list)
+
+    @property
+    def is_nxdomain(self) -> bool:
+        return self.rcode is Rcode.NXDOMAIN
+
+    @property
+    def is_empty(self) -> bool:
+        """NOERROR with no answers (NODATA)."""
+        return self.rcode is Rcode.NOERROR and not self.answers

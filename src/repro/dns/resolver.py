@@ -1,0 +1,182 @@
+"""Caching, CNAME-chasing resolver with query logging.
+
+Two consumers rely on this module:
+
+* The measurement harness (Section 8.1) resolves A/AAAA/CAA for every
+  domain in a target set, following CNAME chains up to 10 links, exactly
+  as the paper describes for its IPv6-adoption measurement.
+* The Umbrella provider consumes the resolver's *query log*: the Umbrella
+  Top 1M ranks fully-qualified names by how many distinct clients queried
+  them through OpenDNS.  The log therefore records the querying client and
+  whether the answer was served from cache (cached answers would not reach
+  an upstream resolver, the TTL effect studied in Section 7.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.dns.errors import ResolutionLoopError
+from repro.dns.records import DnsResponse, Rcode, RecordType, ResourceRecord
+from repro.dns.zone import ZoneDatabase
+
+#: The paper follows chains "of up to 10 CNAMEs".
+MAX_CNAME_CHAIN = 10
+
+
+@dataclass(frozen=True)
+class QueryLogEntry:
+    """One query observed by the resolver (the OpenDNS-style vantage)."""
+
+    qname: str
+    qtype: RecordType
+    client_id: Optional[str]
+    timestamp: float
+    from_cache: bool
+    rcode: Rcode
+
+
+@dataclass
+class Resolution:
+    """Result of resolving a name with CNAME chasing."""
+
+    qname: str
+    qtype: RecordType
+    rcode: Rcode
+    addresses: list[str] = field(default_factory=list)
+    cname_chain: list[str] = field(default_factory=list)
+    records: list[ResourceRecord] = field(default_factory=list)
+
+    @property
+    def is_nxdomain(self) -> bool:
+        return self.rcode is Rcode.NXDOMAIN
+
+    @property
+    def resolved(self) -> bool:
+        """True when at least one address of the queried type was found."""
+        return bool(self.addresses)
+
+    @property
+    def final_name(self) -> str:
+        """Last name in the CNAME chain (or the query name itself)."""
+        return self.cname_chain[-1] if self.cname_chain else self.qname
+
+
+@dataclass
+class _CacheEntry:
+    response: DnsResponse
+    expires_at: float
+
+
+class CachingResolver:
+    """Stub resolver over a :class:`ZoneDatabase` with a TTL-bound cache."""
+
+    def __init__(
+        self,
+        zone: ZoneDatabase,
+        enable_cache: bool = True,
+        max_chain: int = MAX_CNAME_CHAIN,
+        log_queries: bool = False,
+    ) -> None:
+        self._zone = zone
+        self._cache: dict[tuple[str, RecordType], _CacheEntry] = {}
+        self._enable_cache = enable_cache
+        self._max_chain = max_chain
+        self._log_queries = log_queries
+        self._query_log: list[QueryLogEntry] = []
+        self._clock: float = 0.0
+        self.cache_hits = 0
+        self.cache_misses = 0
+
+    # -- clock -----------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._clock
+
+    def advance_clock(self, seconds: float) -> None:
+        """Advance the simulated clock (expires cache entries lazily)."""
+        if seconds < 0:
+            raise ValueError("cannot move the clock backwards")
+        self._clock += seconds
+
+    # -- query log -------------------------------------------------------
+    @property
+    def query_log(self) -> list[QueryLogEntry]:
+        """Queries observed so far (only populated when logging is on)."""
+        return self._query_log
+
+    def clear_query_log(self) -> None:
+        self._query_log.clear()
+
+    def flush_cache(self) -> None:
+        """Drop all cached responses."""
+        self._cache.clear()
+
+    # -- resolution ------------------------------------------------------
+    def query(self, qname: str, qtype: RecordType, client_id: Optional[str] = None) -> DnsResponse:
+        """Answer a single query, consulting the cache first."""
+        qname = qname.strip().lower().rstrip(".")
+        key = (qname, qtype)
+        entry = self._cache.get(key) if self._enable_cache else None
+        if entry is not None and entry.expires_at > self._clock:
+            self.cache_hits += 1
+            self._log(qname, qtype, client_id, from_cache=True, rcode=entry.response.rcode)
+            return entry.response
+        self.cache_misses += 1
+        response = self._zone.query(qname, qtype)
+        if self._enable_cache:
+            ttl = min((r.ttl for r in response.answers), default=60)
+            self._cache[key] = _CacheEntry(response=response, expires_at=self._clock + ttl)
+        self._log(qname, qtype, client_id, from_cache=False, rcode=response.rcode)
+        return response
+
+    def _log(self, qname: str, qtype: RecordType, client_id: Optional[str],
+             from_cache: bool, rcode: Rcode) -> None:
+        if not self._log_queries:
+            return
+        self._query_log.append(QueryLogEntry(
+            qname=qname, qtype=qtype, client_id=client_id,
+            timestamp=self._clock, from_cache=from_cache, rcode=rcode,
+        ))
+
+    def resolve(self, qname: str, qtype: RecordType = RecordType.A,
+                client_id: Optional[str] = None) -> Resolution:
+        """Resolve ``qname`` following CNAME chains up to the configured limit.
+
+        Raises
+        ------
+        ResolutionLoopError
+            If the CNAME chain exceeds the limit (loops included).
+        """
+        current = qname.strip().lower().rstrip(".")
+        chain: list[str] = []
+        all_records: list[ResourceRecord] = []
+        rcode = Rcode.NOERROR
+        addresses: list[str] = []
+        seen: set[str] = set()
+        for _ in range(self._max_chain + 1):
+            response = self.query(current, qtype, client_id=client_id)
+            rcode = response.rcode
+            all_records.extend(response.answers)
+            if response.rcode is not Rcode.NOERROR:
+                break
+            cnames = [r for r in response.answers if r.rtype is RecordType.CNAME]
+            if cnames and qtype is not RecordType.CNAME:
+                target = cnames[0].rdata.target or ""
+                if target in seen or target == current:
+                    raise ResolutionLoopError(f"CNAME loop at {target}")
+                seen.add(current)
+                chain.append(target)
+                current = target
+                continue
+            addresses = [r.rdata.address for r in response.answers
+                         if r.rtype is qtype and r.rdata.address]
+            break
+        else:
+            raise ResolutionLoopError(
+                f"CNAME chain for {qname!r} exceeds {self._max_chain} links")
+        return Resolution(qname=qname.strip().lower().rstrip("."), qtype=qtype,
+                          rcode=rcode, addresses=addresses, cname_chain=chain,
+                          records=all_records)

@@ -1,0 +1,122 @@
+"""Authoritative zone database.
+
+A flat name -> records store that plays the role of "the DNS" for the
+synthetic Internet: the measurement scanners and the Umbrella traffic
+simulation resolve names against it.  It distinguishes NXDOMAIN (the name
+and none of its descendants exist) from NODATA (the name exists but has
+no record of the queried type), mirroring real resolver semantics closely
+enough for the paper's NXDOMAIN-share analysis.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Iterable, Iterator, Optional
+
+from repro.dns.errors import ZoneConfigurationError
+from repro.dns.records import DnsResponse, RData, Rcode, RecordType, ResourceRecord
+
+
+class ZoneDatabase:
+    """In-memory authoritative store for the synthetic Internet's DNS."""
+
+    def __init__(self) -> None:
+        self._records: dict[str, dict[RecordType, list[ResourceRecord]]] = defaultdict(dict)
+        # Names that exist (including ancestors of names with records), to
+        # distinguish NXDOMAIN from NODATA.
+        self._existing_names: set[str] = set()
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __contains__(self, name: str) -> bool:
+        return self._normalise(name) in self._existing_names
+
+    @staticmethod
+    def _normalise(name: str) -> str:
+        return name.strip().lower().rstrip(".")
+
+    def names(self) -> Iterator[str]:
+        """Iterate over names that own at least one record."""
+        return iter(self._records.keys())
+
+    def add(self, record: ResourceRecord) -> None:
+        """Add a record, registering the name and its ancestors as existing."""
+        name = self._normalise(record.name)
+        by_type = self._records[name]
+        if record.rtype is RecordType.CNAME:
+            if by_type and any(t is not RecordType.CNAME for t in by_type):
+                raise ZoneConfigurationError(
+                    f"{name}: CNAME cannot coexist with other record types"
+                )
+            if RecordType.CNAME in by_type and by_type[RecordType.CNAME]:
+                raise ZoneConfigurationError(f"{name}: multiple CNAME records")
+        elif RecordType.CNAME in by_type:
+            raise ZoneConfigurationError(
+                f"{name}: other record types cannot coexist with a CNAME"
+            )
+        by_type.setdefault(record.rtype, []).append(record)
+        self._register_existing(name)
+
+    def _register_existing(self, name: str) -> None:
+        labels = name.split(".")
+        for start in range(len(labels)):
+            self._existing_names.add(".".join(labels[start:]))
+
+    def add_address(self, name: str, address: str, ttl: int = 300) -> None:
+        """Convenience: add an A or AAAA record depending on the address."""
+        rtype = RecordType.AAAA if ":" in address else RecordType.A
+        self.add(ResourceRecord(name=name, rtype=rtype, rdata=RData.for_address(address), ttl=ttl))
+
+    def add_cname(self, name: str, target: str, ttl: int = 300) -> None:
+        """Convenience: add a CNAME record."""
+        self.add(ResourceRecord(name=name, rtype=RecordType.CNAME, rdata=RData.for_target(target), ttl=ttl))
+
+    def add_caa(self, name: str, tag: str, value: str, ttl: int = 300) -> None:
+        """Convenience: add a CAA record."""
+        self.add(ResourceRecord(name=name, rtype=RecordType.CAA, rdata=RData.for_caa(tag, value), ttl=ttl))
+
+    def remove_name(self, name: str) -> None:
+        """Delete all records owned by ``name`` (the name may keep existing
+        if descendants still exist)."""
+        name = self._normalise(name)
+        self._records.pop(name, None)
+        if not any(other == name or other.endswith("." + name) for other in self._records):
+            self._existing_names.discard(name)
+
+    def records(self, name: str, rtype: Optional[RecordType] = None) -> list[ResourceRecord]:
+        """Return records owned by ``name`` (optionally of a single type)."""
+        name = self._normalise(name)
+        by_type = self._records.get(name, {})
+        if rtype is None:
+            return [r for records in by_type.values() for r in records]
+        return list(by_type.get(rtype, []))
+
+    def query(self, qname: str, qtype: RecordType) -> DnsResponse:
+        """Answer a single-question query authoritatively.
+
+        Returns the CNAME record (without chasing it) when the name owns a
+        CNAME and a different type was asked, matching what an
+        authoritative server would put in the answer section.
+        """
+        name = self._normalise(qname)
+        by_type = self._records.get(name)
+        if by_type:
+            if qtype in by_type:
+                return DnsResponse(qname=name, qtype=qtype, rcode=Rcode.NOERROR,
+                                   answers=list(by_type[qtype]))
+            if RecordType.CNAME in by_type and qtype is not RecordType.CNAME:
+                return DnsResponse(qname=name, qtype=qtype, rcode=Rcode.NOERROR,
+                                   answers=list(by_type[RecordType.CNAME]))
+            return DnsResponse(qname=name, qtype=qtype, rcode=Rcode.NOERROR, answers=[])
+        if name in self._existing_names:
+            return DnsResponse(qname=name, qtype=qtype, rcode=Rcode.NOERROR, answers=[])
+        return DnsResponse(qname=name, qtype=qtype, rcode=Rcode.NXDOMAIN, answers=[])
+
+    def bulk_load(self, records: Iterable[ResourceRecord]) -> int:
+        """Add many records; returns the number added."""
+        count = 0
+        for record in records:
+            self.add(record)
+            count += 1
+        return count

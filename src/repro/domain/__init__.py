@@ -1,0 +1,28 @@
+"""Domain-name substrate.
+
+This package implements the DNS naming concepts the paper relies on
+(Section 5 terminology): labels, public suffixes, base domains,
+second-level domains (SLD, the label left of a public suffix), subdomain
+depth, and the IANA TLD registry used to distinguish valid from invalid
+top-level domains.
+"""
+
+from repro.domain.name import (
+    DomainName,
+    base_domain,
+    normalise,
+    sld_group,
+    subdomain_depth,
+)
+from repro.domain.psl import PublicSuffixList
+from repro.domain.tld import TldRegistry
+
+__all__ = [
+    "DomainName",
+    "PublicSuffixList",
+    "TldRegistry",
+    "base_domain",
+    "normalise",
+    "sld_group",
+    "subdomain_depth",
+]

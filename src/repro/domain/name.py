@@ -1,0 +1,152 @@
+"""Domain name parsing and classification.
+
+Implements the terminology of Section 5 of the paper.  For the name
+``www.net.in.tum.de`` (with ``de`` as public suffix):
+
+* public suffix: ``de``
+* base domain: ``tum.de``
+* first subdomain: ``in.tum.de``
+* second subdomain: ``net.in.tum.de``
+* ``www.net.in.tum.de`` is therefore a *third-level* subdomain
+  (``subdomain_depth == 3``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+from typing import Optional
+
+from repro.domain.psl import PublicSuffixList
+
+#: Maximum length of a DNS name in presentation format.
+MAX_NAME_LENGTH = 253
+#: Maximum length of a single DNS label.
+MAX_LABEL_LENGTH = 63
+
+_DEFAULT_PSL = PublicSuffixList()
+
+
+class InvalidDomainError(ValueError):
+    """Raised when a string cannot be interpreted as a DNS domain name."""
+
+
+def normalise(name: str) -> str:
+    """Normalise a domain name: lowercase, strip whitespace and trailing dot.
+
+    Raises
+    ------
+    InvalidDomainError
+        If the name is empty, too long, or contains an empty or over-long
+        label.
+    """
+    if name is None:
+        raise InvalidDomainError("domain name is None")
+    cleaned = name.strip().lower().rstrip(".")
+    if not cleaned:
+        raise InvalidDomainError("empty domain name")
+    if len(cleaned) > MAX_NAME_LENGTH:
+        raise InvalidDomainError(f"domain name longer than {MAX_NAME_LENGTH} bytes: {name!r}")
+    for label in cleaned.split("."):
+        if not label:
+            raise InvalidDomainError(f"empty label in {name!r}")
+        if len(label) > MAX_LABEL_LENGTH:
+            raise InvalidDomainError(f"label longer than {MAX_LABEL_LENGTH} bytes in {name!r}")
+        if " " in label:
+            raise InvalidDomainError(f"whitespace inside label in {name!r}")
+    return cleaned
+
+
+@dataclass(frozen=True)
+class DomainName:
+    """A parsed, normalised domain name with PSL-derived structure.
+
+    Attributes
+    ----------
+    name:
+        The normalised full name.
+    public_suffix:
+        The public suffix (per PSL) of the name.
+    base:
+        The registrable (base) domain, or ``None`` if the name is itself a
+        public suffix.
+    depth:
+        Subdomain depth below the base domain.  The base domain itself has
+        depth 0, ``www.example.com`` depth 1, and so on.
+    """
+
+    name: str
+    public_suffix: Optional[str]
+    base: Optional[str]
+    depth: int
+
+    @classmethod
+    def parse(cls, raw: str, psl: Optional[PublicSuffixList] = None) -> "DomainName":
+        """Parse and classify ``raw`` using ``psl`` (default built-in PSL)."""
+        psl = psl or _DEFAULT_PSL
+        name = normalise(raw)
+        suffix = psl.public_suffix(name)
+        base = psl.base_domain(name)
+        if base is None:
+            depth = 0
+        else:
+            depth = name.count(".") - base.count(".")
+        return cls(name=name, public_suffix=suffix, base=base, depth=depth)
+
+    @property
+    def labels(self) -> tuple[str, ...]:
+        """Labels of the name, left to right."""
+        return tuple(self.name.split("."))
+
+    @property
+    def tld(self) -> str:
+        """Rightmost label of the name."""
+        return self.labels[-1]
+
+    @property
+    def is_base_domain(self) -> bool:
+        """True when the name equals its registrable domain."""
+        return self.base is not None and self.name == self.base
+
+    @property
+    def sld(self) -> Optional[str]:
+        """Second-level-domain group: label left of the public suffix."""
+        if self.base is None:
+            return None
+        return self.base.split(".")[0]
+
+    def parent(self) -> Optional["DomainName"]:
+        """Return the name with its leftmost label removed, if any."""
+        labels = self.labels
+        if len(labels) <= 1:
+            return None
+        return DomainName.parse(".".join(labels[1:]))
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.name
+
+
+@lru_cache(maxsize=262144)
+def _parse_cached(name: str) -> DomainName:
+    return DomainName.parse(name)
+
+
+def base_domain(name: str, psl: Optional[PublicSuffixList] = None) -> Optional[str]:
+    """Return the registrable domain of ``name`` (``None`` for bare suffixes)."""
+    if psl is None:
+        return _parse_cached(normalise(name)).base
+    return DomainName.parse(name, psl=psl).base
+
+
+def subdomain_depth(name: str, psl: Optional[PublicSuffixList] = None) -> int:
+    """Return the subdomain depth of ``name`` below its base domain."""
+    if psl is None:
+        return _parse_cached(normalise(name)).depth
+    return DomainName.parse(name, psl=psl).depth
+
+
+def sld_group(name: str, psl: Optional[PublicSuffixList] = None) -> Optional[str]:
+    """Return the SLD group label (Section 6.2) of ``name``."""
+    if psl is None:
+        return _parse_cached(normalise(name)).sld
+    return DomainName.parse(name, psl=psl).sld

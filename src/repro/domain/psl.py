@@ -1,0 +1,190 @@
+"""Public Suffix List engine.
+
+The paper defines its terminology against the Mozilla Public Suffix List
+(PSL): for ``www.net.in.tum.de``, ``de`` is the public suffix, ``tum.de``
+the base domain, and labels further left are subdomains.  The PSL is a
+rule list with three kinds of rules:
+
+* normal rules (``com``, ``co.uk``) — the suffix is the rule itself;
+* wildcard rules (``*.ck``) — any single label under the rule is a suffix;
+* exception rules (``!www.ck``) — override a wildcard.
+
+This module implements the standard PSL matching algorithm over an
+in-memory rule set.  A built-in default rule set covers the suffixes that
+matter for the paper's analyses (generic TLDs, common ccTLDs, multi-label
+suffixes such as ``co.uk`` and ``com.au``, and "private" suffixes such as
+``blogspot.com`` that the paper groups specially); callers can supply
+their own rules, e.g. parsed from a downloaded PSL file.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Sequence
+
+#: Suffix rules shipped with the library.  This is intentionally a compact,
+#: curated subset of the real PSL: enough to drive every analysis in the
+#: reproduction, and easily replaced via :meth:`PublicSuffixList.from_rules`.
+DEFAULT_RULES: tuple[str, ...] = (
+    # Generic / legacy TLDs.
+    "com", "net", "org", "edu", "gov", "mil", "int", "info", "biz",
+    "name", "mobi", "pro", "aero", "asia", "cat", "coop", "jobs",
+    "museum", "tel", "travel", "xxx", "arpa",
+    # New gTLDs that appear in top lists.
+    "io", "co", "me", "tv", "cc", "app", "dev", "xyz", "online", "site",
+    "top", "club", "shop", "blog", "cloud", "live", "news", "space",
+    "store", "tech", "website", "wiki", "win", "work", "agency", "life",
+    "today", "world", "zone", "email", "network", "digital", "media",
+    "systems", "solutions", "services", "academy", "link", "page",
+    # Country-code TLDs.
+    "de", "uk", "fr", "nl", "it", "es", "pt", "se", "no", "fi", "dk",
+    "pl", "cz", "ch", "at", "be", "ie", "gr", "hu", "ro", "bg", "ru",
+    "ua", "tr", "il", "sa", "ae", "in", "cn", "jp", "kr", "tw", "hk",
+    "sg", "my", "th", "vn", "id", "ph", "au", "nz", "za", "ng", "ke",
+    "eg", "ma", "br", "ar", "cl", "mx", "pe", "ve", "ca", "us", "eu",
+    "is", "lt", "lv", "ee", "sk", "si", "hr", "rs", "by", "kz", "ir",
+    "pk", "bd", "lk", "np",
+    # Multi-label public suffixes.
+    "co.uk", "org.uk", "ac.uk", "gov.uk", "me.uk", "net.uk",
+    "com.au", "net.au", "org.au", "edu.au", "gov.au",
+    "co.jp", "ne.jp", "or.jp", "ac.jp", "go.jp",
+    "co.kr", "or.kr", "ac.kr",
+    "com.br", "net.br", "org.br", "gov.br",
+    "com.cn", "net.cn", "org.cn", "gov.cn", "edu.cn",
+    "com.mx", "org.mx",
+    "com.ar", "com.tr", "com.tw", "com.hk", "com.sg", "com.my",
+    "co.in", "net.in", "org.in", "ac.in", "gov.in",
+    "co.za", "org.za", "co.nz", "net.nz", "org.nz",
+    "co.il", "org.il", "ac.il",
+    "com.ua", "com.ru", "com.pl", "com.vn", "com.ph", "com.eg",
+    "com.sa", "com.ng", "co.id", "co.th",
+    # Wildcard and exception examples (kept for algorithmic completeness).
+    "*.ck", "!www.ck",
+    # Widely used "private" suffixes; the paper groups blogspot.* together.
+    "blogspot.com", "blogspot.de", "blogspot.co.uk", "blogspot.com.br",
+    "blogspot.in", "blogspot.mx", "blogspot.jp", "blogspot.fr",
+    "appspot.com", "github.io", "gitlab.io", "herokuapp.com",
+    "azurewebsites.net", "cloudfront.net", "amazonaws.com",
+    "fastly.net", "akamaized.net", "wordpress.com", "tumblr.com",
+)
+
+
+class PublicSuffixList:
+    """Matcher implementing the Public Suffix List algorithm.
+
+    Parameters
+    ----------
+    rules:
+        Iterable of PSL rules (``"com"``, ``"co.uk"``, ``"*.ck"``,
+        ``"!www.ck"``).  When omitted the built-in default rule set is used.
+    """
+
+    def __init__(self, rules: Optional[Iterable[str]] = None) -> None:
+        self._exact: set[str] = set()
+        self._wildcard: set[str] = set()
+        self._exception: set[str] = set()
+        for rule in (rules if rules is not None else DEFAULT_RULES):
+            self.add_rule(rule)
+
+    @classmethod
+    def from_rules(cls, rules: Iterable[str]) -> "PublicSuffixList":
+        """Build a list from an iterable of rules (e.g. a parsed PSL file)."""
+        return cls(rules=rules)
+
+    @classmethod
+    def from_file(cls, path: str) -> "PublicSuffixList":
+        """Parse a PSL file in the upstream format (comments, blank lines)."""
+        rules: list[str] = []
+        with open(path, encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if not line or line.startswith("//"):
+                    continue
+                rules.append(line)
+        return cls(rules=rules)
+
+    def add_rule(self, rule: str) -> None:
+        """Register a single PSL rule."""
+        rule = rule.strip().lower().strip(".")
+        if not rule:
+            raise ValueError("empty PSL rule")
+        if rule.startswith("!"):
+            self._exception.add(rule[1:])
+        elif rule.startswith("*."):
+            self._wildcard.add(rule[2:])
+        else:
+            self._exact.add(rule)
+
+    def __len__(self) -> int:
+        return len(self._exact) + len(self._wildcard) + len(self._exception)
+
+    def __contains__(self, suffix: str) -> bool:
+        return self.is_public_suffix(suffix)
+
+    def is_public_suffix(self, name: str) -> bool:
+        """Return whether ``name`` itself is a public suffix."""
+        name = name.strip().lower().strip(".")
+        if not name:
+            return False
+        return self.public_suffix(name) == name
+
+    def public_suffix(self, name: str) -> Optional[str]:
+        """Return the public suffix of ``name`` or ``None`` for empty input.
+
+        Follows the PSL algorithm: the longest matching rule wins,
+        exception rules beat wildcard rules, and an unknown TLD is treated
+        as a public suffix of one label (the implicit ``*`` rule).
+        """
+        name = name.strip().lower().strip(".")
+        if not name:
+            return None
+        labels = name.split(".")
+        best: Optional[Sequence[str]] = None
+        for start in range(len(labels)):
+            candidate = labels[start:]
+            cand_str = ".".join(candidate)
+            parent = ".".join(candidate[1:])
+            if cand_str in self._exception:
+                # The exception rule's suffix is the rule minus its left label.
+                match = candidate[1:]
+                if best is None or len(match) > len(best):
+                    best = match
+                continue
+            if cand_str in self._exact:
+                if best is None or len(candidate) > len(best):
+                    best = candidate
+            if parent and parent in self._wildcard and cand_str not in self._exception:
+                if best is None or len(candidate) > len(best):
+                    best = candidate
+        if best is None:
+            # Implicit "*" rule: the rightmost label is the public suffix.
+            best = labels[-1:]
+        return ".".join(best)
+
+    def base_domain(self, name: str) -> Optional[str]:
+        """Return the registrable (base) domain: public suffix plus one label.
+
+        Returns ``None`` when ``name`` is itself a public suffix or empty.
+        """
+        name = name.strip().lower().strip(".")
+        if not name:
+            return None
+        suffix = self.public_suffix(name)
+        if suffix is None or name == suffix:
+            return None
+        suffix_labels = suffix.count(".") + 1
+        labels = name.split(".")
+        if len(labels) <= suffix_labels:
+            return None
+        return ".".join(labels[-(suffix_labels + 1):])
+
+    def sld_group(self, name: str) -> Optional[str]:
+        """Return the second-level-domain group label used in Section 6.2.
+
+        The paper groups domains by the label immediately left of the
+        public suffix (e.g. all ``blogspot.*`` domains share the group
+        ``blogspot``).  Returns ``None`` if no such label exists.
+        """
+        base = self.base_domain(name)
+        if base is None:
+            return None
+        return base.split(".")[0]

@@ -1,0 +1,78 @@
+"""Reading and writing top lists in the providers' CSV formats.
+
+Real top lists are distributed as ``top-1m.csv`` files with ``rank,domain``
+rows (Majestic adds more columns; the domain is always the last relevant
+column we use).  These helpers parse such files into
+:class:`~repro.providers.base.ListSnapshot` objects and write archives
+back out, so every analysis in :mod:`repro.core` runs unchanged on real
+downloaded snapshots.
+"""
+
+from __future__ import annotations
+
+import csv
+import datetime as dt
+import io
+import zipfile
+from pathlib import Path
+from typing import Optional
+
+from repro.providers.base import ListArchive, ListSnapshot
+
+
+def parse_top_list_csv(text: str, provider: str, date: Optional[dt.date] = None,
+                       domain_column: int = 1) -> ListSnapshot:
+    """Parse CSV text with one ranked domain per row.
+
+    ``domain_column`` selects the column holding the domain name (1 for
+    the Alexa/Umbrella ``rank,domain`` format; Majestic's
+    ``rank,tld,domain,...`` format uses 2).  Header rows (no digit in the
+    first column) are skipped; duplicate domains keep their first rank.
+    """
+    entries: list[str] = []
+    seen: set[str] = set()
+    for row in csv.reader(io.StringIO(text)):
+        if not row:
+            continue
+        first = row[0].strip()
+        if not first or not first[0].isdigit():
+            continue
+        if domain_column >= len(row):
+            continue
+        domain = row[domain_column].strip().lower().rstrip(".")
+        if not domain or domain in seen:
+            continue
+        seen.add(domain)
+        entries.append(domain)
+    return ListSnapshot(provider=provider, date=date or dt.date.today(),
+                        entries=tuple(entries))
+
+
+def read_top_list(path: str | Path, provider: str,
+                  date: Optional[dt.date] = None,
+                  domain_column: int = 1) -> ListSnapshot:
+    """Read a top-list CSV file; ``.zip`` archives (Alexa-style) are supported."""
+    path = Path(path)
+    if path.suffix == ".zip":
+        with zipfile.ZipFile(path) as archive:
+            inner = archive.namelist()[0]
+            text = archive.read(inner).decode("utf-8")
+    else:
+        text = path.read_text(encoding="utf-8")
+    return parse_top_list_csv(text, provider=provider, date=date,
+                              domain_column=domain_column)
+
+
+def write_top_list(snapshot: ListSnapshot, path: str | Path) -> None:
+    """Write a snapshot as a ``rank,domain`` CSV file."""
+    snapshot.to_csv(path)
+
+
+def write_archive(archive: ListArchive, directory: str | Path) -> None:
+    """Write one CSV per snapshot into ``directory``."""
+    archive.to_directory(directory)
+
+
+def read_archive(directory: str | Path, provider: str) -> ListArchive:
+    """Read an archive directory written by :func:`write_archive`."""
+    return ListArchive.from_directory(directory, provider=provider)

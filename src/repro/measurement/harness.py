@@ -1,0 +1,123 @@
+"""Measurement harness: target sets and the combined per-target measurement.
+
+A :class:`TargetSet` is the unit the paper measures: a top list (or its
+Top-1k head) downloaded on a given day, or the general population of
+com/net/org domains.  The :class:`MeasurementHarness` runs all DNS, TLS
+and HTTP/2 measurements of Section 8 against a target set.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Optional
+
+from repro.measurement.dns_measure import DnsCharacteristics, DnsMeasurement
+from repro.measurement.http2_measure import Http2Characteristics, Http2Measurement
+from repro.measurement.tls_measure import TlsCharacteristics, TlsMeasurement
+from repro.population.internet import SyntheticInternet
+from repro.population.zonefile import ZoneFile
+from repro.providers.base import ListSnapshot
+
+
+@dataclass(frozen=True)
+class TargetSet:
+    """A named set of domains to measure."""
+
+    name: str
+    domains: tuple[str, ...]
+
+    def __post_init__(self) -> None:
+        if not self.domains:
+            raise ValueError("target set must not be empty")
+
+    def __len__(self) -> int:
+        return len(self.domains)
+
+    def __iter__(self):
+        return iter(self.domains)
+
+    @classmethod
+    def from_snapshot(cls, snapshot: ListSnapshot, top_n: Optional[int] = None,
+                      name: Optional[str] = None) -> "TargetSet":
+        """Build a target set from a list snapshot (optionally its head)."""
+        entries = snapshot.entries if top_n is None else snapshot.entries[:top_n]
+        label = name or (f"{snapshot.provider}-{top_n}" if top_n else snapshot.provider)
+        return cls(name=label, domains=tuple(entries))
+
+    @classmethod
+    def from_zonefile(cls, zonefile: ZoneFile, sample: Optional[int] = None,
+                      seed: Optional[int] = 0, name: str = "com/net/org") -> "TargetSet":
+        """Build the general-population target (optionally subsampled)."""
+        names = zonefile.sample(sample, seed=seed) if sample else zonefile.names
+        return cls(name=name, domains=tuple(names))
+
+    @classmethod
+    def from_names(cls, names: Iterable[str], name: str = "targets") -> "TargetSet":
+        """Build a target set from an arbitrary collection of names."""
+        return cls(name=name, domains=tuple(names))
+
+
+@dataclass
+class MeasurementReport:
+    """All Section-8 measurements of one target set."""
+
+    target: str
+    dns: DnsCharacteristics
+    tls: TlsCharacteristics
+    http2: Http2Characteristics
+
+    def metric(self, name: str) -> float:
+        """Look up a metric by its Table 5 row name."""
+        mapping = {
+            "nxdomain": self.dns.nxdomain_share,
+            "ipv6": self.dns.ipv6_share,
+            "caa": self.dns.caa_share,
+            "cname": self.dns.cname_share,
+            "cdn": self.dns.cdn_share,
+            "unique_as_v4": float(self.dns.unique_as_v4),
+            "unique_as_v6": float(self.dns.unique_as_v6),
+            "top5_as": self.dns.top_as_share(5),
+            "tls": self.tls.tls_share,
+            "hsts": self.tls.hsts_share_of_tls,
+            "http2": self.http2.adoption_share,
+        }
+        if name not in mapping:
+            raise KeyError(f"unknown metric {name!r}")
+        return mapping[name]
+
+    @classmethod
+    def metric_names(cls) -> tuple[str, ...]:
+        """All metric row names available on a report."""
+        return ("nxdomain", "ipv6", "caa", "cname", "cdn", "unique_as_v4",
+                "unique_as_v6", "top5_as", "tls", "hsts", "http2")
+
+
+class MeasurementHarness:
+    """Runs the Section-8 measurement suite against target sets."""
+
+    def __init__(self, internet: SyntheticInternet) -> None:
+        self.internet = internet
+        self.dns = DnsMeasurement(internet)
+        self.tls = TlsMeasurement(internet)
+        self.http2 = Http2Measurement(internet)
+
+    def measure_dns(self, target: TargetSet) -> DnsCharacteristics:
+        """DNS-only measurement (cheaper; used for daily time series)."""
+        return self.dns.measure(target.domains, target=target.name)
+
+    def measure_tls(self, target: TargetSet) -> TlsCharacteristics:
+        """TLS/HSTS-only measurement."""
+        return self.tls.measure(target.domains, target=target.name)
+
+    def measure_http2(self, target: TargetSet) -> Http2Characteristics:
+        """HTTP/2-only measurement."""
+        return self.http2.measure(target.domains, target=target.name)
+
+    def measure(self, target: TargetSet) -> MeasurementReport:
+        """Run every measurement against ``target``."""
+        return MeasurementReport(
+            target=target.name,
+            dns=self.measure_dns(target),
+            tls=self.measure_tls(target),
+            http2=self.measure_http2(target),
+        )

@@ -1,0 +1,122 @@
+"""Reporting helpers: time series (Figures 6 and 8) and Table 5 assembly."""
+
+from __future__ import annotations
+
+import datetime as dt
+from typing import Mapping, Optional, Sequence
+
+from repro.core.bias import ComparisonTable
+from repro.measurement.harness import MeasurementHarness, TargetSet
+from repro.providers.base import ListArchive
+from repro.providers.simulation import SimulationRun
+
+#: Metrics that only need the (cheaper) DNS measurement.
+_DNS_METRICS = ("nxdomain", "ipv6", "caa", "cname", "cdn", "unique_as_v4",
+                "unique_as_v6", "top5_as")
+
+
+def _metric_from_reports(harness: MeasurementHarness, target: TargetSet,
+                         metric: str) -> float:
+    if metric in _DNS_METRICS:
+        dns = harness.measure_dns(target)
+        dns_values = {
+            "nxdomain": dns.nxdomain_share, "ipv6": dns.ipv6_share,
+            "caa": dns.caa_share, "cname": dns.cname_share, "cdn": dns.cdn_share,
+            "unique_as_v4": float(dns.unique_as_v4),
+            "unique_as_v6": float(dns.unique_as_v6),
+            "top5_as": dns.top_as_share(5),
+        }
+        return dns_values[metric]
+    if metric in ("tls", "hsts"):
+        tls = harness.measure_tls(target)
+        return tls.tls_share if metric == "tls" else tls.hsts_share_of_tls
+    if metric == "http2":
+        return harness.measure_http2(target).adoption_share
+    raise KeyError(f"unknown metric {metric!r}")
+
+
+def daily_series(harness: MeasurementHarness,
+                 archives: Mapping[str, ListArchive],
+                 metric: str,
+                 top_n: Optional[int] = None,
+                 population: Optional[TargetSet] = None,
+                 sample_every: int = 1) -> dict[str, dict[dt.date, float]]:
+    """Measure ``metric`` for every archive day (Figures 6 and 8).
+
+    Returns ``{target name: {date: value}}``; with ``top_n`` the Top-n
+    head of each snapshot is measured instead of the full list.  The
+    general population, when given, is measured once per ``sample_every``
+    dates (the paper probes the com/net/org zone weekly).
+    """
+    if sample_every <= 0:
+        raise ValueError("sample_every must be positive")
+    series: dict[str, dict[dt.date, float]] = {}
+    for name, archive in archives.items():
+        label = f"{name}-{top_n}" if top_n else name
+        series[label] = {}
+        for index, snapshot in enumerate(archive.snapshots()):
+            if index % sample_every:
+                continue
+            target = TargetSet.from_snapshot(snapshot, top_n=top_n, name=label)
+            series[label][snapshot.date] = _metric_from_reports(harness, target, metric)
+    if population is not None:
+        dates = sorted({date for per in series.values() for date in per})
+        value = _metric_from_reports(harness, population, metric)
+        series[population.name] = {date: value for date in dates}
+    return series
+
+
+#: Table 5 metric rows and their human-readable names.
+TABLE5_METRICS: tuple[tuple[str, str], ...] = (
+    ("nxdomain", "NXDOMAIN"),
+    ("ipv6", "IPv6-enabled"),
+    ("caa", "CAA-enabled"),
+    ("cname", "CNAMEs"),
+    ("cdn", "CDNs (via CNAME)"),
+    ("unique_as_v4", "Unique AS IPv4"),
+    ("unique_as_v6", "Unique AS IPv6"),
+    ("top5_as", "Top 5 AS (Share)"),
+    ("tls", "TLS-capable"),
+    ("hsts", "HSTS-enabled HTTPS"),
+    ("http2", "HTTP2"),
+)
+
+
+def build_comparison_table(run: SimulationRun,
+                           harness: Optional[MeasurementHarness] = None,
+                           sample_days: Sequence[int] = (-5, -3, -1),
+                           top_k: Optional[int] = None,
+                           population_sample: Optional[int] = None,
+                           metrics: Optional[Sequence[str]] = None) -> ComparisonTable:
+    """Assemble the Table-5-style comparison for a simulation run.
+
+    For each provider the full list ("1M" analogue) and its Top-k head
+    ("1k" analogue) are measured on the snapshots selected by
+    ``sample_days`` (negative indices count from the end of the archive);
+    the com/net/org population is the comparison base.
+    """
+    harness = harness or MeasurementHarness(run.internet)
+    top_k = top_k or run.config.top_k
+    metrics = list(metrics) if metrics is not None else [m for m, _ in TABLE5_METRICS]
+    population = TargetSet.from_zonefile(run.zonefile, sample=population_sample)
+
+    # Collect per-day samples per target.
+    samples: dict[str, dict[str, list[float]]] = {m: {} for m in metrics}
+    for provider, archive in run.archives.items():
+        snapshots = archive.snapshots()
+        for scope, top_n in ((f"{provider}-1k", top_k), (f"{provider}-1M", None)):
+            for day in sample_days:
+                snapshot = snapshots[day]
+                target = TargetSet.from_snapshot(snapshot, top_n=top_n, name=scope)
+                report = harness.measure(target)
+                for metric in metrics:
+                    samples[metric].setdefault(scope, []).append(report.metric(metric))
+    population_report = harness.measure(population)
+
+    label_by_metric = dict(TABLE5_METRICS)
+    table = ComparisonTable(base_target=population.name)
+    for metric in metrics:
+        values: dict[str, list[float]] = dict(samples[metric])
+        values[population.name] = [population_report.metric(metric)]
+        table.add_characteristic(label_by_metric.get(metric, metric), values)
+    return table

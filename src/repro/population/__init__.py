@@ -1,0 +1,43 @@
+"""Synthetic Internet population.
+
+The paper measures real top lists against the real Internet; offline, this
+package substitutes both with a **seeded synthetic Internet**: a population
+of domains with correlated properties (popularity, category,
+weekday/weekend affinity, IPv6/CAA/TLS/HTTP2/CDN adoption, hosting AS),
+plus traffic simulators that produce the three raw signals the list
+providers rank on:
+
+* web page visits from a browser-toolbar panel (Alexa),
+* DNS queries from a large shared-resolver client base (Umbrella),
+* inbound links counted per /24 subnet (Majestic).
+
+Everything is driven by a single :class:`SimulationConfig` and a seed, so
+every experiment in the benchmark suite is reproducible bit-for-bit.
+"""
+
+from repro.population.categories import CATEGORY_PROFILES, CategoryProfile, DomainCategory
+from repro.population.config import SimulationConfig
+from repro.population.internet import Domain, SyntheticInternet
+from repro.population.traffic import (
+    BacklinkSnapshot,
+    DnsTraffic,
+    InjectedQueries,
+    TrafficSimulator,
+    WebTraffic,
+)
+from repro.population.zonefile import ZoneFile
+
+__all__ = [
+    "BacklinkSnapshot",
+    "CATEGORY_PROFILES",
+    "CategoryProfile",
+    "DnsTraffic",
+    "Domain",
+    "DomainCategory",
+    "InjectedQueries",
+    "SimulationConfig",
+    "SyntheticInternet",
+    "TrafficSimulator",
+    "WebTraffic",
+    "ZoneFile",
+]

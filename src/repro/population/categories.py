@@ -1,0 +1,131 @@
+"""Domain categories and their behavioural profiles.
+
+The paper explains several of its findings by *what kind of domain* a list
+ranks: leisure sites (blogspot, tumblr, Netflix) gain rank on weekends,
+office platforms (sharepoint) on weekdays, trackers and ad services are
+queried a lot but never "visited", content CDNs receive embedded-content
+requests, and Internet-scanning infrastructure shows up in resolver logs
+only.  Each category here carries the multipliers that produce those
+behaviours in the traffic simulation.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class DomainCategory(enum.Enum):
+    """Behavioural category of a domain in the synthetic population."""
+
+    PORTAL = "portal"            # search engines, large portals, social networks
+    NEWS = "news"                # news and media sites
+    SHOPPING = "shopping"        # e-commerce
+    LEISURE = "leisure"          # video, gaming, blogs; weekend-heavy
+    OFFICE = "office"            # business/productivity platforms; weekday-heavy
+    TRACKER = "tracker"          # third-party advertising/tracking services
+    CDN_INFRA = "cdn_infra"      # CDN / embedded-content infrastructure names
+    MOBILE_API = "mobile_api"    # mobile app backends, push/telemetry services
+    SCANNER = "scanner"          # research scanners, NTP/telemetry, IoT endpoints
+    SMALL_BUSINESS = "small_business"  # the long tail of small and parked sites
+    PERSONAL = "personal"        # private blogs and personal pages
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.value
+
+
+@dataclass(frozen=True)
+class CategoryProfile:
+    """Traffic and infrastructure multipliers of one category.
+
+    Attributes
+    ----------
+    web_factor:
+        Multiplier on a domain's weight in human web-visit traffic
+        (Alexa-style panels).  Trackers and infrastructure are ~0.
+    dns_factor:
+        Multiplier on the domain's weight in resolver query traffic
+        (Umbrella-style); trackers and mobile APIs are queried far more
+        often than they are consciously visited.
+    backlink_factor:
+        Multiplier on the domain's inbound-link weight (Majestic-style).
+    weekend_factor:
+        Traffic multiplier applied on weekend days (>1 = leisure-like,
+        <1 = office-like).
+    share_of_population:
+        Fraction of the synthetic population drawn from this category.
+    popularity_boost:
+        Bias towards the head of the popularity distribution (categories
+        with large boost are over-represented among top domains).
+    mobile:
+        Whether Lumen-style mobile traffic monitoring would flag the
+        domain (Table 3).
+    blacklisted:
+        Whether hpHosts-style tracker blacklists would flag the domain
+        (Table 3).
+    """
+
+    category: DomainCategory
+    web_factor: float
+    dns_factor: float
+    backlink_factor: float
+    weekend_factor: float
+    share_of_population: float
+    popularity_boost: float
+    mobile: bool = False
+    blacklisted: bool = False
+
+
+#: Behaviour profiles for every category.  ``share_of_population`` sums to 1.
+CATEGORY_PROFILES: dict[DomainCategory, CategoryProfile] = {
+    profile.category: profile
+    for profile in (
+        CategoryProfile(DomainCategory.PORTAL, web_factor=1.5, dns_factor=1.3,
+                        backlink_factor=1.6, weekend_factor=1.0,
+                        share_of_population=0.01, popularity_boost=40.0),
+        CategoryProfile(DomainCategory.NEWS, web_factor=1.3, dns_factor=1.0,
+                        backlink_factor=1.3, weekend_factor=0.9,
+                        share_of_population=0.04, popularity_boost=8.0),
+        CategoryProfile(DomainCategory.SHOPPING, web_factor=1.2, dns_factor=0.9,
+                        backlink_factor=1.0, weekend_factor=1.15,
+                        share_of_population=0.08, popularity_boost=4.0),
+        CategoryProfile(DomainCategory.LEISURE, web_factor=1.3, dns_factor=1.0,
+                        backlink_factor=0.9, weekend_factor=1.6,
+                        share_of_population=0.10, popularity_boost=5.0),
+        CategoryProfile(DomainCategory.OFFICE, web_factor=1.0, dns_factor=1.1,
+                        backlink_factor=0.8, weekend_factor=0.45,
+                        share_of_population=0.05, popularity_boost=6.0),
+        CategoryProfile(DomainCategory.TRACKER, web_factor=0.02, dns_factor=3.5,
+                        backlink_factor=0.4, weekend_factor=0.95,
+                        share_of_population=0.03, popularity_boost=12.0,
+                        mobile=True, blacklisted=True),
+        CategoryProfile(DomainCategory.CDN_INFRA, web_factor=0.05, dns_factor=2.8,
+                        backlink_factor=0.6, weekend_factor=1.05,
+                        share_of_population=0.02, popularity_boost=15.0),
+        CategoryProfile(DomainCategory.MOBILE_API, web_factor=0.03, dns_factor=2.5,
+                        backlink_factor=0.3, weekend_factor=1.2,
+                        share_of_population=0.03, popularity_boost=10.0,
+                        mobile=True),
+        CategoryProfile(DomainCategory.SCANNER, web_factor=0.01, dns_factor=1.8,
+                        backlink_factor=0.2, weekend_factor=1.0,
+                        share_of_population=0.01, popularity_boost=3.0),
+        CategoryProfile(DomainCategory.SMALL_BUSINESS, web_factor=0.8, dns_factor=0.7,
+                        backlink_factor=0.9, weekend_factor=0.95,
+                        share_of_population=0.43, popularity_boost=1.0),
+        CategoryProfile(DomainCategory.PERSONAL, web_factor=0.7, dns_factor=0.6,
+                        backlink_factor=0.7, weekend_factor=1.25,
+                        share_of_population=0.20, popularity_boost=1.0),
+    )
+}
+
+
+def validate_profiles() -> None:
+    """Sanity-check the built-in profile table (used by tests)."""
+    total_share = sum(p.share_of_population for p in CATEGORY_PROFILES.values())
+    if abs(total_share - 1.0) > 1e-9:
+        raise ValueError(f"category population shares sum to {total_share}, expected 1.0")
+    for profile in CATEGORY_PROFILES.values():
+        if min(profile.web_factor, profile.dns_factor, profile.backlink_factor) < 0:
+            raise ValueError(f"negative factor in {profile.category}")
+        if profile.weekend_factor <= 0:
+            raise ValueError(f"non-positive weekend factor in {profile.category}")

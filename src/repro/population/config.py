@@ -1,0 +1,147 @@
+"""Simulation configuration.
+
+All scale parameters of the synthetic Internet live here so that tests use
+small populations, benchmarks medium ones, and a user with patience can
+approach the paper's Top-1M scale by only changing numbers.
+"""
+
+from __future__ import annotations
+
+import datetime as dt
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class SimulationConfig:
+    """Parameters of the synthetic Internet and its traffic simulation.
+
+    Attributes
+    ----------
+    seed:
+        Master RNG seed; every derived generator is seeded from it.
+    n_domains:
+        Number of base domains in the initial population (the paper's
+        ~157M com/net/org domains plus other TLDs, scaled down).
+    new_domains_per_day:
+        Genuinely new domains entering the population each simulated day.
+    n_days:
+        Length of the simulated observation period (the JOINT dataset).
+    start_date:
+        Calendar date of simulation day 0 (drives weekday/weekend logic).
+    list_size:
+        Size of the "Top 1M" lists produced by the providers (scaled).
+    top_k:
+        Size of the "Top 1k" head subset used throughout the paper.
+    zipf_exponent:
+        Exponent of the popularity power law.
+    alexa_panel_users / alexa_visits_per_user:
+        Size of the toolbar panel and mean daily page visits per panel
+        member; together they set Alexa's sampling noise.
+    alexa_window_days:
+        Length of Alexa's rank-averaging sliding window before its
+        January-2018 style change.
+    alexa_change_day:
+        Simulation day on which Alexa switches to a 1-day window
+        (``None`` disables the change).
+    umbrella_clients / umbrella_queries_per_client:
+        Number of resolver client /24s and mean daily queries per client.
+    majestic_window_days:
+        Length of Majestic's backlink counting window (90 days in the
+        paper, scaled down by default).
+    invalid_tld_fraction:
+        Fraction of DNS query volume directed at junk names under invalid
+        TLDs (misconfigured hosts; ends up in Umbrella only).
+    nxdomain_population_share:
+        Fraction of registered population domains that do not resolve.
+    dead_domain_share:
+        Fraction of formerly-popular domains that have been shut down but
+        still receive backlinks/queries (Majestic/Umbrella NXDOMAIN
+        sources).
+    """
+
+    seed: int = 20181031
+    n_domains: int = 30_000
+    new_domains_per_day: int = 60
+    n_days: int = 28
+    start_date: dt.date = field(default_factory=lambda: dt.date(2017, 6, 6))
+    list_size: int = 5_000
+    top_k: int = 500
+    zipf_exponent: float = 0.95
+    # Alexa-style panel.
+    alexa_panel_users: int = 150_000
+    alexa_visits_per_user: float = 25.0
+    alexa_window_days: int = 10
+    alexa_change_day: int | None = None
+    # Umbrella-style resolver client base.
+    umbrella_clients: int = 80_000
+    umbrella_queries_per_client: float = 40.0
+    # Majestic-style crawler.
+    majestic_window_days: int = 14
+    majestic_linking_subnets: int = 2_500_000
+    # Pathologies.
+    invalid_tld_fraction: float = 0.025
+    nxdomain_population_share: float = 0.006
+    dead_domain_share: float = 0.012
+    # Weekend behaviour.
+    weekend_days: tuple[int, ...] = (5, 6)
+
+    def __post_init__(self) -> None:
+        if self.n_domains <= 0:
+            raise ValueError("n_domains must be positive")
+        if self.list_size <= 0 or self.list_size > self.total_domains():
+            raise ValueError("list_size must be positive and fit the population")
+        if self.top_k <= 0 or self.top_k > self.list_size:
+            raise ValueError("top_k must be positive and at most list_size")
+        if self.n_days <= 0:
+            raise ValueError("n_days must be positive")
+        if not 0 <= self.invalid_tld_fraction < 1:
+            raise ValueError("invalid_tld_fraction must be in [0, 1)")
+        if not 0 <= self.nxdomain_population_share < 1:
+            raise ValueError("nxdomain_population_share must be in [0, 1)")
+        if self.alexa_window_days <= 0 or self.majestic_window_days <= 0:
+            raise ValueError("window lengths must be positive")
+
+    def total_domains(self) -> int:
+        """Population size including domains born during the simulation."""
+        return self.n_domains + self.new_domains_per_day * self.n_days
+
+    def date_of(self, day: int) -> dt.date:
+        """Calendar date of simulation day ``day`` (0-based)."""
+        return self.start_date + dt.timedelta(days=day)
+
+    def weekday_of(self, day: int) -> int:
+        """Python weekday (Monday=0) of simulation day ``day``."""
+        return self.date_of(day).weekday()
+
+    def is_weekend(self, day: int) -> bool:
+        """Whether simulation day ``day`` falls on a weekend."""
+        return self.weekday_of(day) in self.weekend_days
+
+    @classmethod
+    def small(cls, **overrides: object) -> "SimulationConfig":
+        """A small configuration for unit tests (seconds, not minutes)."""
+        defaults: dict[str, object] = dict(
+            n_domains=3_000, new_domains_per_day=20, n_days=14,
+            list_size=800, top_k=100,
+            alexa_panel_users=25_000, alexa_visits_per_user=25.0,
+            umbrella_clients=20_000, umbrella_queries_per_client=40.0,
+            majestic_linking_subnets=400_000,
+            alexa_window_days=5, majestic_window_days=7,
+        )
+        defaults.update(overrides)
+        return cls(**defaults)  # type: ignore[arg-type]
+
+    @classmethod
+    def benchmark(cls, **overrides: object) -> "SimulationConfig":
+        """The default configuration used by the benchmark harness."""
+        defaults: dict[str, object] = dict(
+            n_domains=20_000, new_domains_per_day=50, n_days=28,
+            list_size=4_000, top_k=400,
+            alexa_panel_users=120_000, alexa_visits_per_user=25.0,
+            umbrella_clients=150_000, umbrella_queries_per_client=40.0,
+            majestic_linking_subnets=2_000_000,
+            alexa_window_days=10, majestic_window_days=14,
+            alexa_change_day=14,
+        )
+        defaults.update(overrides)
+        return cls(**defaults)  # type: ignore[arg-type]

@@ -1,0 +1,168 @@
+"""Hosting infrastructure of the synthetic Internet.
+
+Defines the hosting providers (with their Autonomous Systems, address
+space and optional CDN identity) that domains are placed on.  The
+assignment probabilities reproduce the structural findings of
+Section 8.1.2: GoDaddy-style mass hosters dominate the general
+population, Google hosts a large share of small/private sites, popular
+domains concentrate on CDNs (Akamai, Cloudflare, Fastly, Amazon), and
+tracker/mobile-API domains cluster on Google/AWS infrastructure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from repro.population.categories import DomainCategory
+from repro.routing.asdb import AsDatabase
+
+
+@dataclass(frozen=True)
+class HostingProvider:
+    """A hosting provider / CDN operating one AS and some address space."""
+
+    name: str
+    asn: int
+    ipv4_prefix: str
+    ipv6_prefix: str
+    cdn_provider: Optional[str]
+    cname_suffix: Optional[str]
+    #: Relative probability weights of being chosen by (tier, kind) below.
+    weight_head: float
+    weight_tail: float
+    weight_tracker: float
+    #: Infrastructure quality: multiplies protocol-adoption probabilities.
+    modernity: float
+
+
+#: Provider table.  AS numbers match the ones named in Figure 7d.
+PROVIDERS: tuple[HostingProvider, ...] = (
+    HostingProvider("Akamai", 20940, "23.0.0.0/12", "2600:1400::/28",
+                    "Akamai", "akamaiedge.net",
+                    weight_head=22, weight_tail=0.3, weight_tracker=2, modernity=1.6),
+    HostingProvider("Cloudflare", 13335, "104.16.0.0/12", "2606:4700::/32",
+                    "Cloudflare", "cdn.cloudflare.net",
+                    weight_head=16, weight_tail=2.0, weight_tracker=2, modernity=1.7),
+    HostingProvider("Google", 15169, "172.217.0.0/16", "2607:f8b0::/32",
+                    "Google", "ghs.googlehosted.com",
+                    weight_head=14, weight_tail=26.0, weight_tracker=30, modernity=1.5),
+    HostingProvider("Amazon-16509", 16509, "52.0.0.0/11", "2600:1f00::/24",
+                    "Amazon", "cloudfront.net",
+                    weight_head=12, weight_tail=4.0, weight_tracker=26, modernity=1.3),
+    HostingProvider("Amazon-14618", 14618, "54.160.0.0/12", "2600:1f18::/33",
+                    "Amazon", "elasticbeanstalk.com",
+                    weight_head=5, weight_tail=2.0, weight_tracker=10, modernity=1.2),
+    HostingProvider("Fastly", 54113, "151.101.0.0/16", "2a04:4e40::/32",
+                    "Fastly", "fastly.net",
+                    weight_head=9, weight_tail=0.2, weight_tracker=1, modernity=1.8),
+    HostingProvider("Microsoft", 8075, "13.64.0.0/11", "2603:1000::/25",
+                    "Microsoft Azure", "azureedge.net",
+                    weight_head=6, weight_tail=1.5, weight_tracker=4, modernity=1.2),
+    HostingProvider("Incapsula", 19551, "45.60.0.0/16", "2a02:e980::/29",
+                    "Incapsula", "incapdns.net",
+                    weight_head=4, weight_tail=0.1, weight_tracker=1, modernity=1.3),
+    HostingProvider("Wordpress", 2635, "192.0.64.0/18", "2620:12a:8000::/44",
+                    "WordPress", "wp.com",
+                    weight_head=3, weight_tail=2.5, weight_tracker=0, modernity=1.1),
+    HostingProvider("Highwinds", 33438, "205.185.208.0/20", "2001:4de0::/29",
+                    "Highwinds", "hwcdn.net",
+                    weight_head=2, weight_tail=0.1, weight_tracker=0.5, modernity=1.2),
+    HostingProvider("GoDaddy", 26496, "160.153.0.0/16", "2603:3000::/24",
+                    None, None,
+                    weight_head=1, weight_tail=34.0, weight_tracker=0.5, modernity=0.5),
+    HostingProvider("OVH", 16276, "51.68.0.0/14", "2001:41d0::/32",
+                    None, None,
+                    weight_head=2, weight_tail=11.0, weight_tracker=1, modernity=0.8),
+    HostingProvider("1&1", 8560, "217.160.0.0/16", "2001:8d8::/32",
+                    None, None,
+                    weight_head=1, weight_tail=9.0, weight_tracker=0.5, modernity=0.7),
+    HostingProvider("Hetzner", 24940, "88.198.0.0/16", "2a01:4f8::/29",
+                    None, None,
+                    weight_head=1, weight_tail=5.0, weight_tracker=1, modernity=0.9),
+    HostingProvider("Confluence", 40034, "162.159.128.0/19", "2a0f:9400::/32",
+                    None, None,
+                    weight_head=0.5, weight_tail=2.4, weight_tracker=0.5, modernity=0.8),
+)
+
+
+#: Number of generic small hosting providers in the long tail of the
+#: hosting market.  Real measurements hit tens of thousands of origin
+#: ASes (Table 5's "Unique AS" rows); a few hundred synthetic small
+#: hosters reproduce the *relative* AS-diversity differences between the
+#: lists and the general population at the library's scale.
+SMALL_HOSTER_COUNT = 240
+
+
+def small_hosting_providers(count: int = SMALL_HOSTER_COUNT) -> tuple[HostingProvider, ...]:
+    """Generate the long tail of small hosting providers.
+
+    Each gets its own AS number (64512 + i), a /16 of IPv4 space carved
+    from 100.64.0.0/10-style blocks, and modest infrastructure modernity.
+    The providers are deterministic, so repeated calls agree.
+    """
+    if count <= 0:
+        raise ValueError("count must be positive")
+    providers = []
+    for i in range(count):
+        providers.append(HostingProvider(
+            name=f"SmallHoster-{i:03d}",
+            asn=64512 + i,
+            ipv4_prefix=f"10.{i % 256}.0.0/16" if i < 256 else f"100.{64 + (i % 64)}.0.0/16",
+            ipv6_prefix=f"2001:db8:{i:x}::/48",
+            cdn_provider=None,
+            cname_suffix=None,
+            weight_head=0.0,
+            weight_tail=0.0,
+            weight_tracker=0.0,
+            modernity=0.7 + 0.3 * ((i * 7919) % 100) / 100.0,
+        ))
+    return tuple(providers)
+
+
+def provider_weights(tier: str, category: DomainCategory) -> list[float]:
+    """Return selection weights over :data:`PROVIDERS` for a domain.
+
+    ``tier`` is ``"head"`` for domains in the popular head of the
+    population and ``"tail"`` otherwise; tracker/mobile-API/CDN-infra
+    categories use the tracker column regardless of tier.
+    """
+    if category in (DomainCategory.TRACKER, DomainCategory.MOBILE_API,
+                    DomainCategory.CDN_INFRA):
+        return [p.weight_tracker for p in PROVIDERS]
+    if tier == "head":
+        return [p.weight_head for p in PROVIDERS]
+    if tier == "tail":
+        return [p.weight_tail for p in PROVIDERS]
+    raise ValueError(f"unknown tier {tier!r}")
+
+
+def build_as_database(providers: Sequence[HostingProvider] = PROVIDERS,
+                      include_small_hosters: bool = True) -> AsDatabase:
+    """Announce every provider's prefixes in a fresh :class:`AsDatabase`."""
+    asdb = AsDatabase()
+    all_providers = list(providers)
+    if include_small_hosters:
+        all_providers.extend(small_hosting_providers())
+    for provider in all_providers:
+        asdb.announce(provider.ipv4_prefix, provider.asn, provider.name)
+        asdb.announce(provider.ipv6_prefix, provider.asn, provider.name)
+    return asdb
+
+
+def ipv4_address(provider: HostingProvider, host_index: int) -> str:
+    """Deterministically derive an IPv4 address inside the provider prefix."""
+    import ipaddress
+
+    network = ipaddress.ip_network(provider.ipv4_prefix)
+    offset = (host_index % (network.num_addresses - 2)) + 1
+    return str(network.network_address + offset)
+
+
+def ipv6_address(provider: HostingProvider, host_index: int) -> str:
+    """Deterministically derive an IPv6 address inside the provider prefix."""
+    import ipaddress
+
+    network = ipaddress.ip_network(provider.ipv6_prefix)
+    offset = (host_index % 2_000_000) + 1
+    return str(network.network_address + offset)

@@ -1,0 +1,64 @@
+"""General-population zone file.
+
+The paper's baseline for "the Internet at large" is the set of all
+com/net/org domains obtained from the respective zone files (~157M names,
+a 45% sample of all registered domains).  :class:`ZoneFile` provides the
+synthetic equivalent: the com/net/org subset of the generated population,
+with sampling helpers so measurements over the general population can be
+run weekly on a subsample, as the paper does for HTTP/2.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional, Sequence
+
+import numpy as np
+
+from repro.population.internet import Domain, SyntheticInternet
+
+
+class ZoneFile:
+    """The com/net/org 'general population' of the synthetic Internet."""
+
+    def __init__(self, domains: Sequence[Domain]) -> None:
+        self._domains: list[Domain] = list(domains)
+        self._names: list[str] = [d.name for d in self._domains]
+
+    @classmethod
+    def from_internet(cls, internet: SyntheticInternet,
+                      tlds: tuple[str, ...] = ("com", "net", "org")) -> "ZoneFile":
+        """Extract the zone for ``tlds`` from a synthetic Internet."""
+        return cls([d for d in internet.domains if d.tld in tlds])
+
+    def __len__(self) -> int:
+        return len(self._domains)
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._names)
+
+    def __contains__(self, name: str) -> bool:
+        return name.strip().lower().rstrip(".") in set(self._names)
+
+    @property
+    def domains(self) -> list[Domain]:
+        """Domain objects included in the zone."""
+        return list(self._domains)
+
+    @property
+    def names(self) -> list[str]:
+        """Domain names included in the zone."""
+        return list(self._names)
+
+    def active_names(self, day: int) -> list[str]:
+        """Names of domains already registered by simulation day ``day``."""
+        return [d.name for d in self._domains if d.birth_day <= day]
+
+    def sample(self, n: int, seed: Optional[int] = None) -> list[str]:
+        """Uniformly sample ``n`` names (without replacement when possible)."""
+        if n < 0:
+            raise ValueError("n must be non-negative")
+        rng = np.random.default_rng(seed)
+        if n >= len(self._names):
+            return list(self._names)
+        idx = rng.choice(len(self._names), size=n, replace=False)
+        return [self._names[int(i)] for i in idx]

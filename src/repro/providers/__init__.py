@@ -1,0 +1,37 @@
+"""Top-list providers.
+
+Simulators of the three list-creation mechanisms the paper studies
+(Section 2 and 7):
+
+* :class:`AlexaProvider` — ranks base domains by browser-panel web
+  activity, averaged over a sliding window; the window can be shortened
+  mid-simulation to reproduce Alexa's January-2018 change.
+* :class:`UmbrellaProvider` — ranks fully-qualified DNS names by the
+  number of distinct resolver clients querying them (OpenDNS-style),
+  which lets junk names, trackers and deep subdomains into the list.
+* :class:`MajesticProvider` — ranks base domains by the number of /24
+  subnets linking to them over a long window, making the list very
+  stable and slow to react.
+
+Plus the snapshot/archive containers shared by all providers and the
+:func:`run_simulation` orchestrator that produces the JOINT-style dataset
+used by the analyses and benchmarks.
+"""
+
+from repro.providers.alexa import AlexaProvider
+from repro.providers.base import ListArchive, ListProvider, ListSnapshot, joint_period
+from repro.providers.majestic import MajesticProvider
+from repro.providers.simulation import SimulationRun, run_simulation
+from repro.providers.umbrella import UmbrellaProvider
+
+__all__ = [
+    "AlexaProvider",
+    "ListArchive",
+    "ListProvider",
+    "ListSnapshot",
+    "MajesticProvider",
+    "SimulationRun",
+    "UmbrellaProvider",
+    "joint_period",
+    "run_simulation",
+]

@@ -1,0 +1,192 @@
+"""List snapshots, archives and the provider interface.
+
+A *snapshot* is one day's ranked list (what you would download from a
+provider that day); an *archive* is a day-indexed series of snapshots
+(the datasets of Table 2); a *provider* generates snapshots from the
+simulated traffic.  Snapshots serialise to the same ``rank,domain`` CSV
+format the real lists use, so the analysis code also runs on downloaded
+real snapshots.
+"""
+
+from __future__ import annotations
+
+import abc
+import csv
+import datetime as dt
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Iterator, Mapping, Optional, Sequence
+
+
+@dataclass(frozen=True)
+class ListSnapshot:
+    """One day's ranked top list."""
+
+    provider: str
+    date: dt.date
+    entries: tuple[str, ...]
+
+    def __post_init__(self) -> None:
+        if len(set(self.entries)) != len(self.entries):
+            raise ValueError("snapshot entries must be unique")
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self.entries)
+
+    def __contains__(self, domain: str) -> bool:
+        return domain in self.domain_set()
+
+    def top(self, n: int) -> "ListSnapshot":
+        """Return a snapshot restricted to the first ``n`` entries."""
+        if n <= 0:
+            raise ValueError("n must be positive")
+        return ListSnapshot(provider=self.provider, date=self.date,
+                            entries=self.entries[:n])
+
+    def domain_set(self) -> frozenset[str]:
+        """The set of domains in the snapshot (cached per instance)."""
+        cached = self.__dict__.get("_domain_set")
+        if cached is None:
+            cached = frozenset(self.entries)
+            self.__dict__["_domain_set"] = cached
+        return cached
+
+    def rank_of(self, domain: str) -> Optional[int]:
+        """1-based rank of ``domain`` or ``None`` when not listed."""
+        ranks = self.__dict__.get("_ranks")
+        if ranks is None:
+            ranks = {name: idx + 1 for idx, name in enumerate(self.entries)}
+            self.__dict__["_ranks"] = ranks
+        return ranks.get(domain)
+
+    # -- serialisation ----------------------------------------------------
+    def to_csv(self, path: str | Path) -> None:
+        """Write the snapshot in the providers' ``rank,domain`` CSV format."""
+        path = Path(path)
+        with path.open("w", newline="", encoding="utf-8") as handle:
+            writer = csv.writer(handle)
+            for rank, domain in enumerate(self.entries, start=1):
+                writer.writerow([rank, domain])
+
+    @classmethod
+    def from_csv(cls, path: str | Path, provider: str,
+                 date: Optional[dt.date] = None) -> "ListSnapshot":
+        """Read a ``rank,domain`` CSV file (rank column optional)."""
+        path = Path(path)
+        entries: list[str] = []
+        with path.open(newline="", encoding="utf-8") as handle:
+            for row in csv.reader(handle):
+                if not row:
+                    continue
+                entries.append(row[-1].strip().lower())
+        if date is None:
+            date = dt.date.today()
+        return cls(provider=provider, date=date, entries=tuple(entries))
+
+
+@dataclass
+class ListArchive:
+    """A day-indexed series of snapshots from one provider."""
+
+    provider: str
+    _snapshots: dict[dt.date, ListSnapshot] = field(default_factory=dict)
+
+    def add(self, snapshot: ListSnapshot) -> None:
+        """Add a snapshot (provider names must match)."""
+        if snapshot.provider != self.provider:
+            raise ValueError(
+                f"snapshot provider {snapshot.provider!r} != archive provider {self.provider!r}")
+        self._snapshots[snapshot.date] = snapshot
+
+    def __len__(self) -> int:
+        return len(self._snapshots)
+
+    def __iter__(self) -> Iterator[ListSnapshot]:
+        for date in self.dates():
+            yield self._snapshots[date]
+
+    def __getitem__(self, key: dt.date | int) -> ListSnapshot:
+        if isinstance(key, int):
+            return self._snapshots[self.dates()[key]]
+        return self._snapshots[key]
+
+    def __contains__(self, date: dt.date) -> bool:
+        return date in self._snapshots
+
+    def dates(self) -> list[dt.date]:
+        """Sorted dates with a snapshot."""
+        return sorted(self._snapshots)
+
+    def snapshots(self) -> list[ListSnapshot]:
+        """Snapshots in date order."""
+        return [self._snapshots[d] for d in self.dates()]
+
+    def period(self, start: dt.date, end: dt.date) -> "ListArchive":
+        """Return the sub-archive with ``start <= date <= end``."""
+        if start > end:
+            raise ValueError("start must not be after end")
+        sub = ListArchive(provider=self.provider)
+        for date, snapshot in self._snapshots.items():
+            if start <= date <= end:
+                sub.add(snapshot)
+        return sub
+
+    def top(self, n: int) -> "ListArchive":
+        """Return an archive of the Top-``n`` head of every snapshot."""
+        sub = ListArchive(provider=self.provider)
+        for snapshot in self:
+            sub.add(snapshot.top(n))
+        return sub
+
+    def to_directory(self, directory: str | Path) -> None:
+        """Write one ``<provider>-<date>.csv`` per snapshot into ``directory``."""
+        directory = Path(directory)
+        directory.mkdir(parents=True, exist_ok=True)
+        for snapshot in self:
+            snapshot.to_csv(directory / f"{self.provider}-{snapshot.date.isoformat()}.csv")
+
+    @classmethod
+    def from_directory(cls, directory: str | Path, provider: str) -> "ListArchive":
+        """Load an archive written by :meth:`to_directory`."""
+        directory = Path(directory)
+        archive = cls(provider=provider)
+        for path in sorted(directory.glob(f"{provider}-*.csv")):
+            date_text = path.stem.replace(f"{provider}-", "")
+            date = dt.date.fromisoformat(date_text)
+            archive.add(ListSnapshot.from_csv(path, provider=provider, date=date))
+        return archive
+
+
+def joint_period(archives: Iterable[ListArchive]) -> tuple[Optional[dt.date], Optional[dt.date]]:
+    """Return the (start, end) dates covered by *all* archives (JOINT dataset).
+
+    Returns ``(None, None)`` when the archives share no dates.
+    """
+    date_sets = [set(archive.dates()) for archive in archives]
+    if not date_sets:
+        return None, None
+    common = set.intersection(*date_sets)
+    if not common:
+        return None, None
+    return min(common), max(common)
+
+
+class ListProvider(abc.ABC):
+    """Interface of a top-list generator."""
+
+    #: Human-readable provider name used on snapshots.
+    name: str = "provider"
+
+    @abc.abstractmethod
+    def snapshot(self, day: int) -> ListSnapshot:
+        """Generate the list as published on simulation day ``day``."""
+
+    def generate_archive(self, days: Sequence[int]) -> ListArchive:
+        """Generate snapshots for every day in ``days``."""
+        archive = ListArchive(provider=self.name)
+        for day in days:
+            archive.add(self.snapshot(day))
+        return archive

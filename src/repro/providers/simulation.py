@@ -1,0 +1,100 @@
+"""Simulation orchestrator.
+
+Builds the synthetic Internet, runs the traffic simulation, and produces
+daily archives for all three providers over the configured period — the
+equivalent of the paper's JOINT dataset (June 2017 - April 2018, all
+three lists daily).  Results are memoised per configuration so that the
+test and benchmark suites build each dataset only once per process.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Optional
+
+from repro.population.config import SimulationConfig
+from repro.population.internet import SyntheticInternet
+from repro.population.traffic import TrafficSimulator
+from repro.population.zonefile import ZoneFile
+from repro.providers.alexa import AlexaProvider
+from repro.providers.base import ListArchive
+from repro.providers.majestic import MajesticProvider
+from repro.providers.umbrella import UmbrellaProvider
+
+
+@dataclass
+class SimulationRun:
+    """Everything the analyses need from one simulated observation period."""
+
+    config: SimulationConfig
+    internet: SyntheticInternet
+    traffic: TrafficSimulator
+    providers: Mapping[str, object]
+    archives: Mapping[str, ListArchive]
+    zonefile: ZoneFile
+
+    @property
+    def alexa(self) -> ListArchive:
+        """Daily Alexa-style archive."""
+        return self.archives["alexa"]
+
+    @property
+    def umbrella(self) -> ListArchive:
+        """Daily Umbrella-style archive."""
+        return self.archives["umbrella"]
+
+    @property
+    def majestic(self) -> ListArchive:
+        """Daily Majestic-style archive."""
+        return self.archives["majestic"]
+
+    def archive(self, name: str) -> ListArchive:
+        """Archive by provider name."""
+        return self.archives[name]
+
+    def provider(self, name: str) -> object:
+        """Provider object by name (for provider-specific experiments)."""
+        return self.providers[name]
+
+
+_RUN_CACHE: dict[SimulationConfig, SimulationRun] = {}
+
+
+def run_simulation(config: Optional[SimulationConfig] = None,
+                   use_cache: bool = True) -> SimulationRun:
+    """Run the full simulation for ``config`` (default benchmark config).
+
+    Generates the population once, then one snapshot per provider per day.
+    With ``use_cache`` (the default), repeated calls with an identical
+    configuration return the same :class:`SimulationRun` instance.
+    """
+    config = config or SimulationConfig.benchmark()
+    if use_cache and config in _RUN_CACHE:
+        return _RUN_CACHE[config]
+
+    internet = SyntheticInternet(config)
+    traffic = TrafficSimulator(internet, config)
+    providers = {
+        "alexa": AlexaProvider(internet, traffic, config=config),
+        "umbrella": UmbrellaProvider(internet, traffic, config=config),
+        "majestic": MajesticProvider(internet, traffic, config=config),
+    }
+    days = list(range(config.n_days))
+    archives = {name: provider.generate_archive(days)
+                for name, provider in providers.items()}
+    run = SimulationRun(
+        config=config,
+        internet=internet,
+        traffic=traffic,
+        providers=providers,
+        archives=archives,
+        zonefile=ZoneFile.from_internet(internet),
+    )
+    if use_cache:
+        _RUN_CACHE[config] = run
+    return run
+
+
+def clear_simulation_cache() -> None:
+    """Drop all memoised simulation runs (mainly for tests)."""
+    _RUN_CACHE.clear()

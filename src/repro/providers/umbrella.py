@@ -1,0 +1,121 @@
+"""Cisco-Umbrella-style top list provider.
+
+The Umbrella Top 1M contains the DNS names (including subdomains) most
+queried through the OpenDNS public resolver, ranked primarily by the
+number of *distinct client sources* — the paper's Section 7.2 experiments
+show probe count matters far more than query volume.  Because the signal
+is raw resolver traffic, the list contains junk names under invalid TLDs,
+names of discontinued services, trackers, and deep subdomains, and it
+fluctuates heavily day to day.
+
+This provider ranks the FQDN catalogue of the synthetic Internet by the
+simulated per-day unique-client counts (optionally smoothed over a short
+window) and supports injecting measurement traffic to reproduce the
+rank-manipulation experiment (Figure 5).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.population.config import SimulationConfig
+from repro.population.internet import SyntheticInternet
+from repro.population.traffic import DnsTraffic, InjectedQueries, TrafficSimulator
+from repro.providers.base import ListProvider, ListSnapshot
+
+
+class UmbrellaProvider(ListProvider):
+    """Unique-client DNS query ranking over FQDNs (OpenDNS-style)."""
+
+    name = "umbrella"
+
+    def __init__(
+        self,
+        internet: SyntheticInternet,
+        traffic: TrafficSimulator,
+        list_size: Optional[int] = None,
+        window_days: int = 1,
+        unique_client_weight: float = 1.0,
+        query_volume_weight: float = 0.05,
+        config: Optional[SimulationConfig] = None,
+    ) -> None:
+        if window_days <= 0:
+            raise ValueError("window_days must be positive")
+        self.internet = internet
+        self.traffic = traffic
+        self.config = config or internet.config
+        self.list_size = list_size or self.config.list_size
+        self.window_days = window_days
+        self.unique_client_weight = unique_client_weight
+        self.query_volume_weight = query_volume_weight
+        self._day_traffic: dict[int, DnsTraffic] = {}
+        self._names = np.array([f.fqdn for f in internet.fqdns])
+
+    def _traffic_for_day(self, day: int,
+                         injected: Sequence[InjectedQueries] = ()) -> DnsTraffic:
+        if injected:
+            # Injection days are never cached: the caller controls them.
+            return self.traffic.dns_day(day, injected=injected)
+        if day not in self._day_traffic:
+            self._day_traffic[day] = self.traffic.dns_day(day)
+        return self._day_traffic[day]
+
+    def _score(self, dns: DnsTraffic) -> np.ndarray:
+        return (self.unique_client_weight * dns.unique_clients.astype(float)
+                + self.query_volume_weight * np.sqrt(dns.queries.astype(float)))
+
+    def windowed_score(self, day: int) -> np.ndarray:
+        """Average day score over the (short) window ending on ``day``."""
+        first = max(0, day - self.window_days + 1)
+        days = list(range(first, day + 1))
+        total = np.zeros(len(self.internet.fqdns))
+        for d in days:
+            total += self._score(self._traffic_for_day(d))
+        return total / len(days)
+
+    def snapshot(self, day: int) -> ListSnapshot:
+        """The Umbrella-style list published on simulation day ``day``."""
+        scores = self.windowed_score(day)
+        order = np.lexsort((np.arange(len(scores)), -scores))
+        entries: list[str] = []
+        for idx in order:
+            if scores[int(idx)] <= 0 or len(entries) >= self.list_size:
+                break
+            entries.append(str(self._names[int(idx)]))
+        return ListSnapshot(provider=self.name, date=self.config.date_of(day),
+                            entries=tuple(entries))
+
+    # ------------------------------------------------------------------
+    # Rank manipulation support (Section 7.2)
+    # ------------------------------------------------------------------
+    def rank_with_injection(self, day: int,
+                            injections: Sequence[InjectedQueries]) -> dict[str, Optional[int]]:
+        """Rank injected test names against that day's organic traffic.
+
+        Returns, for every injected FQDN, its 1-based rank in the list the
+        provider would publish, or ``None`` when it does not make the list
+        (the paper's "empty field" outcome for insufficient traffic).
+        """
+        organic = self.windowed_score(day)
+        dns = self._traffic_for_day(day, injected=injections)
+        injected_scores = {
+            injection.fqdn.lower(): (
+                self.unique_client_weight * dns.injected[injection.fqdn.lower()][0]
+                + self.query_volume_weight * float(np.sqrt(dns.injected[injection.fqdn.lower()][1]))
+            )
+            for injection in injections
+        }
+        order = np.sort(organic[organic > 0])[::-1]
+        results: dict[str, Optional[int]] = {}
+        limit = self.list_size
+        for fqdn, score in injected_scores.items():
+            if score <= 0:
+                results[fqdn] = None
+                continue
+            # Rank = number of organic names with a strictly higher score + 1.
+            higher = int(np.searchsorted(-order, -score, side="left"))
+            rank = higher + 1
+            results[fqdn] = rank if rank <= limit else None
+        return results

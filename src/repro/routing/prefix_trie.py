@@ -1,0 +1,138 @@
+"""Longest-prefix-match trie for IPv4 and IPv6 prefixes.
+
+A classic binary (uncompressed) trie keyed on address bits.  It backs the
+Route-Views-style origin-AS lookup: insert announced prefixes with their
+origin AS, then look up the most specific covering prefix for an address.
+"""
+
+from __future__ import annotations
+
+import ipaddress
+from dataclasses import dataclass
+from typing import Generic, Iterator, Optional, TypeVar, Union
+
+ValueT = TypeVar("ValueT")
+
+_IPNetwork = Union[ipaddress.IPv4Network, ipaddress.IPv6Network]
+_IPAddress = Union[ipaddress.IPv4Address, ipaddress.IPv6Address]
+
+
+@dataclass(frozen=True)
+class IpPrefix:
+    """A validated IP prefix (IPv4 or IPv6)."""
+
+    network: _IPNetwork
+
+    @classmethod
+    def parse(cls, text: str) -> "IpPrefix":
+        """Parse ``"a.b.c.d/len"`` or an IPv6 prefix; host bits must be zero."""
+        try:
+            network = ipaddress.ip_network(text, strict=True)
+        except ValueError as exc:
+            raise ValueError(f"invalid prefix {text!r}: {exc}") from exc
+        return cls(network=network)
+
+    @property
+    def version(self) -> int:
+        return self.network.version
+
+    @property
+    def prefix_length(self) -> int:
+        return self.network.prefixlen
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return str(self.network)
+
+    def contains(self, address: str) -> bool:
+        """Return whether ``address`` falls inside this prefix."""
+        addr = ipaddress.ip_address(address)
+        if addr.version != self.network.version:
+            return False
+        return addr in self.network
+
+    def bits(self) -> str:
+        """Return the prefix as a bit string of ``prefix_length`` bits."""
+        total_bits = 32 if self.network.version == 4 else 128
+        packed = int(self.network.network_address)
+        return format(packed, f"0{total_bits}b")[: self.network.prefixlen]
+
+
+class _TrieNode(Generic[ValueT]):
+    __slots__ = ("children", "value", "has_value")
+
+    def __init__(self) -> None:
+        self.children: list[Optional["_TrieNode[ValueT]"]] = [None, None]
+        self.value: Optional[ValueT] = None
+        self.has_value = False
+
+
+class PrefixTrie(Generic[ValueT]):
+    """Binary trie mapping IP prefixes to values, with longest-prefix lookup.
+
+    IPv4 and IPv6 prefixes live in separate sub-tries so that the 32-bit
+    and 128-bit key spaces never collide.
+    """
+
+    def __init__(self) -> None:
+        self._roots: dict[int, _TrieNode[ValueT]] = {4: _TrieNode(), 6: _TrieNode()}
+        self._size = 0
+
+    def __len__(self) -> int:
+        return self._size
+
+    @staticmethod
+    def _address_bits(address: _IPAddress) -> str:
+        total_bits = 32 if address.version == 4 else 128
+        return format(int(address), f"0{total_bits}b")
+
+    def insert(self, prefix: Union[str, IpPrefix], value: ValueT) -> None:
+        """Insert ``prefix`` with ``value``; re-inserting overwrites."""
+        if isinstance(prefix, str):
+            prefix = IpPrefix.parse(prefix)
+        node = self._roots[prefix.version]
+        for bit in prefix.bits():
+            idx = int(bit)
+            if node.children[idx] is None:
+                node.children[idx] = _TrieNode()
+            node = node.children[idx]  # type: ignore[assignment]
+        if not node.has_value:
+            self._size += 1
+        node.value = value
+        node.has_value = True
+
+    def longest_match(self, address: str) -> Optional[tuple[int, ValueT]]:
+        """Return ``(prefix_length, value)`` of the most specific covering
+        prefix, or ``None`` when no prefix covers ``address``."""
+        addr = ipaddress.ip_address(address)
+        node = self._roots[addr.version]
+        best: Optional[tuple[int, ValueT]] = None
+        depth = 0
+        if node.has_value:
+            best = (0, node.value)  # type: ignore[arg-type]
+        for bit in self._address_bits(addr):
+            child = node.children[int(bit)]
+            if child is None:
+                break
+            depth += 1
+            node = child
+            if node.has_value:
+                best = (depth, node.value)  # type: ignore[arg-type]
+        return best
+
+    def lookup(self, address: str) -> Optional[ValueT]:
+        """Return the value of the longest matching prefix, if any."""
+        match = self.longest_match(address)
+        return None if match is None else match[1]
+
+    def __iter__(self) -> Iterator[tuple[str, ValueT]]:
+        """Iterate over (prefix bit-string tagged with version, value) pairs."""
+        for version, root in self._roots.items():
+            yield from self._walk(root, "", version)
+
+    def _walk(self, node: _TrieNode[ValueT], bits: str, version: int
+              ) -> Iterator[tuple[str, ValueT]]:
+        if node.has_value:
+            yield f"v{version}:{bits}", node.value  # type: ignore[misc]
+        for idx, child in enumerate(node.children):
+            if child is not None:
+                yield from self._walk(child, bits + str(idx), version)

@@ -1,0 +1,89 @@
+"""Distributions: Zipf/power-law popularity weights and empirical CDFs.
+
+The paper observes (Section 6.1) that accessed domains follow a power-law
+distribution, which is why ranks in the long tail are based on small,
+noisy counts.  The synthetic population uses the Zipf weights implemented
+here; the analysis figures use the empirical CDF helper.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+import numpy as np
+
+
+def zipf_weights(n: int, exponent: float = 1.0) -> np.ndarray:
+    """Return normalised Zipf weights ``w_k ∝ 1 / k^exponent`` for ranks 1..n."""
+    if n <= 0:
+        raise ValueError("n must be positive")
+    if exponent < 0:
+        raise ValueError("exponent must be non-negative")
+    ranks = np.arange(1, n + 1, dtype=float)
+    weights = ranks ** (-exponent)
+    return weights / weights.sum()
+
+
+class ZipfSampler:
+    """Sampler over ``n`` items with Zipf-distributed probabilities.
+
+    Used by the traffic simulation to draw which domain a panel user
+    visits or a DNS client resolves.
+    """
+
+    def __init__(self, n: int, exponent: float = 1.0, rng: np.random.Generator | None = None) -> None:
+        self._weights = zipf_weights(n, exponent)
+        self._cumulative = np.cumsum(self._weights)
+        self._rng = rng if rng is not None else np.random.default_rng()
+        self.n = n
+        self.exponent = exponent
+
+    def sample(self, size: int) -> np.ndarray:
+        """Draw ``size`` item indices (0-based) i.i.d. from the Zipf law."""
+        if size < 0:
+            raise ValueError("size must be non-negative")
+        uniform = self._rng.random(size)
+        return np.searchsorted(self._cumulative, uniform, side="left")
+
+    def probability(self, index: int) -> float:
+        """Probability of drawing item ``index`` (0-based rank)."""
+        if not 0 <= index < self.n:
+            raise IndexError(index)
+        return float(self._weights[index])
+
+
+@dataclass(frozen=True)
+class EmpiricalCDF:
+    """Empirical cumulative distribution function over a numeric sample."""
+
+    values: tuple[float, ...]
+
+    @classmethod
+    def from_sample(cls, sample: Iterable[float]) -> "EmpiricalCDF":
+        values = tuple(sorted(float(v) for v in sample))
+        if not values:
+            raise ValueError("empty sample")
+        return cls(values=values)
+
+    def __call__(self, x: float) -> float:
+        """Return P(X <= x)."""
+        return bisect.bisect_right(self.values, x) / len(self.values)
+
+    def quantile(self, q: float) -> float:
+        """Return the smallest value v with CDF(v) >= q, for q in (0, 1]."""
+        if not 0 < q <= 1:
+            raise ValueError("q must be in (0, 1]")
+        idx = max(0, int(np.ceil(q * len(self.values))) - 1)
+        return self.values[idx]
+
+    def points(self) -> list[tuple[float, float]]:
+        """Return (value, cumulative probability) pairs for plotting."""
+        n = len(self.values)
+        return [(v, (i + 1) / n) for i, v in enumerate(self.values)]
+
+
+def empirical_cdf_points(sample: Sequence[float]) -> list[tuple[float, float]]:
+    """Convenience wrapper returning CDF plot points for ``sample``."""
+    return EmpiricalCDF.from_sample(sample).points()

@@ -1,0 +1,116 @@
+"""Summary statistics and the paper's significance-deviation marking.
+
+Table 5 reports each measured characteristic as ``mean ± std`` and marks
+each cell as significantly exceeding (▲), significantly falling behind
+(▼), or not significantly deviating from (■) its base value.  The paper's
+rule: a deviation is significant when it exceeds 50% of the base value;
+for base values over 40% the threshold is 25% and 5 sigma.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+
+@dataclass(frozen=True)
+class MeanStd:
+    """Mean and (population) standard deviation of a sample."""
+
+    mean: float
+    std: float
+    n: int
+
+    def __str__(self) -> str:  # pragma: no cover - formatting helper
+        return f"{self.mean:.2f} ± {self.std:.2f}"
+
+
+def mean_std(sample: Iterable[float]) -> MeanStd:
+    """Compute mean and population standard deviation of ``sample``."""
+    values = [float(v) for v in sample]
+    if not values:
+        raise ValueError("empty sample")
+    n = len(values)
+    mean = sum(values) / n
+    variance = sum((v - mean) ** 2 for v in values) / n
+    return MeanStd(mean=mean, std=math.sqrt(variance), n=n)
+
+
+class DeviationFlag(enum.Enum):
+    """Significance marker used in Table 5."""
+
+    EXCEEDS = "▲"
+    FALLS_BEHIND = "▼"
+    NOT_SIGNIFICANT = "■"
+
+    def __str__(self) -> str:  # pragma: no cover - formatting helper
+        return self.value
+
+
+def classify_deviation(
+    value: float,
+    base: float,
+    value_std: float = 0.0,
+    high_base_threshold: float = 40.0,
+    relative_margin: float = 0.50,
+    high_base_margin: float = 0.25,
+    sigma_factor: float = 5.0,
+) -> DeviationFlag:
+    """Classify ``value`` against ``base`` per the paper's Table 5 rule.
+
+    Parameters
+    ----------
+    value, base:
+        The measured characteristic for the top list and for the baseline
+        (e.g. the general population), in the same unit (typically percent).
+    value_std:
+        Standard deviation of the measured value; only used for the
+        high-base 5-sigma criterion.
+    high_base_threshold:
+        Base values above this (percent) switch to the stricter rule.
+    relative_margin:
+        Relative deviation that counts as significant for low bases (50%).
+    high_base_margin:
+        Relative deviation for high bases (25%).
+    sigma_factor:
+        Number of standard deviations the difference must also exceed for
+        high bases.
+    """
+    if base < 0:
+        raise ValueError("base must be non-negative")
+    diff = value - base
+    if base > high_base_threshold:
+        margin = high_base_margin * base
+        sigma_margin = sigma_factor * value_std
+        threshold = max(margin, sigma_margin)
+    else:
+        threshold = relative_margin * base
+    if base == 0:
+        # Any non-zero value deviates from a zero base.
+        threshold = 0.0
+    if diff > threshold and not math.isclose(diff, threshold):
+        return DeviationFlag.EXCEEDS
+    if diff < -threshold and not math.isclose(diff, -threshold):
+        return DeviationFlag.FALLS_BEHIND
+    return DeviationFlag.NOT_SIGNIFICANT
+
+
+def share(predicate_true: int, total: int) -> float:
+    """Return a percentage share, 0.0 when ``total`` is zero."""
+    if total <= 0:
+        return 0.0
+    return 100.0 * predicate_true / total
+
+
+def median(sample: Sequence[float]) -> float:
+    """Return the median of a non-empty sample."""
+    values = sorted(float(v) for v in sample)
+    if not values:
+        raise ValueError("empty sample")
+    n = len(values)
+    mid = n // 2
+    if n % 2 == 1:
+        return values[mid]
+    return 0.5 * (values[mid - 1] + values[mid])

@@ -1,0 +1,39 @@
+"""Literature-survey substrate (Section 3, Table 1).
+
+The paper surveys 687 papers published at 10 networking venues in 2017,
+finds the 69 that use a top list, and classifies how they use it.  This
+package provides:
+
+* a corpus model (:mod:`repro.survey.corpus`) with the paper's survey
+  encoded as a reference dataset,
+* the keyword matcher and classification helpers the survey methodology
+  describes (:mod:`repro.survey.classify`), reusable on new corpora,
+* Table-1 generation (:mod:`repro.survey.tables`).
+"""
+
+from repro.survey.classify import (
+    Dependence,
+    ListUsage,
+    match_keywords,
+    is_false_positive,
+)
+from repro.survey.corpus import Paper, SurveyCorpus, Venue, reference_corpus
+from repro.survey.tables import (
+    list_usage_histogram,
+    replicability_summary,
+    venue_usage_table,
+)
+
+__all__ = [
+    "Dependence",
+    "ListUsage",
+    "Paper",
+    "SurveyCorpus",
+    "Venue",
+    "is_false_positive",
+    "list_usage_histogram",
+    "match_keywords",
+    "reference_corpus",
+    "replicability_summary",
+    "venue_usage_table",
+]

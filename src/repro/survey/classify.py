@@ -1,0 +1,101 @@
+"""Survey classification helpers (Section 3.1 methodology).
+
+The paper searches paper texts for the keywords "alexa", "umbrella" and
+"majestic", manually removes false positives (Amazon's Alexa assistant,
+authors named Alexander, ...), and classifies each remaining paper by the
+list subsets used, whether the results depend on the list, and whether
+the list/measurement dates are documented.
+"""
+
+from __future__ import annotations
+
+import enum
+import re
+from dataclasses import dataclass
+from typing import Optional
+
+#: The paper's search keywords (footnote 2).
+SURVEY_KEYWORDS: tuple[str, ...] = ("alexa", "umbrella", "majestic")
+
+#: Phrases that indicate a keyword hit is *not* a top-list reference.
+_FALSE_POSITIVE_PATTERNS: tuple[re.Pattern[str], ...] = (
+    re.compile(r"amazon\s+alexa", re.IGNORECASE),
+    re.compile(r"alexa\s+(echo|assistant|skill|voice)", re.IGNORECASE),
+    re.compile(r"alexand(er|ra|re)", re.IGNORECASE),
+    re.compile(r"umbrella\s+(term|organisation|organization|review)", re.IGNORECASE),
+    re.compile(r"majestic\s+(view|mountain|scenery)", re.IGNORECASE),
+)
+
+
+class Dependence(enum.Enum):
+    """How a study's results relate to the top list used (Section 3.4)."""
+
+    DEPENDENT = "Y"       # results may change with a different list
+    VERIFICATION = "V"    # list only used to verify independent results
+    INDEPENDENT = "N"     # list is one source among many
+
+
+class ListFamily(enum.Enum):
+    """Which provider's list a study used."""
+
+    ALEXA = "alexa"
+    UMBRELLA = "umbrella"
+    MAJESTIC = "majestic"
+
+
+@dataclass(frozen=True)
+class ListUsage:
+    """One list (subset) used by a paper, e.g. "Alexa Global Top 10k"."""
+
+    family: ListFamily
+    subset: str  # e.g. "1M", "10k", "100", "country", "category"
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return f"{self.family.value}-{self.subset}"
+
+
+def match_keywords(text: str, keywords: tuple[str, ...] = SURVEY_KEYWORDS) -> list[str]:
+    """Return the survey keywords that occur in ``text`` (case-insensitive).
+
+    Matches whole words only, so an author named "Alexander" does not match
+    "alexa" (that case is additionally covered by the false-positive check).
+    """
+    found: list[str] = []
+    lowered = text.lower()
+    for keyword in keywords:
+        if re.search(rf"\b{re.escape(keyword)}\b", lowered):
+            found.append(keyword)
+    return found
+
+
+def is_false_positive(text: str) -> bool:
+    """Heuristically decide whether keyword hits in ``text`` are spurious.
+
+    Mirrors the paper's manual filtering step: a text that only mentions
+    Amazon's Alexa assistant or a person called Alexander is not a top-list
+    user.  A text that also contains ranking-related vocabulary is kept.
+    """
+    hits = match_keywords(text)
+    if not hits:
+        return True
+    ranking_vocabulary = re.search(
+        r"\b(top\s*1m|top\s*1k|top\s*\d+k?|ranking|ranked|top list|popular (domains|websites|sites))\b",
+        text, re.IGNORECASE)
+    if ranking_vocabulary:
+        return False
+    return any(pattern.search(text) for pattern in _FALSE_POSITIVE_PATTERNS)
+
+
+def parse_subset(label: str) -> Optional[ListUsage]:
+    """Parse a usage label like ``"alexa-10k"`` or ``"umbrella-1M"``."""
+    label = label.strip().lower()
+    if "-" not in label:
+        return None
+    family_text, subset = label.split("-", 1)
+    try:
+        family = ListFamily(family_text)
+    except ValueError:
+        return None
+    if not subset:
+        return None
+    return ListUsage(family=family, subset=subset)

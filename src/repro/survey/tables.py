@@ -1,0 +1,102 @@
+"""Table 1 generation from a survey corpus."""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Mapping
+
+from repro.survey.classify import Dependence
+from repro.survey.corpus import SurveyCorpus
+
+
+@dataclass(frozen=True)
+class VenueUsageRow:
+    """One row of Table 1 (left): top-list use at one venue."""
+
+    venue: str
+    area: str
+    total_papers: int
+    using: int
+    dependent: int
+    verification: int
+    independent: int
+    states_list_date: int
+    states_measurement_date: int
+
+    @property
+    def usage_share(self) -> float:
+        """Share of the venue's papers that use a top list."""
+        return self.using / self.total_papers if self.total_papers else 0.0
+
+
+def venue_usage_table(corpus: SurveyCorpus) -> list[VenueUsageRow]:
+    """Compute Table 1 (left): per-venue usage and dependence counts."""
+    rows: list[VenueUsageRow] = []
+    for venue in corpus.venues.values():
+        users = corpus.users(venue.name)
+        dependence_counts = Counter(p.dependence for p in users)
+        rows.append(VenueUsageRow(
+            venue=venue.name,
+            area=venue.area,
+            total_papers=venue.total_papers,
+            using=len(users),
+            dependent=dependence_counts.get(Dependence.DEPENDENT, 0),
+            verification=dependence_counts.get(Dependence.VERIFICATION, 0),
+            independent=dependence_counts.get(Dependence.INDEPENDENT, 0),
+            states_list_date=sum(p.states_list_date for p in users),
+            states_measurement_date=sum(p.states_measurement_date for p in users),
+        ))
+    return rows
+
+
+def totals_row(rows: list[VenueUsageRow]) -> VenueUsageRow:
+    """Aggregate the per-venue rows into the Table 1 'Total' row."""
+    return VenueUsageRow(
+        venue="Total",
+        area="",
+        total_papers=sum(r.total_papers for r in rows),
+        using=sum(r.using for r in rows),
+        dependent=sum(r.dependent for r in rows),
+        verification=sum(r.verification for r in rows),
+        independent=sum(r.independent for r in rows),
+        states_list_date=sum(r.states_list_date for r in rows),
+        states_measurement_date=sum(r.states_measurement_date for r in rows),
+    )
+
+
+def list_usage_histogram(corpus: SurveyCorpus) -> Mapping[str, int]:
+    """Compute Table 1 (right): how often each list subset is used.
+
+    Multiple usages by one paper count multiple times, as in the paper.
+    """
+    counts: Counter[str] = Counter()
+    for paper in corpus.users():
+        for usage in paper.usages:
+            counts[str(usage)] += 1
+    return dict(counts)
+
+
+@dataclass(frozen=True)
+class ReplicabilitySummary:
+    """Section 3.5: how many studies document list/measurement dates."""
+
+    users: int
+    states_list_date: int
+    states_measurement_date: int
+    states_both: int
+
+    @property
+    def share_with_both(self) -> float:
+        return self.states_both / self.users if self.users else 0.0
+
+
+def replicability_summary(corpus: SurveyCorpus) -> ReplicabilitySummary:
+    """Summarise date documentation across all top-list-using papers."""
+    users = corpus.users()
+    return ReplicabilitySummary(
+        users=len(users),
+        states_list_date=sum(p.states_list_date for p in users),
+        states_measurement_date=sum(p.states_measurement_date for p in users),
+        states_both=sum(p.replicable_basics for p in users),
+    )

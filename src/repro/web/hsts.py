@@ -1,0 +1,75 @@
+"""HTTP Strict Transport Security (HSTS) header parsing.
+
+Section 8.2 counts a domain as HSTS-enabled when it serves a *valid* HSTS
+header with ``max-age > 0`` over TLS.  This module parses the
+``Strict-Transport-Security`` header per RFC 6797 closely enough for that
+check: ``max-age`` is required, ``includeSubDomains`` and ``preload`` are
+recognised flags, duplicate directives invalidate the policy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+
+@dataclass(frozen=True)
+class HstsPolicy:
+    """A parsed HSTS policy."""
+
+    max_age: int
+    include_subdomains: bool = False
+    preload: bool = False
+
+    @property
+    def enabled(self) -> bool:
+        """The paper's criterion: a valid header with ``max-age > 0``."""
+        return self.max_age > 0
+
+    def header_value(self) -> str:
+        """Render the policy back to a header value."""
+        parts = [f"max-age={self.max_age}"]
+        if self.include_subdomains:
+            parts.append("includeSubDomains")
+        if self.preload:
+            parts.append("preload")
+        return "; ".join(parts)
+
+
+def parse_hsts_header(value: Optional[str]) -> Optional[HstsPolicy]:
+    """Parse a ``Strict-Transport-Security`` header value.
+
+    Returns ``None`` for missing or invalid headers (no ``max-age``,
+    non-numeric ``max-age``, duplicated directives).
+    """
+    if value is None:
+        return None
+    value = value.strip()
+    if not value:
+        return None
+    max_age: Optional[int] = None
+    include_subdomains = False
+    preload = False
+    seen: set[str] = set()
+    for raw_directive in value.split(";"):
+        directive = raw_directive.strip()
+        if not directive:
+            continue
+        name, _, raw_val = directive.partition("=")
+        name = name.strip().lower()
+        if name in seen:
+            return None
+        seen.add(name)
+        if name == "max-age":
+            raw_val = raw_val.strip().strip('"')
+            if not raw_val.isdigit():
+                return None
+            max_age = int(raw_val)
+        elif name == "includesubdomains":
+            include_subdomains = True
+        elif name == "preload":
+            preload = True
+        # Unknown directives are ignored per RFC 6797.
+    if max_age is None:
+        return None
+    return HstsPolicy(max_age=max_age, include_subdomains=include_subdomains, preload=preload)

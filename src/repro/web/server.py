@@ -1,0 +1,119 @@
+"""Simulated web hosts.
+
+The "server side" of the synthetic Internet: each web-enabled domain has a
+:class:`WebHost` describing its TLS configuration, HSTS header, supported
+HTTP versions and redirect behaviour.  The probers in
+:mod:`repro.web.tls` and :mod:`repro.web.http2` connect to hosts through a
+:class:`HostRegistry`, which resolves a domain name to its host the same
+way the paper's zgrab/nghttp2 measurements hit whatever server the DNS
+pointed them at.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Optional
+
+from repro.web.hsts import HstsPolicy
+
+
+class HostNotFoundError(LookupError):
+    """Raised when no web host exists for a domain (connection refused)."""
+
+
+@dataclass
+class WebHost:
+    """Server-side properties of one domain's web presence.
+
+    Attributes
+    ----------
+    domain:
+        The domain this host serves (base domain; ``www.`` is an alias).
+    tls_enabled:
+        Whether an HTTPS handshake succeeds.
+    tls_version:
+        Negotiated TLS version string when enabled (e.g. ``"TLSv1.2"``).
+    hsts_policy:
+        The HSTS policy served over HTTPS, if any.
+    http2_enabled:
+        Whether the server negotiates HTTP/2 (via ALPN) and actually
+        serves the landing page over it.
+    redirect_to:
+        Optional domain the landing page redirects to (followed by the
+        HTTP/2 prober, which chases up to 10 redirects like the paper).
+    serves_content:
+        Whether a GET / actually returns page data (the paper only counts
+        HTTP/2 as adopted if landing-page data is transferred over it).
+    """
+
+    domain: str
+    tls_enabled: bool = False
+    tls_version: Optional[str] = None
+    hsts_policy: Optional[HstsPolicy] = None
+    http2_enabled: bool = False
+    redirect_to: Optional[str] = None
+    serves_content: bool = True
+
+    def __post_init__(self) -> None:
+        self.domain = self.domain.strip().lower().rstrip(".")
+        if not self.domain:
+            raise ValueError("web host requires a domain")
+        if self.tls_enabled and self.tls_version is None:
+            self.tls_version = "TLSv1.2"
+        if not self.tls_enabled:
+            # HSTS only means something over TLS; HTTP/2 in browsers
+            # requires TLS as well, which is what the paper measured.
+            self.hsts_policy = None
+
+    @property
+    def hsts_header(self) -> Optional[str]:
+        """The Strict-Transport-Security header value served, if any."""
+        if self.hsts_policy is None:
+            return None
+        return self.hsts_policy.header_value()
+
+
+@dataclass
+class HostRegistry:
+    """Lookup table from domain names to their :class:`WebHost`.
+
+    ``www.<domain>`` is treated as an alias of ``<domain>``, matching the
+    paper's practice of probing both the raw and the www-prefixed name.
+    """
+
+    _hosts: dict[str, WebHost] = field(default_factory=dict)
+
+    def __len__(self) -> int:
+        return len(self._hosts)
+
+    def __iter__(self) -> Iterator[WebHost]:
+        return iter(self._hosts.values())
+
+    def add(self, host: WebHost) -> None:
+        """Register ``host`` (overwrites an existing host for the domain)."""
+        self._hosts[host.domain] = host
+
+    def remove(self, domain: str) -> None:
+        """Remove the host for ``domain`` if present."""
+        self._hosts.pop(self._normalise(domain), None)
+
+    @staticmethod
+    def _normalise(domain: str) -> str:
+        return domain.strip().lower().rstrip(".")
+
+    def lookup(self, domain: str) -> Optional[WebHost]:
+        """Return the host serving ``domain`` (also tries stripping www.)."""
+        domain = self._normalise(domain)
+        host = self._hosts.get(domain)
+        if host is not None:
+            return host
+        if domain.startswith("www."):
+            return self._hosts.get(domain[4:])
+        return None
+
+    def connect(self, domain: str) -> WebHost:
+        """Return the host for ``domain`` or raise :class:`HostNotFoundError`."""
+        host = self.lookup(domain)
+        if host is None:
+            raise HostNotFoundError(domain)
+        return host

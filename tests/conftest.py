@@ -1,0 +1,50 @@
+"""Shared fixtures.
+
+The expensive artefacts (synthetic Internet, simulation run, measurement
+harness) are session-scoped and reused by every analysis/integration
+test, so the suite stays fast despite exercising the full pipeline.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.measurement.harness import MeasurementHarness
+from repro.population.config import SimulationConfig
+from repro.population.internet import SyntheticInternet
+from repro.population.traffic import TrafficSimulator
+from repro.providers.simulation import SimulationRun, run_simulation
+
+
+@pytest.fixture(scope="session")
+def small_config() -> SimulationConfig:
+    """The small simulation configuration used across the test suite.
+
+    Includes an Alexa structural change on day 9 so both regimes are
+    exercised.
+    """
+    return SimulationConfig.small(alexa_change_day=9)
+
+
+@pytest.fixture(scope="session")
+def small_run(small_config: SimulationConfig) -> SimulationRun:
+    """A fully simulated observation period (archives for all providers)."""
+    return run_simulation(small_config)
+
+
+@pytest.fixture(scope="session")
+def internet(small_run: SimulationRun) -> SyntheticInternet:
+    """The synthetic Internet behind the small run."""
+    return small_run.internet
+
+
+@pytest.fixture(scope="session")
+def traffic(small_run: SimulationRun) -> TrafficSimulator:
+    """The traffic simulator behind the small run."""
+    return small_run.traffic
+
+
+@pytest.fixture(scope="session")
+def harness(small_run: SimulationRun) -> MeasurementHarness:
+    """A measurement harness bound to the small run's Internet."""
+    return MeasurementHarness(small_run.internet)

@@ -1,0 +1,104 @@
+"""Tests for rank dynamics (Figures 1c and 4, Table 4)."""
+
+import datetime as dt
+
+import pytest
+
+from repro.core.rank_dynamics import (
+    churn_by_rank,
+    kendall_tau_series,
+    rank_variation,
+    strong_correlation_share,
+)
+from repro.providers.base import ListArchive, ListSnapshot
+
+
+@pytest.fixture()
+def shifting_archive() -> ListArchive:
+    """Stable head, churning tail."""
+    archive = ListArchive(provider="toy")
+    base = [f"top{i}.com" for i in range(5)]
+    for day in range(6):
+        tail = [f"tail{day}-{i}.com" for i in range(5)]
+        archive.add(ListSnapshot(provider="toy", entries=tuple(base + tail),
+                                 date=dt.date(2018, 1, 1) + dt.timedelta(days=day)))
+    return archive
+
+
+class TestChurnByRank:
+    def test_head_stable_tail_churning(self, shifting_archive):
+        churn = churn_by_rank(shifting_archive, subset_sizes=[5, 10])
+        assert churn[5] == pytest.approx(0.0)
+        assert churn[10] == pytest.approx(0.5)
+
+    def test_invalid_size(self, shifting_archive):
+        with pytest.raises(ValueError):
+            churn_by_rank(shifting_archive, subset_sizes=[0])
+
+    def test_instability_grows_with_rank_in_simulation(self, small_run):
+        config = small_run.config
+        churn = churn_by_rank(small_run.umbrella, subset_sizes=[config.top_k, config.list_size])
+        assert churn[config.list_size] > churn[config.top_k]
+
+
+class TestKendallSeries:
+    def test_identical_days_give_tau_one(self):
+        archive = ListArchive(provider="toy")
+        for day in range(3):
+            archive.add(ListSnapshot(provider="toy", entries=("a.com", "b.com", "c.com"),
+                                     date=dt.date(2018, 1, 1) + dt.timedelta(days=day)))
+        taus = kendall_tau_series(archive)
+        assert taus == [pytest.approx(1.0)] * 2
+
+    def test_vs_first_mode(self, shifting_archive):
+        taus = kendall_tau_series(shifting_archive, mode="vs-first")
+        assert len(taus) == 5
+
+    def test_unknown_mode(self, shifting_archive):
+        with pytest.raises(ValueError):
+            kendall_tau_series(shifting_archive, mode="weekly")
+
+    def test_too_short_archive(self):
+        archive = ListArchive(provider="toy")
+        archive.add(ListSnapshot(provider="toy", entries=("a.com",), date=dt.date(2018, 1, 1)))
+        assert kendall_tau_series(archive) == []
+
+    def test_strong_correlation_share(self):
+        assert strong_correlation_share([1.0, 0.99, 0.5, 0.2]) == pytest.approx(0.5)
+        assert strong_correlation_share([]) == 0.0
+
+    def test_majestic_more_correlated_than_umbrella(self, small_run):
+        top_k = small_run.config.top_k
+        majestic = kendall_tau_series(small_run.majestic, top_n=top_k)
+        umbrella = kendall_tau_series(small_run.umbrella, top_n=top_k)
+        assert strong_correlation_share(majestic, 0.9) > strong_correlation_share(umbrella, 0.9)
+
+    def test_long_term_correlation_lower_than_day_to_day(self, small_run):
+        top_k = small_run.config.top_k
+        day_to_day = kendall_tau_series(small_run.alexa, top_n=top_k, mode="day-to-day")
+        vs_first = kendall_tau_series(small_run.alexa, top_n=top_k, mode="vs-first")
+        assert sum(vs_first) / len(vs_first) <= sum(day_to_day) / len(day_to_day)
+
+
+class TestRankVariation:
+    def test_toy_ranks(self, shifting_archive):
+        variation = rank_variation(shifting_archive, ["top0.com", "tail0-0.com", "missing.com"])
+        top = variation["top0.com"]
+        assert top.highest == 1 and top.lowest == 1 and top.always_listed
+        tail = variation["tail0-0.com"]
+        assert tail.days_listed == 1
+        missing = variation["missing.com"]
+        assert missing.highest is None and missing.days_listed == 0
+
+    def test_simulation_top_domains_stable(self, small_run):
+        variation = rank_variation(small_run.alexa, ["google.com", "jetblue.com"])
+        google = variation["google.com"]
+        assert google.always_listed
+        assert google.lowest <= 3
+        jetblue = variation["jetblue.com"]
+        # The rank spread of a mid-tier domain is much wider than the head's.
+        assert (jetblue.lowest - jetblue.highest) > (google.lowest - google.highest)
+
+    def test_provider_recorded(self, small_run):
+        variation = rank_variation(small_run.majestic, ["google.com"])
+        assert variation["google.com"].provider == "majestic"

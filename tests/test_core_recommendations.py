@@ -1,0 +1,119 @@
+"""Tests for the Section 9 recommendation checker."""
+
+import pytest
+
+from repro.core.recommendations import (
+    Finding,
+    RecommendationReport,
+    Severity,
+    StudyPlan,
+    StudyPurpose,
+    evaluate_study_plan,
+)
+
+
+def make_plan(**overrides):
+    defaults = dict(purpose=StudyPurpose.PROTOCOL_ADOPTION,
+                    lists_used=("alexa",),
+                    measurement_days=7,
+                    documents_list_date=True,
+                    documents_measurement_date=True,
+                    publishes_list_copy=True,
+                    generalises_to_internet=False)
+    defaults.update(overrides)
+    return StudyPlan(**defaults)
+
+
+class TestPlanLevelChecks:
+    def test_well_documented_plan_passes(self):
+        report = evaluate_study_plan(make_plan())
+        assert report.passes
+        assert not report.critical
+
+    def test_missing_dates_are_critical(self):
+        report = evaluate_study_plan(make_plan(documents_list_date=False,
+                                               documents_measurement_date=False))
+        assert not report.passes
+        assert len(report.critical) == 2
+
+    def test_missing_list_copy_is_warning(self):
+        report = evaluate_study_plan(make_plan(publishes_list_copy=False))
+        assert report.passes
+        assert any("list copy" in f.message for f in report.warnings)
+
+    def test_general_population_claims_need_population_sample(self):
+        report = evaluate_study_plan(make_plan(purpose=StudyPurpose.GENERAL_POPULATION))
+        assert not report.passes
+
+    def test_dns_study_on_web_list_flagged(self):
+        report = evaluate_study_plan(make_plan(purpose=StudyPurpose.DNS_TRAFFIC,
+                                               lists_used=("alexa",)))
+        assert any(f.check == "list choice" and f.severity is Severity.WARNING
+                   for f in report.findings)
+
+    def test_umbrella_suits_dns_studies(self):
+        report = evaluate_study_plan(make_plan(purpose=StudyPurpose.DNS_TRAFFIC,
+                                               lists_used=("umbrella",)))
+        assert not any(f.check == "list choice" and f.severity is Severity.WARNING
+                       for f in report.findings)
+
+    def test_no_list_selected_warns(self):
+        report = evaluate_study_plan(make_plan(lists_used=()))
+        assert any(f.check == "list choice" for f in report.warnings)
+
+    def test_generalisation_warning(self):
+        report = evaluate_study_plan(make_plan(generalises_to_internet=True))
+        assert any(f.check == "generalisation" for f in report.warnings)
+
+    def test_render_and_str(self):
+        report = evaluate_study_plan(make_plan(publishes_list_copy=False))
+        text = report.render()
+        assert "protocol adoption" in text
+        assert "[warning]" in text
+        assert str(Finding("x", Severity.INFO, "y")).startswith("[info]")
+
+
+class TestDataDrivenChecks:
+    def test_one_off_measurement_on_churning_list_is_critical(self, small_run):
+        plan = make_plan(lists_used=("umbrella",), measurement_days=1)
+        report = evaluate_study_plan(plan, archives=small_run.archives)
+        assert any(f.check == "stability" and f.severity is Severity.CRITICAL
+                   for f in report.findings)
+
+    def test_longitudinal_measurement_downgrades_to_info(self, small_run):
+        plan = make_plan(lists_used=("umbrella",), measurement_days=14)
+        report = evaluate_study_plan(plan, archives=small_run.archives)
+        assert not any(f.check == "stability" and f.severity is Severity.CRITICAL
+                       for f in report.findings)
+
+    def test_stable_list_reported_as_info(self, small_run):
+        plan = make_plan(lists_used=("majestic",), measurement_days=1)
+        report = evaluate_study_plan(plan, archives=small_run.archives)
+        stability = [f for f in report.findings if f.check == "stability"]
+        assert stability and all(f.severity is Severity.INFO for f in stability)
+
+    def test_abrupt_change_detected_for_alexa(self, small_run):
+        plan = make_plan(lists_used=("alexa",), measurement_days=14)
+        report = evaluate_study_plan(plan, archives=small_run.archives)
+        assert any("abruptly" in f.message for f in report.findings)
+
+    def test_invalid_tld_and_subdomain_warnings_for_umbrella(self, small_run):
+        plan = make_plan(purpose=StudyPurpose.WEB_CONTENT, lists_used=("umbrella",),
+                         measurement_days=14)
+        report = evaluate_study_plan(plan, archives=small_run.archives)
+        messages = " ".join(f.message for f in report.findings)
+        assert "invalid TLDs" in messages
+        assert "subdomains" in messages
+
+    def test_missing_archive_handled(self, small_run):
+        plan = make_plan(lists_used=("quantcast",))
+        report = evaluate_study_plan(plan, archives=small_run.archives)
+        assert any(f.check == "data availability" for f in report.findings)
+
+    def test_report_accessors(self, small_run):
+        plan = make_plan(lists_used=("alexa", "umbrella"), measurement_days=1,
+                         documents_list_date=False)
+        report = evaluate_study_plan(plan, archives=small_run.archives)
+        assert isinstance(report, RecommendationReport)
+        assert report.critical and report.warnings
+        assert not report.passes

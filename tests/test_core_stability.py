@@ -1,0 +1,117 @@
+"""Tests for the stability analysis (Section 6.1)."""
+
+import datetime as dt
+
+import pytest
+
+from repro.core.stability import (
+    cumulative_unique_domains,
+    daily_changes,
+    days_in_list,
+    days_in_list_cdf,
+    intersection_with_reference,
+    mean_daily_change,
+    new_domains_per_day,
+)
+from repro.providers.base import ListArchive, ListSnapshot
+
+
+@pytest.fixture()
+def toy_archive() -> ListArchive:
+    """Four days with controlled membership changes."""
+    archive = ListArchive(provider="toy")
+    days = [
+        ["a.com", "b.com", "c.com"],
+        ["a.com", "b.com", "d.com"],   # c removed, d new
+        ["a.com", "c.com", "d.com"],   # b removed, c rejoins
+        ["a.com", "c.com", "e.com"],   # d removed, e new
+    ]
+    for index, entries in enumerate(days):
+        archive.add(ListSnapshot(provider="toy", entries=tuple(entries),
+                                 date=dt.date(2018, 1, 1) + dt.timedelta(days=index)))
+    return archive
+
+
+class TestDailyChanges:
+    def test_counts(self, toy_archive):
+        changes = daily_changes(toy_archive)
+        assert list(changes.values()) == [1, 1, 1]
+
+    def test_mean(self, toy_archive):
+        assert mean_daily_change(toy_archive) == pytest.approx(1.0)
+
+    def test_top_n_restriction(self, toy_archive):
+        changes = daily_changes(toy_archive, top_n=1)
+        assert list(changes.values()) == [0, 0, 0]
+
+    def test_empty_archive(self):
+        archive = ListArchive(provider="toy")
+        assert daily_changes(archive) == {}
+        assert mean_daily_change(archive) == 0.0
+
+
+class TestNewDomains:
+    def test_new_vs_rejoining(self, toy_archive):
+        new = new_domains_per_day(toy_archive)
+        # Day 2: d is new. Day 3: c rejoins (not new). Day 4: e is new.
+        assert list(new.values()) == [1, 0, 1]
+
+    def test_cumulative_unique(self, toy_archive):
+        cumulative = cumulative_unique_domains(toy_archive)
+        assert list(cumulative.values()) == [3, 4, 4, 5]
+
+    def test_relationship_between_change_and_new(self, small_run):
+        # New domains are a subset of daily changes (20-33% in the paper).
+        for archive in small_run.archives.values():
+            total_change = sum(daily_changes(archive).values())
+            total_new = sum(new_domains_per_day(archive).values())
+            assert total_new <= total_change
+
+
+class TestReferenceDecay:
+    def test_monotone_for_toy(self, toy_archive):
+        decay = intersection_with_reference(toy_archive, reference_days=[0])
+        assert decay[0] == 3.0
+        assert decay[3] <= decay[0]
+
+    def test_median_over_multiple_starts(self, toy_archive):
+        decay = intersection_with_reference(toy_archive, reference_days=[0, 1])
+        assert decay[0] == 3.0
+        assert set(decay) == {0, 1, 2, 3}
+
+    def test_out_of_range_starts_ignored(self, toy_archive):
+        decay = intersection_with_reference(toy_archive, reference_days=[99])
+        assert decay == {}
+
+    def test_majestic_decays_slower_than_umbrella(self, small_run):
+        majestic = intersection_with_reference(small_run.majestic, reference_days=[0])
+        umbrella = intersection_with_reference(small_run.umbrella, reference_days=[0])
+        last = max(majestic)
+        assert majestic[last] > umbrella[last]
+
+
+class TestDaysInList:
+    def test_counts(self, toy_archive):
+        counts = days_in_list(toy_archive)
+        assert counts["a.com"] == 4
+        assert counts["c.com"] == 3
+        assert counts["e.com"] == 1
+
+    def test_cdf_shape(self, toy_archive):
+        cdf = days_in_list_cdf(toy_archive)
+        shares = [point[0] for point in cdf]
+        probs = [point[1] for point in cdf]
+        assert shares == sorted(shares)
+        assert probs[-1] == pytest.approx(1.0)
+        assert all(0 < share <= 1 for share in shares)
+
+    def test_empty(self):
+        assert days_in_list_cdf(ListArchive(provider="toy")) == []
+
+    def test_majestic_domains_stay_longer(self, small_run):
+        majestic = days_in_list(small_run.majestic)
+        umbrella = days_in_list(small_run.umbrella)
+        total_days = small_run.config.n_days
+        majestic_full = sum(1 for v in majestic.values() if v == total_days) / len(majestic)
+        umbrella_full = sum(1 for v in umbrella.values() if v == total_days) / len(umbrella)
+        assert majestic_full > umbrella_full

@@ -1,0 +1,100 @@
+"""Tests for the weekly-pattern analysis (Section 6.2)."""
+
+import datetime as dt
+
+import pytest
+
+from repro.core.weekly import (
+    sld_group_dynamics,
+    weekday_weekend_ks,
+    within_group_ks,
+)
+from repro.providers.base import ListArchive, ListSnapshot
+
+
+def build_archive(daily_entries, start=dt.date(2018, 1, 1)) -> ListArchive:
+    archive = ListArchive(provider="toy")
+    for day, entries in enumerate(daily_entries):
+        archive.add(ListSnapshot(provider="toy", entries=tuple(entries),
+                                 date=start + dt.timedelta(days=day)))
+    return archive
+
+
+@pytest.fixture()
+def weekly_archive() -> ListArchive:
+    """Two weeks where leisure.com ranks first on weekends, last on weekdays.
+
+    January 1st 2018 was a Monday, so days 5, 6, 12, 13 are weekends.
+    """
+    weekday = ["office.com", "news.com", "leisure.com"]
+    weekend = ["leisure.com", "news.com", "office.com"]
+    entries = []
+    for day in range(14):
+        is_weekend = (dt.date(2018, 1, 1) + dt.timedelta(days=day)).weekday() >= 5
+        entries.append(weekend if is_weekend else weekday)
+    return build_archive(entries)
+
+
+class TestWeekdayWeekendKs:
+    def test_disjoint_rank_distributions(self, weekly_archive):
+        distances = weekday_weekend_ks(weekly_archive)
+        assert distances["leisure.com"] == pytest.approx(1.0)
+        assert distances["office.com"] == pytest.approx(1.0)
+        assert distances["news.com"] == pytest.approx(0.0)
+
+    def test_min_observations_filter(self, weekly_archive):
+        # Requiring more weekend observations than exist drops all domains.
+        assert weekday_weekend_ks(weekly_archive, min_observations=10) == {}
+
+    def test_within_group_control_is_small(self, weekly_archive):
+        control = within_group_ks(weekly_archive)
+        assert control
+        assert max(control.values()) <= 0.2
+
+    def test_custom_weekend_definition(self, weekly_archive):
+        # Treating Monday as the weekend breaks the clean separation.
+        distances = weekday_weekend_ks(weekly_archive, weekend=(0,))
+        assert distances["leisure.com"] < 1.0
+
+    def test_simulated_lists_ordering(self, small_run):
+        # The DNS-based list shows a much stronger weekend effect than the
+        # backlink-based list (Figure 3a).
+        umbrella = weekday_weekend_ks(small_run.umbrella)
+        majestic = weekday_weekend_ks(small_run.majestic)
+        share_umbrella = sum(1 for v in umbrella.values() if v >= 0.999) / len(umbrella)
+        share_majestic = sum(1 for v in majestic.values() if v >= 0.999) / len(majestic)
+        assert share_umbrella > share_majestic
+
+
+class TestSldGroupDynamics:
+    def test_group_detection(self):
+        # blogs-* domains appear only on weekends (2018-01-06/07 are weekend).
+        weekday = ["office.com", "work.org"]
+        weekend = ["blogs.com", "blogs.de", "blogs.fr", "office.com"]
+        entries = []
+        for day in range(14):
+            is_weekend = (dt.date(2018, 1, 1) + dt.timedelta(days=day)).weekday() >= 5
+            entries.append(weekend if is_weekend else weekday)
+        archive = build_archive(entries)
+        groups = sld_group_dynamics(archive, threshold=0.4, min_group_size=2)
+        assert "blogs" in groups
+        assert groups["blogs"].more_popular_on_weekends
+        assert groups["blogs"].weekend_mean > groups["blogs"].weekday_mean
+        assert groups["blogs"].relative_change > 0.4
+
+    def test_stable_groups_not_reported(self, weekly_archive):
+        groups = sld_group_dynamics(weekly_archive, threshold=0.4, min_group_size=1)
+        assert groups == {}
+
+    def test_series_dates_sorted(self):
+        weekend = ["blogs.com", "blogs.de", "blogs.fr"]
+        weekday = ["office.com", "work.org", "mail.net"]
+        entries = []
+        for day in range(10):
+            is_weekend = (dt.date(2018, 1, 1) + dt.timedelta(days=day)).weekday() >= 5
+            entries.append(weekend if is_weekend else weekday)
+        archive = build_archive(entries)
+        groups = sld_group_dynamics(archive, min_group_size=2)
+        for dynamics in groups.values():
+            dates = list(dynamics.series)
+            assert dates == sorted(dates)

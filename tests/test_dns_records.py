@@ -1,0 +1,80 @@
+"""Tests for DNS record and response models."""
+
+import pytest
+
+from repro.dns.records import DnsResponse, RData, Rcode, RecordType, ResourceRecord
+
+
+class TestRData:
+    def test_address(self):
+        assert RData.for_address("192.0.2.1").address == "192.0.2.1"
+
+    def test_target_normalised(self):
+        assert RData.for_target("CDN.Example.COM.").target == "cdn.example.com"
+
+    def test_caa_tags(self):
+        rdata = RData.for_caa("issue", "letsencrypt.org")
+        assert rdata.caa_tag == "issue"
+        assert rdata.caa_value == "letsencrypt.org"
+
+    def test_caa_invalid_tag(self):
+        with pytest.raises(ValueError):
+            RData.for_caa("grant", "x")
+
+    def test_text(self):
+        assert RData.for_text("v=spf1 -all").text == "v=spf1 -all"
+
+
+class TestResourceRecord:
+    def test_name_normalised(self):
+        record = ResourceRecord("WWW.Example.COM.", RecordType.A, RData.for_address("192.0.2.1"))
+        assert record.name == "www.example.com"
+
+    def test_a_record_requires_ipv4(self):
+        with pytest.raises(ValueError):
+            ResourceRecord("a.com", RecordType.A, RData.for_address("2001:db8::1"))
+
+    def test_aaaa_record_requires_ipv6(self):
+        with pytest.raises(ValueError):
+            ResourceRecord("a.com", RecordType.AAAA, RData.for_address("192.0.2.1"))
+
+    def test_cname_requires_target(self):
+        with pytest.raises(ValueError):
+            ResourceRecord("a.com", RecordType.CNAME, RData())
+
+    def test_caa_requires_tag(self):
+        with pytest.raises(ValueError):
+            ResourceRecord("a.com", RecordType.CAA, RData())
+
+    def test_negative_ttl_rejected(self):
+        with pytest.raises(ValueError):
+            ResourceRecord("a.com", RecordType.A, RData.for_address("192.0.2.1"), ttl=-1)
+
+    def test_value_rendering(self):
+        a = ResourceRecord("a.com", RecordType.A, RData.for_address("192.0.2.1"))
+        cname = ResourceRecord("a.com", RecordType.CNAME, RData.for_target("b.com"))
+        caa = ResourceRecord("a.com", RecordType.CAA, RData.for_caa("issue", "ca.example"))
+        assert a.value == "192.0.2.1"
+        assert cname.value == "b.com"
+        assert "issue" in caa.value and "ca.example" in caa.value
+
+
+class TestDnsResponse:
+    def test_nxdomain_flag(self):
+        response = DnsResponse("a.com", RecordType.A, Rcode.NXDOMAIN)
+        assert response.is_nxdomain
+        assert not response.is_empty
+
+    def test_nodata(self):
+        response = DnsResponse("a.com", RecordType.AAAA, Rcode.NOERROR, answers=[])
+        assert response.is_empty
+        assert not response.is_nxdomain
+
+    def test_with_answers(self):
+        record = ResourceRecord("a.com", RecordType.A, RData.for_address("192.0.2.1"))
+        response = DnsResponse("a.com", RecordType.A, Rcode.NOERROR, answers=[record])
+        assert not response.is_empty
+
+    def test_rcode_str(self):
+        assert str(Rcode.NXDOMAIN) == "NXDOMAIN"
+        assert str(RecordType.AAAA) == "AAAA"

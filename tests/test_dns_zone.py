@@ -1,0 +1,107 @@
+"""Tests for the authoritative zone database."""
+
+import pytest
+
+from repro.dns.errors import ZoneConfigurationError
+from repro.dns.records import RData, Rcode, RecordType, ResourceRecord
+from repro.dns.zone import ZoneDatabase
+
+
+@pytest.fixture()
+def zone() -> ZoneDatabase:
+    db = ZoneDatabase()
+    db.add_address("example.com", "192.0.2.10")
+    db.add_address("example.com", "2001:db8::10")
+    db.add_address("www.example.com", "192.0.2.10")
+    db.add_caa("example.com", "issue", "letsencrypt.org")
+    db.add_cname("cdn.example.com", "edge.cdnprovider.net")
+    db.add_address("edge.cdnprovider.net", "198.51.100.5")
+    return db
+
+
+class TestQueries:
+    def test_a_lookup(self, zone):
+        response = zone.query("example.com", RecordType.A)
+        assert response.rcode is Rcode.NOERROR
+        assert [r.value for r in response.answers] == ["192.0.2.10"]
+
+    def test_aaaa_lookup(self, zone):
+        response = zone.query("example.com", RecordType.AAAA)
+        assert [r.value for r in response.answers] == ["2001:db8::10"]
+
+    def test_caa_lookup(self, zone):
+        response = zone.query("example.com", RecordType.CAA)
+        assert response.answers[0].rdata.caa_tag == "issue"
+
+    def test_nxdomain_for_unknown_name(self, zone):
+        response = zone.query("nonexistent.example.org", RecordType.A)
+        assert response.rcode is Rcode.NXDOMAIN
+
+    def test_nodata_for_existing_name_without_type(self, zone):
+        response = zone.query("www.example.com", RecordType.CAA)
+        assert response.rcode is Rcode.NOERROR
+        assert response.is_empty
+
+    def test_ancestor_of_existing_name_is_not_nxdomain(self, zone):
+        # cdn.example.com exists, so example.com's parent "com" exists too.
+        response = zone.query("com", RecordType.A)
+        assert response.rcode is Rcode.NOERROR
+
+    def test_cname_returned_for_other_qtypes(self, zone):
+        response = zone.query("cdn.example.com", RecordType.A)
+        assert response.rcode is Rcode.NOERROR
+        assert response.answers[0].rtype is RecordType.CNAME
+
+    def test_case_insensitive(self, zone):
+        assert not zone.query("EXAMPLE.COM.", RecordType.A).is_empty
+
+
+class TestMutation:
+    def test_contains(self, zone):
+        assert "example.com" in zone
+        assert "missing.test" not in zone
+
+    def test_cname_conflicts_rejected(self):
+        db = ZoneDatabase()
+        db.add_address("a.com", "192.0.2.1")
+        with pytest.raises(ZoneConfigurationError):
+            db.add_cname("a.com", "b.com")
+
+    def test_other_type_on_cname_rejected(self):
+        db = ZoneDatabase()
+        db.add_cname("a.com", "b.com")
+        with pytest.raises(ZoneConfigurationError):
+            db.add_address("a.com", "192.0.2.1")
+
+    def test_duplicate_cname_rejected(self):
+        db = ZoneDatabase()
+        db.add_cname("a.com", "b.com")
+        with pytest.raises(ZoneConfigurationError):
+            db.add_cname("a.com", "c.com")
+
+    def test_remove_name(self, zone):
+        zone.remove_name("www.example.com")
+        response = zone.query("www.example.com", RecordType.A)
+        assert response.rcode is Rcode.NXDOMAIN
+
+    def test_remove_keeps_existing_descendants(self, zone):
+        zone.remove_name("example.com")
+        # www.example.com still exists, so example.com is NOERROR/NODATA.
+        assert zone.query("example.com", RecordType.A).rcode is Rcode.NOERROR
+
+    def test_records_accessor(self, zone):
+        assert len(zone.records("example.com")) == 3
+        assert len(zone.records("example.com", RecordType.A)) == 1
+
+    def test_bulk_load(self):
+        db = ZoneDatabase()
+        count = db.bulk_load([
+            ResourceRecord("a.com", RecordType.A, RData.for_address("192.0.2.1")),
+            ResourceRecord("b.com", RecordType.A, RData.for_address("192.0.2.2")),
+        ])
+        assert count == 2
+        assert len(db) == 2
+
+    def test_len_counts_names_with_records(self, zone):
+        # example.com, www.example.com, cdn.example.com, edge.cdnprovider.net
+        assert len(zone) == 4

@@ -1,0 +1,124 @@
+"""Tests for domain name parsing and classification."""
+
+import pytest
+
+from repro.domain.name import (
+    DomainName,
+    InvalidDomainError,
+    base_domain,
+    normalise,
+    sld_group,
+    subdomain_depth,
+)
+from repro.domain.psl import PublicSuffixList
+
+
+class TestNormalise:
+    def test_lowercases(self):
+        assert normalise("WWW.Example.COM") == "www.example.com"
+
+    def test_strips_trailing_dot(self):
+        assert normalise("example.com.") == "example.com"
+
+    def test_strips_whitespace(self):
+        assert normalise("  example.com \n") == "example.com"
+
+    def test_rejects_empty(self):
+        with pytest.raises(InvalidDomainError):
+            normalise("   ")
+
+    def test_rejects_none(self):
+        with pytest.raises(InvalidDomainError):
+            normalise(None)  # type: ignore[arg-type]
+
+    def test_rejects_empty_label(self):
+        with pytest.raises(InvalidDomainError):
+            normalise("foo..com")
+
+    def test_rejects_overlong_label(self):
+        with pytest.raises(InvalidDomainError):
+            normalise("a" * 64 + ".com")
+
+    def test_rejects_overlong_name(self):
+        label = "a" * 60
+        with pytest.raises(InvalidDomainError):
+            normalise(".".join([label] * 5))
+
+    def test_rejects_inner_whitespace(self):
+        with pytest.raises(InvalidDomainError):
+            normalise("foo bar.com")
+
+
+class TestDomainName:
+    def test_paper_example_third_level(self):
+        # Section 5 terminology: www.net.in.tum.de is a third-level subdomain.
+        name = DomainName.parse("www.net.in.tum.de")
+        assert name.public_suffix == "de"
+        assert name.base == "tum.de"
+        assert name.depth == 3
+
+    def test_base_domain_depth_zero(self):
+        assert DomainName.parse("example.com").depth == 0
+        assert DomainName.parse("example.com").is_base_domain
+
+    def test_www_is_depth_one(self):
+        assert DomainName.parse("www.example.com").depth == 1
+
+    def test_multi_label_suffix(self):
+        name = DomainName.parse("shop.example.co.uk")
+        assert name.public_suffix == "co.uk"
+        assert name.base == "example.co.uk"
+        assert name.depth == 1
+
+    def test_bare_suffix_has_no_base(self):
+        name = DomainName.parse("com")
+        assert name.base is None
+        assert name.depth == 0
+        assert not name.is_base_domain
+
+    def test_sld(self):
+        assert DomainName.parse("www.google.de").sld == "google"
+        assert DomainName.parse("com").sld is None
+
+    def test_tld_and_labels(self):
+        name = DomainName.parse("a.b.example.org")
+        assert name.tld == "org"
+        assert name.labels == ("a", "b", "example", "org")
+
+    def test_parent(self):
+        name = DomainName.parse("a.b.example.org")
+        assert name.parent().name == "b.example.org"
+        assert DomainName.parse("com").parent() is None
+
+    def test_invalid_tld_still_parses(self):
+        # Umbrella contains names under invalid TLDs; parsing must not fail.
+        name = DomainName.parse("router.localdomain")
+        assert name.tld == "localdomain"
+        assert name.base == "router.localdomain"
+
+    def test_custom_psl(self):
+        psl = PublicSuffixList(["example"])
+        name = DomainName.parse("foo.bar.example", psl=psl)
+        assert name.public_suffix == "example"
+        assert name.base == "bar.example"
+        assert name.depth == 1
+
+
+class TestModuleHelpers:
+    def test_base_domain(self):
+        assert base_domain("www.example.com") == "example.com"
+        assert base_domain("com") is None
+
+    def test_subdomain_depth(self):
+        assert subdomain_depth("example.com") == 0
+        assert subdomain_depth("a.b.example.com") == 2
+
+    def test_sld_group(self):
+        assert sld_group("www.google.de") == "google"
+        assert sld_group("blogspot.com") is None  # blogspot.com is a public suffix
+
+    def test_helpers_accept_custom_psl(self):
+        psl = PublicSuffixList(["com"])
+        assert base_domain("x.y.example.com", psl=psl) == "example.com"
+        assert subdomain_depth("x.y.example.com", psl=psl) == 2
+        assert sld_group("x.y.example.com", psl=psl) == "example"

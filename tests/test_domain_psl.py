@@ -1,0 +1,102 @@
+"""Tests for the Public Suffix List engine."""
+
+import pytest
+
+from repro.domain.psl import DEFAULT_RULES, PublicSuffixList
+
+
+@pytest.fixture()
+def psl() -> PublicSuffixList:
+    return PublicSuffixList()
+
+
+class TestDefaultRules:
+    def test_default_rules_loaded(self, psl):
+        assert len(psl) == len(set(DEFAULT_RULES))
+
+    def test_common_tlds_are_suffixes(self, psl):
+        for suffix in ("com", "net", "org", "de", "co.uk"):
+            assert psl.is_public_suffix(suffix)
+
+    def test_blogspot_is_suffix(self, psl):
+        # The paper treats blogspot.* as one SLD group; the PSL makes
+        # blogspot.com a (private) public suffix.
+        assert psl.is_public_suffix("blogspot.com")
+
+
+class TestPublicSuffix:
+    def test_single_label_suffix(self, psl):
+        assert psl.public_suffix("www.example.com") == "com"
+
+    def test_multi_label_suffix(self, psl):
+        assert psl.public_suffix("www.example.co.uk") == "co.uk"
+
+    def test_unknown_tld_implicit_rule(self, psl):
+        assert psl.public_suffix("foo.bar.unknowntld") == "unknowntld"
+
+    def test_empty_returns_none(self, psl):
+        assert psl.public_suffix("") is None
+
+    def test_wildcard_rule(self, psl):
+        # *.ck makes any label under ck a suffix.
+        assert psl.public_suffix("foo.example.ck") == "example.ck"
+
+    def test_exception_rule(self, psl):
+        # !www.ck overrides the wildcard: the suffix is just ck.
+        assert psl.public_suffix("www.ck") == "ck"
+        assert psl.base_domain("www.ck") == "www.ck"
+
+
+class TestBaseDomain:
+    def test_simple(self, psl):
+        assert psl.base_domain("www.example.com") == "example.com"
+
+    def test_already_base(self, psl):
+        assert psl.base_domain("example.com") == "example.com"
+
+    def test_suffix_itself_has_no_base(self, psl):
+        assert psl.base_domain("com") is None
+        assert psl.base_domain("co.uk") is None
+
+    def test_private_suffix_base(self, psl):
+        assert psl.base_domain("myblog.blogspot.com") == "myblog.blogspot.com"
+        assert psl.base_domain("x.myblog.blogspot.com") == "myblog.blogspot.com"
+
+    def test_case_and_dots_normalised(self, psl):
+        assert psl.base_domain("WWW.Example.COM.") == "example.com"
+
+
+class TestSldGroup:
+    def test_group_label(self, psl):
+        assert psl.sld_group("www.google.de") == "google"
+        assert psl.sld_group("google.com") == "google"
+
+    def test_group_none_for_suffix(self, psl):
+        assert psl.sld_group("com") is None
+
+
+class TestRuleManagement:
+    def test_add_rule(self):
+        psl = PublicSuffixList([])
+        psl.add_rule("com")
+        assert psl.public_suffix("example.com") == "com"
+
+    def test_add_empty_rule_rejected(self):
+        psl = PublicSuffixList([])
+        with pytest.raises(ValueError):
+            psl.add_rule("   ")
+
+    def test_from_rules(self):
+        psl = PublicSuffixList.from_rules(["com", "co.uk"])
+        assert len(psl) == 2
+
+    def test_from_file(self, tmp_path):
+        path = tmp_path / "psl.dat"
+        path.write_text("// comment\n\ncom\nco.uk\n!www.ck\n*.ck\n", encoding="utf-8")
+        psl = PublicSuffixList.from_file(str(path))
+        assert psl.public_suffix("example.co.uk") == "co.uk"
+        assert psl.public_suffix("www.ck") == "ck"
+
+    def test_contains(self, psl):
+        assert "com" in psl
+        assert "example.com" not in psl

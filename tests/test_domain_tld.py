@@ -1,0 +1,86 @@
+"""Tests for the IANA TLD registry model."""
+
+import pytest
+
+from repro.domain.tld import IANA_TLD_COUNT_MAY_2018, TldRegistry
+
+
+@pytest.fixture()
+def registry() -> TldRegistry:
+    return TldRegistry()
+
+
+class TestRegistry:
+    def test_common_tlds_valid(self, registry):
+        for tld in ("com", "net", "org", "de", "io", "xyz"):
+            assert registry.is_valid(tld)
+
+    def test_invalid_tlds(self, registry):
+        # Examples of invalid TLDs from Section 5.1 (footnote 5).
+        for tld in ("localdomain", "server", "cpe", "0", "big"):
+            assert not registry.is_valid(tld)
+
+    def test_case_insensitive(self, registry):
+        assert registry.is_valid("COM")
+        assert "Com" in registry
+
+    def test_add(self, registry):
+        assert not registry.is_valid("newgtld")
+        registry.add("newgtld")
+        assert registry.is_valid("newgtld")
+
+    def test_add_empty_rejected(self, registry):
+        with pytest.raises(ValueError):
+            registry.add("  ")
+
+    def test_tld_of(self, registry):
+        assert registry.tld_of("www.example.co.uk") == "uk"
+        with pytest.raises(ValueError):
+            registry.tld_of("")
+
+    def test_from_file(self, tmp_path):
+        path = tmp_path / "tlds.txt"
+        path.write_text("# Version 2018\nCOM\nNET\nORG\n", encoding="utf-8")
+        registry = TldRegistry.from_file(str(path))
+        assert len(registry) == 3
+        assert registry.is_valid("com")
+
+    def test_iteration_sorted(self, registry):
+        tlds = list(registry)
+        assert tlds == sorted(tlds)
+
+    def test_paper_registry_size_constant(self):
+        assert IANA_TLD_COUNT_MAY_2018 == 1543
+
+
+class TestCoverage:
+    def test_counts(self, registry):
+        domains = ["a.com", "b.com", "c.de", "junk.localdomain", "x.cpe"]
+        coverage = registry.coverage(domains)
+        assert coverage.valid_tlds == 2  # com, de
+        assert coverage.invalid_tlds == 2  # localdomain, cpe
+        assert coverage.valid_domains == 3
+        assert coverage.invalid_domains == 2
+
+    def test_invalid_share(self, registry):
+        coverage = registry.coverage(["a.com", "b.localdomain"])
+        assert coverage.invalid_domain_share == pytest.approx(0.5)
+
+    def test_empty_input(self, registry):
+        coverage = registry.coverage([])
+        assert coverage.valid_tlds == 0
+        assert coverage.invalid_domain_share == 0.0
+        assert coverage.coverage_ratio == 0.0
+
+    def test_coverage_ratio(self, registry):
+        coverage = registry.coverage(["a.com"])
+        assert coverage.coverage_ratio == pytest.approx(1 / len(registry))
+
+    def test_invalid_histogram(self, registry):
+        histogram = registry.invalid_tld_histogram(
+            ["a.com", "x.localdomain", "y.localdomain", "z.cpe"])
+        assert histogram == {"localdomain": 2, "cpe": 1}
+
+    def test_blank_entries_skipped(self, registry):
+        coverage = registry.coverage(["", "  ", "a.com"])
+        assert coverage.valid_domains == 1

@@ -1,0 +1,102 @@
+"""End-to-end integration tests: the paper's headline findings must emerge
+from a full simulation + analysis run."""
+
+import numpy as np
+import pytest
+
+from repro.core.rank_dynamics import churn_by_rank, kendall_tau_series, strong_correlation_share
+from repro.core.stability import cumulative_unique_domains, mean_daily_change
+from repro.core.structure import structure_summary
+from repro.core.intersection import intersection_over_time
+from repro.core.weekly import weekday_weekend_ks
+from repro.measurement.harness import TargetSet
+from repro.measurement.report import build_comparison_table
+from repro.stats.summary import DeviationFlag
+
+
+class TestHeadlineFindings:
+    def test_stability_ordering(self, small_run):
+        """Majestic is by far the most stable list, Umbrella churns heavily,
+        Alexa becomes the most unstable after its structural change."""
+        majestic = mean_daily_change(small_run.majestic)
+        umbrella = mean_daily_change(small_run.umbrella)
+        assert majestic < umbrella
+        change_day = small_run.config.alexa_change_day
+        snapshots = small_run.alexa.snapshots()
+        post_change = np.mean([
+            len(a.domain_set() - b.domain_set())
+            for a, b in zip(snapshots[change_day:], snapshots[change_day + 1:])])
+        assert post_change > umbrella
+
+    def test_intersections_are_small_and_web_lists_agree_most(self, small_run):
+        series = intersection_over_time(small_run.archives)
+        last = series[max(series)]
+        list_size = small_run.config.list_size
+        assert last[("alexa", "majestic")] < 0.8 * list_size
+        assert last[("alexa", "majestic", "umbrella")] < last[("alexa", "majestic")]
+        assert last[("alexa", "umbrella")] < last[("alexa", "majestic")]
+
+    def test_umbrella_structure_differs(self, small_run):
+        alexa = structure_summary(small_run.alexa[-1])
+        umbrella = structure_summary(small_run.umbrella[-1])
+        majestic = structure_summary(small_run.majestic[-1])
+        # Only the DNS-based list contains invalid TLDs and deep subdomains.
+        assert umbrella.invalid_tld_domains > 0
+        assert alexa.invalid_tld_domains == 0
+        assert majestic.invalid_tld_domains == 0
+        assert umbrella.base_domain_share < 0.6
+        assert alexa.base_domain_share > 0.95
+
+    def test_churn_grows_with_rank_depth(self, small_run):
+        top_k = small_run.config.top_k
+        sizes = [top_k, small_run.config.list_size]
+        for archive in (small_run.alexa, small_run.umbrella):
+            churn = churn_by_rank(archive, sizes)
+            assert churn[sizes[1]] >= churn[sizes[0]]
+
+    def test_cumulative_growth_ordering(self, small_run):
+        """Over the period, the volatile lists accumulate far more distinct
+        domains than the stable list (Figure 2a)."""
+        total_days = small_run.config.n_days
+        alexa = list(cumulative_unique_domains(small_run.alexa).values())[-1]
+        umbrella = list(cumulative_unique_domains(small_run.umbrella).values())[-1]
+        majestic = list(cumulative_unique_domains(small_run.majestic).values())[-1]
+        assert majestic < umbrella
+        assert majestic < alexa
+        assert total_days > 1
+
+    def test_rank_order_correlation_ordering(self, small_run):
+        top_k = small_run.config.top_k
+        majestic = strong_correlation_share(
+            kendall_tau_series(small_run.majestic, top_n=top_k), 0.9)
+        umbrella = strong_correlation_share(
+            kendall_tau_series(small_run.umbrella, top_n=top_k), 0.9)
+        assert majestic > umbrella
+
+    def test_weekly_pattern_stronger_for_dns_list(self, small_run):
+        umbrella = weekday_weekend_ks(small_run.umbrella)
+        majestic = weekday_weekend_ks(small_run.majestic)
+        umbrella_disjoint = sum(1 for v in umbrella.values() if v >= 0.999) / len(umbrella)
+        majestic_disjoint = sum(1 for v in majestic.values() if v >= 0.999) / len(majestic)
+        assert umbrella_disjoint > 2 * majestic_disjoint
+
+    def test_top_lists_distort_measurement_results(self, small_run, harness):
+        """Table 5's headline: in almost all cases top lists significantly
+        exceed the general population, most extremely for the Top-1k."""
+        table = build_comparison_table(
+            small_run, harness=harness, sample_days=(-1,), top_k=100,
+            metrics=("ipv6", "caa", "http2", "tls"))
+        for characteristic in ("IPv6-enabled", "CAA-enabled", "HTTP2"):
+            row = table[characteristic]
+            for provider in ("alexa", "umbrella", "majestic"):
+                assert row.flag(f"{provider}-1k") is DeviationFlag.EXCEEDS, (
+                    characteristic, provider)
+            # The Top-1k exaggerates at least as much as the full list.
+            assert (row.exaggeration_factor("alexa-1k")
+                    >= row.exaggeration_factor("alexa-1M"))
+
+    def test_population_measurement_close_to_ground_truth(self, small_run, harness):
+        population = TargetSet.from_zonefile(small_run.zonefile)
+        report = harness.measure_dns(population)
+        truth = 100.0 * np.mean([d.ipv6_enabled for d in small_run.zonefile.domains])
+        assert report.ipv6_share == pytest.approx(truth, abs=1e-6)

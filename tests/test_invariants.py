@@ -1,0 +1,73 @@
+"""Cross-cutting invariants of the simulated dataset.
+
+These are the properties every analysis implicitly relies on: snapshots
+are well-formed ranked lists, archives are date-aligned, and the whole
+pipeline is deterministic in the configuration seed.
+"""
+
+import numpy as np
+
+from repro.population.config import SimulationConfig
+from repro.providers.simulation import run_simulation
+
+
+class TestSnapshotInvariants:
+    def test_entries_unique_and_bounded(self, small_run):
+        for archive in small_run.archives.values():
+            for snapshot in archive:
+                assert len(snapshot.entries) == len(set(snapshot.entries))
+                assert len(snapshot) <= small_run.config.list_size
+
+    def test_dates_strictly_increasing(self, small_run):
+        for archive in small_run.archives.values():
+            dates = archive.dates()
+            assert all(a < b for a, b in zip(dates, dates[1:]))
+
+    def test_rank_of_consistent_with_order(self, small_run):
+        snapshot = small_run.umbrella[-1]
+        for rank, domain in enumerate(snapshot.entries[:50], start=1):
+            assert snapshot.rank_of(domain) == rank
+
+    def test_entries_are_normalised_names(self, small_run):
+        for archive in small_run.archives.values():
+            snapshot = archive[0]
+            for entry in snapshot.entries:
+                assert entry == entry.strip().lower().rstrip(".")
+                assert " " not in entry
+
+    def test_listed_domains_exist_in_population_or_catalogue(self, small_run, internet):
+        known = {d.name for d in internet.domains} | {f.fqdn for f in internet.fqdns}
+        for archive in small_run.archives.values():
+            assert set(archive[-1].entries) <= known
+
+
+class TestDeterminism:
+    def test_same_seed_same_archives(self, small_config, small_run):
+        other = run_simulation(small_config, use_cache=False)
+        for name in small_run.archives:
+            for date in small_run.archives[name].dates():
+                assert other.archives[name][date].entries == \
+                    small_run.archives[name][date].entries
+
+    def test_different_seed_different_lists(self, small_config, small_run):
+        changed = SimulationConfig.small(alexa_change_day=9, seed=small_config.seed + 1)
+        other = run_simulation(changed, use_cache=False)
+        assert other.alexa[-1].entries != small_run.alexa[-1].entries
+
+    def test_scores_are_finite(self, small_run):
+        for name in ("alexa", "umbrella", "majestic"):
+            provider = small_run.provider(name)
+            scores = provider.windowed_score(small_run.config.n_days - 1)
+            assert np.isfinite(scores).all()
+            assert (scores >= 0).all()
+
+    def test_measurement_is_pure(self, harness, small_run):
+        """Measuring the same target twice yields identical results."""
+        from repro.measurement.harness import TargetSet
+
+        target = TargetSet.from_snapshot(small_run.majestic[-1], top_n=80)
+        first = harness.measure_dns(target)
+        second = harness.measure_dns(target)
+        assert first.nxdomain == second.nxdomain
+        assert first.ipv6_enabled == second.ipv6_enabled
+        assert first.as_counts_v4 == second.as_counts_v4

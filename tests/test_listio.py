@@ -1,0 +1,76 @@
+"""Tests for top-list CSV parsing and writing."""
+
+import datetime as dt
+import zipfile
+
+import pytest
+
+from repro.listio import (
+    parse_top_list_csv,
+    read_archive,
+    read_top_list,
+    write_archive,
+    write_top_list,
+)
+from repro.providers.base import ListArchive, ListSnapshot
+
+
+class TestParse:
+    def test_rank_domain_format(self):
+        snapshot = parse_top_list_csv("1,google.com\n2,youtube.com\n", provider="alexa")
+        assert snapshot.entries == ("google.com", "youtube.com")
+
+    def test_majestic_style_columns(self):
+        text = "1,com,google.com,extra\n2,org,wikipedia.org,extra\n"
+        snapshot = parse_top_list_csv(text, provider="majestic", domain_column=2)
+        assert snapshot.entries == ("google.com", "wikipedia.org")
+
+    def test_header_rows_skipped(self):
+        text = "GlobalRank,Domain\n1,google.com\n"
+        assert parse_top_list_csv(text, provider="majestic").entries == ("google.com",)
+
+    def test_duplicates_keep_first(self):
+        text = "1,a.com\n2,A.COM\n3,b.com\n"
+        assert parse_top_list_csv(text, provider="alexa").entries == ("a.com", "b.com")
+
+    def test_blank_lines_and_short_rows_ignored(self):
+        text = "\n1\n1,a.com\n"
+        assert parse_top_list_csv(text, provider="alexa").entries == ("a.com",)
+
+    def test_date_attached(self):
+        snapshot = parse_top_list_csv("1,a.com\n", provider="alexa",
+                                      date=dt.date(2018, 4, 30))
+        assert snapshot.date == dt.date(2018, 4, 30)
+
+
+class TestFiles:
+    def test_csv_roundtrip(self, tmp_path):
+        snapshot = ListSnapshot(provider="alexa", date=dt.date(2018, 1, 1),
+                                entries=("a.com", "b.com"))
+        path = tmp_path / "top.csv"
+        write_top_list(snapshot, path)
+        loaded = read_top_list(path, provider="alexa", date=snapshot.date)
+        assert loaded.entries == snapshot.entries
+
+    def test_zip_support(self, tmp_path):
+        # The Alexa list ships as top-1m.csv.zip.
+        zip_path = tmp_path / "top-1m.csv.zip"
+        with zipfile.ZipFile(zip_path, "w") as archive:
+            archive.writestr("top-1m.csv", "1,google.com\n2,netflix.com\n")
+        snapshot = read_top_list(zip_path, provider="alexa")
+        assert snapshot.entries == ("google.com", "netflix.com")
+
+    def test_archive_roundtrip(self, tmp_path):
+        archive = ListArchive(provider="umbrella")
+        for day in range(3):
+            archive.add(ListSnapshot(provider="umbrella",
+                                     date=dt.date(2018, 1, 1) + dt.timedelta(days=day),
+                                     entries=(f"day{day}.com", "shared.com")))
+        write_archive(archive, tmp_path / "archive")
+        loaded = read_archive(tmp_path / "archive", provider="umbrella")
+        assert len(loaded) == 3
+        assert loaded[0].entries == archive[0].entries
+
+    def test_missing_file_raises(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            read_top_list(tmp_path / "absent.csv", provider="alexa")

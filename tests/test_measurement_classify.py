@@ -1,0 +1,86 @@
+"""Tests for the disjunct-domain classification (Table 3)."""
+
+import pytest
+
+from repro.core.intersection import aggregate_top, disjunct_domains
+from repro.measurement.classify import (
+    BlacklistService,
+    MobileTrafficMonitor,
+    classify_disjunct,
+)
+
+
+class TestBlacklist:
+    def test_membership(self):
+        blacklist = BlacklistService(["tracker.net", "ads.example"])
+        assert blacklist.is_blacklisted("tracker.net")
+        assert blacklist.is_blacklisted("cdn.tracker.net")
+        assert not blacklist.is_blacklisted("example.com")
+        assert "tracker.net" in blacklist
+
+    def test_share(self):
+        blacklist = BlacklistService(["tracker.net"])
+        assert blacklist.share(["tracker.net", "a.com"]) == pytest.approx(50.0)
+        assert blacklist.share([]) == 0.0
+
+    def test_from_internet(self, internet):
+        blacklist = BlacklistService.from_internet(internet)
+        assert len(blacklist) > 0
+        blacklisted_domain = next(d for d in internet.domains if d.blacklisted)
+        assert blacklist.is_blacklisted(blacklisted_domain.name)
+
+
+class TestMobileMonitor:
+    def test_membership_and_share(self):
+        monitor = MobileTrafficMonitor(["api.app.example"])
+        assert monitor.is_mobile("api.app.example")
+        assert monitor.is_mobile("v2.api.app.example")
+        assert monitor.share(["api.app.example", "other.org"]) == pytest.approx(50.0)
+
+    def test_from_internet(self, internet):
+        monitor = MobileTrafficMonitor.from_internet(internet)
+        mobile_domain = next(d for d in internet.domains if d.mobile)
+        assert monitor.is_mobile(mobile_domain.name)
+        assert len(monitor) > 0
+
+
+class TestClassifyDisjunct:
+    def test_table3_structure(self, small_run, internet):
+        top_k = small_run.config.top_k
+        # The paper aggregates the raw Top-1k entries (FQDNs for Umbrella)
+        # before computing disjunct domains, so normalisation is off here.
+        aggregated = {name: aggregate_top(archive, top_n=top_k, last_days=7)
+                      for name, archive in small_run.archives.items()}
+        disjunct = disjunct_domains(aggregated, normalise=False)
+        other_top1m = {}
+        for name, archive in small_run.archives.items():
+            union: set[str] = set()
+            for other_name, other_archive in small_run.archives.items():
+                if other_name != name:
+                    union |= aggregate_top(other_archive, top_n=small_run.config.list_size,
+                                           last_days=7)
+            other_top1m[name] = union
+        table = classify_disjunct(
+            disjunct,
+            blacklist=BlacklistService.from_internet(internet),
+            mobile=MobileTrafficMonitor.from_internet(internet),
+            other_top1m=other_top1m,
+        )
+        assert set(table) == {"alexa", "umbrella", "majestic"}
+        umbrella = table["umbrella"]
+        alexa = table["alexa"]
+        # Umbrella's unique domains are far more likely to be trackers and
+        # mobile-only services, and less likely to appear in the other
+        # lists' Top 1M (Table 3).
+        assert umbrella.mobile_share > alexa.mobile_share
+        assert umbrella.blacklist_share > alexa.blacklist_share
+        assert umbrella.other_top1m_share < alexa.other_top1m_share
+        assert alexa.other_top1m_share > 50.0
+
+    def test_empty_disjunct_sets(self):
+        table = classify_disjunct({"alexa": []},
+                                  blacklist=BlacklistService([]),
+                                  mobile=MobileTrafficMonitor([]),
+                                  other_top1m={})
+        assert table["alexa"].disjunct_count == 0
+        assert table["alexa"].other_top1m_share == 0.0

@@ -1,0 +1,86 @@
+"""Tests for the DNS measurement (Section 8.1)."""
+
+import pytest
+
+from repro.measurement.dns_measure import DnsMeasurement
+
+
+@pytest.fixture(scope="module")
+def measurement(small_run) -> DnsMeasurement:
+    return DnsMeasurement(small_run.internet)
+
+
+class TestSingleDomains:
+    def test_nxdomain_counted(self, measurement, internet):
+        missing = next(d for d in internet.domains if not d.exists)
+        result = measurement.measure([missing.name])
+        assert result.nxdomain == 1
+        assert result.nxdomain_share == pytest.approx(100.0)
+
+    def test_ipv6_detection_matches_ground_truth(self, measurement, internet):
+        enabled = next(d for d in internet.domains if d.ipv6_enabled)
+        disabled = next(d for d in internet.domains if d.exists and not d.ipv6_enabled)
+        result = measurement.measure([enabled.name, disabled.name])
+        assert result.ipv6_enabled == 1
+
+    def test_caa_detection(self, measurement, internet):
+        with_caa = next(d for d in internet.domains if d.caa_enabled)
+        without = next(d for d in internet.domains if d.exists and not d.caa_enabled)
+        result = measurement.measure([with_caa.name, without.name])
+        assert result.caa_enabled == 1
+
+    def test_cdn_detection_via_www_cname(self, measurement, internet):
+        cdn_domain = next(d for d in internet.domains if d.cdn_cname)
+        result = measurement.measure([cdn_domain.name])
+        assert result.cdn == 1
+        assert result.cname == 1
+        assert cdn_domain.cdn_provider in result.cdn_providers
+
+    def test_as_mapping(self, measurement, internet):
+        domain = next(d for d in internet.domains if d.exists)
+        result = measurement.measure([domain.name])
+        assert result.unique_as_v4 == 1
+        info = next(iter(result.as_counts_v4))
+        assert info.asn == domain.provider.asn
+
+
+class TestAggregates:
+    def test_share_computation(self, measurement, internet):
+        names = [d.name for d in internet.domains[:100]]
+        result = measurement.measure(names, target="sample")
+        assert result.target == "sample"
+        assert result.total == 100
+        assert 0 <= result.nxdomain_share <= 100
+        assert 0 <= result.ipv6_share <= 100
+
+    def test_empty_target(self, measurement):
+        result = measurement.measure([])
+        assert result.total == 0
+        assert result.nxdomain_share == 0.0
+        assert result.top_as_share() == 0.0
+        assert result.top_as() == {}
+        assert result.top_cdns() == {}
+
+    def test_unknown_share_attribute(self, measurement, internet):
+        result = measurement.measure([internet.domains[0].name])
+        with pytest.raises(AttributeError):
+            result.share("bogus")
+
+    def test_top_as_share_bounded(self, measurement, internet):
+        names = [d.name for d in internet.domains[:200] if d.exists]
+        result = measurement.measure(names)
+        assert 0 < result.top_as_share(5) <= 100
+        assert sum(result.top_as(3).values()) <= 1.0 + 1e-9
+
+    def test_lists_exceed_population_on_adoption(self, measurement, small_run):
+        top = measurement.measure(list(small_run.alexa[-1].top(100)), target="alexa-100")
+        population = measurement.measure(small_run.zonefile.names, target="pop")
+        assert top.ipv6_share > population.ipv6_share
+        assert top.caa_share > population.caa_share
+        assert top.cdn_share > population.cdn_share
+
+    def test_umbrella_nxdomain_exceeds_other_lists(self, measurement, small_run):
+        umbrella = measurement.measure(list(small_run.umbrella[-1]))
+        alexa = measurement.measure(list(small_run.alexa[-1]))
+        majestic = measurement.measure(list(small_run.majestic[-1]))
+        assert umbrella.nxdomain_share > majestic.nxdomain_share > alexa.nxdomain_share

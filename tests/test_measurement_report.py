@@ -1,0 +1,76 @@
+"""Tests for the reporting helpers (time series and Table 5 assembly)."""
+
+import pytest
+
+from repro.core.bias import ComparisonTable
+from repro.measurement.harness import TargetSet
+from repro.measurement.report import TABLE5_METRICS, build_comparison_table, daily_series
+from repro.stats.summary import DeviationFlag
+
+
+class TestDailySeries:
+    def test_series_structure(self, harness, small_run):
+        archives = {"alexa": small_run.alexa.top(200), "majestic": small_run.majestic.top(200)}
+        series = daily_series(harness, archives, metric="ipv6", sample_every=7)
+        assert set(series) == {"alexa", "majestic"}
+        for per_date in series.values():
+            assert len(per_date) == len(small_run.alexa.dates()[::7])
+            assert all(0 <= value <= 100 for value in per_date.values())
+
+    def test_top_n_label(self, harness, small_run):
+        archives = {"alexa": small_run.alexa}
+        series = daily_series(harness, archives, metric="nxdomain", top_n=50, sample_every=14)
+        assert "alexa-50" in series
+
+    def test_population_included(self, harness, small_run):
+        population = TargetSet.from_zonefile(small_run.zonefile, sample=100, seed=3)
+        archives = {"majestic": small_run.majestic.top(100)}
+        series = daily_series(harness, archives, metric="http2",
+                              population=population, sample_every=14)
+        assert "com/net/org" in series
+        assert len(set(series["com/net/org"].values())) == 1
+
+    def test_invalid_args(self, harness, small_run):
+        with pytest.raises(ValueError):
+            daily_series(harness, {"alexa": small_run.alexa}, metric="ipv6", sample_every=0)
+        with pytest.raises(KeyError):
+            daily_series(harness, {"alexa": small_run.alexa.top(10)}, metric="bogus")
+
+
+class TestComparisonTable:
+    @pytest.fixture(scope="class")
+    def table(self, request) -> ComparisonTable:
+        small_run = request.getfixturevalue("small_run")
+        harness = request.getfixturevalue("harness")
+        return build_comparison_table(
+            small_run, harness=harness, sample_days=(-1,), top_k=100,
+            population_sample=400,
+            metrics=("nxdomain", "ipv6", "caa", "cdn", "tls", "http2"))
+
+    def test_rows_present(self, table):
+        assert "IPv6-enabled" in table.characteristics()
+        assert "NXDOMAIN" in table.characteristics()
+
+    def test_targets_cover_lists_and_scopes(self, table):
+        targets = set(table.targets())
+        assert {"alexa-1k", "alexa-1M", "umbrella-1k", "umbrella-1M",
+                "majestic-1k", "majestic-1M"} <= targets
+
+    def test_adoption_rows_exceed_population(self, table):
+        for characteristic in ("IPv6-enabled", "CAA-enabled", "HTTP2"):
+            row = table[characteristic]
+            assert row.flag("alexa-1k") is DeviationFlag.EXCEEDS
+            assert row.flag("majestic-1k") is DeviationFlag.EXCEEDS
+
+    def test_top1k_exaggerates_more_than_full_list(self, table):
+        row = table["CAA-enabled"]
+        assert row.exaggeration_factor("alexa-1k") > row.exaggeration_factor("alexa-1M")
+
+    def test_most_cells_distort(self, table):
+        summary = table.distortion_summary()
+        distorting = [share for share in summary.values()]
+        assert sum(distorting) / len(distorting) > 0.6
+
+    def test_table5_metric_labels_unique(self):
+        labels = [label for _, label in TABLE5_METRICS]
+        assert len(labels) == len(set(labels))

@@ -1,0 +1,56 @@
+"""Tests for the TLS/HSTS and HTTP/2 measurements (Sections 8.2/8.3)."""
+
+import pytest
+
+from repro.measurement.http2_measure import Http2Measurement
+from repro.measurement.tls_measure import TlsMeasurement
+
+
+class TestTlsMeasurement:
+    def test_matches_ground_truth(self, internet):
+        measurement = TlsMeasurement(internet)
+        tls_domain = next(d for d in internet.domains if d.tls_enabled)
+        plain = next(d for d in internet.domains if d.exists and not d.tls_enabled)
+        result = measurement.measure([tls_domain.name, plain.name])
+        assert result.tls_capable == 1
+        assert result.tls_share == pytest.approx(50.0)
+
+    def test_hsts_share_relative_to_tls(self, internet):
+        measurement = TlsMeasurement(internet)
+        hsts = next(d for d in internet.domains if d.hsts_enabled)
+        tls_only = next(d for d in internet.domains if d.tls_enabled and not d.hsts_enabled)
+        plain = next(d for d in internet.domains if d.exists and not d.tls_enabled)
+        result = measurement.measure([hsts.name, tls_only.name, plain.name])
+        assert result.hsts_share_of_tls == pytest.approx(50.0)
+
+    def test_empty(self, internet):
+        result = TlsMeasurement(internet).measure([])
+        assert result.tls_share == 0.0
+        assert result.hsts_share_of_tls == 0.0
+
+    def test_lists_exceed_population(self, internet, small_run):
+        measurement = TlsMeasurement(internet)
+        top = measurement.measure(list(small_run.alexa[-1].top(100)))
+        population = measurement.measure(small_run.zonefile.names)
+        assert top.tls_share > population.tls_share
+
+
+class TestHttp2Measurement:
+    def test_matches_ground_truth(self, internet):
+        measurement = Http2Measurement(internet)
+        h2 = next(d for d in internet.domains if d.http2_enabled)
+        h1 = next(d for d in internet.domains if d.tls_enabled and not d.http2_enabled)
+        result = measurement.measure([h2.name, h1.name])
+        assert result.http2_enabled == 1
+        assert result.adoption_share == pytest.approx(50.0)
+
+    def test_empty(self, internet):
+        assert Http2Measurement(internet).measure([]).adoption_share == 0.0
+
+    def test_top1k_exceeds_full_list_exceeds_population(self, internet, small_run, harness):
+        from repro.measurement.harness import TargetSet
+        snapshot = small_run.alexa[-1]
+        top = harness.measure_http2(TargetSet.from_snapshot(snapshot, top_n=100))
+        full = harness.measure_http2(TargetSet.from_snapshot(snapshot))
+        population = harness.measure_http2(TargetSet.from_zonefile(small_run.zonefile))
+        assert top.adoption_share > full.adoption_share > population.adoption_share

@@ -1,0 +1,56 @@
+"""Tests for the domain category profiles."""
+
+import pytest
+
+from repro.population.categories import (
+    CATEGORY_PROFILES,
+    DomainCategory,
+    validate_profiles,
+)
+
+
+class TestProfiles:
+    def test_every_category_has_a_profile(self):
+        assert set(CATEGORY_PROFILES) == set(DomainCategory)
+
+    def test_shares_sum_to_one(self):
+        validate_profiles()
+        total = sum(p.share_of_population for p in CATEGORY_PROFILES.values())
+        assert total == pytest.approx(1.0)
+
+    def test_trackers_are_dns_heavy_and_web_light(self):
+        tracker = CATEGORY_PROFILES[DomainCategory.TRACKER]
+        assert tracker.dns_factor > 1.5
+        assert tracker.web_factor < 0.1
+        assert tracker.blacklisted
+        assert tracker.mobile
+
+    def test_leisure_weekend_heavy(self):
+        assert CATEGORY_PROFILES[DomainCategory.LEISURE].weekend_factor > 1.2
+
+    def test_office_weekday_heavy(self):
+        assert CATEGORY_PROFILES[DomainCategory.OFFICE].weekend_factor < 0.7
+
+    def test_mobile_api_flagged_mobile_not_blacklisted(self):
+        profile = CATEGORY_PROFILES[DomainCategory.MOBILE_API]
+        assert profile.mobile
+        assert not profile.blacklisted
+
+    def test_long_tail_dominates_population(self):
+        tail = (CATEGORY_PROFILES[DomainCategory.SMALL_BUSINESS].share_of_population
+                + CATEGORY_PROFILES[DomainCategory.PERSONAL].share_of_population)
+        assert tail > 0.5
+
+    def test_popular_categories_have_boost(self):
+        assert CATEGORY_PROFILES[DomainCategory.PORTAL].popularity_boost > 10
+        assert CATEGORY_PROFILES[DomainCategory.SMALL_BUSINESS].popularity_boost == pytest.approx(1.0)
+
+    def test_factors_non_negative(self):
+        for profile in CATEGORY_PROFILES.values():
+            assert profile.web_factor >= 0
+            assert profile.dns_factor >= 0
+            assert profile.backlink_factor >= 0
+            assert profile.weekend_factor > 0
+
+    def test_category_str(self):
+        assert str(DomainCategory.TRACKER) == "tracker"

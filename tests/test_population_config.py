@@ -1,0 +1,94 @@
+"""Tests for the simulation configuration."""
+
+import datetime as dt
+
+import pytest
+
+from repro.population.config import SimulationConfig
+
+
+class TestValidation:
+    def test_defaults_valid(self):
+        SimulationConfig()
+
+    def test_list_must_fit_population(self):
+        with pytest.raises(ValueError):
+            SimulationConfig(n_domains=100, list_size=5_000, top_k=10)
+
+    def test_top_k_must_fit_list(self):
+        with pytest.raises(ValueError):
+            SimulationConfig(n_domains=10_000, list_size=1_000, top_k=2_000)
+
+    def test_positive_days(self):
+        with pytest.raises(ValueError):
+            SimulationConfig(n_days=0)
+
+    def test_invalid_fraction_bounds(self):
+        with pytest.raises(ValueError):
+            SimulationConfig(invalid_tld_fraction=1.5)
+        with pytest.raises(ValueError):
+            SimulationConfig(nxdomain_population_share=-0.1)
+
+    def test_window_lengths_positive(self):
+        with pytest.raises(ValueError):
+            SimulationConfig(alexa_window_days=0)
+        with pytest.raises(ValueError):
+            SimulationConfig(majestic_window_days=0)
+
+    def test_positive_population(self):
+        with pytest.raises(ValueError):
+            SimulationConfig(n_domains=0)
+
+
+class TestCalendar:
+    def test_date_of(self):
+        config = SimulationConfig(start_date=dt.date(2017, 6, 6))
+        assert config.date_of(0) == dt.date(2017, 6, 6)
+        assert config.date_of(10) == dt.date(2017, 6, 16)
+
+    def test_weekday_of(self):
+        # June 6th 2017 was a Tuesday (weekday 1).
+        config = SimulationConfig(start_date=dt.date(2017, 6, 6))
+        assert config.weekday_of(0) == 1
+        assert config.weekday_of(4) == 5  # Saturday
+
+    def test_is_weekend(self):
+        config = SimulationConfig(start_date=dt.date(2017, 6, 6))
+        assert not config.is_weekend(0)
+        assert config.is_weekend(4)
+        assert config.is_weekend(5)
+        assert not config.is_weekend(6)
+
+    def test_custom_weekend_days(self):
+        config = SimulationConfig(start_date=dt.date(2017, 6, 6), weekend_days=(4,))
+        assert config.is_weekend(3)  # Friday
+        assert not config.is_weekend(4)  # Saturday
+
+    def test_total_domains(self):
+        config = SimulationConfig(n_domains=1_000, new_domains_per_day=10, n_days=5,
+                                  list_size=500, top_k=50)
+        assert config.total_domains() == 1_050
+
+
+class TestPresets:
+    def test_small_preset(self):
+        config = SimulationConfig.small()
+        assert config.n_domains < SimulationConfig().n_domains
+        assert config.list_size <= config.total_domains()
+
+    def test_benchmark_preset(self):
+        config = SimulationConfig.benchmark()
+        assert config.alexa_change_day is not None
+        assert 0 < config.alexa_change_day < config.n_days
+
+    def test_presets_accept_overrides(self):
+        config = SimulationConfig.small(seed=7, n_days=5)
+        assert config.seed == 7
+        assert config.n_days == 5
+
+    def test_hashable_for_caching(self):
+        a = SimulationConfig.small()
+        b = SimulationConfig.small()
+        assert a == b
+        assert hash(a) == hash(b)
+        assert a != SimulationConfig.small(seed=1)

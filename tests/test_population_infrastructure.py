@@ -1,0 +1,107 @@
+"""Tests for the hosting infrastructure model."""
+
+import ipaddress
+
+import pytest
+
+from repro.population.categories import DomainCategory
+from repro.population.infrastructure import (
+    PROVIDERS,
+    build_as_database,
+    ipv4_address,
+    ipv6_address,
+    provider_weights,
+    small_hosting_providers,
+)
+
+
+class TestProviders:
+    def test_paper_ases_present(self):
+        # Figure 7d names these ASes explicitly.
+        asns = {p.asn for p in PROVIDERS}
+        for asn in (20940, 13335, 15169, 16509, 14618, 54113, 8075, 26496, 16276, 8560):
+            assert asn in asns
+
+    def test_unique_asns(self):
+        asns = [p.asn for p in PROVIDERS]
+        assert len(asns) == len(set(asns))
+
+    def test_cdn_providers_have_cname_suffix(self):
+        for provider in PROVIDERS:
+            if provider.cdn_provider is not None:
+                assert provider.cname_suffix
+
+    def test_prefixes_parse(self):
+        for provider in PROVIDERS:
+            ipaddress.ip_network(provider.ipv4_prefix)
+            ipaddress.ip_network(provider.ipv6_prefix)
+
+    def test_godaddy_dominates_tail_not_head(self):
+        godaddy = next(p for p in PROVIDERS if p.asn == 26496)
+        assert godaddy.weight_tail > godaddy.weight_head
+        akamai = next(p for p in PROVIDERS if p.asn == 20940)
+        assert akamai.weight_head > akamai.weight_tail
+
+
+class TestWeights:
+    def test_head_and_tail_weights(self):
+        head = provider_weights("head", DomainCategory.NEWS)
+        tail = provider_weights("tail", DomainCategory.NEWS)
+        assert len(head) == len(PROVIDERS) == len(tail)
+        assert head != tail
+
+    def test_tracker_weights_used_for_tracker_categories(self):
+        for category in (DomainCategory.TRACKER, DomainCategory.MOBILE_API,
+                         DomainCategory.CDN_INFRA):
+            assert provider_weights("head", category) == [p.weight_tracker for p in PROVIDERS]
+
+    def test_unknown_tier_rejected(self):
+        with pytest.raises(ValueError):
+            provider_weights("middle", DomainCategory.NEWS)
+
+
+class TestAddresses:
+    def test_ipv4_inside_prefix(self):
+        provider = PROVIDERS[0]
+        for index in (0, 1, 12345):
+            address = ipv4_address(provider, index)
+            assert ipaddress.ip_address(address) in ipaddress.ip_network(provider.ipv4_prefix)
+
+    def test_ipv6_inside_prefix(self):
+        provider = PROVIDERS[0]
+        address = ipv6_address(provider, 42)
+        assert ipaddress.ip_address(address) in ipaddress.ip_network(provider.ipv6_prefix)
+
+    def test_deterministic(self):
+        provider = PROVIDERS[3]
+        assert ipv4_address(provider, 7) == ipv4_address(provider, 7)
+
+
+class TestSmallHosters:
+    def test_count_and_uniqueness(self):
+        hosters = small_hosting_providers(100)
+        assert len(hosters) == 100
+        assert len({h.asn for h in hosters}) == 100
+        assert len({h.ipv4_prefix for h in hosters}) == 100
+
+    def test_no_cdn(self):
+        assert all(h.cdn_provider is None for h in small_hosting_providers(10))
+
+    def test_invalid_count(self):
+        with pytest.raises(ValueError):
+            small_hosting_providers(0)
+
+    def test_deterministic(self):
+        assert small_hosting_providers(5) == small_hosting_providers(5)
+
+
+class TestAsDatabase:
+    def test_named_and_small_hosters_announced(self):
+        asdb = build_as_database()
+        assert asdb.origin("104.16.0.1").name == "Cloudflare"
+        assert asdb.origin("10.0.0.1") is not None  # a small hoster prefix
+
+    def test_without_small_hosters(self):
+        asdb = build_as_database(include_small_hosters=False)
+        assert asdb.origin("10.0.0.1") is None
+        assert len(asdb) == 2 * len(PROVIDERS)

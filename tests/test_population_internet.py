@@ -1,0 +1,185 @@
+"""Tests for the synthetic Internet generator."""
+
+import numpy as np
+import pytest
+
+from repro.dns.records import RecordType
+from repro.population.categories import DomainCategory
+from repro.population.config import SimulationConfig
+from repro.population.internet import SyntheticInternet
+
+
+@pytest.fixture(scope="module")
+def tiny_internet() -> SyntheticInternet:
+    return SyntheticInternet(SimulationConfig.small(n_domains=1_200, list_size=300, top_k=50,
+                                                    new_domains_per_day=5, n_days=7))
+
+
+class TestGeneration:
+    def test_population_size(self, tiny_internet):
+        config = tiny_internet.config
+        assert len(tiny_internet) == config.total_domains()
+
+    def test_names_unique(self, tiny_internet):
+        names = [d.name for d in tiny_internet.domains]
+        assert len(names) == len(set(names))
+
+    def test_deterministic_for_seed(self):
+        config = SimulationConfig.small(n_domains=400, list_size=100, top_k=20, n_days=3,
+                                        new_domains_per_day=2)
+        a = SyntheticInternet(config)
+        b = SyntheticInternet(config)
+        assert [d.name for d in a.domains] == [d.name for d in b.domains]
+        assert [d.ipv6_enabled for d in a.domains] == [d.ipv6_enabled for d in b.domains]
+
+    def test_different_seeds_differ(self):
+        base = SimulationConfig.small(n_domains=400, list_size=100, top_k=20, n_days=3,
+                                      new_domains_per_day=2)
+        other = SimulationConfig.small(n_domains=400, list_size=100, top_k=20, n_days=3,
+                                       new_domains_per_day=2, seed=999)
+        a = SyntheticInternet(base)
+        b = SyntheticInternet(other)
+        assert [d.name for d in a.domains] != [d.name for d in b.domains]
+
+    def test_seed_domains_present_and_popular(self, tiny_internet):
+        google = tiny_internet.domain_by_name("google.com")
+        assert google is not None
+        weights = np.array([d.base_weight for d in tiny_internet.domains])
+        assert google.base_weight == pytest.approx(weights.max())
+
+    def test_table4_domains_present(self, tiny_internet):
+        for name in ("netflix.com", "jetblue.com", "mdc.edu", "puresight.com"):
+            assert tiny_internet.domain_by_name(name) is not None
+
+    def test_birth_days_within_period(self, tiny_internet):
+        config = tiny_internet.config
+        births = [d.birth_day for d in tiny_internet.domains]
+        assert min(births) == 0
+        assert max(births) <= config.n_days
+        assert sum(1 for b in births if b == 0) == config.n_domains
+
+    def test_some_domain_aliases_exist(self, tiny_internet):
+        slds = {}
+        for domain in tiny_internet.domains:
+            slds.setdefault(domain.sld, set()).add(domain.tld)
+        multi_tld = [sld for sld, tlds in slds.items() if len(tlds) > 1]
+        assert multi_tld, "expected some SLDs to exist under multiple TLDs"
+
+    def test_dead_domains_do_not_exist(self, tiny_internet):
+        for domain in tiny_internet.domains:
+            if domain.dead:
+                assert not domain.exists
+
+
+class TestCorrelations:
+    def test_adoption_rises_with_popularity(self, tiny_internet):
+        domains = tiny_internet.domains
+        order = sorted(domains, key=lambda d: d.base_weight, reverse=True)
+        head = order[: len(order) // 10]
+        tail = order[len(order) // 2:]
+        for attribute in ("ipv6_enabled", "tls_enabled", "http2_enabled"):
+            head_share = np.mean([getattr(d, attribute) for d in head])
+            tail_share = np.mean([getattr(d, attribute) for d in tail])
+            assert head_share > tail_share, attribute
+
+    def test_hsts_requires_tls(self, tiny_internet):
+        for domain in tiny_internet.domains:
+            if domain.hsts_enabled:
+                assert domain.tls_enabled
+
+    def test_ipv6_address_only_when_enabled(self, tiny_internet):
+        for domain in tiny_internet.domains:
+            assert (domain.ipv6 is not None) == domain.ipv6_enabled
+
+    def test_cdn_cname_only_for_cdn_providers(self, tiny_internet):
+        for domain in tiny_internet.domains:
+            if domain.cdn_provider is not None:
+                assert domain.cdn_cname is not None
+                assert domain.provider.cdn_provider == domain.cdn_provider
+
+    def test_tracker_domains_flagged(self, tiny_internet):
+        trackers = [d for d in tiny_internet.domains if d.category is DomainCategory.TRACKER]
+        assert trackers
+        assert all(d.blacklisted and d.mobile for d in trackers)
+
+
+class TestFqdnCatalogue:
+    def test_unique_fqdns(self, tiny_internet):
+        fqdns = [f.fqdn for f in tiny_internet.fqdns]
+        assert len(fqdns) == len(set(fqdns))
+
+    def test_catalogue_contains_base_domains_and_subdomains(self, tiny_internet):
+        depths = {f.depth for f in tiny_internet.fqdns}
+        assert 0 in depths
+        assert 1 in depths
+        assert max(depths) >= 2
+
+    def test_junk_names_have_no_parent_and_do_not_exist(self, tiny_internet):
+        junk = [f for f in tiny_internet.fqdns if f.domain_index < 0]
+        assert junk
+        assert all(not f.exists for f in junk)
+
+    def test_weights_align_with_catalogue(self, tiny_internet):
+        assert len(tiny_internet.fqdn_weights()) == len(tiny_internet.fqdns)
+        assert (tiny_internet.fqdn_weights() >= 0).all()
+
+    def test_discontinued_service_included(self, tiny_internet):
+        names = {f.fqdn for f in tiny_internet.fqdns}
+        assert "teredo.ipv6.microsoft.com" in names
+
+
+class TestZoneAndHosts:
+    def test_existing_domains_resolve(self, tiny_internet):
+        existing = [d for d in tiny_internet.domains if d.exists][:50]
+        for domain in existing:
+            response = tiny_internet.zone.query(domain.name, RecordType.A)
+            assert not response.is_nxdomain
+            assert response.answers
+
+    def test_nonexisting_domains_nxdomain(self, tiny_internet):
+        missing = [d for d in tiny_internet.domains if not d.exists][:20]
+        assert missing
+        for domain in missing:
+            assert tiny_internet.zone.query(domain.name, RecordType.A).is_nxdomain
+
+    def test_caa_records_match_flag(self, tiny_internet):
+        with_caa = [d for d in tiny_internet.domains if d.caa_enabled][:20]
+        for domain in with_caa:
+            records = tiny_internet.zone.records(domain.name, RecordType.CAA)
+            assert records and records[0].rdata.caa_tag == "issue"
+
+    def test_cdn_domains_have_www_cname(self, tiny_internet):
+        cdn_domains = [d for d in tiny_internet.domains if d.cdn_cname][:20]
+        assert cdn_domains
+        for domain in cdn_domains:
+            records = tiny_internet.zone.records(f"www.{domain.name}", RecordType.CNAME)
+            assert records
+
+    def test_hosts_only_for_existing_domains(self, tiny_internet):
+        for domain in tiny_internet.domains[:200]:
+            host = tiny_internet.hosts.lookup(domain.name)
+            if domain.exists:
+                assert host is not None
+                assert host.tls_enabled == domain.tls_enabled
+            else:
+                assert host is None
+
+    def test_addresses_announced_in_asdb(self, tiny_internet):
+        for domain in [d for d in tiny_internet.domains if d.exists][:50]:
+            origin = tiny_internet.asdb.origin(domain.ipv4)
+            assert origin is not None
+            assert origin.asn == domain.provider.asn
+
+    def test_popularity_percentile_bounds(self, tiny_internet):
+        values = [tiny_internet.popularity_percentile(i) for i in range(0, len(tiny_internet), 97)]
+        assert all(0.0 <= v <= 1.0 for v in values)
+
+    def test_active_indices_grow_over_time(self, tiny_internet):
+        early = len(tiny_internet.active_indices(0))
+        late = len(tiny_internet.active_indices(tiny_internet.config.n_days))
+        assert late > early
+
+    def test_com_net_org_subset(self, tiny_internet):
+        subset = tiny_internet.com_net_org_domains()
+        assert subset
+        assert all(d.tld in ("com", "net", "org") for d in subset)

@@ -1,0 +1,50 @@
+"""Tests for the com/net/org zone-file model."""
+
+import pytest
+
+from repro.population.zonefile import ZoneFile
+
+
+class TestZoneFile:
+    def test_from_internet_filters_tlds(self, internet):
+        zonefile = ZoneFile.from_internet(internet)
+        assert len(zonefile) > 0
+        assert all(name.rsplit(".", 1)[-1] in ("com", "net", "org") for name in zonefile)
+
+    def test_custom_tlds(self, internet):
+        zonefile = ZoneFile.from_internet(internet, tlds=("de",))
+        assert all(name.endswith(".de") for name in zonefile)
+
+    def test_contains(self, internet):
+        zonefile = ZoneFile.from_internet(internet)
+        name = zonefile.names[0]
+        assert name in zonefile
+        assert "definitely-not-present.example" not in zonefile
+
+    def test_sample_size(self, internet):
+        zonefile = ZoneFile.from_internet(internet)
+        sample = zonefile.sample(10, seed=1)
+        assert len(sample) == 10
+        assert len(set(sample)) == 10
+
+    def test_sample_larger_than_zone_returns_all(self, internet):
+        zonefile = ZoneFile.from_internet(internet)
+        sample = zonefile.sample(len(zonefile) + 10, seed=1)
+        assert len(sample) == len(zonefile)
+
+    def test_sample_deterministic_with_seed(self, internet):
+        zonefile = ZoneFile.from_internet(internet)
+        assert zonefile.sample(20, seed=5) == zonefile.sample(20, seed=5)
+
+    def test_sample_negative_rejected(self, internet):
+        zonefile = ZoneFile.from_internet(internet)
+        with pytest.raises(ValueError):
+            zonefile.sample(-1)
+
+    def test_active_names_grow(self, internet):
+        zonefile = ZoneFile.from_internet(internet)
+        assert len(zonefile.active_names(0)) <= len(zonefile.active_names(internet.config.n_days))
+
+    def test_domains_accessor(self, internet):
+        zonefile = ZoneFile.from_internet(internet)
+        assert len(zonefile.domains) == len(zonefile)

@@ -1,0 +1,168 @@
+"""Property-based tests (hypothesis) for core data structures and invariants."""
+
+from __future__ import annotations
+
+import datetime as dt
+import string
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.domain.name import DomainName, InvalidDomainError, normalise
+from repro.domain.psl import PublicSuffixList
+from repro.providers.base import ListSnapshot
+from repro.routing.prefix_trie import PrefixTrie
+from repro.stats.kendall import kendall_tau
+from repro.stats.ks import ks_distance
+from repro.stats.summary import classify_deviation, mean_std, median
+from repro.web.hsts import HstsPolicy, parse_hsts_header
+
+# --------------------------------------------------------------------------
+# Strategies
+# --------------------------------------------------------------------------
+
+_label = st.text(alphabet=string.ascii_lowercase + string.digits, min_size=1, max_size=10)
+_domain = st.builds(lambda labels, tld: ".".join(labels + [tld]),
+                    st.lists(_label, min_size=1, max_size=4),
+                    st.sampled_from(["com", "net", "org", "de", "co.uk", "io"]))
+_rank_sample = st.lists(st.integers(min_value=1, max_value=1000), min_size=1, max_size=50)
+
+
+class TestDomainProperties:
+    @given(_domain)
+    def test_normalise_idempotent(self, name):
+        once = normalise(name)
+        assert normalise(once) == once
+
+    @given(_domain)
+    def test_parse_roundtrip_depth_consistent(self, name):
+        parsed = DomainName.parse(name)
+        # Depth equals number of labels left of the base domain.
+        if parsed.base is not None:
+            assert parsed.depth == parsed.name.count(".") - parsed.base.count(".")
+            assert parsed.name.endswith(parsed.base)
+        assert parsed.public_suffix is None or parsed.name.endswith(parsed.public_suffix)
+
+    @given(_domain)
+    def test_base_domain_is_fixed_point(self, name):
+        psl = PublicSuffixList()
+        base = psl.base_domain(name)
+        if base is not None:
+            assert psl.base_domain(base) == base
+
+    @given(st.text(max_size=5).filter(lambda s: not s.strip().strip(".")))
+    def test_empty_like_names_rejected(self, text):
+        with pytest.raises(InvalidDomainError):
+            normalise(text)
+
+
+class TestStatsProperties:
+    @given(st.lists(st.floats(min_value=-1e6, max_value=1e6, allow_nan=False),
+                    min_size=2, max_size=50))
+    def test_kendall_self_correlation_is_one(self, values):
+        distinct = list(dict.fromkeys(values))
+        if len(distinct) < 2:
+            return
+        assert kendall_tau(distinct, distinct) == pytest.approx(1.0)
+
+    @given(st.lists(st.floats(min_value=-1e6, max_value=1e6, allow_nan=False),
+                    min_size=2, max_size=50),
+           st.lists(st.floats(min_value=-1e6, max_value=1e6, allow_nan=False),
+                    min_size=2, max_size=50))
+    def test_kendall_symmetric_and_bounded(self, x, y):
+        n = min(len(x), len(y))
+        x, y = x[:n], y[:n]
+        if n < 2:
+            return
+        tau_xy = kendall_tau(x, y)
+        tau_yx = kendall_tau(y, x)
+        assert tau_xy == pytest.approx(tau_yx)
+        assert -1.0 - 1e-9 <= tau_xy <= 1.0 + 1e-9
+
+    @given(_rank_sample, _rank_sample)
+    def test_ks_bounded_and_symmetric(self, a, b):
+        d = ks_distance(a, b)
+        assert 0.0 <= d <= 1.0
+        assert d == pytest.approx(ks_distance(b, a))
+
+    @given(_rank_sample)
+    def test_ks_identity(self, a):
+        assert ks_distance(a, a) == pytest.approx(0.0)
+
+    @given(st.lists(st.floats(min_value=-1e6, max_value=1e6, allow_nan=False),
+                    min_size=1, max_size=60))
+    def test_mean_std_median_consistency(self, values):
+        summary = mean_std(values)
+        assert min(values) - 1e-9 <= summary.mean <= max(values) + 1e-9
+        assert summary.std >= 0
+        assert min(values) <= median(values) <= max(values)
+
+    @given(st.floats(min_value=0, max_value=1000, allow_nan=False),
+           st.floats(min_value=0, max_value=1000, allow_nan=False))
+    def test_classification_antisymmetric(self, value, base):
+        from repro.stats.summary import DeviationFlag
+        flag = classify_deviation(value, base)
+        if flag is DeviationFlag.EXCEEDS:
+            assert value > base
+        elif flag is DeviationFlag.FALLS_BEHIND:
+            assert value < base
+
+
+class TestSnapshotProperties:
+    @given(st.lists(_domain, min_size=1, max_size=40, unique=True))
+    @settings(max_examples=40)
+    def test_csv_roundtrip(self, entries):
+        import pathlib
+        import tempfile
+
+        snapshot = ListSnapshot(provider="prop", date=dt.date(2018, 1, 1),
+                                entries=tuple(entries))
+        with tempfile.TemporaryDirectory() as tmp:
+            path = pathlib.Path(tmp) / "list.csv"
+            snapshot.to_csv(path)
+            loaded = ListSnapshot.from_csv(path, provider="prop", date=snapshot.date)
+        assert loaded.entries == snapshot.entries
+
+    @given(st.lists(_domain, min_size=2, max_size=40, unique=True),
+           st.integers(min_value=1, max_value=40))
+    def test_top_is_prefix(self, entries, n):
+        snapshot = ListSnapshot(provider="prop", date=dt.date(2018, 1, 1),
+                                entries=tuple(entries))
+        n = min(n, len(entries))
+        head = snapshot.top(n)
+        assert head.entries == snapshot.entries[:n]
+        for rank, domain in enumerate(head.entries, start=1):
+            assert snapshot.rank_of(domain) == rank
+
+
+class TestHstsProperties:
+    @given(st.integers(min_value=0, max_value=10**9), st.booleans(), st.booleans())
+    def test_header_roundtrip(self, max_age, include_subdomains, preload):
+        policy = HstsPolicy(max_age=max_age, include_subdomains=include_subdomains,
+                            preload=preload)
+        assert parse_hsts_header(policy.header_value()) == policy
+
+
+class TestPrefixTrieProperties:
+    @given(st.lists(st.tuples(st.integers(min_value=0, max_value=2**32 - 1),
+                              st.integers(min_value=8, max_value=30)),
+                    min_size=1, max_size=20),
+           st.integers(min_value=0, max_value=2**32 - 1))
+    @settings(max_examples=60)
+    def test_matches_ipaddress_reference(self, raw_prefixes, raw_address):
+        import ipaddress
+        trie: PrefixTrie[str] = PrefixTrie()
+        networks = []
+        for raw, length in raw_prefixes:
+            network = ipaddress.ip_network((raw, length), strict=False)
+            networks.append(network)
+            trie.insert(str(network), str(network))
+        address = ipaddress.IPv4Address(raw_address)
+        expected = None
+        best = -1
+        for network in networks:
+            if address in network and network.prefixlen > best:
+                expected = str(network)
+                best = network.prefixlen
+        assert trie.lookup(str(address)) == expected

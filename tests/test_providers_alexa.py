@@ -1,0 +1,72 @@
+"""Tests for the Alexa-style provider."""
+
+import numpy as np
+import pytest
+
+from repro.providers.alexa import AlexaProvider
+
+
+class TestSnapshots:
+    def test_full_list_size(self, small_run):
+        snapshot = small_run.alexa[0]
+        assert len(snapshot) == small_run.config.list_size
+
+    def test_entries_are_base_domains(self, small_run, internet):
+        # Alexa contains almost exclusively base domains (Table 2).
+        names = {d.name for d in internet.domains}
+        snapshot = small_run.alexa[-1]
+        assert all(entry in names for entry in snapshot.entries)
+
+    def test_head_contains_seed_domains(self, small_run):
+        top10 = set(small_run.alexa[-1].entries[:10])
+        assert "google.com" in top10
+        assert "facebook.com" in top10
+
+    def test_snapshot_dates_follow_config(self, small_run):
+        assert small_run.alexa[0].date == small_run.config.date_of(0)
+
+    def test_deterministic(self, small_run, internet, traffic):
+        provider = AlexaProvider(internet, traffic, config=small_run.config)
+        again = provider.snapshot(3)
+        assert again.entries == small_run.alexa[3].entries
+
+    def test_nonexistent_domains_never_listed(self, small_run, internet):
+        missing = {d.name for d in internet.domains if not d.exists}
+        listed = small_run.alexa[-1].domain_set()
+        assert not (missing & listed)
+
+
+class TestWindowChange:
+    def test_effective_window(self, small_run, internet, traffic):
+        provider = AlexaProvider(internet, traffic, change_day=9, config=small_run.config)
+        assert provider.effective_window(0) == small_run.config.alexa_window_days
+        assert provider.effective_window(9) == 1
+        assert provider.effective_window(12) == 1
+
+    def test_change_day_defaults_to_config(self, internet, traffic, small_config):
+        provider = AlexaProvider(internet, traffic, config=small_config)
+        assert provider.change_day == small_config.alexa_change_day
+
+    def test_change_can_be_disabled_explicitly(self, internet, traffic, small_config):
+        provider = AlexaProvider(internet, traffic, change_day=None, config=small_config)
+        assert provider.change_day is None
+        assert provider.effective_window(small_config.n_days - 1) == provider.window_days
+
+    def test_churn_increases_after_change(self, small_run):
+        snapshots = small_run.alexa.snapshots()
+        change_day = small_run.config.alexa_change_day
+        churn = [len(a.domain_set() - b.domain_set()) / len(a)
+                 for a, b in zip(snapshots, snapshots[1:])]
+        pre = np.mean(churn[1:change_day - 1])
+        post = np.mean(churn[change_day:])
+        assert post > 3 * pre
+
+    def test_windowed_score_shape(self, small_run, internet, traffic):
+        provider = AlexaProvider(internet, traffic, config=small_run.config)
+        scores = provider.windowed_score(5)
+        assert len(scores) == len(internet.domains)
+        assert (scores >= 0).all()
+
+    def test_invalid_panel_factor_rejected(self, internet, traffic, small_config):
+        with pytest.raises(ValueError):
+            AlexaProvider(internet, traffic, post_change_panel_factor=0.0, config=small_config)

@@ -1,0 +1,120 @@
+"""Tests for list snapshots, archives and serialisation."""
+
+import datetime as dt
+
+import pytest
+
+from repro.providers.base import ListArchive, ListSnapshot, joint_period
+
+
+def snap(provider: str, day: int, entries) -> ListSnapshot:
+    return ListSnapshot(provider=provider, date=dt.date(2017, 6, 6) + dt.timedelta(days=day),
+                        entries=tuple(entries))
+
+
+class TestListSnapshot:
+    def test_basic_accessors(self):
+        snapshot = snap("alexa", 0, ["a.com", "b.com", "c.com"])
+        assert len(snapshot) == 3
+        assert list(snapshot) == ["a.com", "b.com", "c.com"]
+        assert "b.com" in snapshot
+        assert "z.com" not in snapshot
+
+    def test_rank_of(self):
+        snapshot = snap("alexa", 0, ["a.com", "b.com"])
+        assert snapshot.rank_of("a.com") == 1
+        assert snapshot.rank_of("b.com") == 2
+        assert snapshot.rank_of("missing.com") is None
+
+    def test_top(self):
+        snapshot = snap("alexa", 0, ["a.com", "b.com", "c.com"])
+        head = snapshot.top(2)
+        assert head.entries == ("a.com", "b.com")
+        assert head.provider == "alexa"
+
+    def test_top_invalid(self):
+        with pytest.raises(ValueError):
+            snap("alexa", 0, ["a.com"]).top(0)
+
+    def test_duplicates_rejected(self):
+        with pytest.raises(ValueError):
+            snap("alexa", 0, ["a.com", "a.com"])
+
+    def test_csv_roundtrip(self, tmp_path):
+        snapshot = snap("umbrella", 2, ["a.com", "www.b.com", "c.de"])
+        path = tmp_path / "list.csv"
+        snapshot.to_csv(path)
+        loaded = ListSnapshot.from_csv(path, provider="umbrella", date=snapshot.date)
+        assert loaded.entries == snapshot.entries
+        assert loaded.date == snapshot.date
+
+    def test_domain_set_cached(self):
+        snapshot = snap("alexa", 0, ["a.com", "b.com"])
+        assert snapshot.domain_set() is snapshot.domain_set()
+
+
+class TestListArchive:
+    @pytest.fixture()
+    def archive(self) -> ListArchive:
+        archive = ListArchive(provider="alexa")
+        for day in range(5):
+            archive.add(snap("alexa", day, [f"d{i}.com" for i in range(day, day + 10)]))
+        return archive
+
+    def test_len_and_dates(self, archive):
+        assert len(archive) == 5
+        assert archive.dates() == sorted(archive.dates())
+
+    def test_getitem_by_index_and_date(self, archive):
+        first = archive[0]
+        assert archive[first.date] is first
+        assert archive[-1].date == max(archive.dates())
+
+    def test_provider_mismatch_rejected(self, archive):
+        with pytest.raises(ValueError):
+            archive.add(snap("umbrella", 9, ["x.com"]))
+
+    def test_period(self, archive):
+        start = archive.dates()[1]
+        end = archive.dates()[3]
+        sub = archive.period(start, end)
+        assert len(sub) == 3
+        with pytest.raises(ValueError):
+            archive.period(end, start)
+
+    def test_top(self, archive):
+        head = archive.top(3)
+        assert all(len(s) == 3 for s in head)
+
+    def test_contains(self, archive):
+        assert archive.dates()[0] in archive
+        assert dt.date(1999, 1, 1) not in archive
+
+    def test_directory_roundtrip(self, archive, tmp_path):
+        archive.to_directory(tmp_path)
+        loaded = ListArchive.from_directory(tmp_path, provider="alexa")
+        assert len(loaded) == len(archive)
+        assert loaded[0].entries == archive[0].entries
+
+
+class TestJointPeriod:
+    def test_overlap(self):
+        a = ListArchive(provider="alexa")
+        b = ListArchive(provider="majestic")
+        for day in range(5):
+            a.add(snap("alexa", day, ["a.com"]))
+        for day in range(3, 8):
+            b.add(snap("majestic", day, ["b.com"]))
+        start, end = joint_period([a, b])
+        assert start == dt.date(2017, 6, 9)
+        assert end == dt.date(2017, 6, 10)
+
+    def test_no_overlap(self):
+        a = ListArchive(provider="alexa")
+        b = ListArchive(provider="majestic")
+        a.add(snap("alexa", 0, ["a.com"]))
+        b.add(snap("majestic", 5, ["b.com"]))
+        assert joint_period([a, b]) == (None, None)
+
+    def test_empty_input(self):
+        assert joint_period([]) == (None, None)

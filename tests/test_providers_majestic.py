@@ -1,0 +1,58 @@
+"""Tests for the Majestic-style provider."""
+
+import numpy as np
+
+from repro.providers.majestic import MajesticProvider
+
+
+class TestSnapshots:
+    def test_full_list_size(self, small_run):
+        assert len(small_run.majestic[0]) == small_run.config.list_size
+
+    def test_most_stable_list(self, small_run):
+        def mean_churn(archive):
+            snapshots = archive.snapshots()
+            return np.mean([len(a.domain_set() - b.domain_set()) / len(a)
+                            for a, b in zip(snapshots, snapshots[1:])])
+        majestic = mean_churn(small_run.majestic)
+        assert majestic < 0.02
+        assert majestic < mean_churn(small_run.alexa)
+        assert majestic < mean_churn(small_run.umbrella)
+
+    def test_includes_dead_domains(self, small_run, internet):
+        # Backlinks persist after domain closure, so Majestic lists some
+        # dead (NXDOMAIN) domains — its NXDOMAIN share exceeds Alexa's.
+        dead = {d.name for d in internet.domains if d.dead}
+        listed = set()
+        for snapshot in small_run.majestic.snapshots():
+            listed |= snapshot.domain_set() & dead
+        alexa_listed = set()
+        for snapshot in small_run.alexa.snapshots():
+            alexa_listed |= snapshot.domain_set() & dead
+        assert len(listed) > len(alexa_listed)
+
+    def test_no_weekly_pattern(self, small_run):
+        config = small_run.config
+        snapshots = small_run.majestic.snapshots()
+        changes = [len(a.domain_set() - b.domain_set())
+                   for a, b in zip(snapshots, snapshots[1:])]
+        weekend = [c for day, c in enumerate(changes, start=1) if config.is_weekend(day)]
+        weekday = [c for day, c in enumerate(changes, start=1) if not config.is_weekend(day)]
+        if weekend and weekday:
+            # No systematic weekend amplification (allow generous noise).
+            assert np.mean(weekend) < 3 * max(1.0, np.mean(weekday))
+
+    def test_deterministic(self, small_run, internet, traffic):
+        provider = MajesticProvider(internet, traffic, config=small_run.config)
+        assert provider.snapshot(4).entries == small_run.majestic[4].entries
+
+    def test_normalisation_ablation_changes_order(self, small_run, internet, traffic):
+        normalised = MajesticProvider(internet, traffic, config=small_run.config,
+                                      normalise_by_subnet=True)
+        raw = MajesticProvider(internet, traffic, config=small_run.config,
+                               normalise_by_subnet=False)
+        assert normalised.snapshot(5).entries != raw.snapshot(5).entries
+
+    def test_windowed_score_nonnegative(self, small_run, internet, traffic):
+        provider = MajesticProvider(internet, traffic, config=small_run.config)
+        assert (provider.windowed_score(6) >= 0).all()

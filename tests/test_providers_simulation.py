@@ -1,0 +1,41 @@
+"""Tests for the simulation orchestrator."""
+
+from repro.population.config import SimulationConfig
+from repro.providers.simulation import clear_simulation_cache, run_simulation
+
+
+class TestRunSimulation:
+    def test_archives_cover_all_days(self, small_run):
+        for archive in small_run.archives.values():
+            assert len(archive) == small_run.config.n_days
+
+    def test_all_three_providers_present(self, small_run):
+        assert set(small_run.archives) == {"alexa", "umbrella", "majestic"}
+        assert small_run.alexa.provider == "alexa"
+        assert small_run.umbrella.provider == "umbrella"
+        assert small_run.majestic.provider == "majestic"
+
+    def test_zonefile_attached(self, small_run):
+        assert len(small_run.zonefile) > 0
+
+    def test_provider_accessor(self, small_run):
+        assert small_run.provider("alexa").name == "alexa"
+        assert small_run.archive("majestic") is small_run.majestic
+
+    def test_cache_returns_same_instance(self, small_config, small_run):
+        assert run_simulation(small_config) is small_run
+
+    def test_cache_can_be_bypassed_and_cleared(self):
+        config = SimulationConfig.small(n_domains=600, list_size=150, top_k=30, n_days=3,
+                                        new_domains_per_day=2)
+        first = run_simulation(config)
+        assert run_simulation(config) is first
+        fresh = run_simulation(config, use_cache=False)
+        assert fresh is not first
+        clear_simulation_cache()
+        assert run_simulation(config) is not first
+        clear_simulation_cache()
+
+    def test_snapshot_dates_aligned_across_providers(self, small_run):
+        dates = [tuple(a.dates()) for a in small_run.archives.values()]
+        assert len(set(dates)) == 1

@@ -1,0 +1,82 @@
+"""Tests for the Umbrella-style provider."""
+
+import pytest
+
+from repro.domain.name import DomainName
+from repro.population.traffic import InjectedQueries
+from repro.providers.umbrella import UmbrellaProvider
+
+
+class TestSnapshots:
+    def test_full_list_size(self, small_run):
+        assert len(small_run.umbrella[0]) == small_run.config.list_size
+
+    def test_contains_subdomains(self, small_run):
+        depths = [DomainName.parse(e).depth for e in small_run.umbrella[-1].entries]
+        assert max(depths) >= 2
+        base_share = sum(1 for d in depths if d == 0) / len(depths)
+        # Umbrella emphasises depth: only a minority of entries are base
+        # domains (28% in the paper's Table 2).
+        assert base_share < 0.6
+
+    def test_contains_invalid_tld_names(self, small_run, internet):
+        entries = set(small_run.umbrella[-1].entries)
+        invalid = {f.fqdn for f in internet.fqdns if f.domain_index < 0}
+        assert entries & invalid, "junk names should reach the DNS-based list"
+
+    def test_other_lists_have_no_invalid_tlds(self, small_run, internet):
+        registry = internet.tld_registry
+        for archive in (small_run.alexa, small_run.majestic):
+            coverage = registry.coverage(archive[-1].entries)
+            assert coverage.invalid_domains == 0
+
+    def test_higher_churn_than_majestic(self, small_run):
+        def churn(archive):
+            snapshots = archive.snapshots()
+            return sum(len(a.domain_set() - b.domain_set())
+                       for a, b in zip(snapshots, snapshots[1:]))
+        assert churn(small_run.umbrella) > 5 * churn(small_run.majestic)
+
+    def test_deterministic(self, small_run, internet, traffic):
+        provider = UmbrellaProvider(internet, traffic, config=small_run.config)
+        assert provider.snapshot(2).entries == small_run.umbrella[2].entries
+
+    def test_invalid_window_rejected(self, internet, traffic, small_config):
+        with pytest.raises(ValueError):
+            UmbrellaProvider(internet, traffic, window_days=0, config=small_config)
+
+
+class TestInjection:
+    @pytest.fixture()
+    def provider(self, small_run) -> UmbrellaProvider:
+        return small_run.provider("umbrella")
+
+    def test_injection_reaches_list(self, provider):
+        ranks = provider.rank_with_injection(5, [
+            InjectedQueries(fqdn="probe-test.example-measurement.org",
+                            n_clients=5_000, queries_per_client=10)])
+        rank = ranks["probe-test.example-measurement.org"]
+        assert rank is not None
+        assert rank <= provider.list_size
+
+    def test_probe_count_beats_query_volume(self, provider):
+        ranks = provider.rank_with_injection(5, [
+            InjectedQueries(fqdn="many-probes.test", n_clients=10_000, queries_per_client=1),
+            InjectedQueries(fqdn="many-queries.test", n_clients=1_000, queries_per_client=100),
+        ])
+        assert ranks["many-probes.test"] is not None
+        assert ranks["many-queries.test"] is not None
+        # 10k queries from 10k probes beat 100k queries from 1k probes.
+        assert ranks["many-probes.test"] < ranks["many-queries.test"]
+
+    def test_zero_injection_not_listed(self, provider):
+        ranks = provider.rank_with_injection(5, [
+            InjectedQueries(fqdn="stopped.test", n_clients=0, queries_per_client=0)])
+        assert ranks["stopped.test"] is None
+
+    def test_injection_does_not_pollute_snapshots(self, provider, small_run):
+        before = small_run.umbrella[6].entries
+        provider.rank_with_injection(6, [
+            InjectedQueries(fqdn="pollution.test", n_clients=10_000, queries_per_client=50)])
+        after = provider.snapshot(6).entries
+        assert before == after

@@ -1,0 +1,53 @@
+"""Tests for the public API surface: exports exist and match ``__all__``."""
+
+import importlib
+
+import pytest
+
+PACKAGES = (
+    "repro",
+    "repro.core",
+    "repro.domain",
+    "repro.dns",
+    "repro.measurement",
+    "repro.population",
+    "repro.providers",
+    "repro.ranking",
+    "repro.routing",
+    "repro.stats",
+    "repro.survey",
+    "repro.web",
+)
+
+
+class TestPublicApi:
+    @pytest.mark.parametrize("package", PACKAGES)
+    def test_all_exports_resolve(self, package):
+        module = importlib.import_module(package)
+        assert hasattr(module, "__all__"), f"{package} must declare __all__"
+        for name in module.__all__:
+            assert hasattr(module, name), f"{package}.{name} missing"
+
+    @pytest.mark.parametrize("package", PACKAGES)
+    def test_all_sorted_and_unique(self, package):
+        module = importlib.import_module(package)
+        exports = list(module.__all__)
+        assert len(exports) == len(set(exports))
+        assert exports == sorted(exports)
+
+    @pytest.mark.parametrize("package", PACKAGES)
+    def test_module_docstrings_present(self, package):
+        module = importlib.import_module(package)
+        assert module.__doc__ and len(module.__doc__.strip()) > 40
+
+    def test_version(self):
+        import repro
+
+        assert repro.__version__.count(".") == 2
+
+    def test_top_level_convenience_imports(self):
+        from repro import ListArchive, ListSnapshot, SimulationConfig, run_simulation
+
+        assert callable(run_simulation)
+        assert SimulationConfig.small() is not None
+        assert ListSnapshot and ListArchive

@@ -1,0 +1,55 @@
+"""Tests for the RIPE-Atlas-style probe fleet."""
+
+import pytest
+
+from repro.ranking.atlas import ProbeFleet, ProbeMeasurement
+
+
+class TestProbeMeasurement:
+    def test_daily_queries(self):
+        measurement = ProbeMeasurement("test.example", n_probes=1_000, queries_per_day=50)
+        assert measurement.daily_queries == 50_000
+
+    def test_to_injection(self):
+        measurement = ProbeMeasurement("Test.Example", n_probes=10, queries_per_day=2, ttl=60)
+        injection = measurement.to_injection()
+        assert injection.fqdn == "Test.Example"
+        assert injection.n_clients == 10
+        assert injection.queries_per_client == 2
+        assert injection.ttl == 60
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ProbeMeasurement("x", n_probes=-1, queries_per_day=1)
+        with pytest.raises(ValueError):
+            ProbeMeasurement("x", n_probes=1, queries_per_day=-1)
+        with pytest.raises(ValueError):
+            ProbeMeasurement("x", n_probes=1, queries_per_day=1, ttl=0)
+
+
+class TestProbeFleet:
+    def test_schedule_and_iterate(self):
+        fleet = ProbeFleet()
+        fleet.schedule("a.test", n_probes=100, queries_per_day=1)
+        fleet.schedule("b.test", n_probes=200, queries_per_day=2)
+        assert len(fleet) == 2
+        assert len(fleet.injections()) == 2
+        assert {m.target_fqdn for m in fleet} == {"a.test", "b.test"}
+
+    def test_total_daily_queries(self):
+        fleet = ProbeFleet([
+            ProbeMeasurement("a.test", n_probes=100, queries_per_day=10),
+            ProbeMeasurement("b.test", n_probes=50, queries_per_day=2),
+        ])
+        assert fleet.total_daily_queries() == 1_100
+
+    def test_paper_grid(self):
+        fleet = ProbeFleet.paper_grid()
+        assert len(fleet) == 16
+        # The ethics section reports roughly 2.22M queries/day in total.
+        assert fleet.total_daily_queries() == pytest.approx(2_220_000, rel=0.25)
+
+    def test_paper_grid_custom_template(self):
+        fleet = ProbeFleet.paper_grid(domain_template="probe-{probes}-{freq}.test",
+                                      probe_counts=(10,), query_frequencies=(1, 2))
+        assert {m.target_fqdn for m in fleet} == {"probe-10-1.test", "probe-10-2.test"}

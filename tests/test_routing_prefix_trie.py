@@ -1,0 +1,113 @@
+"""Tests for the longest-prefix-match trie."""
+
+import pytest
+
+from repro.routing.prefix_trie import IpPrefix, PrefixTrie
+
+
+class TestIpPrefix:
+    def test_parse_ipv4(self):
+        prefix = IpPrefix.parse("192.0.2.0/24")
+        assert prefix.version == 4
+        assert prefix.prefix_length == 24
+
+    def test_parse_ipv6(self):
+        prefix = IpPrefix.parse("2001:db8::/32")
+        assert prefix.version == 6
+
+    def test_invalid_prefix_rejected(self):
+        with pytest.raises(ValueError):
+            IpPrefix.parse("192.0.2.1/24")  # host bits set
+        with pytest.raises(ValueError):
+            IpPrefix.parse("not-a-prefix")
+
+    def test_contains(self):
+        prefix = IpPrefix.parse("10.0.0.0/8")
+        assert prefix.contains("10.1.2.3")
+        assert not prefix.contains("11.0.0.1")
+        assert not prefix.contains("2001:db8::1")
+
+    def test_bits_length(self):
+        assert len(IpPrefix.parse("192.0.2.0/24").bits()) == 24
+        assert len(IpPrefix.parse("2001:db8::/32").bits()) == 32
+
+
+class TestPrefixTrie:
+    def test_exact_lookup(self):
+        trie: PrefixTrie[str] = PrefixTrie()
+        trie.insert("192.0.2.0/24", "AS1")
+        assert trie.lookup("192.0.2.55") == "AS1"
+
+    def test_longest_match_wins(self):
+        trie: PrefixTrie[str] = PrefixTrie()
+        trie.insert("10.0.0.0/8", "coarse")
+        trie.insert("10.20.0.0/16", "specific")
+        assert trie.lookup("10.20.3.4") == "specific"
+        assert trie.lookup("10.99.3.4") == "coarse"
+
+    def test_longest_match_returns_length(self):
+        trie: PrefixTrie[str] = PrefixTrie()
+        trie.insert("10.0.0.0/8", "coarse")
+        length, value = trie.longest_match("10.1.1.1")
+        assert length == 8
+        assert value == "coarse"
+
+    def test_no_match(self):
+        trie: PrefixTrie[str] = PrefixTrie()
+        trie.insert("10.0.0.0/8", "x")
+        assert trie.lookup("192.0.2.1") is None
+        assert trie.longest_match("192.0.2.1") is None
+
+    def test_ipv6_and_ipv4_do_not_collide(self):
+        trie: PrefixTrie[str] = PrefixTrie()
+        trie.insert("0.0.0.0/0", "v4-default")
+        trie.insert("::/0", "v6-default")
+        assert trie.lookup("8.8.8.8") == "v4-default"
+        assert trie.lookup("2001:db8::1") == "v6-default"
+
+    def test_reinsert_overwrites(self):
+        trie: PrefixTrie[str] = PrefixTrie()
+        trie.insert("192.0.2.0/24", "old")
+        trie.insert("192.0.2.0/24", "new")
+        assert trie.lookup("192.0.2.1") == "new"
+        assert len(trie) == 1
+
+    def test_len(self):
+        trie: PrefixTrie[str] = PrefixTrie()
+        trie.insert("10.0.0.0/8", "a")
+        trie.insert("2001:db8::/32", "b")
+        assert len(trie) == 2
+
+    def test_iteration_yields_all_values(self):
+        trie: PrefixTrie[str] = PrefixTrie()
+        trie.insert("10.0.0.0/8", "a")
+        trie.insert("10.20.0.0/16", "b")
+        trie.insert("2001:db8::/32", "c")
+        values = {value for _, value in trie}
+        assert values == {"a", "b", "c"}
+
+    def test_accepts_ip_prefix_objects(self):
+        trie: PrefixTrie[str] = PrefixTrie()
+        trie.insert(IpPrefix.parse("198.51.100.0/24"), "doc")
+        assert trie.lookup("198.51.100.99") == "doc"
+
+    def test_matches_ipaddress_reference(self):
+        # Cross-check against the ipaddress module on a batch of prefixes.
+        import ipaddress
+        import random
+        random.seed(99)
+        prefixes = ["23.0.0.0/12", "104.16.0.0/12", "172.217.0.0/16",
+                    "52.0.0.0/11", "151.101.0.0/16", "13.64.0.0/11"]
+        trie: PrefixTrie[str] = PrefixTrie()
+        for prefix in prefixes:
+            trie.insert(prefix, prefix)
+        networks = [ipaddress.ip_network(p) for p in prefixes]
+        for _ in range(200):
+            address = ipaddress.IPv4Address(random.getrandbits(32))
+            expected = None
+            best_len = -1
+            for network in networks:
+                if address in network and network.prefixlen > best_len:
+                    expected = str(network)
+                    best_len = network.prefixlen
+            assert trie.lookup(str(address)) == expected

@@ -1,0 +1,93 @@
+"""Tests for Zipf sampling and empirical CDFs."""
+
+import numpy as np
+import pytest
+
+from repro.stats.distributions import EmpiricalCDF, ZipfSampler, empirical_cdf_points, zipf_weights
+
+
+class TestZipfWeights:
+    def test_normalised(self):
+        assert zipf_weights(100, 1.0).sum() == pytest.approx(1.0)
+
+    def test_monotonically_decreasing(self):
+        weights = zipf_weights(50, 0.9)
+        assert all(weights[i] >= weights[i + 1] for i in range(len(weights) - 1))
+
+    def test_exponent_zero_uniform(self):
+        weights = zipf_weights(10, 0.0)
+        assert np.allclose(weights, 0.1)
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            zipf_weights(0)
+        with pytest.raises(ValueError):
+            zipf_weights(10, -1.0)
+
+    def test_ratio_between_ranks(self):
+        weights = zipf_weights(1000, 1.0)
+        assert weights[0] / weights[9] == pytest.approx(10.0)
+
+
+class TestZipfSampler:
+    def test_deterministic_with_seed(self):
+        a = ZipfSampler(100, rng=np.random.default_rng(1)).sample(50)
+        b = ZipfSampler(100, rng=np.random.default_rng(1)).sample(50)
+        assert np.array_equal(a, b)
+
+    def test_samples_in_range(self):
+        sampler = ZipfSampler(20, rng=np.random.default_rng(2))
+        samples = sampler.sample(1000)
+        assert samples.min() >= 0
+        assert samples.max() < 20
+
+    def test_head_heavier_than_tail(self):
+        sampler = ZipfSampler(100, exponent=1.2, rng=np.random.default_rng(3))
+        samples = sampler.sample(20_000)
+        head = np.sum(samples < 10)
+        tail = np.sum(samples >= 90)
+        assert head > tail * 3
+
+    def test_probability(self):
+        sampler = ZipfSampler(10)
+        assert sampler.probability(0) > sampler.probability(9)
+        with pytest.raises(IndexError):
+            sampler.probability(10)
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ValueError):
+            ZipfSampler(10).sample(-1)
+
+    def test_zero_size(self):
+        assert len(ZipfSampler(10).sample(0)) == 0
+
+
+class TestEmpiricalCDF:
+    def test_basic_evaluation(self):
+        cdf = EmpiricalCDF.from_sample([1, 2, 3, 4])
+        assert cdf(0) == 0.0
+        assert cdf(2) == pytest.approx(0.5)
+        assert cdf(4) == pytest.approx(1.0)
+        assert cdf(100) == pytest.approx(1.0)
+
+    def test_quantile(self):
+        cdf = EmpiricalCDF.from_sample([10, 20, 30, 40])
+        assert cdf.quantile(0.25) == 10
+        assert cdf.quantile(1.0) == 40
+        with pytest.raises(ValueError):
+            cdf.quantile(0.0)
+
+    def test_points_monotone(self):
+        points = EmpiricalCDF.from_sample([3, 1, 2]).points()
+        values = [p[0] for p in points]
+        probs = [p[1] for p in points]
+        assert values == sorted(values)
+        assert probs == sorted(probs)
+        assert probs[-1] == pytest.approx(1.0)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            EmpiricalCDF.from_sample([])
+
+    def test_module_helper(self):
+        assert empirical_cdf_points([5])[0] == (5.0, 1.0)

@@ -1,0 +1,79 @@
+"""Tests for Kendall's tau."""
+
+import pytest
+
+from repro.stats.kendall import kendall_tau, kendall_tau_ranked_lists
+
+try:
+    from scipy import stats as scipy_stats
+except ImportError:  # pragma: no cover - scipy is installed in CI
+    scipy_stats = None
+
+
+class TestKendallTau:
+    def test_perfect_agreement(self):
+        assert kendall_tau([1, 2, 3, 4], [10, 20, 30, 40]) == pytest.approx(1.0)
+
+    def test_perfect_disagreement(self):
+        assert kendall_tau([1, 2, 3, 4], [4, 3, 2, 1]) == pytest.approx(-1.0)
+
+    def test_partial(self):
+        # One discordant pair out of three.
+        tau = kendall_tau([1, 2, 3], [1, 3, 2])
+        assert tau == pytest.approx(1 / 3)
+
+    def test_tau_a_equals_b_without_ties(self):
+        x = [3, 1, 4, 1.5, 5, 9, 2.6]
+        y = [2, 7, 1, 8, 2.8, 1.9, 4]
+        assert kendall_tau(x, y, "a") == pytest.approx(kendall_tau(x, y, "b"))
+
+    def test_ties_handled(self):
+        tau = kendall_tau([1, 1, 2, 3], [1, 2, 3, 4], variant="b")
+        assert 0 < tau <= 1.0
+
+    def test_all_tied_returns_zero(self):
+        assert kendall_tau([1, 1, 1], [1, 2, 3], variant="b") == 0.0
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            kendall_tau([1, 2], [1, 2, 3])
+
+    def test_too_short(self):
+        with pytest.raises(ValueError):
+            kendall_tau([1], [1])
+
+    def test_unknown_variant(self):
+        with pytest.raises(ValueError):
+            kendall_tau([1, 2], [1, 2], variant="c")
+
+    @pytest.mark.skipif(scipy_stats is None, reason="scipy not available")
+    def test_matches_scipy(self):
+        import numpy as np
+        rng = np.random.default_rng(42)
+        for _ in range(10):
+            x = rng.integers(0, 20, size=50).astype(float)
+            y = rng.integers(0, 20, size=50).astype(float)
+            expected = scipy_stats.kendalltau(x, y).statistic
+            assert kendall_tau(list(x), list(y)) == pytest.approx(expected, abs=1e-9)
+
+
+class TestRankedLists:
+    def test_identical_lists(self):
+        assert kendall_tau_ranked_lists(["a", "b", "c"], ["a", "b", "c"]) == pytest.approx(1.0)
+
+    def test_reversed_lists(self):
+        assert kendall_tau_ranked_lists(["a", "b", "c"], ["c", "b", "a"]) == pytest.approx(-1.0)
+
+    def test_partially_overlapping(self):
+        tau = kendall_tau_ranked_lists(["a", "b", "c", "d"], ["b", "a", "x", "y"])
+        # Only a and b are common, and their order is swapped.
+        assert tau == pytest.approx(-1.0)
+
+    def test_too_few_common(self):
+        with pytest.raises(ValueError):
+            kendall_tau_ranked_lists(["a", "b"], ["c", "d"])
+
+    def test_no_restriction_mode(self):
+        tau = kendall_tau_ranked_lists(["a", "b", "c"], ["a", "b", "c"],
+                                       restrict_to_common=False)
+        assert tau == pytest.approx(1.0)

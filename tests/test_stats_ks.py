@@ -1,0 +1,50 @@
+"""Tests for the two-sample Kolmogorov-Smirnov distance."""
+
+import pytest
+
+from repro.stats.ks import ks_distance
+
+try:
+    from scipy import stats as scipy_stats
+except ImportError:  # pragma: no cover
+    scipy_stats = None
+
+
+class TestKsDistance:
+    def test_identical_samples(self):
+        assert ks_distance([1, 2, 3], [1, 2, 3]) == pytest.approx(0.0)
+
+    def test_disjoint_samples_distance_one(self):
+        # The paper's interpretation: KS distance 1 means weekend and
+        # weekday ranks share no common region.
+        assert ks_distance([1, 2, 3], [10, 11, 12]) == pytest.approx(1.0)
+
+    def test_half_overlap(self):
+        assert ks_distance([1, 2], [2, 3]) == pytest.approx(0.5)
+
+    def test_symmetry(self):
+        a, b = [1, 5, 7, 9], [2, 3, 8]
+        assert ks_distance(a, b) == pytest.approx(ks_distance(b, a))
+
+    def test_bounded(self):
+        assert 0.0 <= ks_distance([1, 2, 2, 3], [2, 2, 4]) <= 1.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            ks_distance([], [1])
+        with pytest.raises(ValueError):
+            ks_distance([1], [])
+
+    def test_single_element_samples(self):
+        assert ks_distance([5], [5]) == pytest.approx(0.0)
+        assert ks_distance([1], [2]) == pytest.approx(1.0)
+
+    @pytest.mark.skipif(scipy_stats is None, reason="scipy not available")
+    def test_matches_scipy(self):
+        import numpy as np
+        rng = np.random.default_rng(7)
+        for _ in range(10):
+            a = rng.normal(0, 1, size=40)
+            b = rng.normal(0.5, 1.2, size=35)
+            expected = scipy_stats.ks_2samp(a, b).statistic
+            assert ks_distance(list(a), list(b)) == pytest.approx(expected, abs=1e-9)

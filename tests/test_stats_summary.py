@@ -1,0 +1,88 @@
+"""Tests for summary statistics and the Table 5 significance rule."""
+
+import pytest
+
+from repro.stats.summary import (
+    DeviationFlag,
+    classify_deviation,
+    mean_std,
+    median,
+    share,
+)
+
+
+class TestMeanStd:
+    def test_basic(self):
+        summary = mean_std([2, 4, 4, 4, 5, 5, 7, 9])
+        assert summary.mean == pytest.approx(5.0)
+        assert summary.std == pytest.approx(2.0)
+        assert summary.n == 8
+
+    def test_single_value(self):
+        summary = mean_std([3.5])
+        assert summary.mean == 3.5
+        assert summary.std == 0.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            mean_std([])
+
+    def test_str_format(self):
+        assert "±" in str(mean_std([1, 2, 3]))
+
+
+class TestMedian:
+    def test_odd(self):
+        assert median([3, 1, 2]) == 2
+
+    def test_even(self):
+        assert median([1, 2, 3, 4]) == pytest.approx(2.5)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            median([])
+
+
+class TestShare:
+    def test_basic(self):
+        assert share(3, 10) == pytest.approx(30.0)
+
+    def test_zero_total(self):
+        assert share(3, 0) == 0.0
+
+
+class TestClassifyDeviation:
+    def test_exceeds_low_base(self):
+        # IPv6: 12.9% vs base 4.1% -> exceeds (paper marks this ▲).
+        assert classify_deviation(12.9, 4.1) is DeviationFlag.EXCEEDS
+
+    def test_falls_behind_low_base(self):
+        # NXDOMAIN: 0.13% vs base 0.8% -> falls behind (▼).
+        assert classify_deviation(0.13, 0.8) is DeviationFlag.FALLS_BEHIND
+
+    def test_not_significant_low_base(self):
+        # A value within 50% of the base is not significant.
+        assert classify_deviation(1.0, 0.8) is DeviationFlag.NOT_SIGNIFICANT
+
+    def test_high_base_uses_25_percent_rule(self):
+        # CNAMEs: 44.1% vs base 51.4% is within 25% -> not significant (■).
+        assert classify_deviation(44.1, 51.4) is DeviationFlag.NOT_SIGNIFICANT
+        # 27.9% vs 51.4% is beyond 25% -> falls behind (▼).
+        assert classify_deviation(27.9, 51.4) is DeviationFlag.FALLS_BEHIND
+
+    def test_high_base_sigma_criterion(self):
+        # With a huge standard deviation the 5-sigma margin dominates.
+        assert classify_deviation(60.0, 45.0, value_std=10.0) is DeviationFlag.NOT_SIGNIFICANT
+
+    def test_zero_base_any_positive_exceeds(self):
+        assert classify_deviation(0.5, 0.0) is DeviationFlag.EXCEEDS
+        assert classify_deviation(0.0, 0.0) is DeviationFlag.NOT_SIGNIFICANT
+
+    def test_negative_base_rejected(self):
+        with pytest.raises(ValueError):
+            classify_deviation(1.0, -1.0)
+
+    def test_flag_symbols(self):
+        assert str(DeviationFlag.EXCEEDS) == "▲"
+        assert str(DeviationFlag.FALLS_BEHIND) == "▼"
+        assert str(DeviationFlag.NOT_SIGNIFICANT) == "■"

@@ -1,0 +1,70 @@
+"""Tests for the survey keyword matching and classification helpers."""
+
+from repro.survey.classify import (
+    Dependence,
+    ListFamily,
+    ListUsage,
+    is_false_positive,
+    match_keywords,
+    parse_subset,
+)
+
+
+class TestKeywordMatching:
+    def test_basic_matches(self):
+        text = "We measured the Alexa Top 1M and the Majestic Million."
+        assert match_keywords(text) == ["alexa", "majestic"]
+
+    def test_umbrella_match(self):
+        assert match_keywords("domains from the Cisco Umbrella ranking") == ["umbrella"]
+
+    def test_no_match(self):
+        assert match_keywords("We study BGP hijacks.") == []
+
+    def test_whole_word_only(self):
+        # An author named Alexander must not match the keyword "alexa".
+        assert match_keywords("Alexander Johnson et al.") == []
+
+    def test_case_insensitive(self):
+        assert match_keywords("the ALEXA top list") == ["alexa"]
+
+
+class TestFalsePositives:
+    def test_voice_assistant_is_false_positive(self):
+        assert is_false_positive("We analyse Amazon Alexa voice commands.")
+
+    def test_umbrella_term_is_false_positive(self):
+        assert is_false_positive("under the umbrella term of IoT security")
+
+    def test_top_list_usage_is_kept(self):
+        text = "We resolve all domains of the Alexa Top 1M list."
+        assert not is_false_positive(text)
+
+    def test_no_keywords_is_false_positive(self):
+        assert is_false_positive("A paper about TCP congestion control.")
+
+    def test_ranking_vocabulary_overrides(self):
+        text = "We compare Amazon Alexa skills against the Alexa top 1M ranking."
+        assert not is_false_positive(text)
+
+
+class TestUsageParsing:
+    def test_parse_valid(self):
+        usage = parse_subset("alexa-10k")
+        assert usage == ListUsage(ListFamily.ALEXA, "10k")
+        assert str(usage) == "alexa-10k"
+
+    def test_parse_umbrella(self):
+        assert parse_subset("umbrella-1M").family is ListFamily.UMBRELLA
+
+    def test_parse_invalid(self):
+        assert parse_subset("alexa") is None
+        assert parse_subset("quantcast-1M") is None
+        assert parse_subset("alexa-") is None
+
+
+class TestDependenceEnum:
+    def test_values_match_table1(self):
+        assert Dependence.DEPENDENT.value == "Y"
+        assert Dependence.VERIFICATION.value == "V"
+        assert Dependence.INDEPENDENT.value == "N"

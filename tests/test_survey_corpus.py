@@ -1,0 +1,88 @@
+"""Tests for the survey corpus and the paper's reference data."""
+
+import pytest
+
+from repro.survey.classify import Dependence, ListFamily, ListUsage
+from repro.survey.corpus import (
+    Paper,
+    SurveyCorpus,
+    Venue,
+    build_corpus,
+    reference_corpus,
+)
+
+
+class TestCorpusModel:
+    def test_add_and_query(self):
+        corpus = SurveyCorpus()
+        corpus.add_venue(Venue(name="IMC", area="Measurements", total_papers=10))
+        corpus.add_paper(Paper(identifier="p1", venue="IMC", uses_top_list=True,
+                               usages=(ListUsage(ListFamily.ALEXA, "1M"),),
+                               dependence=Dependence.DEPENDENT))
+        corpus.add_paper(Paper(identifier="p2", venue="IMC", uses_top_list=False))
+        assert len(corpus) == 2
+        assert len(corpus.users()) == 1
+        assert corpus.usage_share("IMC") == pytest.approx(0.1)
+
+    def test_unknown_venue_rejected(self):
+        corpus = SurveyCorpus()
+        with pytest.raises(KeyError):
+            corpus.add_paper(Paper(identifier="p", venue="nowhere", uses_top_list=False))
+
+    def test_user_requires_dependence(self):
+        with pytest.raises(ValueError):
+            Paper(identifier="p", venue="IMC", uses_top_list=True)
+
+    def test_non_user_cannot_have_usages(self):
+        with pytest.raises(ValueError):
+            Paper(identifier="p", venue="IMC", uses_top_list=False,
+                  usages=(ListUsage(ListFamily.ALEXA, "1M"),))
+
+    def test_replicable_basics(self):
+        paper = Paper(identifier="p", venue="IMC", uses_top_list=True,
+                      dependence=Dependence.DEPENDENT,
+                      states_list_date=True, states_measurement_date=True)
+        assert paper.replicable_basics
+
+    def test_build_corpus_helper(self):
+        corpus = build_corpus([Venue("IMC", "Measurements", 5)],
+                              [Paper(identifier="p", venue="IMC", uses_top_list=False)])
+        assert len(corpus) == 1
+
+
+class TestReferenceCorpus:
+    @pytest.fixture(scope="class")
+    def corpus(self) -> SurveyCorpus:
+        return reference_corpus()
+
+    def test_total_counts(self, corpus):
+        assert len(corpus) == 687
+        assert len(corpus.users()) == 69
+        assert corpus.usage_share() == pytest.approx(69 / 687)
+
+    def test_venue_counts(self, corpus):
+        assert len(corpus.papers_at("ACM IMC")) == 42
+        assert len(corpus.users("ACM IMC")) == 11
+        assert len(corpus.users("WWW")) == 13
+
+    def test_dependence_totals(self, corpus):
+        users = corpus.users()
+        by_class = {cls: sum(1 for p in users if p.dependence is cls) for cls in Dependence}
+        assert by_class[Dependence.DEPENDENT] == 45
+        assert by_class[Dependence.VERIFICATION] == 17
+        assert by_class[Dependence.INDEPENDENT] == 7
+
+    def test_measurement_area_most_reliant(self, corpus):
+        # The paper: Internet measurement venues use top lists most (22.2%).
+        measurement_venues = [v.name for v in corpus.venues.values()
+                              if v.area == "Measurements"]
+        users = sum(len(corpus.users(v)) for v in measurement_venues)
+        total = sum(corpus.venues[v].total_papers for v in measurement_venues)
+        assert users / total == pytest.approx(18 / 81, rel=0.01)
+        assert users / total > corpus.usage_share()
+
+    def test_usage_pool_distributed(self, corpus):
+        # Every using paper has at least one list usage; some have several.
+        users = corpus.users()
+        assert all(paper.usages for paper in users)
+        assert any(len(paper.usages) > 1 for paper in users)

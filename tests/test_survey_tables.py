@@ -1,0 +1,82 @@
+"""Tests for Table 1 generation."""
+
+import pytest
+
+from repro.survey.corpus import reference_corpus
+from repro.survey.tables import (
+    list_usage_histogram,
+    replicability_summary,
+    totals_row,
+    venue_usage_table,
+)
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    return reference_corpus()
+
+
+@pytest.fixture(scope="module")
+def rows(corpus):
+    return venue_usage_table(corpus)
+
+
+class TestVenueTable:
+    def test_row_per_venue(self, rows):
+        assert len(rows) == 10
+
+    def test_imc_row_matches_paper(self, rows):
+        imc = next(r for r in rows if r.venue == "ACM IMC")
+        assert imc.total_papers == 42
+        assert imc.using == 11
+        assert imc.usage_share == pytest.approx(0.262, abs=0.001)
+        assert (imc.dependent, imc.verification, imc.independent) == (8, 2, 1)
+        assert imc.states_list_date == 1
+        assert imc.states_measurement_date == 3
+
+    def test_ccs_row_matches_paper(self, rows):
+        ccs = next(r for r in rows if r.venue == "ACM CCS")
+        assert ccs.total_papers == 151
+        assert ccs.using == 11
+        assert (ccs.dependent, ccs.verification, ccs.independent) == (4, 5, 2)
+
+    def test_totals_row_matches_paper(self, rows):
+        total = totals_row(rows)
+        assert total.total_papers == 687
+        assert total.using == 69
+        assert total.usage_share == pytest.approx(0.10, abs=0.002)
+        assert (total.dependent, total.verification, total.independent) == (45, 17, 7)
+        assert total.states_list_date == 7
+        assert total.states_measurement_date == 9
+
+
+class TestUsageHistogram:
+    def test_matches_paper_right_table(self, corpus):
+        histogram = list_usage_histogram(corpus)
+        assert histogram["alexa-1M"] == 29
+        assert histogram["alexa-10k"] == 11
+        assert histogram["alexa-100"] == 8
+        assert histogram["alexa-500"] == 8
+        assert histogram["umbrella-1M"] == 3
+        assert histogram["umbrella-1k"] == 1
+        assert histogram["alexa-country"] == 2
+        assert histogram["alexa-category"] == 2
+
+    def test_no_majestic_usage(self, corpus):
+        # No paper in the survey used the Majestic list.
+        histogram = list_usage_histogram(corpus)
+        assert not any(key.startswith("majestic") for key in histogram)
+
+    def test_total_usage_count(self, corpus):
+        histogram = list_usage_histogram(corpus)
+        assert sum(histogram.values()) == 88
+
+
+class TestReplicability:
+    def test_matches_paper(self, corpus):
+        summary = replicability_summary(corpus)
+        assert summary.users == 69
+        assert summary.states_list_date == 7
+        assert summary.states_measurement_date == 9
+        assert summary.states_both == 2
+        assert summary.share_with_both == pytest.approx(2 / 69)

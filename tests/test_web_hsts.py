@@ -1,0 +1,58 @@
+"""Tests for HSTS header parsing."""
+
+import pytest
+
+from repro.web.hsts import HstsPolicy, parse_hsts_header
+
+
+class TestParseHstsHeader:
+    def test_basic(self):
+        policy = parse_hsts_header("max-age=31536000")
+        assert policy is not None
+        assert policy.max_age == 31536000
+        assert policy.enabled
+
+    def test_with_flags(self):
+        policy = parse_hsts_header("max-age=300; includeSubDomains; preload")
+        assert policy.include_subdomains
+        assert policy.preload
+
+    def test_zero_max_age_not_enabled(self):
+        # The paper requires max-age > 0 to count a domain as HSTS-enabled.
+        policy = parse_hsts_header("max-age=0")
+        assert policy is not None
+        assert not policy.enabled
+
+    def test_missing_header(self):
+        assert parse_hsts_header(None) is None
+        assert parse_hsts_header("") is None
+
+    def test_missing_max_age_invalid(self):
+        assert parse_hsts_header("includeSubDomains") is None
+
+    def test_non_numeric_max_age_invalid(self):
+        assert parse_hsts_header("max-age=abc") is None
+
+    def test_duplicate_directive_invalid(self):
+        assert parse_hsts_header("max-age=1; max-age=2") is None
+
+    def test_quoted_max_age(self):
+        assert parse_hsts_header('max-age="600"').max_age == 600
+
+    def test_unknown_directives_ignored(self):
+        assert parse_hsts_header("max-age=600; future-flag=1").max_age == 600
+
+    def test_case_insensitive_directives(self):
+        policy = parse_hsts_header("MAX-AGE=600; INCLUDESUBDOMAINS")
+        assert policy.max_age == 600
+        assert policy.include_subdomains
+
+
+class TestHstsPolicy:
+    def test_header_roundtrip(self):
+        policy = HstsPolicy(max_age=600, include_subdomains=True, preload=True)
+        parsed = parse_hsts_header(policy.header_value())
+        assert parsed == policy
+
+    def test_minimal_header(self):
+        assert HstsPolicy(max_age=10).header_value() == "max-age=10"

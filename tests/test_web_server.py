@@ -1,0 +1,65 @@
+"""Tests for the simulated web hosts and registry."""
+
+import pytest
+
+from repro.web.hsts import HstsPolicy
+from repro.web.server import HostNotFoundError, HostRegistry, WebHost
+
+
+class TestWebHost:
+    def test_domain_normalised(self):
+        host = WebHost(domain="Example.COM.")
+        assert host.domain == "example.com"
+
+    def test_empty_domain_rejected(self):
+        with pytest.raises(ValueError):
+            WebHost(domain="   ")
+
+    def test_tls_defaults_version(self):
+        host = WebHost(domain="a.com", tls_enabled=True)
+        assert host.tls_version == "TLSv1.2"
+
+    def test_hsts_dropped_without_tls(self):
+        host = WebHost(domain="a.com", tls_enabled=False,
+                       hsts_policy=HstsPolicy(max_age=600))
+        assert host.hsts_policy is None
+        assert host.hsts_header is None
+
+    def test_hsts_header_rendering(self):
+        host = WebHost(domain="a.com", tls_enabled=True,
+                       hsts_policy=HstsPolicy(max_age=600))
+        assert host.hsts_header == "max-age=600"
+
+
+class TestHostRegistry:
+    @pytest.fixture()
+    def registry(self) -> HostRegistry:
+        registry = HostRegistry()
+        registry.add(WebHost(domain="example.com", tls_enabled=True))
+        registry.add(WebHost(domain="plain.org"))
+        return registry
+
+    def test_lookup(self, registry):
+        assert registry.lookup("example.com").tls_enabled
+
+    def test_lookup_www_alias(self, registry):
+        assert registry.lookup("www.example.com").domain == "example.com"
+
+    def test_lookup_missing(self, registry):
+        assert registry.lookup("missing.net") is None
+
+    def test_connect_raises_for_missing(self, registry):
+        with pytest.raises(HostNotFoundError):
+            registry.connect("missing.net")
+
+    def test_add_overwrites(self, registry):
+        registry.add(WebHost(domain="example.com", tls_enabled=False))
+        assert not registry.lookup("example.com").tls_enabled
+
+    def test_remove(self, registry):
+        registry.remove("plain.org")
+        assert registry.lookup("plain.org") is None
+
+    def test_len_and_iter(self, registry):
+        assert len(registry) == 2
+        assert {host.domain for host in registry} == {"example.com", "plain.org"}
