@@ -1,0 +1,374 @@
+#!/usr/bin/env python
+"""Run the benchmark suite and write ``BENCH_*.json`` perf artifacts.
+
+Two modes, both on by default:
+
+* ``--suite``: run the ``test_bench_*`` paper-reproduction benchmarks
+  under pytest-benchmark and write the raw timing JSON
+  (``BENCH_suite.json``), so future PRs can track the perf trajectory.
+* ``--speedup``: time the seed (pre-fast-path) implementations of the
+  hot analyses against the current library on a 30-day × 3-provider
+  simulated archive, assert the outputs are identical, and write the
+  before/after comparison (``BENCH_fastpath.json``).
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/run_benchmarks.py [--suite] [--speedup]
+        [--out benchmarks/artifacts] [--days 30]
+"""
+
+from __future__ import annotations
+
+import argparse
+import gc
+import json
+import os
+import subprocess
+import sys
+import time
+from collections import Counter, defaultdict
+from pathlib import Path
+from typing import Optional, Sequence
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+SRC = REPO_ROOT / "src"
+if str(SRC) not in sys.path:
+    sys.path.insert(0, str(SRC))
+
+from repro.core.intersection import intersection_over_time  # noqa: E402
+from repro.core.weekly import WEEKEND_WEEKDAYS, sld_group_dynamics, weekday_weekend_ks  # noqa: E402
+from repro.domain.name import normalise  # noqa: E402
+from repro.domain.psl import DEFAULT_RULES  # noqa: E402
+from repro.population.config import SimulationConfig  # noqa: E402
+from repro.providers.simulation import run_simulation  # noqa: E402
+from repro.stats.kendall import kendall_tau_ranked_lists  # noqa: E402
+from repro.stats.ks import ks_distance  # noqa: E402
+
+
+# --------------------------------------------------------------------------
+# Seed reference implementations (the pre-fast-path algorithms, verbatim in
+# structure: O(labels²) PSL candidate enumeration, per-day re-normalisation,
+# recursive merge-sort inversion counting).  They are the timing baseline
+# and the correctness oracle for the fast paths.
+# --------------------------------------------------------------------------
+
+class SeedPsl:
+    """Candidate-enumeration PSL matcher (the seed algorithm, unmemoised)."""
+
+    def __init__(self, rules=DEFAULT_RULES) -> None:
+        self._exact, self._wildcard, self._exception = set(), set(), set()
+        for rule in rules:
+            rule = rule.strip().lower().strip(".")
+            if rule.startswith("!"):
+                self._exception.add(rule[1:])
+            elif rule.startswith("*."):
+                self._wildcard.add(rule[2:])
+            else:
+                self._exact.add(rule)
+
+    def public_suffix(self, name: str) -> Optional[str]:
+        name = name.strip().lower().strip(".")
+        if not name:
+            return None
+        labels = name.split(".")
+        best: Optional[Sequence[str]] = None
+        for start in range(len(labels)):
+            candidate = labels[start:]
+            cand_str = ".".join(candidate)
+            parent = ".".join(candidate[1:])
+            if cand_str in self._exception:
+                match = candidate[1:]
+                if best is None or len(match) > len(best):
+                    best = match
+                continue
+            if cand_str in self._exact:
+                if best is None or len(candidate) > len(best):
+                    best = candidate
+            if parent and parent in self._wildcard and cand_str not in self._exception:
+                if best is None or len(candidate) > len(best):
+                    best = candidate
+        if best is None:
+            best = labels[-1:]
+        return ".".join(best)
+
+    def base_domain(self, name: str) -> Optional[str]:
+        name = name.strip().lower().strip(".")
+        if not name:
+            return None
+        suffix = self.public_suffix(name)
+        if suffix is None or name == suffix:
+            return None
+        suffix_labels = suffix.count(".") + 1
+        labels = name.split(".")
+        if len(labels) <= suffix_labels:
+            return None
+        return ".".join(labels[-(suffix_labels + 1):])
+
+    def base_or_name(self, name: str) -> str:
+        cleaned = normalise(name)
+        base = self.base_domain(cleaned)
+        return base if base is not None else cleaned
+
+    def sld(self, name: str) -> Optional[str]:
+        base = self.base_domain(normalise(name))
+        return None if base is None else base.split(".")[0]
+
+
+def seed_intersection_over_time(archives, psl: SeedPsl):
+    """The seed Figure-1a pipeline: full per-day per-provider re-normalisation."""
+    from itertools import combinations
+
+    date_sets = [set(a.dates()) for a in archives.values()]
+    if not date_sets:
+        return {}
+    common_dates = sorted(set.intersection(*date_sets))
+    series = {}
+    for date in common_dates:
+        sets = {name: frozenset(psl.base_or_name(entry) for entry in archive[date].entries)
+                for name, archive in archives.items()}
+        result = {}
+        for name_a, name_b in combinations(sorted(sets), 2):
+            result[(name_a, name_b)] = len(sets[name_a] & sets[name_b])
+        if len(sets) >= 3:
+            names = tuple(sorted(sets))
+            result[names] = len(set.intersection(*(set(s) for s in sets.values())))
+        series[date] = result
+    return series
+
+
+def seed_sld_group_dynamics(archive, psl: SeedPsl, threshold=0.4,
+                            weekend=WEEKEND_WEEKDAYS, min_group_size=3):
+    """The seed Figure-3b/3c pipeline: per-day full SLD re-parsing."""
+    snapshots = archive.snapshots()
+    all_dates = [s.date for s in snapshots]
+    series = defaultdict(dict)
+    for snapshot in snapshots:
+        counts = Counter()
+        for domain in snapshot.entries:
+            sld = psl.sld(domain)
+            if sld is not None:
+                counts[sld] += 1
+        for group, count in counts.items():
+            series[group][snapshot.date] = count
+    has_weekdays = any(d.weekday() not in weekend for d in all_dates)
+    has_weekends = any(d.weekday() in weekend for d in all_dates)
+    result = {}
+    for group, per_day in series.items():
+        weekday_counts = [per_day.get(d, 0) for d in all_dates if d.weekday() not in weekend]
+        weekend_counts = [per_day.get(d, 0) for d in all_dates if d.weekday() in weekend]
+        if not has_weekdays or not has_weekends:
+            continue
+        weekday_mean = sum(weekday_counts) / len(weekday_counts)
+        weekend_mean = sum(weekend_counts) / len(weekend_counts)
+        if max(weekday_mean, weekend_mean) < min_group_size:
+            continue
+        base = max(weekday_mean, 1e-9)
+        if abs(weekend_mean - weekday_mean) / base > threshold:
+            result[group] = (weekday_mean, weekend_mean,
+                             {d: per_day.get(d, 0) for d in all_dates})
+    return result
+
+
+def seed_weekday_weekend_ks(archive, weekend=WEEKEND_WEEKDAYS, min_observations=2):
+    """The seed Figure-3a pipeline: rebuild the rank dicts from scratch."""
+    weekday_ranks, weekend_ranks = defaultdict(list), defaultdict(list)
+    for snapshot in archive.snapshots():
+        target = weekend_ranks if snapshot.date.weekday() in weekend else weekday_ranks
+        for rank, domain in enumerate(snapshot.entries, start=1):
+            target[domain].append(rank)
+    distances = {}
+    for domain in set(weekday_ranks) | set(weekend_ranks):
+        a = weekday_ranks.get(domain, [])
+        b = weekend_ranks.get(domain, [])
+        if len(a) < min_observations or len(b) < min_observations:
+            continue
+        distances[domain] = ks_distance(a, b)
+    return distances
+
+
+def _seed_merge_sort_count(values):
+    n = len(values)
+    if n <= 1:
+        return values, 0
+    mid = n // 2
+    left, inv_left = _seed_merge_sort_count(values[:mid])
+    right, inv_right = _seed_merge_sort_count(values[mid:])
+    merged, inversions, i, j = [], inv_left + inv_right, 0, 0
+    while i < len(left) and j < len(right):
+        if left[i] <= right[j]:
+            merged.append(left[i])
+            i += 1
+        else:
+            merged.append(right[j])
+            inversions += len(left) - i
+            j += 1
+    merged.extend(left[i:])
+    merged.extend(right[j:])
+    return merged, inversions
+
+
+def seed_kendall_tau_ranked_lists(list_a, list_b):
+    """The seed Figure-4 path: recursive merge sort + full tie accounting."""
+    rank_a = {item: idx for idx, item in enumerate(list_a)}
+    rank_b = {item: idx for idx, item in enumerate(list_b)}
+    common = [item for item in list_a if item in rank_b]
+    if len(common) < 2:
+        raise ValueError("need at least two common items")
+    missing = max(len(list_a), len(list_b))
+    x = [rank_a.get(item, missing) for item in common]
+    y = [rank_b.get(item, missing) for item in common]
+    paired = sorted(zip(x, y), key=lambda p: (p[0], p[1]))
+    _, discordant = _seed_merge_sort_count([p[1] for p in paired])
+    n = len(x)
+    total = n * (n - 1) // 2
+
+    def ties(values):
+        counts = Counter(values)
+        return sum(c * (c - 1) // 2 for c in counts.values())
+
+    ties_x, ties_y, ties_xy = ties(x), ties(y), ties(list(zip(x, y)))
+    concordant = total - discordant - ties_x - ties_y + ties_xy
+    denom_x, denom_y = total - ties_x, total - ties_y
+    if denom_x == 0 or denom_y == 0:
+        return 0.0
+    return (concordant - discordant) / (denom_x * denom_y) ** 0.5
+
+
+# --------------------------------------------------------------------------
+# Comparison harness
+# --------------------------------------------------------------------------
+
+def _timed(fn):
+    # Collect before timing so garbage from the previous stage (or a
+    # pending gen-2 pass over it) is not charged to this measurement.
+    gc.collect()
+    start = time.perf_counter()
+    result = fn()
+    return result, time.perf_counter() - start
+
+
+def run_speedup(out_dir: Path, days: int) -> Path:
+    config = SimulationConfig.benchmark(n_days=days)
+    print(f"simulating {days}-day × 3-provider archive "
+          f"(list size {config.list_size}) ...")
+    run = run_simulation(config)
+    archives = run.archives
+    seed_psl = SeedPsl()
+    comparisons = {}
+
+    print("timing intersection_over_time (Figure 1a) ...")
+    seed_series, seed_s = _timed(lambda: seed_intersection_over_time(archives, seed_psl))
+    fast_series, fast_s = _timed(lambda: intersection_over_time(archives))
+    assert fast_series == seed_series, "intersection series diverged from seed"
+    comparisons["intersection_over_time"] = {
+        "seed_seconds": seed_s, "fast_seconds": fast_s,
+        "speedup": seed_s / fast_s, "identical_output": True,
+        "days": len(fast_series)}
+
+    print("timing sld_group_dynamics (Figures 3b/3c) ...")
+
+    def seed_all_sld():
+        return {name: seed_sld_group_dynamics(archive, seed_psl)
+                for name, archive in archives.items()}
+
+    def fast_all_sld():
+        return {name: sld_group_dynamics(archive)
+                for name, archive in archives.items()}
+
+    seed_sld_result, seed_s = _timed(seed_all_sld)
+    fast_sld, fast_s = _timed(fast_all_sld)
+    for name in archives:
+        seed_groups = seed_sld_result[name]
+        fast_groups = fast_sld[name]
+        assert set(seed_groups) == set(fast_groups), f"{name}: group sets diverged"
+        for group, (wd_mean, we_mean, per_day) in seed_groups.items():
+            dyn = fast_groups[group]
+            assert dyn.weekday_mean == wd_mean, (name, group)
+            assert dyn.weekend_mean == we_mean, (name, group)
+            assert dict(dyn.series) == per_day, (name, group)
+    comparisons["sld_group_dynamics"] = {
+        "seed_seconds": seed_s, "fast_seconds": fast_s,
+        "speedup": seed_s / fast_s, "identical_output": True,
+        "groups": {name: len(groups) for name, groups in fast_sld.items()}}
+
+    print("timing weekday_weekend_ks (Figure 3a) ...")
+    seed_ks, seed_s = _timed(
+        lambda: {name: seed_weekday_weekend_ks(archive) for name, archive in archives.items()})
+    fast_ks, fast_s = _timed(
+        lambda: {name: weekday_weekend_ks(archive) for name, archive in archives.items()})
+    assert fast_ks == seed_ks, "KS distances diverged from seed"
+    comparisons["weekday_weekend_ks"] = {
+        "seed_seconds": seed_s, "fast_seconds": fast_s,
+        "speedup": seed_s / fast_s, "identical_output": True}
+
+    print("timing kendall_tau_ranked_lists (Figure 4) ...")
+    alexa = archives["alexa"].snapshots()
+    pairs = list(zip(alexa, alexa[1:]))
+    seed_taus, seed_s = _timed(
+        lambda: [seed_kendall_tau_ranked_lists(a.entries, b.entries) for a, b in pairs])
+    fast_taus, fast_s = _timed(
+        lambda: [kendall_tau_ranked_lists(a.entries, b.entries) for a, b in pairs])
+    assert all(abs(f - s) < 1e-12 for f, s in zip(fast_taus, seed_taus)), \
+        "tau values diverged from seed"
+    comparisons["kendall_tau_ranked_lists"] = {
+        "seed_seconds": seed_s, "fast_seconds": fast_s,
+        "speedup": seed_s / fast_s, "identical_output": True,
+        "pairs": len(pairs), "list_size": config.list_size}
+
+    artifact = {
+        "kind": "fastpath-comparison",
+        "created": time.strftime("%Y-%m-%dT%H:%M:%S"),
+        "config": {"n_days": config.n_days, "list_size": config.list_size,
+                   "providers": sorted(archives)},
+        "comparisons": comparisons,
+    }
+    out_dir.mkdir(parents=True, exist_ok=True)
+    path = out_dir / "BENCH_fastpath.json"
+    path.write_text(json.dumps(artifact, indent=2) + "\n", encoding="utf-8")
+    print(f"\n{'analysis':<28} {'seed':>9} {'fast':>9} {'speedup':>9}")
+    for name, row in comparisons.items():
+        print(f"{name:<28} {row['seed_seconds']:>8.2f}s {row['fast_seconds']:>8.2f}s "
+              f"{row['speedup']:>8.1f}x")
+    print(f"\nwrote {path}")
+    return path
+
+
+def run_suite(out_dir: Path) -> Path:
+    out_dir.mkdir(parents=True, exist_ok=True)
+    path = out_dir / "BENCH_suite.json"
+    command = [
+        sys.executable, "-m", "pytest", str(REPO_ROOT / "benchmarks"),
+        "--benchmark-only", "-q", f"--benchmark-json={path}",
+    ]
+    env = {**os.environ,
+           "PYTHONPATH": str(SRC) + os.pathsep + os.environ.get("PYTHONPATH", "")}
+    print("running benchmark suite:", " ".join(command))
+    completed = subprocess.run(command, env=env, cwd=str(REPO_ROOT))
+    if completed.returncode != 0:
+        raise SystemExit(completed.returncode)
+    print(f"wrote {path}")
+    return path
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__,
+                                     formatter_class=argparse.RawDescriptionHelpFormatter)
+    parser.add_argument("--suite", action="store_true",
+                        help="run only the pytest-benchmark suite")
+    parser.add_argument("--speedup", action="store_true",
+                        help="run only the seed-vs-fastpath comparison")
+    parser.add_argument("--out", type=Path, default=REPO_ROOT / "benchmarks" / "artifacts",
+                        help="artifact output directory")
+    parser.add_argument("--days", type=int, default=30,
+                        help="days in the speedup comparison archive")
+    args = parser.parse_args()
+    do_suite = args.suite or not (args.suite or args.speedup)
+    do_speedup = args.speedup or not (args.suite or args.speedup)
+    if do_speedup:
+        run_speedup(args.out, args.days)
+    if do_suite:
+        run_suite(args.out)
+
+
+if __name__ == "__main__":
+    main()

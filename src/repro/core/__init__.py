@@ -22,6 +22,15 @@ Modules map to the paper's sections:
 """
 
 from repro.core.bias import CharacteristicComparison, ComparisonCell, ComparisonTable
+from repro.core.cache import (
+    archive_alternating_half_ranks,
+    archive_base_domain_sets,
+    archive_domain_sets,
+    archive_rank_partition,
+    archive_rank_series,
+    archive_sld_count_events,
+    snapshot_base_domains,
+)
 from repro.core.recommendations import (
     Finding,
     RecommendationReport,
@@ -79,6 +88,12 @@ __all__ = [
     "StudyPurpose",
     "aggregate_top",
     "alias_count",
+    "archive_alternating_half_ranks",
+    "archive_base_domain_sets",
+    "archive_domain_sets",
+    "archive_rank_partition",
+    "archive_rank_series",
+    "archive_sld_count_events",
     "base_domain_share",
     "churn_by_rank",
     "cumulative_unique_domains",
@@ -96,6 +111,7 @@ __all__ = [
     "pairwise_intersection",
     "rank_variation",
     "sld_group_dynamics",
+    "snapshot_base_domains",
     "structure_summary",
     "subdomain_depth_distribution",
     "summarise_archive",

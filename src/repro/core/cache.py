@@ -1,0 +1,420 @@
+"""Incremental per-archive caches for the domain-normalisation hot paths.
+
+The paper's central stability finding — consecutive daily lists overlap
+by ~99% — makes the analysis pipeline's naive shape (re-parse every
+entry of every day through the PSL, for every analysis) almost entirely
+redundant work.  This module exploits it:
+
+* :func:`snapshot_base_domains` caches one snapshot's normalised
+  base-domain set per ``(PSL identity, PSL version)``.
+* :func:`archive_base_domain_sets` computes each day's base-domain set as
+  a *delta* against the previous day: only entries that entered or left
+  the list are parsed, and a reference count per base domain keeps the
+  set exact when several FQDNs map to the same base.
+* :func:`archive_sld_count_events` tracks per-day SLD-group membership
+  counts as change events (day index, new count), again delta-driven.
+* :func:`archive_rank_series` builds the per-domain ``(date, rank)``
+  series once per ``(archive, top_n)`` and shares it between the
+  weekday/weekend analyses.
+
+All per-archive results live in the archive's ``_analysis_cache`` dict,
+which :meth:`repro.providers.base.ListArchive.add` drops on mutation;
+PSL-dependent entries additionally key on ``psl.cache_key`` (a
+never-reused instance id plus the rule-set version) so
+:meth:`~repro.domain.psl.PublicSuffixList.add_rule` invalidates them.
+Every function is a pure accelerator: results are element-for-element
+identical to recomputing from scratch with the non-cached code paths.
+"""
+
+from __future__ import annotations
+
+import datetime as dt
+from collections import Counter, defaultdict
+from types import MappingProxyType
+from typing import Mapping, Optional, Sequence
+
+from repro.domain.name import normalise
+from repro.domain.psl import PublicSuffixList, default_list
+from repro.providers.base import ListArchive, ListSnapshot
+
+_DEFAULT_PSL = default_list()
+
+#: Bound on the flat per-PSL parse memos below (unique names, not bytes).
+_PARSE_MEMO_LIMIT = 1 << 20
+_MISSING = object()
+
+
+def _psl_key(psl: PublicSuffixList) -> tuple[int, int]:
+    return psl.cache_key
+
+
+def _memo_for(kind: str, psl: PublicSuffixList) -> dict:
+    """Flat name→answer memo for ``kind``, stored *on* the PSL instance.
+
+    The same domains recur across days and lists, so after the first
+    sighting a delta entry costs one dict lookup.  Living on the PSL, a
+    memo is freed with its instance; superseded rule-set versions are
+    evicted as soon as a newer version is requested.
+    """
+    store = psl.__dict__.setdefault("_derived_memos", {})
+    key = (kind, psl.version)
+    memo = store.get(key)
+    if memo is None:
+        for stale in [k for k in store if k[0] == kind and k[1] < key[1]]:
+            del store[stale]
+        memo = store[key] = {}
+    return memo
+
+
+def _archive_cache(archive: ListArchive) -> dict:
+    return archive.__dict__.setdefault("_analysis_cache", {})
+
+
+#: Distinct PSL generations retained per cached analysis before the
+#: oldest is dropped (bounds growth when callers churn PSL instances).
+_PSL_GENERATION_LIMIT = 4
+
+
+def _evict_superseded(cache: dict, key: tuple) -> None:
+    """Drop stale cache entries of the same analysis before adding ``key``.
+
+    ``key`` is ``(kind, top_n, ..., psl.cache_key)`` with the PSL
+    ``(uid, version)`` tuple last.  Older versions of the same PSL are
+    removed immediately (after ``add_rule`` they would otherwise stay
+    alive until the owning archive mutates), and the whole ``(kind,
+    top_n)`` family — spanning distinct PSL instances *and* distinct
+    ``dates`` subsets — is bounded at :data:`_PSL_GENERATION_LIMIT`
+    entries, oldest first, so churning either cannot grow the cache
+    without bound.
+    """
+    family = key[:2]
+    uid, version = key[-1]
+    same_family = [k for k in cache if k[:2] == family]
+    for stale in [k for k in same_family if k[-1][0] == uid and k[-1][1] < version]:
+        del cache[stale]
+        same_family.remove(stale)
+    while len(same_family) >= _PSL_GENERATION_LIMIT:
+        del cache[same_family.pop(0)]
+
+
+def _base_of(name: str, psl: PublicSuffixList) -> str:
+    """Base domain of ``name``, or the normalised name for bare suffixes.
+
+    Mirrors :func:`repro.core.structure.normalise_to_base_domains` for a
+    single entry (footnote 6 of the paper), without materialising a
+    :class:`~repro.domain.name.DomainName` per call: same validation
+    (:func:`normalise` raises on malformed names) and same PSL answer.
+    """
+    cleaned = normalise(name)
+    base = psl.suffix_and_base(cleaned)[1]
+    return base if base is not None else cleaned
+
+
+def _base_of_memoised(psl: PublicSuffixList):
+    memo = _memo_for("base", psl)
+
+    def base_of(name: str) -> str:
+        base = memo.get(name)
+        if base is None:
+            base = _base_of(name, psl)
+            if len(memo) >= _PARSE_MEMO_LIMIT:
+                memo.clear()
+            memo[name] = base
+        return base
+
+    return base_of
+
+
+def _sld_of_memoised(psl: PublicSuffixList):
+    memo = _memo_for("sld", psl)
+
+    def sld_of(name: str) -> Optional[str]:
+        sld = memo.get(name, _MISSING)
+        if sld is _MISSING:
+            base = psl.suffix_and_base(normalise(name))[1]
+            sld = None if base is None else base.split(".", 1)[0]
+            if len(memo) >= _PARSE_MEMO_LIMIT:
+                memo.clear()
+            memo[name] = sld
+        return sld
+
+    return sld_of
+
+
+def snapshot_base_domains(snapshot: ListSnapshot,
+                          psl: Optional[PublicSuffixList] = None) -> frozenset[str]:
+    """The snapshot's entries normalised to unique base domains (cached)."""
+    psl = psl or _DEFAULT_PSL
+    key = _psl_key(psl)
+    cache = snapshot.__dict__.setdefault("_base_domain_sets", {})
+    result = cache.get(key)
+    if result is None:
+        for stale in [k for k in cache if k[0] == key[0] and k[1] < key[1]]:
+            del cache[stale]
+        while len(cache) >= _PSL_GENERATION_LIMIT:
+            del cache[next(iter(cache))]
+        base_of = _base_of_memoised(psl)
+        result = frozenset(base_of(name) for name in snapshot.entries)
+        cache[key] = result
+    return result
+
+
+def archive_base_domain_sets(archive: ListArchive,
+                             top_n: Optional[int] = None,
+                             psl: Optional[PublicSuffixList] = None,
+                             dates: Optional[Sequence[dt.date]] = None
+                             ) -> Mapping[dt.date, frozenset[str]]:
+    """Per-day normalised base-domain sets of an archive, delta-computed.
+
+    Day *n+1* is derived from day *n* by parsing only the entries that
+    were added or removed; a per-base reference count keeps the set exact
+    when multiple FQDNs share a base domain.  Days with identical entry
+    sets share one frozenset object.  The returned mapping is a read-only
+    view of the shared cache (as are all ``archive_*`` results below).
+
+    ``dates`` restricts the computation to a sorted subset of the
+    archive's dates (deltas work between any two consecutive *processed*
+    days, so the subset stays exact); days outside it are neither parsed
+    nor reported.
+    """
+    psl = psl or _DEFAULT_PSL
+    dates_key = None if dates is None else tuple(dates)
+    key = ("base-domain-sets", top_n, dates_key, _psl_key(psl))
+    cache = _archive_cache(archive)
+    result = cache.get(key)
+    if result is not None:
+        return result
+    _evict_superseded(cache, key)
+    result = {}
+    base_of = _base_of_memoised(psl)
+    counts: Counter[str] = Counter()
+    prev_raw: Optional[frozenset[str]] = None
+    prev_frozen: frozenset[str] = frozenset()
+    snapshots = archive if dates_key is None else (archive[d] for d in dates_key)
+    for snapshot in snapshots:
+        snap = snapshot.top(top_n) if top_n is not None else snapshot
+        raw = snap.domain_set()
+        if prev_raw is None:
+            for name in snap.entries:
+                counts[base_of(name)] += 1
+            frozen = frozenset(counts)
+        else:
+            removed = prev_raw - raw
+            added = raw - prev_raw
+            if removed or added:
+                for name in removed:
+                    base = base_of(name)
+                    remaining = counts[base] - 1
+                    if remaining:
+                        counts[base] = remaining
+                    else:
+                        del counts[base]
+                for name in added:
+                    counts[base_of(name)] += 1
+                frozen = frozenset(counts)
+            else:
+                frozen = prev_frozen
+        result[snap.date] = frozen
+        prev_raw = raw
+        prev_frozen = frozen
+    view = MappingProxyType(result)
+    cache[key] = view
+    return view
+
+
+def archive_domain_sets(archive: ListArchive,
+                        top_n: Optional[int] = None,
+                        dates: Optional[Sequence[dt.date]] = None
+                        ) -> Mapping[dt.date, frozenset[str]]:
+    """Per-day raw (un-normalised) domain sets of an archive (cached).
+
+    ``dates`` restricts the result to a subset of the archive's dates.
+    """
+    dates_key = None if dates is None else tuple(dates)
+    key = ("domain-sets", top_n, dates_key)
+    cache = _archive_cache(archive)
+    view = cache.get(key)
+    if view is None:
+        same_family = [k for k in cache if k[:2] == key[:2]]
+        while len(same_family) >= _PSL_GENERATION_LIMIT:
+            del cache[same_family.pop(0)]
+        result = {}
+        snapshots = archive if dates_key is None else (archive[d] for d in dates_key)
+        for snapshot in snapshots:
+            snap = snapshot.top(top_n) if top_n is not None else snapshot
+            result[snap.date] = snap.domain_set()
+        view = MappingProxyType(result)
+        cache[key] = view
+    return view
+
+
+def archive_sld_count_events(archive: ListArchive,
+                             top_n: Optional[int] = None,
+                             psl: Optional[PublicSuffixList] = None
+                             ) -> tuple[tuple[dt.date, ...],
+                                        Mapping[str, tuple[tuple[int, int], ...]]]:
+    """Per-SLD-group membership counts as change events.
+
+    Returns ``(dates, events)`` where ``events[group]`` is a sequence of
+    ``(day_index, count)`` pairs: the group's member count becomes
+    ``count`` on ``dates[day_index]`` and stays there until the next
+    event.  Before a group's first event its count is zero.  Only entries
+    that changed between consecutive days are parsed.
+    """
+    psl = psl or _DEFAULT_PSL
+    key = ("sld-count-events", top_n, _psl_key(psl))
+    cache = _archive_cache(archive)
+    hit = cache.get(key)
+    if hit is not None:
+        return hit
+    _evict_superseded(cache, key)
+    dates: list[dt.date] = []
+    events: dict[str, list[tuple[int, int]]] = {}
+    sld_of = _sld_of_memoised(psl)
+    counts: Counter[str] = Counter()
+    prev_raw: Optional[frozenset[str]] = None
+    for index, snapshot in enumerate(archive):
+        snap = snapshot.top(top_n) if top_n is not None else snapshot
+        dates.append(snap.date)
+        raw = snap.domain_set()
+        if prev_raw is None:
+            for name in snap.entries:
+                sld = sld_of(name)
+                if sld is not None:
+                    counts[sld] += 1
+            for group, count in counts.items():
+                events[group] = [(0, count)]
+        else:
+            changed: set[str] = set()
+            for name in prev_raw - raw:
+                sld = sld_of(name)
+                if sld is None:
+                    continue
+                remaining = counts[sld] - 1
+                if remaining:
+                    counts[sld] = remaining
+                else:
+                    del counts[sld]
+                changed.add(sld)
+            for name in raw - prev_raw:
+                sld = sld_of(name)
+                if sld is None:
+                    continue
+                counts[sld] += 1
+                changed.add(sld)
+            for group in changed:
+                count = counts.get(group, 0)
+                series = events.setdefault(group, [])
+                last = series[-1][1] if series else 0
+                if count != last:
+                    series.append((index, count))
+        prev_raw = raw
+    result = (tuple(dates),
+              MappingProxyType({group: tuple(series) for group, series in events.items()}))
+    cache[key] = result
+    return result
+
+
+def counts_per_day(events: Sequence[tuple[int, int]], n_days: int) -> list[int]:
+    """Expand a change-event series into one count per day index."""
+    expanded = [0] * n_days
+    for position, (start, count) in enumerate(events):
+        end = events[position + 1][0] if position + 1 < len(events) else n_days
+        for index in range(start, end):
+            expanded[index] = count
+    return expanded
+
+
+def archive_rank_series(archive: ListArchive,
+                        top_n: Optional[int] = None
+                        ) -> Mapping[str, tuple[tuple[dt.date, int], ...]]:
+    """Per-domain ``(date, rank)`` observations in date order (cached).
+
+    Built once per ``(archive, top_n)`` and shared by every analysis that
+    needs per-domain rank distributions (e.g. Table 4 rank variation).
+    """
+    key = ("rank-series", top_n)
+    cache = _archive_cache(archive)
+    view = cache.get(key)
+    if view is None:
+        result: dict[str, list[tuple[dt.date, int]]] = {}
+        for snapshot in archive:
+            snap = snapshot.top(top_n) if top_n is not None else snapshot
+            date = snap.date
+            for rank, domain in enumerate(snap.entries, start=1):
+                observations = result.get(domain)
+                if observations is None:
+                    result[domain] = [(date, rank)]
+                else:
+                    observations.append((date, rank))
+        view = MappingProxyType({domain: tuple(obs) for domain, obs in result.items()})
+        cache[key] = view
+    return view
+
+
+def _freeze_rank_dict(ranks: dict[str, list[int]]) -> Mapping[str, tuple[int, ...]]:
+    return MappingProxyType({domain: tuple(values) for domain, values in ranks.items()})
+
+
+def archive_rank_partition(archive: ListArchive,
+                           top_n: Optional[int] = None,
+                           weekend: Sequence[int] = (5, 6)
+                           ) -> tuple[Mapping[str, tuple[int, ...]],
+                                      Mapping[str, tuple[int, ...]]]:
+    """Per-domain rank observations split into (weekday, weekend) groups.
+
+    Cached per ``(archive, top_n, weekend)``; ranks are in date order.
+    This is the substrate of the Figure-3a weekday/weekend KS analysis.
+    """
+    weekend_key = tuple(weekend)
+    key = ("rank-partition", top_n, weekend_key)
+    cache = _archive_cache(archive)
+    hit = cache.get(key)
+    if hit is not None:
+        return hit
+    weekday_ranks: dict[str, list[int]] = defaultdict(list)
+    weekend_ranks: dict[str, list[int]] = defaultdict(list)
+    weekend_set = frozenset(weekend_key)
+    for snapshot in archive:
+        snap = snapshot.top(top_n) if top_n is not None else snapshot
+        target = weekend_ranks if snap.date.weekday() in weekend_set else weekday_ranks
+        for rank, domain in enumerate(snap.entries, start=1):
+            target[domain].append(rank)
+    result = (_freeze_rank_dict(weekday_ranks), _freeze_rank_dict(weekend_ranks))
+    cache[key] = result
+    return result
+
+
+def archive_alternating_half_ranks(archive: ListArchive,
+                                   top_n: Optional[int] = None,
+                                   weekend: Sequence[int] = (5, 6),
+                                   use_weekends: bool = False
+                                   ) -> tuple[Mapping[str, tuple[int, ...]],
+                                              Mapping[str, tuple[int, ...]]]:
+    """Rank observations of one day group split into alternating halves.
+
+    The control comparison of Figure 3a: take only weekday (or only
+    weekend) snapshots and assign them alternately to two halves.
+    Cached per ``(archive, top_n, weekend, use_weekends)``.
+    """
+    weekend_key = tuple(weekend)
+    key = ("half-ranks", top_n, weekend_key, use_weekends)
+    cache = _archive_cache(archive)
+    hit = cache.get(key)
+    if hit is not None:
+        return hit
+    weekend_set = frozenset(weekend_key)
+    first_half: dict[str, list[int]] = defaultdict(list)
+    second_half: dict[str, list[int]] = defaultdict(list)
+    index = 0
+    for snapshot in archive:
+        if (snapshot.date.weekday() in weekend_set) != use_weekends:
+            continue
+        snap = snapshot.top(top_n) if top_n is not None else snapshot
+        target = first_half if index % 2 == 0 else second_half
+        index += 1
+        for rank, domain in enumerate(snap.entries, start=1):
+            target[domain].append(rank)
+    result = (_freeze_rank_dict(first_half), _freeze_rank_dict(second_half))
+    cache[key] = result
+    return result

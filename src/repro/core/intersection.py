@@ -9,9 +9,15 @@ found in only one list ("disjunct" domains).
 from __future__ import annotations
 
 import datetime as dt
+from collections import Counter
 from itertools import combinations
 from typing import Iterable, Mapping, Optional, Sequence
 
+from repro.core.cache import (
+    archive_base_domain_sets,
+    archive_domain_sets,
+    snapshot_base_domains,
+)
 from repro.core.structure import normalise_to_base_domains
 from repro.domain.psl import PublicSuffixList
 from repro.providers.base import ListArchive, ListSnapshot
@@ -20,8 +26,26 @@ from repro.providers.base import ListArchive, ListSnapshot
 def _domain_set(snapshot: ListSnapshot, normalise: bool,
                 psl: Optional[PublicSuffixList]) -> frozenset[str]:
     if normalise:
-        return frozenset(normalise_to_base_domains(snapshot.entries, psl=psl))
+        return snapshot_base_domains(snapshot, psl=psl)
     return snapshot.domain_set()
+
+
+def _matrix_from_sets(sets: Mapping[str, frozenset[str]]) -> dict[tuple[str, ...], int]:
+    result: dict[tuple[str, ...], int] = {}
+    for name_a, name_b in combinations(sorted(sets), 2):
+        result[(name_a, name_b)] = len(sets[name_a] & sets[name_b])
+    if len(sets) >= 3:
+        names = tuple(sorted(sets))
+        # Intersect the frozensets directly, smallest first, so the
+        # working set only ever shrinks and nothing is copied up front.
+        ordered = sorted(sets.values(), key=len)
+        common = ordered[0]
+        for other in ordered[1:]:
+            common = common & other
+            if not common:
+                break
+        result[names] = len(common)
+    return result
 
 
 def pairwise_intersection(a: ListSnapshot, b: ListSnapshot,
@@ -41,14 +65,7 @@ def intersection_matrix(snapshots: Mapping[str, ListSnapshot],
     contains every provider (only added when there are 3+ snapshots).
     """
     sets = {name: _domain_set(snap, normalise, psl) for name, snap in snapshots.items()}
-    result: dict[tuple[str, ...], int] = {}
-    for name_a, name_b in combinations(sorted(sets), 2):
-        result[(name_a, name_b)] = len(sets[name_a] & sets[name_b])
-    if len(sets) >= 3:
-        names = tuple(sorted(sets))
-        common = set.intersection(*(set(s) for s in sets.values()))
-        result[names] = len(common)
-    return result
+    return _matrix_from_sets(sets)
 
 
 def intersection_over_time(archives: Mapping[str, ListArchive],
@@ -59,19 +76,28 @@ def intersection_over_time(archives: Mapping[str, ListArchive],
     """Per-day intersection matrix over the dates shared by all archives.
 
     This is Figure 1a: the daily intersection counts between the Top-1M
-    (or, with ``top_n``, Top-1k) lists.
+    (or, with ``top_n``, Top-1k) lists.  Each archive's per-day
+    (base-)domain sets come from the incremental per-archive cache, so
+    only the ~1% of entries that change between days are re-parsed.
     """
-    date_sets = [set(a.dates()) for a in archives.values()]
-    if not date_sets:
+    if not archives:
         return {}
-    common_dates = sorted(set.intersection(*date_sets))
+    effective_top = top_n if top_n else None
+    common_dates = sorted(set.intersection(*(set(a.dates()) for a in archives.values())))
+    per_archive: dict[str, Mapping[dt.date, frozenset[str]]] = {}
+    for name, archive in archives.items():
+        # Only the shared dates are analysed (and parsed); an archive whose
+        # dates all are shared uses the date-unrestricted cache entry.
+        dates = None if len(common_dates) == len(archive) else common_dates
+        if normalise:
+            per_archive[name] = archive_base_domain_sets(
+                archive, top_n=effective_top, psl=psl, dates=dates)
+        else:
+            per_archive[name] = archive_domain_sets(archive, top_n=effective_top, dates=dates)
     series: dict[dt.date, dict[tuple[str, ...], int]] = {}
     for date in common_dates:
-        snapshots = {}
-        for name, archive in archives.items():
-            snapshot = archive[date]
-            snapshots[name] = snapshot.top(top_n) if top_n else snapshot
-        series[date] = intersection_matrix(snapshots, normalise=normalise, psl=psl)
+        series[date] = _matrix_from_sets(
+            {name: sets[date] for name, sets in per_archive.items()})
     return series
 
 
@@ -106,14 +132,13 @@ def disjunct_domains(sets_by_list: Mapping[str, Iterable[str]],
             normalised[name] = set(normalise_to_base_domains(names, psl=psl))
         else:
             normalised[name] = set(names)
-    result: dict[str, set[str]] = {}
-    for name, domains in normalised.items():
-        others: set[str] = set()
-        for other_name, other_domains in normalised.items():
-            if other_name != name:
-                others |= other_domains
-        result[name] = domains - others
-    return result
+    # One global membership count replaces the O(k²) per-provider union of
+    # "all others": a domain is disjunct iff exactly one list carries it.
+    membership: Counter[str] = Counter()
+    for domains in normalised.values():
+        membership.update(domains)
+    return {name: {domain for domain in domains if membership[domain] == 1}
+            for name, domains in normalised.items()}
 
 
 def jaccard_index(a: Sequence[str] | set[str], b: Sequence[str] | set[str]) -> float:

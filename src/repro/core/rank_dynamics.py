@@ -10,6 +10,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Iterable, Optional, Sequence
 
+from repro.core.cache import archive_rank_series
 from repro.providers.base import ListArchive
 from repro.stats.kendall import kendall_tau_ranked_lists
 from repro.stats.summary import median
@@ -98,24 +99,20 @@ def rank_variation(archive: ListArchive, domains: Iterable[str]) -> dict[str, Ra
     Days on which a domain is not listed are ignored for the
     highest/median/lowest statistics (but reflected in ``days_listed``).
     """
-    snapshots = archive.snapshots()
-    ranks: dict[str, list[int]] = {domain: [] for domain in domains}
-    for snapshot in snapshots:
-        for domain in ranks:
-            rank = snapshot.rank_of(domain)
-            if rank is not None:
-                ranks[domain].append(rank)
+    series = archive_rank_series(archive)
+    days_total = len(archive)
     result: dict[str, RankVariation] = {}
-    for domain, observed in ranks.items():
+    for domain in domains:
+        observed = [rank for _, rank in series.get(domain, ())]
         if observed:
             result[domain] = RankVariation(
                 domain=domain, provider=archive.provider,
                 highest=min(observed), median=median(observed),
                 lowest=max(observed), days_listed=len(observed),
-                days_total=len(snapshots))
+                days_total=days_total)
         else:
             result[domain] = RankVariation(
                 domain=domain, provider=archive.provider,
                 highest=None, median=None, lowest=None,
-                days_listed=0, days_total=len(snapshots))
+                days_listed=0, days_total=days_total)
     return result

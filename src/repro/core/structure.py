@@ -13,12 +13,12 @@ from dataclasses import dataclass
 from typing import Iterable, Mapping, Optional
 
 from repro.domain.name import DomainName
-from repro.domain.psl import PublicSuffixList
+from repro.domain.psl import PublicSuffixList, default_list
 from repro.domain.tld import TldCoverage, TldRegistry
 from repro.providers.base import ListArchive, ListSnapshot
 from repro.stats.summary import MeanStd, mean_std
 
-_DEFAULT_PSL = PublicSuffixList()
+_DEFAULT_PSL = default_list()
 _DEFAULT_REGISTRY = TldRegistry()
 
 

@@ -9,21 +9,31 @@ Two analyses:
   in the list differs by more than a threshold between weekdays and
   weekends (Figures 3b/3c), which the paper uses to show that
   leisure-oriented domains gain on weekends and office platforms lose.
+
+Both analyses draw on the shared per-archive caches in
+:mod:`repro.core.cache`: the weekday/weekend (and alternating-half) rank
+partitions are built once per ``(archive, top_n, weekend)``, and the
+SLD-group member counts are maintained as day-to-day deltas, so only
+entries that enter or leave the list are parsed through the PSL.
 """
 
 from __future__ import annotations
 
 import datetime as dt
-from collections import Counter, defaultdict
 from dataclasses import dataclass
 from typing import Mapping, Optional, Sequence
 
-from repro.domain.name import DomainName
-from repro.domain.psl import PublicSuffixList
+from repro.core.cache import (
+    archive_alternating_half_ranks,
+    archive_rank_partition,
+    archive_sld_count_events,
+    counts_per_day,
+)
+from repro.domain.psl import PublicSuffixList, default_list
 from repro.providers.base import ListArchive
 from repro.stats.ks import ks_distance
 
-_DEFAULT_PSL = PublicSuffixList()
+_DEFAULT_PSL = default_list()
 
 #: Saturday and Sunday (Python weekday numbers), the paper's weekend.
 WEEKEND_WEEKDAYS: tuple[int, ...] = (5, 6)
@@ -42,19 +52,13 @@ def weekday_weekend_ks(archive: ListArchive, top_n: Optional[int] = None,
     are reported.  A value of 1.0 means the two distributions share no
     common rank (the paper finds ~35% such domains in the late Alexa list).
     """
-    snapshots = archive.snapshots()
-    if top_n is not None:
-        snapshots = [s.top(top_n) for s in snapshots]
-    weekday_ranks: dict[str, list[int]] = defaultdict(list)
-    weekend_ranks: dict[str, list[int]] = defaultdict(list)
-    for snapshot in snapshots:
-        target = weekend_ranks if _is_weekend(snapshot.date, weekend) else weekday_ranks
-        for rank, domain in enumerate(snapshot.entries, start=1):
-            target[domain].append(rank)
+    weekday_ranks, weekend_ranks = archive_rank_partition(
+        archive, top_n=top_n, weekend=weekend)
+    empty: list[int] = []
     distances: dict[str, float] = {}
-    for domain in set(weekday_ranks) | set(weekend_ranks):
-        on_weekdays = weekday_ranks.get(domain, [])
-        on_weekends = weekend_ranks.get(domain, [])
+    for domain in weekday_ranks.keys() | weekend_ranks.keys():
+        on_weekdays = weekday_ranks.get(domain, empty)
+        on_weekends = weekend_ranks.get(domain, empty)
         if len(on_weekdays) < min_observations or len(on_weekends) < min_observations:
             continue
         distances[domain] = ks_distance(on_weekdays, on_weekends)
@@ -71,23 +75,16 @@ def within_group_ks(archive: ListArchive, top_n: Optional[int] = None,
     weekday-vs-weekday (and weekend-vs-weekend) distances, which stay very
     small.  The halves are formed by alternating the group's days.
     """
-    snapshots = archive.snapshots()
-    if top_n is not None:
-        snapshots = [s.top(top_n) for s in snapshots]
-    selected = [s for s in snapshots if _is_weekend(s.date, weekend) == use_weekends]
-    first_half: dict[str, list[int]] = defaultdict(list)
-    second_half: dict[str, list[int]] = defaultdict(list)
-    for index, snapshot in enumerate(selected):
-        target = first_half if index % 2 == 0 else second_half
-        for rank, domain in enumerate(snapshot.entries, start=1):
-            target[domain].append(rank)
+    first_ranks, second_ranks = archive_alternating_half_ranks(
+        archive, top_n=top_n, weekend=weekend, use_weekends=use_weekends)
+    empty: list[int] = []
     distances: dict[str, float] = {}
-    for domain in set(first_half) | set(second_half):
-        a = first_half.get(domain, [])
-        b = second_half.get(domain, [])
-        if len(a) < min_observations or len(b) < min_observations:
+    for domain in first_ranks.keys() | second_ranks.keys():
+        first_half = first_ranks.get(domain, empty)
+        second_half = second_ranks.get(domain, empty)
+        if len(first_half) < min_observations or len(second_half) < min_observations:
             continue
-        distances[domain] = ks_distance(a, b)
+        distances[domain] = ks_distance(first_half, second_half)
     return distances
 
 
@@ -124,39 +121,45 @@ def sld_group_dynamics(archive: ListArchive, top_n: Optional[int] = None,
     ``blogspot.*`` names form one group), counts the group's members per
     day, and reports groups whose weekday/weekend mean counts differ by
     more than ``threshold`` (40% in the paper).
+
+    Group counts come from the per-archive change-event cache, so the
+    weekday/weekend means are integrated over count-change segments
+    instead of per-day scans; the sums (and therefore the means and every
+    reported value) are identical to the per-day computation.
     """
     psl = psl or _DEFAULT_PSL
-    snapshots = archive.snapshots()
-    if top_n is not None:
-        snapshots = [s.top(top_n) for s in snapshots]
-    all_dates = [s.date for s in snapshots]
-    series: dict[str, dict[dt.date, int]] = defaultdict(dict)
-    for snapshot in snapshots:
-        counts: Counter[str] = Counter()
-        for domain in snapshot.entries:
-            sld = DomainName.parse(domain, psl=psl).sld
-            if sld is not None:
-                counts[sld] += 1
-        for group, count in counts.items():
-            series[group][snapshot.date] = count
-    has_weekdays = any(not _is_weekend(d, weekend) for d in all_dates)
-    has_weekends = any(_is_weekend(d, weekend) for d in all_dates)
+    dates, events_by_group = archive_sld_count_events(archive, top_n=top_n, psl=psl)
+    n_days = len(dates)
+    weekend_flags = [_is_weekend(date, weekend) for date in dates]
+    # Prefix counts of weekday/weekend days up to (exclusive) each index.
+    weekday_prefix = [0] * (n_days + 1)
+    weekend_prefix = [0] * (n_days + 1)
+    for index, flag in enumerate(weekend_flags):
+        weekday_prefix[index + 1] = weekday_prefix[index] + (0 if flag else 1)
+        weekend_prefix[index + 1] = weekend_prefix[index] + (1 if flag else 0)
+    n_weekdays = weekday_prefix[n_days]
+    n_weekends = weekend_prefix[n_days]
+    if n_weekdays == 0 or n_weekends == 0:
+        return {}
     result: dict[str, SldGroupDynamics] = {}
-    for group, per_day in series.items():
-        # Days on which the group has no member in the list count as zero.
-        weekday_counts = [per_day.get(date, 0) for date in all_dates
-                          if not _is_weekend(date, weekend)]
-        weekend_counts = [per_day.get(date, 0) for date in all_dates
-                          if _is_weekend(date, weekend)]
-        if not has_weekdays or not has_weekends:
-            continue
-        weekday_mean = sum(weekday_counts) / len(weekday_counts)
-        weekend_mean = sum(weekend_counts) / len(weekend_counts)
+    for group, events in events_by_group.items():
+        weekday_sum = 0
+        weekend_sum = 0
+        for position, (start, count) in enumerate(events):
+            if not count:
+                continue
+            end = events[position + 1][0] if position + 1 < len(events) else n_days
+            weekday_sum += count * (weekday_prefix[end] - weekday_prefix[start])
+            weekend_sum += count * (weekend_prefix[end] - weekend_prefix[start])
+        weekday_mean = weekday_sum / n_weekdays
+        weekend_mean = weekend_sum / n_weekends
         if max(weekday_mean, weekend_mean) < min_group_size:
             continue
         base = max(weekday_mean, 1e-9)
         if abs(weekend_mean - weekday_mean) / base > threshold:
-            full_series = {date: per_day.get(date, 0) for date in all_dates}
+            # Days on which the group has no member in the list count as zero.
+            per_day = counts_per_day(events, n_days)
+            full_series = {date: per_day[index] for index, date in enumerate(dates)}
             result[group] = SldGroupDynamics(group=group,
                                              weekday_mean=weekday_mean,
                                              weekend_mean=weekend_mean,

@@ -17,14 +17,14 @@ from dataclasses import dataclass
 from functools import lru_cache
 from typing import Optional
 
-from repro.domain.psl import PublicSuffixList
+from repro.domain.psl import PublicSuffixList, default_list
 
 #: Maximum length of a DNS name in presentation format.
 MAX_NAME_LENGTH = 253
 #: Maximum length of a single DNS label.
 MAX_LABEL_LENGTH = 63
 
-_DEFAULT_PSL = PublicSuffixList()
+_DEFAULT_PSL = default_list()
 
 
 class InvalidDomainError(ValueError):
@@ -85,8 +85,7 @@ class DomainName:
         """Parse and classify ``raw`` using ``psl`` (default built-in PSL)."""
         psl = psl or _DEFAULT_PSL
         name = normalise(raw)
-        suffix = psl.public_suffix(name)
-        base = psl.base_domain(name)
+        suffix, base = psl.suffix_and_base(name)
         if base is None:
             depth = 0
         else:
@@ -127,8 +126,14 @@ class DomainName:
 
 
 @lru_cache(maxsize=262144)
-def _parse_cached(name: str) -> DomainName:
+def _parse_cached_versioned(name: str, _psl_version: int) -> DomainName:
+    # The version argument keys the cache on the default PSL's rule set,
+    # so adding a rule to it after lookups cannot serve stale parses.
     return DomainName.parse(name)
+
+
+def _parse_cached(name: str) -> DomainName:
+    return _parse_cached_versioned(name, _DEFAULT_PSL.version)
 
 
 def base_domain(name: str, psl: Optional[PublicSuffixList] = None) -> Optional[str]:

@@ -10,15 +10,26 @@ rule list with three kinds of rules:
 * exception rules (``!www.ck``) — override a wildcard.
 
 This module implements the standard PSL matching algorithm over an
-in-memory rule set.  A built-in default rule set covers the suffixes that
-matter for the paper's analyses (generic TLDs, common ccTLDs, multi-label
-suffixes such as ``co.uk`` and ``com.au``, and "private" suffixes such as
+in-memory rule set.  Matching walks a reversed-label suffix trie once per
+name (right to left), instead of materialising every candidate suffix
+string, and the ``(public suffix, base domain)`` answer per name is kept
+in a bounded LRU memo that is shared by every caller — the daily top
+lists overlap almost completely between days, so the memo turns the
+normalisation hot path into dictionary lookups.  :meth:`add_rule` bumps
+an internal version and drops the memo, so rule changes are always
+visible to later lookups.
+
+A built-in default rule set covers the suffixes that matter for the
+paper's analyses (generic TLDs, common ccTLDs, multi-label suffixes such
+as ``co.uk`` and ``com.au``, and "private" suffixes such as
 ``blogspot.com`` that the paper groups specially); callers can supply
 their own rules, e.g. parsed from a downloaded PSL file.
 """
 
 from __future__ import annotations
 
+import copy
+from collections import OrderedDict
 from typing import Iterable, Optional, Sequence
 
 #: Suffix rules shipped with the library.  This is intentionally a compact,
@@ -67,6 +78,25 @@ DEFAULT_RULES: tuple[str, ...] = (
     "fastly.net", "akamaized.net", "wordpress.com", "tumblr.com",
 )
 
+#: Default bound on the per-list lookup memo (names, not bytes).
+DEFAULT_MEMO_SIZE = 262_144
+
+#: Monotonic id source for :attr:`PublicSuffixList.cache_key`.  ``id()``
+#: is unsafe as a cache key — it can be reused after an instance dies.
+_instance_ids = iter(range(1, 2**63)).__next__
+
+
+class _TrieNode:
+    """One reversed-label trie node (label path reads right-to-left)."""
+
+    __slots__ = ("children", "is_exact", "is_exception", "has_wildcard")
+
+    def __init__(self) -> None:
+        self.children: dict[str, _TrieNode] = {}
+        self.is_exact = False
+        self.is_exception = False
+        self.has_wildcard = False
+
 
 class PublicSuffixList:
     """Matcher implementing the Public Suffix List algorithm.
@@ -76,12 +106,18 @@ class PublicSuffixList:
     rules:
         Iterable of PSL rules (``"com"``, ``"co.uk"``, ``"*.ck"``,
         ``"!www.ck"``).  When omitted the built-in default rule set is used.
+    memo_size:
+        Bound on the internal lookup memo (number of distinct names).
     """
 
-    def __init__(self, rules: Optional[Iterable[str]] = None) -> None:
-        self._exact: set[str] = set()
-        self._wildcard: set[str] = set()
-        self._exception: set[str] = set()
+    def __init__(self, rules: Optional[Iterable[str]] = None,
+                 memo_size: int = DEFAULT_MEMO_SIZE) -> None:
+        self._rule_count = 0
+        self._root = _TrieNode()
+        self._memo: OrderedDict[str, tuple[Optional[str], Optional[str]]] = OrderedDict()
+        self._memo_size = max(0, memo_size)
+        self._version = 0
+        self._uid = _instance_ids()
         for rule in (rules if rules is not None else DEFAULT_RULES):
             self.add_rule(rule)
 
@@ -102,30 +138,151 @@ class PublicSuffixList:
                 rules.append(line)
         return cls(rules=rules)
 
+    @property
+    def version(self) -> int:
+        """Monotonic rule-set version; bumps whenever a rule is added.
+
+        Caches layered above the PSL (parse memos, per-archive normalised
+        sets) key on :attr:`cache_key` so a rule change invalidates them
+        without any back-references.
+        """
+        return self._version
+
+    @property
+    def cache_key(self) -> tuple[int, int]:
+        """Stable identity+version key for external caches.
+
+        The first component is a process-unique instance id (never
+        reused, unlike ``id()``), the second the rule-set version.
+        """
+        return (self._uid, self._version)
+
+    def __setstate__(self, state: dict) -> None:
+        # pickle/copy restore path: a copy must not share the original's
+        # cache identity (or diverging copies could serve each other's
+        # externally cached results), nor its mutable trie/memos (or
+        # copy.copy originals would see the copy's add_rule mutations
+        # without a version bump).
+        self.__dict__.update(state)
+        self.__dict__["_uid"] = _instance_ids()
+        self.__dict__["_root"] = copy.deepcopy(self._root)
+        self.__dict__["_memo"] = OrderedDict()
+        self.__dict__.pop("_derived_memos", None)
+
     def add_rule(self, rule: str) -> None:
-        """Register a single PSL rule."""
+        """Register a single PSL rule and invalidate cached lookups."""
         rule = rule.strip().lower().strip(".")
         if not rule:
             raise ValueError("empty PSL rule")
         if rule.startswith("!"):
-            self._exception.add(rule[1:])
+            added = self._insert(rule[1:], kind="exception")
         elif rule.startswith("*."):
-            self._wildcard.add(rule[2:])
+            added = self._insert(rule[2:], kind="wildcard")
         else:
-            self._exact.add(rule)
+            added = self._insert(rule, kind="exact")
+        if added:
+            # Duplicate rules change no answers, so cached lookups (and
+            # every cache layered on the version) stay valid.
+            self._rule_count += 1
+            self._version += 1
+            self._memo.clear()
+
+    def _insert(self, suffix: str, kind: str) -> bool:
+        """Insert a rule into the trie; return whether it was new."""
+        node = self._root
+        for label in reversed(suffix.split(".")):
+            node = node.children.setdefault(label, _TrieNode())
+        if kind == "exact":
+            added = not node.is_exact
+            node.is_exact = True
+        elif kind == "exception":
+            added = not node.is_exception
+            node.is_exception = True
+        else:
+            added = not node.has_wildcard
+            node.has_wildcard = True
+        return added
 
     def __len__(self) -> int:
-        return len(self._exact) + len(self._wildcard) + len(self._exception)
+        return self._rule_count
 
     def __contains__(self, suffix: str) -> bool:
         return self.is_public_suffix(suffix)
+
+    def _suffix_label_count(self, labels: Sequence[str]) -> int:
+        """Length (in labels) of the longest matching rule's suffix, 0 if none.
+
+        Single right-to-left walk.  Exception rules beat wildcard rules for
+        the same candidate, and an exception's suffix is the rule minus its
+        left label — all matches of equal length denote the same suffix
+        string, so tracking the maximum length is sufficient.
+
+        A degenerate single-label exception rule (``!x``, invalid per the
+        PSL spec) matches zero labels and falls through to the implicit
+        ``*`` rule; the previous matcher returned a broken empty-string
+        suffix for it, so this is an intentional divergence.
+        """
+        node = self._root
+        best = 0
+        depth = 0
+        for label in labels[::-1]:
+            child = node.children.get(label)
+            if node.has_wildcard and not (child is not None and child.is_exception):
+                if depth + 1 > best:
+                    best = depth + 1
+            if child is None:
+                break
+            depth += 1
+            if child.is_exception:
+                if depth - 1 > best:
+                    best = depth - 1
+            elif child.is_exact:
+                if depth > best:
+                    best = depth
+            node = child
+        return best
+
+    def _lookup(self, name: str) -> tuple[Optional[str], Optional[str]]:
+        """Memoised ``(public suffix, base domain)`` for a normalised name."""
+        memo = self._memo
+        hit = memo.get(name)
+        if hit is not None:
+            memo.move_to_end(name)
+            return hit
+        labels = name.split(".")
+        count = self._suffix_label_count(labels)
+        if count == 0:
+            # Implicit "*" rule: the rightmost label is the public suffix.
+            count = 1
+        if count >= len(labels):
+            result = (name, None)
+        else:
+            suffix = ".".join(labels[len(labels) - count:])
+            base = ".".join(labels[len(labels) - count - 1:])
+            result = (suffix, base)
+        if self._memo_size:
+            if len(memo) >= self._memo_size:
+                memo.popitem(last=False)
+            memo[name] = result
+        return result
+
+    def suffix_and_base(self, name: str) -> tuple[Optional[str], Optional[str]]:
+        """Return ``(public suffix, base domain)`` of ``name`` in one lookup.
+
+        The base domain is ``None`` when the name is itself a public
+        suffix; both are ``None`` for empty input.
+        """
+        name = name.strip().lower().strip(".")
+        if not name:
+            return None, None
+        return self._lookup(name)
 
     def is_public_suffix(self, name: str) -> bool:
         """Return whether ``name`` itself is a public suffix."""
         name = name.strip().lower().strip(".")
         if not name:
             return False
-        return self.public_suffix(name) == name
+        return self._lookup(name)[0] == name
 
     def public_suffix(self, name: str) -> Optional[str]:
         """Return the public suffix of ``name`` or ``None`` for empty input.
@@ -134,48 +291,14 @@ class PublicSuffixList:
         exception rules beat wildcard rules, and an unknown TLD is treated
         as a public suffix of one label (the implicit ``*`` rule).
         """
-        name = name.strip().lower().strip(".")
-        if not name:
-            return None
-        labels = name.split(".")
-        best: Optional[Sequence[str]] = None
-        for start in range(len(labels)):
-            candidate = labels[start:]
-            cand_str = ".".join(candidate)
-            parent = ".".join(candidate[1:])
-            if cand_str in self._exception:
-                # The exception rule's suffix is the rule minus its left label.
-                match = candidate[1:]
-                if best is None or len(match) > len(best):
-                    best = match
-                continue
-            if cand_str in self._exact:
-                if best is None or len(candidate) > len(best):
-                    best = candidate
-            if parent and parent in self._wildcard and cand_str not in self._exception:
-                if best is None or len(candidate) > len(best):
-                    best = candidate
-        if best is None:
-            # Implicit "*" rule: the rightmost label is the public suffix.
-            best = labels[-1:]
-        return ".".join(best)
+        return self.suffix_and_base(name)[0]
 
     def base_domain(self, name: str) -> Optional[str]:
         """Return the registrable (base) domain: public suffix plus one label.
 
         Returns ``None`` when ``name`` is itself a public suffix or empty.
         """
-        name = name.strip().lower().strip(".")
-        if not name:
-            return None
-        suffix = self.public_suffix(name)
-        if suffix is None or name == suffix:
-            return None
-        suffix_labels = suffix.count(".") + 1
-        labels = name.split(".")
-        if len(labels) <= suffix_labels:
-            return None
-        return ".".join(labels[-(suffix_labels + 1):])
+        return self.suffix_and_base(name)[1]
 
     def sld_group(self, name: str) -> Optional[str]:
         """Return the second-level-domain group label used in Section 6.2.
@@ -187,4 +310,20 @@ class PublicSuffixList:
         base = self.base_domain(name)
         if base is None:
             return None
-        return base.split(".")[0]
+        return base.split(".", 1)[0]
+
+
+_DEFAULT_LIST: Optional[PublicSuffixList] = None
+
+
+def default_list() -> PublicSuffixList:
+    """The process-wide default :class:`PublicSuffixList` (built lazily).
+
+    Shared by every module that accepts ``psl=None``, so the default
+    rule set is matched by one trie and memoised once, not once per
+    importing module.
+    """
+    global _DEFAULT_LIST
+    if _DEFAULT_LIST is None:
+        _DEFAULT_LIST = PublicSuffixList()
+    return _DEFAULT_LIST

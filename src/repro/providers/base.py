@@ -11,8 +11,10 @@ real snapshots.
 from __future__ import annotations
 
 import abc
+import bisect
 import csv
 import datetime as dt
+import weakref
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Iterable, Iterator, Mapping, Optional, Sequence
@@ -27,7 +29,9 @@ class ListSnapshot:
     entries: tuple[str, ...]
 
     def __post_init__(self) -> None:
-        if len(set(self.entries)) != len(self.entries):
+        # Validate uniqueness via the per-instance domain-set cache so a
+        # 1M-entry snapshot allocates its set exactly once.
+        if len(self.domain_set()) != len(self.entries):
             raise ValueError("snapshot entries must be unique")
 
     def __len__(self) -> int:
@@ -40,11 +44,30 @@ class ListSnapshot:
         return domain in self.domain_set()
 
     def top(self, n: int) -> "ListSnapshot":
-        """Return a snapshot restricted to the first ``n`` entries."""
+        """Return a snapshot restricted to the first ``n`` entries.
+
+        Heads are cached per instance and returned object-identical on
+        repeated calls, so every analysis that slices the same snapshot
+        (``top_n=...``) shares one set of derived caches.  A prefix of a
+        unique list is unique, so validation is skipped, and rank lookups
+        on a head are answered from the parent's rank index.
+        """
         if n <= 0:
             raise ValueError("n must be positive")
-        return ListSnapshot(provider=self.provider, date=self.date,
-                            entries=self.entries[:n])
+        if n >= len(self.entries):
+            return self
+        cache = self.__dict__.setdefault("_top_cache", {})
+        child = cache.get(n)
+        if child is None:
+            child = object.__new__(ListSnapshot)
+            object.__setattr__(child, "provider", self.provider)
+            object.__setattr__(child, "date", self.date)
+            object.__setattr__(child, "entries", self.entries[:n])
+            # Weak, so a head kept alive on its own does not pin the full
+            # parent snapshot (and its entries tuple) in memory.
+            child.__dict__["_top_parent"] = weakref.ref(self)
+            cache[n] = child
+        return child
 
     def domain_set(self) -> frozenset[str]:
         """The set of domains in the snapshot (cached per instance)."""
@@ -58,9 +81,24 @@ class ListSnapshot:
         """1-based rank of ``domain`` or ``None`` when not listed."""
         ranks = self.__dict__.get("_ranks")
         if ranks is None:
+            parent_ref = self.__dict__.get("_top_parent")
+            parent = parent_ref() if parent_ref is not None else None
+            if parent is not None:
+                # A head shares its parent's rank index: the first n ranks
+                # are identical, so one dict serves every prefix length.
+                rank = parent.rank_of(domain)
+                if rank is not None and rank <= len(self.entries):
+                    return rank
+                return None
             ranks = {name: idx + 1 for idx, name in enumerate(self.entries)}
             self.__dict__["_ranks"] = ranks
         return ranks.get(domain)
+
+    def __getstate__(self) -> dict:
+        # Derived caches (domain set, rank index, heads, normalised sets,
+        # the weak parent link) are pure accelerators and partly
+        # unpicklable; serialise the dataclass fields only.
+        return {"provider": self.provider, "date": self.date, "entries": self.entries}
 
     # -- serialisation ----------------------------------------------------
     def to_csv(self, path: str | Path) -> None:
@@ -89,40 +127,70 @@ class ListSnapshot:
 
 @dataclass
 class ListArchive:
-    """A day-indexed series of snapshots from one provider."""
+    """A day-indexed series of snapshots from one provider.
+
+    The archive maintains a sorted-date index incrementally (one bisect
+    insertion per :meth:`add`) instead of re-sorting on every
+    :meth:`dates`/:meth:`__getitem__` call, and hosts a derived-data cache
+    (see :mod:`repro.core.cache`) that is dropped whenever the archive
+    mutates.
+    """
 
     provider: str
     _snapshots: dict[dt.date, ListSnapshot] = field(default_factory=dict)
+    _dates: list[dt.date] = field(default_factory=list, init=False,
+                                  repr=False, compare=False)
+
+    def __post_init__(self) -> None:
+        self._dates = sorted(self._snapshots)
 
     def add(self, snapshot: ListSnapshot) -> None:
         """Add a snapshot (provider names must match)."""
         if snapshot.provider != self.provider:
             raise ValueError(
                 f"snapshot provider {snapshot.provider!r} != archive provider {self.provider!r}")
+        if snapshot.date not in self._snapshots:
+            bisect.insort(self._dates, snapshot.date)
         self._snapshots[snapshot.date] = snapshot
+        # Any derived per-archive analysis caches are now stale.
+        self.__dict__.pop("_analysis_cache", None)
 
     def __len__(self) -> int:
         return len(self._snapshots)
 
     def __iter__(self) -> Iterator[ListSnapshot]:
-        for date in self.dates():
+        for date in self._dates:
             yield self._snapshots[date]
 
     def __getitem__(self, key: dt.date | int) -> ListSnapshot:
         if isinstance(key, int):
-            return self._snapshots[self.dates()[key]]
+            return self._snapshots[self._dates[key]]
         return self._snapshots[key]
 
     def __contains__(self, date: dt.date) -> bool:
         return date in self._snapshots
 
+    def __getstate__(self) -> dict:
+        # The analysis cache is a pure accelerator holding unpicklable
+        # read-only views; rebuild lazily after unpickling/copying.
+        state = self.__dict__.copy()
+        state.pop("_analysis_cache", None)
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        # Decouple the mutable containers so a copy.copy'd archive cannot
+        # mutate the original's snapshots behind its analysis cache.
+        self.__dict__.update(state)
+        self._snapshots = dict(self._snapshots)
+        self._dates = list(self._dates)
+
     def dates(self) -> list[dt.date]:
         """Sorted dates with a snapshot."""
-        return sorted(self._snapshots)
+        return list(self._dates)
 
     def snapshots(self) -> list[ListSnapshot]:
         """Snapshots in date order."""
-        return [self._snapshots[d] for d in self.dates()]
+        return [self._snapshots[d] for d in self._dates]
 
     def period(self, start: dt.date, end: dt.date) -> "ListArchive":
         """Return the sub-archive with ``start <= date <= end``."""

@@ -1,0 +1,239 @@
+"""Tests for the incremental per-archive analysis caches.
+
+Every cache function is a pure accelerator, so each test checks two
+things: the result is identical to the naive per-day recomputation, and
+the caching/invalidation behaviour (object identity on hits, staleness
+on archive or PSL mutation) holds.
+"""
+
+from __future__ import annotations
+
+import datetime as dt
+import random
+
+import pytest
+
+from repro.core.cache import (
+    archive_base_domain_sets,
+    archive_domain_sets,
+    archive_rank_series,
+    archive_sld_count_events,
+    counts_per_day,
+    snapshot_base_domains,
+)
+from repro.core.structure import normalise_to_base_domains
+from repro.domain.name import DomainName
+from repro.domain.psl import PublicSuffixList
+from repro.providers.base import ListArchive, ListSnapshot
+
+START = dt.date(2018, 4, 1)
+
+
+def _make_archive(provider: str = "alexa", days: int = 12, size: int = 120,
+                  churn: int = 7, seed: int = 7) -> ListArchive:
+    """Archive with ~`churn` entries changing per day, like real top lists."""
+    rng = random.Random(seed)
+    suffixes = ("com", "net", "org", "co.uk", "de", "blogspot.com", "unknowntld")
+    pool = [f"d{i}.{rng.choice(suffixes)}" for i in range(size * 3)]
+    pool += [f"www.d{i}.{rng.choice(suffixes)}" for i in range(size)]
+    current = rng.sample(pool, size)
+    archive = ListArchive(provider=provider)
+    for day in range(days):
+        for _ in range(churn):
+            candidate = rng.choice(pool)
+            if candidate not in current:
+                current[rng.randrange(size)] = candidate
+        rng.shuffle(current)
+        archive.add(ListSnapshot(provider=provider,
+                                 date=START + dt.timedelta(days=day),
+                                 entries=tuple(current)))
+    return archive
+
+
+@pytest.fixture(scope="module")
+def archive() -> ListArchive:
+    return _make_archive()
+
+
+class TestSnapshotBaseDomains:
+    def test_matches_naive(self, archive):
+        snapshot = archive[0]
+        assert snapshot_base_domains(snapshot) == frozenset(
+            normalise_to_base_domains(snapshot.entries))
+
+    def test_cached_identity(self, archive):
+        snapshot = archive[0]
+        assert snapshot_base_domains(snapshot) is snapshot_base_domains(snapshot)
+
+    def test_psl_version_keyed(self):
+        snapshot = ListSnapshot(provider="p", date=START,
+                                entries=("a.faketld", "b.faketld"))
+        psl = PublicSuffixList(["com"])
+        before = snapshot_base_domains(snapshot, psl=psl)
+        assert before == frozenset({"a.faketld", "b.faketld"})
+        psl.add_rule("faketld")
+        after = snapshot_base_domains(snapshot, psl=psl)
+        assert after == frozenset({"a.faketld", "b.faketld"})
+        # Same answer, recomputed under the new version key; the
+        # superseded generation is evicted rather than retained.
+        cache = snapshot.__dict__["_base_domain_sets"]
+        assert len(cache) == 1 and next(iter(cache)) == psl.cache_key
+
+
+class TestArchiveBaseDomainSets:
+    @pytest.mark.parametrize("top_n", [None, 40])
+    def test_matches_naive_per_day(self, archive, top_n):
+        sets = archive_base_domain_sets(archive, top_n=top_n)
+        assert sorted(sets) == archive.dates()
+        for snapshot in archive:
+            head = snapshot.top(top_n) if top_n else snapshot
+            assert sets[snapshot.date] == frozenset(
+                normalise_to_base_domains(head.entries)), snapshot.date
+    def test_cached_identity(self, archive):
+        assert archive_base_domain_sets(archive) is archive_base_domain_sets(archive)
+
+    def test_identical_days_share_one_set(self):
+        entries = ("a.com", "www.a.com", "b.net")
+        archive = ListArchive(provider="p")
+        for day in range(3):
+            archive.add(ListSnapshot(provider="p", date=START + dt.timedelta(days=day),
+                                     entries=entries))
+        sets = archive_base_domain_sets(archive)
+        values = list(sets.values())
+        assert values[0] is values[1] is values[2]
+        assert values[0] == frozenset({"a.com", "b.net"})
+
+    def test_shared_base_refcounting(self):
+        # Day 2 drops www.a.com but keeps a.com: the base must survive.
+        archive = ListArchive(provider="p")
+        archive.add(ListSnapshot(provider="p", date=START,
+                                 entries=("www.a.com", "a.com", "b.net")))
+        archive.add(ListSnapshot(provider="p", date=START + dt.timedelta(days=1),
+                                 entries=("a.com", "b.net", "c.org")))
+        archive.add(ListSnapshot(provider="p", date=START + dt.timedelta(days=2),
+                                 entries=("b.net", "c.org")))
+        sets = archive_base_domain_sets(archive)
+        assert sets[START] == frozenset({"a.com", "b.net"})
+        assert sets[START + dt.timedelta(days=1)] == frozenset({"a.com", "b.net", "c.org"})
+        assert sets[START + dt.timedelta(days=2)] == frozenset({"b.net", "c.org"})
+
+    def test_returned_view_is_read_only(self, archive):
+        sets = archive_base_domain_sets(archive)
+        with pytest.raises((TypeError, AttributeError)):
+            sets.pop(next(iter(sets)))  # type: ignore[attr-defined]
+        series = archive_rank_series(archive)
+        with pytest.raises((TypeError, AttributeError)):
+            next(iter(series.values())).append((START, 1))  # type: ignore[attr-defined]
+
+    def test_restricted_dates_match_full_run(self, archive):
+        subset = archive.dates()[2:7]
+        restricted = archive_base_domain_sets(archive, dates=subset)
+        full = archive_base_domain_sets(archive)
+        assert sorted(restricted) == subset
+        for date in subset:
+            assert restricted[date] == full[date]
+
+    def test_restricted_dates_skip_other_days(self):
+        # A malformed entry outside the requested dates must not be parsed.
+        archive = ListArchive(provider="p")
+        archive.add(ListSnapshot(provider="p", date=START, entries=("ok.com",)))
+        archive.add(ListSnapshot(provider="p", date=START + dt.timedelta(days=1),
+                                 entries=("bad..name",)))
+        restricted = archive_base_domain_sets(archive, dates=[START])
+        assert restricted == {START: frozenset({"ok.com"})}
+
+    def test_date_subset_entries_are_bounded(self, archive):
+        dates = archive.dates()
+        for window in range(8):
+            archive_base_domain_sets(archive, dates=dates[window:window + 3])
+        keys = [k for k in archive.__dict__["_analysis_cache"]
+                if k[:2] == ("base-domain-sets", None)]
+        assert len(keys) <= 4, keys
+        # The newest window is the one retained and still correct.
+        latest = archive_base_domain_sets(archive, dates=dates[7:10])
+        assert sorted(latest) == dates[7:10]
+
+    def test_copied_archive_mutation_does_not_stale_original(self, archive):
+        import copy
+
+        baseline = dict(archive_base_domain_sets(archive))
+        clone = copy.copy(archive)
+        extra = max(archive.dates()) + dt.timedelta(days=30)
+        clone.add(ListSnapshot(provider=archive.provider, date=extra,
+                               entries=("clone-only.com",)))
+        assert extra not in archive
+        assert dict(archive_base_domain_sets(archive)) == baseline
+        assert extra in archive_base_domain_sets(clone)
+
+    def test_invalidated_on_archive_mutation(self, archive):
+        first = archive_base_domain_sets(archive)
+        extra_date = max(archive.dates()) + dt.timedelta(days=1)
+        archive.add(ListSnapshot(provider=archive.provider, date=extra_date,
+                                 entries=("brandnew.com",)))
+        second = archive_base_domain_sets(archive)
+        assert second is not first
+        assert extra_date in second
+
+
+class TestArchiveDomainSets:
+    def test_matches_snapshots(self, archive):
+        sets = archive_domain_sets(archive, top_n=25)
+        for snapshot in archive:
+            assert sets[snapshot.date] == frozenset(snapshot.entries[:25])
+
+
+class TestSldCountEvents:
+    def test_reconstruction_matches_naive(self, archive):
+        dates, events = archive_sld_count_events(archive)
+        assert list(dates) == archive.dates()
+        for group, series in events.items():
+            expanded = counts_per_day(series, len(dates))
+            for index, snapshot in enumerate(archive):
+                naive = sum(1 for name in snapshot.entries
+                            if DomainName.parse(name).sld == group)
+                assert expanded[index] == naive, (group, dates[index])
+
+    def test_all_groups_covered(self, archive):
+        _, events = archive_sld_count_events(archive)
+        seen = {DomainName.parse(name).sld
+                for snapshot in archive for name in snapshot.entries}
+        seen.discard(None)
+        assert set(events) == seen
+
+    def test_cached_identity(self, archive):
+        assert archive_sld_count_events(archive) is archive_sld_count_events(archive)
+
+
+class TestRankSeries:
+    def test_matches_naive(self, archive):
+        series = archive_rank_series(archive, top_n=30)
+        for snapshot in archive:
+            for rank, domain in enumerate(snapshot.entries[:30], start=1):
+                assert (snapshot.date, rank) in series[domain]
+        # Observations are in date order.
+        for observations in series.values():
+            assert [d for d, _ in observations] == sorted(d for d, _ in observations)
+
+    def test_cached_identity(self, archive):
+        assert archive_rank_series(archive, top_n=30) is archive_rank_series(archive, top_n=30)
+
+
+class TestSnapshotTopSharing:
+    def test_top_is_cached_and_identical(self, archive):
+        snapshot = archive[0]
+        assert snapshot.top(10) is snapshot.top(10)
+        assert snapshot.top(10).entries == snapshot.entries[:10]
+
+    def test_top_full_length_returns_self(self, archive):
+        snapshot = archive[0]
+        assert snapshot.top(len(snapshot)) is snapshot
+        assert snapshot.top(10 * len(snapshot)) is snapshot
+
+    def test_top_rank_delegation(self, archive):
+        snapshot = archive[0]
+        head = snapshot.top(10)
+        for rank, domain in enumerate(snapshot.entries[:10], start=1):
+            assert head.rank_of(domain) == rank
+        beyond = snapshot.entries[10]
+        assert head.rank_of(beyond) is None
+        assert snapshot.rank_of(beyond) == 11

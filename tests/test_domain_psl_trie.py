@@ -1,0 +1,234 @@
+"""Parity and cache-invalidation tests for the trie-based PSL matcher.
+
+The trie matcher must agree with the original candidate-enumeration
+algorithm (reimplemented here as a reference) on every rule kind the PSL
+defines: normal single- and multi-label rules, wildcard rules (``*.ck``),
+exception rules (``!www.ck``) and unknown TLDs (the implicit ``*`` rule).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional, Sequence
+
+import pytest
+
+from repro.domain.name import base_domain, sld_group
+from repro.domain.psl import DEFAULT_RULES, PublicSuffixList
+
+
+class ReferencePsl:
+    """The seed's O(labels²) candidate-enumeration matcher, kept as oracle."""
+
+    def __init__(self, rules) -> None:
+        self._exact: set[str] = set()
+        self._wildcard: set[str] = set()
+        self._exception: set[str] = set()
+        for rule in rules:
+            rule = rule.strip().lower().strip(".")
+            if rule.startswith("!"):
+                self._exception.add(rule[1:])
+            elif rule.startswith("*."):
+                self._wildcard.add(rule[2:])
+            else:
+                self._exact.add(rule)
+
+    def public_suffix(self, name: str) -> Optional[str]:
+        name = name.strip().lower().strip(".")
+        if not name:
+            return None
+        labels = name.split(".")
+        best: Optional[Sequence[str]] = None
+        for start in range(len(labels)):
+            candidate = labels[start:]
+            cand_str = ".".join(candidate)
+            parent = ".".join(candidate[1:])
+            if cand_str in self._exception:
+                match = candidate[1:]
+                if best is None or len(match) > len(best):
+                    best = match
+                continue
+            if cand_str in self._exact:
+                if best is None or len(candidate) > len(best):
+                    best = candidate
+            if parent and parent in self._wildcard and cand_str not in self._exception:
+                if best is None or len(candidate) > len(best):
+                    best = candidate
+        if best is None:
+            best = labels[-1:]
+        return ".".join(best)
+
+    def base_domain(self, name: str) -> Optional[str]:
+        name = name.strip().lower().strip(".")
+        if not name:
+            return None
+        suffix = self.public_suffix(name)
+        if suffix is None or name == suffix:
+            return None
+        suffix_labels = suffix.count(".") + 1
+        labels = name.split(".")
+        if len(labels) <= suffix_labels:
+            return None
+        return ".".join(labels[-(suffix_labels + 1):])
+
+
+#: Label pool mixing known TLDs, multi-label suffix parts, wildcard and
+#: exception participants, private suffix labels, and unknown labels.
+LABEL_POOL = (
+    "www", "foo", "bar", "baz", "example", "google", "blogspot", "tumblr",
+    "co", "uk", "com", "de", "ck", "au", "jp", "io", "github",
+    "unknowntld", "x", "sub", "deep", "amazonaws", "net",
+)
+
+
+def _random_names(seed: int, count: int) -> list[str]:
+    rng = random.Random(seed)
+    names = []
+    for _ in range(count):
+        depth = rng.randint(1, 6)
+        names.append(".".join(rng.choice(LABEL_POOL) for _ in range(depth)))
+    return names
+
+
+class TestTrieParityDefaultRules:
+    @pytest.fixture(scope="class")
+    def oracle(self) -> ReferencePsl:
+        return ReferencePsl(DEFAULT_RULES)
+
+    @pytest.fixture(scope="class")
+    def trie(self) -> PublicSuffixList:
+        return PublicSuffixList()
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_random_names_agree(self, oracle, trie, seed):
+        for name in _random_names(seed, 400):
+            assert trie.public_suffix(name) == oracle.public_suffix(name), name
+            assert trie.base_domain(name) == oracle.base_domain(name), name
+
+    @pytest.mark.parametrize("name", [
+        "foo.example.ck",            # wildcard: *.ck
+        "example.ck",                # wildcard makes the full name a suffix
+        "www.ck",                    # exception !www.ck overrides the wildcard
+        "a.www.ck",                  # base domain under the exception
+        "www.example.co.uk",         # multi-label rule
+        "co.uk",                     # multi-label rule itself
+        "x.blogspot.com",            # private suffix
+        "deep.x.blogspot.com",
+        "foo.bar.unknowntld",        # implicit * rule
+        "unknowntld",
+        "single",
+        "WWW.Example.COM.",          # normalisation
+    ])
+    def test_known_shapes_agree(self, oracle, trie, name):
+        assert trie.public_suffix(name) == oracle.public_suffix(name)
+        assert trie.base_domain(name) == oracle.base_domain(name)
+
+    def test_memo_repeated_lookup_stable(self, trie):
+        first = trie.suffix_and_base("www.example.co.uk")
+        again = trie.suffix_and_base("www.example.co.uk")
+        assert first == again == ("co.uk", "example.co.uk")
+
+
+class TestTrieParityCustomRules:
+    CUSTOM_RULES = ("com", "co.uk", "*.ck", "!www.ck", "*.example.com",
+                    "!except.example.com", "deep.multi.label.rule")
+
+    def test_custom_rules_agree(self):
+        oracle = ReferencePsl(self.CUSTOM_RULES)
+        trie = PublicSuffixList(self.CUSTOM_RULES)
+        for seed in range(3):
+            rng = random.Random(seed + 100)
+            pool = ("www", "except", "example", "com", "ck", "deep", "multi",
+                    "label", "rule", "other", "uk", "co")
+            for _ in range(500):
+                name = ".".join(rng.choice(pool) for _ in range(rng.randint(1, 6)))
+                assert trie.public_suffix(name) == oracle.public_suffix(name), name
+                assert trie.base_domain(name) == oracle.base_domain(name), name
+
+    def test_nested_wildcard(self):
+        trie = PublicSuffixList(["com", "*.example.com"])
+        assert trie.public_suffix("a.b.foo.example.com") == "foo.example.com"
+        assert trie.base_domain("a.b.foo.example.com") == "b.foo.example.com"
+
+    def test_exception_under_nested_wildcard(self):
+        trie = PublicSuffixList(["com", "*.example.com", "!except.example.com"])
+        assert trie.public_suffix("except.example.com") == "example.com"
+        assert trie.base_domain("a.except.example.com") == "except.example.com"
+
+
+class TestMemoInvalidation:
+    def test_add_rule_after_lookup_changes_answer(self):
+        psl = PublicSuffixList(["com"])
+        # Prime the memo.
+        assert psl.public_suffix("www.example.shop") == "shop"
+        assert psl.base_domain("www.example.shop") == "example.shop"
+        version_before = psl.version
+        psl.add_rule("example.shop")
+        assert psl.version > version_before
+        # The memoised answers must have been invalidated.
+        assert psl.public_suffix("www.example.shop") == "example.shop"
+        assert psl.base_domain("www.example.shop") == "www.example.shop"
+
+    def test_add_wildcard_rule_after_lookup(self):
+        psl = PublicSuffixList(["com"])
+        assert psl.public_suffix("a.b.zz") == "zz"
+        psl.add_rule("*.zz")
+        assert psl.public_suffix("a.b.zz") == "b.zz"
+
+    def test_add_exception_rule_after_lookup(self):
+        psl = PublicSuffixList(["com", "*.zz"])
+        assert psl.public_suffix("www.zz") == "www.zz"
+        psl.add_rule("!www.zz")
+        assert psl.public_suffix("www.zz") == "zz"
+
+    def test_default_psl_helpers_see_added_rules(self):
+        # The module-level helpers memoise against the shared default PSL;
+        # their cache must key on its version.
+        from repro.domain import name as name_module
+
+        psl = name_module._DEFAULT_PSL
+        unique = "pslcachetest-invalidation"
+        assert base_domain(f"www.{unique}.com") == f"{unique}.com"
+        psl.add_rule(f"{unique}.com")
+        assert base_domain(f"www.{unique}.com") == f"www.{unique}.com"
+        assert sld_group(f"www.{unique}.com") == "www"
+
+    def test_copies_get_fresh_cache_identity(self):
+        import copy
+        import pickle
+
+        psl = PublicSuffixList(["com"])
+        clone = copy.deepcopy(psl)
+        assert clone.cache_key != psl.cache_key
+        assert clone.public_suffix("a.com") == "com"
+        unpickled = pickle.loads(pickle.dumps(psl))
+        assert unpickled.cache_key != psl.cache_key
+        assert unpickled.public_suffix("a.com") == "com"
+
+    def test_shallow_copy_does_not_share_mutable_state(self):
+        import copy
+
+        psl = PublicSuffixList(["com"])
+        clone = copy.copy(psl)
+        clone.add_rule("example.com")
+        # The original's trie, version, and answers are untouched.
+        assert psl.public_suffix("www.example.com") == "com"
+        assert clone.public_suffix("www.example.com") == "example.com"
+        assert len(psl) == 1 and len(clone) == 2
+
+    def test_single_label_exception_rule_uses_implicit_rule(self):
+        # '!x' is invalid per the PSL spec; the trie matcher deliberately
+        # falls through to the implicit '*' rule (the seed matcher
+        # returned a broken empty-string suffix here).
+        psl = PublicSuffixList(["!zz"])
+        assert psl.public_suffix("zz") == "zz"
+        assert psl.public_suffix("a.zz") == "zz"
+        assert psl.base_domain("a.zz") == "a.zz"
+
+    def test_memo_bound_respected(self):
+        psl = PublicSuffixList(["com"], memo_size=4)
+        for index in range(20):
+            psl.public_suffix(f"site{index}.com")
+        assert len(psl._memo) <= 4
+        # Evicted names are still answered correctly.
+        assert psl.public_suffix("site0.com") == "com"
