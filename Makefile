@@ -1,0 +1,24 @@
+# Developer entry points.  The python toolchain is assumed to be on PATH;
+# nothing here installs packages.
+
+PYTHON ?= python
+export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
+
+.PHONY: test golden-test goldens bench
+
+## Tier-1 test suite (what CI runs on every push).
+test:
+	$(PYTHON) -m pytest -x -q
+
+## Only the scenario golden-run regression tests.
+golden-test:
+	$(PYTHON) -m pytest -q -m golden
+
+## Intentionally regenerate the scenario golden fingerprints
+## (tests/goldens/*.json); commit the resulting diff.
+goldens:
+	$(PYTHON) scripts/refresh_goldens.py
+
+## Benchmark suite + seed-vs-fastpath comparison + scenario battery.
+bench:
+	$(PYTHON) benchmarks/run_benchmarks.py

@@ -1,7 +1,7 @@
 #!/usr/bin/env python
 """Run the benchmark suite and write ``BENCH_*.json`` perf artifacts.
 
-Two modes, both on by default:
+Three modes, all on by default:
 
 * ``--suite``: run the ``test_bench_*`` paper-reproduction benchmarks
   under pytest-benchmark and write the raw timing JSON
@@ -10,11 +10,15 @@ Two modes, both on by default:
   hot analyses against the current library on a 30-day × 3-provider
   simulated archive, assert the outputs are identical, and write the
   before/after comparison (``BENCH_fastpath.json``).
+* ``--scenarios``: run every named scenario profile through the
+  :class:`~repro.scenarios.ScenarioRunner` (cold caches per scenario),
+  record wall time plus headline statistics and write
+  ``BENCH_scenarios.json`` — one call per scenario, end to end.
 
 Usage::
 
     PYTHONPATH=src python benchmarks/run_benchmarks.py [--suite] [--speedup]
-        [--out benchmarks/artifacts] [--days 30]
+        [--scenarios] [--out benchmarks/artifacts] [--days 30]
 """
 
 from __future__ import annotations
@@ -40,7 +44,8 @@ from repro.core.weekly import WEEKEND_WEEKDAYS, sld_group_dynamics, weekday_week
 from repro.domain.name import normalise  # noqa: E402
 from repro.domain.psl import DEFAULT_RULES  # noqa: E402
 from repro.population.config import SimulationConfig  # noqa: E402
-from repro.providers.simulation import run_simulation  # noqa: E402
+from repro.providers.simulation import clear_simulation_cache, run_simulation  # noqa: E402
+from repro.scenarios import ScenarioRunner, profile_names  # noqa: E402
 from repro.stats.kendall import kendall_tau_ranked_lists  # noqa: E402
 from repro.stats.ks import ks_distance  # noqa: E402
 
@@ -333,6 +338,43 @@ def run_speedup(out_dir: Path, days: int) -> Path:
     return path
 
 
+def run_scenarios(out_dir: Path) -> Path:
+    """Time every scenario profile end to end (cold caches per scenario)."""
+    import hashlib
+
+    results = {}
+    print(f"{'scenario':<20} {'seconds':>8}  headline")
+    for name in profile_names():
+        clear_simulation_cache()
+        runner = ScenarioRunner(name)
+        start = time.perf_counter()
+        report = runner.run()
+        elapsed = time.perf_counter() - start
+        churn = {provider: section["stability"]["churn_fraction"]
+                 for provider, section in sorted(report.providers.items())}
+        fingerprint = json.dumps(report.fingerprint(), sort_keys=True)
+        results[name] = {
+            "seconds": elapsed,
+            "n_days": report.config["n_days"],
+            "list_size": report.config["list_size"],
+            "churn_fraction": churn,
+            "fingerprint_sha256": hashlib.sha256(fingerprint.encode("utf-8")).hexdigest(),
+        }
+        headline = "  ".join(f"{provider} {100 * value:.2f}%"
+                             for provider, value in churn.items())
+        print(f"{name:<20} {elapsed:>7.2f}s  churn {headline}")
+    artifact = {
+        "kind": "scenario-battery",
+        "created": time.strftime("%Y-%m-%dT%H:%M:%S"),
+        "scenarios": results,
+    }
+    out_dir.mkdir(parents=True, exist_ok=True)
+    path = out_dir / "BENCH_scenarios.json"
+    path.write_text(json.dumps(artifact, indent=2) + "\n", encoding="utf-8")
+    print(f"wrote {path}")
+    return path
+
+
 def run_suite(out_dir: Path) -> Path:
     out_dir.mkdir(parents=True, exist_ok=True)
     path = out_dir / "BENCH_suite.json"
@@ -357,16 +399,19 @@ def main() -> None:
                         help="run only the pytest-benchmark suite")
     parser.add_argument("--speedup", action="store_true",
                         help="run only the seed-vs-fastpath comparison")
+    parser.add_argument("--scenarios", action="store_true",
+                        help="run only the scenario-profile battery")
     parser.add_argument("--out", type=Path, default=REPO_ROOT / "benchmarks" / "artifacts",
                         help="artifact output directory")
     parser.add_argument("--days", type=int, default=30,
                         help="days in the speedup comparison archive")
     args = parser.parse_args()
-    do_suite = args.suite or not (args.suite or args.speedup)
-    do_speedup = args.speedup or not (args.suite or args.speedup)
-    if do_speedup:
+    run_all = not (args.suite or args.speedup or args.scenarios)
+    if args.scenarios or run_all:
+        run_scenarios(args.out)
+    if args.speedup or run_all:
         run_speedup(args.out, args.days)
-    if do_suite:
+    if args.suite or run_all:
         run_suite(args.out)
 
 

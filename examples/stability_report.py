@@ -1,90 +1,121 @@
 #!/usr/bin/env python3
-"""Stability report: reproduce the Section 6 analyses for a simulated period.
+"""Stability report: run one scenario through the full analysis battery.
 
-Generates the JOINT-style dataset and prints, per list: daily changes and
-the weekly pattern, new-domain rates, cumulative growth, how long domains
-stay in a list, Kendall's tau rank correlation, and the weekday/weekend KS
-analysis — the data behind Figures 1b/1c, 2a-c, 3a and 4.
+Every named scenario profile (``paper_realistic``, ``high_churn_stress``,
+``alexa_change_2018``, ``weekend_heavy``, ``manipulated``) is one call to
+the :class:`~repro.scenarios.ScenarioRunner`; this example renders the
+resulting :class:`~repro.scenarios.ScenarioReport` as the Section 6
+figures: daily changes and the weekly pattern, churn by rank subset,
+new-domain rates, cumulative growth, Kendall's tau rank correlation and
+the weekday/weekend KS analysis.
 
 Run with::
 
-    python examples/stability_report.py
+    python examples/stability_report.py [--scenario NAME] [--json]
 """
 
 from __future__ import annotations
 
-from repro import SimulationConfig, run_simulation
-from repro.core import (
-    churn_by_rank,
-    cumulative_unique_domains,
-    daily_changes,
-    days_in_list,
-    intersection_with_reference,
-    kendall_tau_series,
-    new_domains_per_day,
-    weekday_weekend_ks,
-)
-from repro.core.rank_dynamics import strong_correlation_share
+import argparse
+import datetime as dt
+
+from repro.scenarios import ScenarioReport, ScenarioRunner, profile_names
+
+DEFAULT_SCENARIO = "alexa_change_2018"
+
+
+def render(report: ScenarioReport) -> str:
+    """Human-readable rendering of a scenario report."""
+    lines: list[str] = []
+    out = lines.append
+    out(f"Scenario: {report.profile}")
+    out(f"  {report.description}")
+    out(f"  ({report.config['n_days']} days, list size {report.config['list_size']}, "
+        f"top-{report.top_k} head)")
+
+    out("\n== Daily changes per list (Figure 1b) ==")
+    for name, section in report.providers.items():
+        changes = {dt.date.fromisoformat(date): count
+                   for date, count in section["stability"]["daily_changes"].items()}
+        weekend = [count for date, count in changes.items() if date.weekday() >= 5]
+        weekday = [count for date, count in changes.items() if date.weekday() < 5]
+        out(f"  {name:<9} mean {section['stability']['mean_daily_change']:8.1f}   "
+            f"weekday mean {sum(weekday) / max(1, len(weekday)):8.1f}   "
+            f"weekend mean {sum(weekend) / max(1, len(weekend)):8.1f}   "
+            f"({100 * section['stability']['churn_fraction']:.2f}% of the list)")
+
+    out("\n== Churn by rank subset (Figure 1c) ==")
+    for name, section in report.providers.items():
+        cells = "  ".join(f"top{size}: {100 * share:5.2f}%"
+                          for size, share in sorted(
+                              section["rank_dynamics"]["churn_by_rank"].items(),
+                              key=lambda item: int(item[0])))
+        out(f"  {name:<9} {cells}")
+
+    out("\n== New domains and cumulative growth (Figure 2a) ==")
+    for name, section in report.providers.items():
+        stability = section["stability"]
+        out(f"  {name:<9} new/day {stability['new_per_day_mean']:7.1f}   "
+            f"distinct domains over the period {stability['cumulative_unique']:6d} "
+            f"(list size {section['list_size']})")
+
+    out("\n== Decay against the first week (Figure 2b) ==")
+    for name, section in report.providers.items():
+        decay = section["stability"]["reference_decay"]
+        last_offset = max(decay, key=int)
+        out(f"  {name:<9} day0 {decay['0']:7.0f}  ->  "
+            f"day{last_offset} {decay[last_offset]:7.0f}")
+
+    out("\n== Share of domains present on every day (Figure 2c) ==")
+    for name, section in report.providers.items():
+        out(f"  {name:<9} {100 * section['stability']['always_listed_share']:5.1f}% "
+            f"of ever-listed domains were listed every day")
+
+    out(f"\n== Kendall's tau of the Top-{report.top_k} (Figure 4) ==")
+    for name, section in report.providers.items():
+        day_to_day = section["rank_dynamics"]["tau_day_to_day"]
+        vs_first = section["rank_dynamics"]["tau_vs_first"]
+        out(f"  {name:<9} tau>0.95 day-to-day: {100 * day_to_day['strong_share']:5.1f}%   "
+            f"vs first day: {100 * vs_first['strong_share']:5.1f}%   "
+            f"(mean day-to-day tau {day_to_day['mean']:.3f})")
+
+    out("\n== Weekday/weekend KS distance (Figure 3a) ==")
+    for name, section in report.providers.items():
+        weekly = section["weekly"]
+        if not weekly["ks_domains"]:
+            out(f"  {name:<9} (not enough weekend observations)")
+            continue
+        out(f"  {name:<9} {100 * weekly['disjoint_share']:5.1f}% of domains have fully "
+            f"disjoint weekday/weekend ranks (mean KS {weekly['ks_mean']:.3f}, "
+            f"{len(weekly['sld_groups'])} swinging SLD groups)")
+
+    out(f"\n== Intersections of the Top-{report.intersection['top_n']} (Figure 1a) ==")
+    for pair, stats in report.intersection["pairs"].items():
+        out(f"  {pair:<28} mean {stats['mean']:7.1f}  "
+            f"min {stats['min']:4d}  max {stats['max']:4d}")
+
+    if report.manipulation:
+        out("\n== Injected rank manipulation (Figure 5) ==")
+        for fqdn, outcome in report.manipulation.items():
+            rank = outcome["rank"]
+            out(f"  {fqdn:<45} {outcome['n_clients']:>6} probes x "
+                f"{outcome['queries_per_client']:>5.1f} q/day  ->  "
+                f"rank {rank if rank is not None else '(unlisted)'}")
+    return "\n".join(lines)
 
 
 def main() -> None:
-    config = SimulationConfig.small(n_days=21, alexa_change_day=14)
-    run = run_simulation(config)
-    top_k = config.top_k
-
-    print("== Daily changes per list (Figure 1b) ==")
-    for name, archive in run.archives.items():
-        changes = daily_changes(archive)
-        weekend = [count for date, count in changes.items() if date.weekday() >= 5]
-        weekday = [count for date, count in changes.items() if date.weekday() < 5]
-        print(f"  {name:<9} mean {sum(changes.values()) / len(changes):8.1f}   "
-              f"weekday mean {sum(weekday) / max(1, len(weekday)):8.1f}   "
-              f"weekend mean {sum(weekend) / max(1, len(weekend)):8.1f}")
-
-    print("\n== Churn by rank subset (Figure 1c) ==")
-    sizes = [top_k // 2, top_k, config.list_size // 2, config.list_size]
-    for name, archive in run.archives.items():
-        churn = churn_by_rank(archive, sizes)
-        cells = "  ".join(f"top{size}: {100 * churn[size]:5.2f}%" for size in sizes)
-        print(f"  {name:<9} {cells}")
-
-    print("\n== New domains and cumulative growth (Figure 2a) ==")
-    for name, archive in run.archives.items():
-        new = new_domains_per_day(archive)
-        cumulative = cumulative_unique_domains(archive)
-        print(f"  {name:<9} new/day {sum(new.values()) / max(1, len(new)):7.1f}   "
-              f"distinct domains over the period "
-              f"{list(cumulative.values())[-1]:6d} (list size {config.list_size})")
-
-    print("\n== Decay against the first week (Figure 2b) ==")
-    for name, archive in run.archives.items():
-        decay = intersection_with_reference(archive, reference_days=range(7))
-        last_offset = max(decay)
-        print(f"  {name:<9} day0 {decay[0]:7.0f}  ->  day{last_offset} {decay[last_offset]:7.0f}")
-
-    print("\n== Share of domains present on every day (Figure 2c) ==")
-    for name, archive in run.archives.items():
-        counts = days_in_list(archive)
-        always = sum(1 for v in counts.values() if v == config.n_days) / len(counts)
-        print(f"  {name:<9} {100 * always:5.1f}% of ever-listed domains were listed every day")
-
-    print("\n== Kendall's tau of the Top-%d (Figure 4) ==" % top_k)
-    for name, archive in run.archives.items():
-        day_to_day = kendall_tau_series(archive, top_n=top_k, mode="day-to-day")
-        vs_first = kendall_tau_series(archive, top_n=top_k, mode="vs-first")
-        print(f"  {name:<9} tau>0.95 day-to-day: "
-              f"{100 * strong_correlation_share(day_to_day):5.1f}%   "
-              f"vs first day: {100 * strong_correlation_share(vs_first):5.1f}%")
-
-    print("\n== Weekday/weekend KS distance (Figure 3a) ==")
-    for name, archive in run.archives.items():
-        distances = weekday_weekend_ks(archive)
-        if not distances:
-            print(f"  {name:<9} (not enough weekend observations)")
-            continue
-        disjoint = sum(1 for v in distances.values() if v >= 0.999) / len(distances)
-        print(f"  {name:<9} {100 * disjoint:5.1f}% of domains have fully disjoint "
-              f"weekday/weekend ranks")
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scenario", default=DEFAULT_SCENARIO, choices=profile_names(),
+                        help=f"scenario profile to run (default: {DEFAULT_SCENARIO})")
+    parser.add_argument("--json", action="store_true",
+                        help="print the full serialised ScenarioReport instead")
+    args = parser.parse_args()
+    report = ScenarioRunner(args.scenario).run()
+    if args.json:
+        print(report.to_json(), end="")
+    else:
+        print(render(report))
 
 
 if __name__ == "__main__":

@@ -1,0 +1,46 @@
+#!/usr/bin/env python3
+"""Intentionally regenerate the scenario golden fingerprints.
+
+Run this (or ``make goldens``) after an algorithm change that is
+*supposed* to move scenario-level statistics, then commit the diff under
+``tests/goldens/`` — the review diff documents exactly which churn rates,
+tau/KS summaries or head hashes moved.
+
+Usage::
+
+    PYTHONPATH=src python scripts/refresh_goldens.py [profile ...]
+
+Without arguments every built-in profile is refreshed.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+SRC = REPO_ROOT / "src"
+if str(SRC) not in sys.path:
+    sys.path.insert(0, str(SRC))
+
+from repro.scenarios import profile_names, refresh_goldens  # noqa: E402
+
+GOLDENS_DIR = REPO_ROOT / "tests" / "goldens"
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__,
+                                     formatter_class=argparse.RawDescriptionHelpFormatter)
+    parser.add_argument("profiles", nargs="*", metavar="profile",
+                        help=f"profiles to refresh (default: all of {', '.join(profile_names())})")
+    parser.add_argument("--out", type=Path, default=GOLDENS_DIR,
+                        help="golden directory (default: tests/goldens)")
+    args = parser.parse_args()
+    selected = args.profiles or None
+    for path in refresh_goldens(args.out, profiles=selected):
+        print(f"wrote {path.relative_to(Path.cwd()) if path.is_relative_to(Path.cwd()) else path}")
+
+
+if __name__ == "__main__":
+    main()

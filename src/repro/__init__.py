@@ -22,6 +22,8 @@ Package map:
 
 * :mod:`repro.core` — the paper's analyses (structure, stability, rank
   dynamics, weekly patterns, bias comparison).
+* :mod:`repro.scenarios` — named simulation profiles (churn regimes),
+  the scenario runner and the golden-run regression harness.
 * :mod:`repro.providers` — Alexa/Umbrella/Majestic list-creation
   simulators, snapshots, archives, the simulation orchestrator.
 * :mod:`repro.population` — the synthetic Internet and its traffic.
@@ -34,15 +36,30 @@ Package map:
 
 from repro.population.config import SimulationConfig
 from repro.providers.base import ListArchive, ListSnapshot
-from repro.providers.simulation import SimulationRun, run_simulation
+from repro.providers.simulation import SimulationRun, run_profile, run_simulation
+from repro.scenarios import (
+    ScenarioReport,
+    ScenarioRunner,
+    SimulationProfile,
+    get_profile,
+    profile_names,
+    run_scenario,
+)
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "ListArchive",
     "ListSnapshot",
+    "ScenarioReport",
+    "ScenarioRunner",
     "SimulationConfig",
+    "SimulationProfile",
     "SimulationRun",
     "__version__",
+    "get_profile",
+    "profile_names",
+    "run_profile",
+    "run_scenario",
     "run_simulation",
 ]

@@ -13,22 +13,49 @@ from __future__ import annotations
 import csv
 import datetime as dt
 import io
+import re
 import zipfile
 from pathlib import Path
 from typing import Optional
 
 from repro.providers.base import ListArchive, ListSnapshot
 
+_FILENAME_DATE = re.compile(r"(\d{4}-\d{2}-\d{2})")
 
-def parse_top_list_csv(text: str, provider: str, date: Optional[dt.date] = None,
+
+def date_from_filename(path: str | Path) -> Optional[dt.date]:
+    """First valid ISO date embedded in ``path``'s file name, if any.
+
+    Real list downloads are commonly archived as
+    ``alexa-2018-01-30.csv`` / ``top-1m_2018-01-30.csv.zip``; this is the
+    deterministic date source :func:`read_top_list` falls back to.
+    """
+    for match in _FILENAME_DATE.finditer(Path(path).name):
+        try:
+            return dt.date.fromisoformat(match.group(1))
+        except ValueError:
+            continue
+    return None
+
+
+def parse_top_list_csv(text: str, provider: str, date: dt.date,
                        domain_column: int = 1) -> ListSnapshot:
     """Parse CSV text with one ranked domain per row.
+
+    ``date`` is required: every stability analysis keys on the snapshot
+    date, and defaulting to "today" would silently attach a different
+    date to the same text when re-parsed across midnight.
 
     ``domain_column`` selects the column holding the domain name (1 for
     the Alexa/Umbrella ``rank,domain`` format; Majestic's
     ``rank,tld,domain,...`` format uses 2).  Header rows (no digit in the
     first column) are skipped; duplicate domains keep their first rank.
     """
+    if date is None:
+        raise ValueError(
+            "a snapshot date is required (parsing the same text on different "
+            "days must not produce different snapshots); pass the list's "
+            "download date explicitly")
     entries: list[str] = []
     seen: set[str] = set()
     for row in csv.reader(io.StringIO(text)):
@@ -44,15 +71,27 @@ def parse_top_list_csv(text: str, provider: str, date: Optional[dt.date] = None,
             continue
         seen.add(domain)
         entries.append(domain)
-    return ListSnapshot(provider=provider, date=date or dt.date.today(),
-                        entries=tuple(entries))
+    return ListSnapshot(provider=provider, date=date, entries=tuple(entries))
 
 
 def read_top_list(path: str | Path, provider: str,
                   date: Optional[dt.date] = None,
                   domain_column: int = 1) -> ListSnapshot:
-    """Read a top-list CSV file; ``.zip`` archives (Alexa-style) are supported."""
+    """Read a top-list CSV file; ``.zip`` archives (Alexa-style) are supported.
+
+    The snapshot date is taken from ``date`` or, failing that, derived
+    from an ISO date embedded in the file name
+    (``alexa-2018-01-30.csv``).  A file with neither is rejected rather
+    than silently stamped with the day the parser happened to run.
+    """
     path = Path(path)
+    if date is None:
+        date = date_from_filename(path)
+        if date is None:
+            raise ValueError(
+                f"cannot determine the snapshot date of {path.name!r}: pass "
+                "date= or embed an ISO date in the file name "
+                "(e.g. alexa-2018-01-30.csv)")
     if path.suffix == ".zip":
         with zipfile.ZipFile(path) as archive:
             inner = archive.namelist()[0]

@@ -45,6 +45,10 @@ class SimulationConfig:
         (``None`` disables the change).
     umbrella_clients / umbrella_queries_per_client:
         Number of resolver client /24s and mean daily queries per client.
+    umbrella_window_days:
+        Length of the resolver ranking's smoothing window (1 day in the
+        default regime — the real list is recomputed daily from raw
+        traffic, which is what makes it the most volatile of the three).
     majestic_window_days:
         Length of Majestic's backlink counting window (90 days in the
         paper, scaled down by default).
@@ -57,6 +61,22 @@ class SimulationConfig:
         Fraction of formerly-popular domains that have been shut down but
         still receive backlinks/queries (Majestic/Umbrella NXDOMAIN
         sources).
+    sampling_noise_scale:
+        Scale of the day-to-day sampling noise of the panel/resolver
+        signals.  1.0 is the full Poisson/binomial noise of independent
+        daily samples; smaller values shrink each day's deviation from
+        its expectation towards zero, producing the calmer churn regime
+        of a large, well-aggregated panel (0.0 makes daily ranks fully
+        deterministic).  Majestic's random-walk drift is controlled
+        separately by ``backlink_walk_sigma``.
+    weekend_amplitude:
+        Strength of the weekday/weekend traffic modulation.  1.0 keeps
+        each domain's configured weekend factor as-is, 0.0 flattens the
+        week entirely, values above 1.0 exaggerate the weekly pattern
+        (the ``weekend_heavy`` scenario profile).
+    backlink_walk_sigma:
+        Daily standard deviation of the multiplicative log-drift of
+        Majestic-style backlink counts (0.005 in the default regime).
     """
 
     seed: int = 20181031
@@ -75,6 +95,7 @@ class SimulationConfig:
     # Umbrella-style resolver client base.
     umbrella_clients: int = 80_000
     umbrella_queries_per_client: float = 40.0
+    umbrella_window_days: int = 1
     # Majestic-style crawler.
     majestic_window_days: int = 14
     majestic_linking_subnets: int = 2_500_000
@@ -82,6 +103,10 @@ class SimulationConfig:
     invalid_tld_fraction: float = 0.025
     nxdomain_population_share: float = 0.006
     dead_domain_share: float = 0.012
+    # Churn/diurnal regime.
+    sampling_noise_scale: float = 1.0
+    weekend_amplitude: float = 1.0
+    backlink_walk_sigma: float = 0.005
     # Weekend behaviour.
     weekend_days: tuple[int, ...] = (5, 6)
 
@@ -98,8 +123,15 @@ class SimulationConfig:
             raise ValueError("invalid_tld_fraction must be in [0, 1)")
         if not 0 <= self.nxdomain_population_share < 1:
             raise ValueError("nxdomain_population_share must be in [0, 1)")
-        if self.alexa_window_days <= 0 or self.majestic_window_days <= 0:
+        if (self.alexa_window_days <= 0 or self.majestic_window_days <= 0
+                or self.umbrella_window_days <= 0):
             raise ValueError("window lengths must be positive")
+        if self.sampling_noise_scale < 0:
+            raise ValueError("sampling_noise_scale must be non-negative")
+        if self.weekend_amplitude < 0:
+            raise ValueError("weekend_amplitude must be non-negative")
+        if self.backlink_walk_sigma < 0:
+            raise ValueError("backlink_walk_sigma must be non-negative")
 
     def total_domains(self) -> int:
         """Population size including domains born during the simulation."""

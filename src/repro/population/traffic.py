@@ -153,12 +153,33 @@ class TrafficSimulator:
         return np.random.default_rng([self.config.seed, day, stream])
 
     def _day_factor(self, day: int, weekend_factors: np.ndarray) -> np.ndarray:
-        """Per-entity traffic multiplier for ``day`` (weekend modulation)."""
+        """Per-entity traffic multiplier for ``day`` (weekend modulation).
+
+        ``weekend_amplitude`` scales each domain's deviation from a flat
+        week; at the default 1.0 the factors are used exactly as
+        configured (the branch keeps that path bit-identical).
+        """
+        amplitude = self.config.weekend_amplitude
         if self.config.is_weekend(day):
-            return weekend_factors
+            if amplitude == 1.0:
+                return weekend_factors
+            return (1.0 + amplitude * (weekend_factors - 1.0)).clip(0.0, None)
         # Weekdays carry a mild complementary boost for office-like domains
         # so that total traffic stays roughly constant across the week.
-        return 1.0 + 0.25 * (1.0 - weekend_factors).clip(-1.0, 1.0)
+        return 1.0 + 0.25 * (amplitude * (1.0 - weekend_factors)).clip(-1.0, 1.0)
+
+    def _damp_noise(self, sampled: np.ndarray, expected: np.ndarray) -> np.ndarray:
+        """Shrink ``sampled`` towards ``expected`` by ``sampling_noise_scale``.
+
+        The random draw itself is unchanged (so the default scale of 1.0
+        reproduces the historical streams exactly); only the deviation
+        from the expectation is rescaled, then rounded back to counts.
+        """
+        scale = self.config.sampling_noise_scale
+        if scale == 1.0:
+            return sampled
+        blended = expected + scale * (sampled.astype(float) - expected)
+        return np.rint(blended).clip(0.0, None).astype(np.int64)
 
     # ------------------------------------------------------------------
     # Daily signals
@@ -181,7 +202,10 @@ class TrafficSimulator:
         # A panel member visiting a domain at least once counts as a unique
         # visitor; the per-user visit intensity is expected_visits / panel.
         per_user = expected_visits / max(panel, 1)
-        unique = rng.binomial(panel, 1.0 - np.exp(-per_user))
+        hit_probability = 1.0 - np.exp(-per_user)
+        unique = rng.binomial(panel, hit_probability)
+        visits = self._damp_noise(visits, expected_visits)
+        unique = self._damp_noise(unique, panel * hit_probability)
         return WebTraffic(day=day, visits=visits, unique_visitors=unique)
 
     def dns_day(self, day: int, injected: Sequence[InjectedQueries] = ()) -> DnsTraffic:
@@ -199,8 +223,11 @@ class TrafficSimulator:
         p = intensity / total
         expected_queries = clients * self.config.umbrella_queries_per_client * p
         per_client = expected_queries / clients
-        unique = rng.binomial(clients, 1.0 - np.exp(-per_client))
+        hit_probability = 1.0 - np.exp(-per_client)
+        unique = rng.binomial(clients, hit_probability)
         queries = rng.poisson(expected_queries)
+        unique = self._damp_noise(unique, clients * hit_probability)
+        queries = self._damp_noise(queries, expected_queries)
         injected_counts: dict[str, tuple[int, int]] = {}
         for injection in injected:
             if injection.n_clients == 0 or injection.queries_per_client == 0:
@@ -229,7 +256,7 @@ class TrafficSimulator:
             walk = np.zeros(len(self._dom_backlinks_base))
         else:
             previous = self._backlink_walk(day - 1)
-            step = self._rng(day, stream=3).normal(0.0, 0.005,
+            step = self._rng(day, stream=3).normal(0.0, self.config.backlink_walk_sigma,
                                                    size=previous.shape)
             walk = previous + step
         self._backlink_walks[day] = walk

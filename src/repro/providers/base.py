@@ -112,7 +112,17 @@ class ListSnapshot:
     @classmethod
     def from_csv(cls, path: str | Path, provider: str,
                  date: Optional[dt.date] = None) -> "ListSnapshot":
-        """Read a ``rank,domain`` CSV file (rank column optional)."""
+        """Read a ``rank,domain`` CSV file (rank column optional).
+
+        ``date`` is required (snapshots are date-keyed and must not
+        depend on when the file happens to be parsed); it is optional in
+        the signature only for backwards-compatible call sites, which now
+        get a clear error instead of a silent "today" stamp.
+        """
+        if date is None:
+            raise ValueError(
+                "a snapshot date is required; pass date= (or use "
+                "repro.listio.read_top_list, which derives it from the file name)")
         path = Path(path)
         entries: list[str] = []
         with path.open(newline="", encoding="utf-8") as handle:
@@ -120,8 +130,6 @@ class ListSnapshot:
                 if not row:
                     continue
                 entries.append(row[-1].strip().lower())
-        if date is None:
-            date = dt.date.today()
         return cls(provider=provider, date=date, entries=tuple(entries))
 
 

@@ -58,6 +58,7 @@ class SimulationRun:
 
 
 _RUN_CACHE: dict[SimulationConfig, SimulationRun] = {}
+_PROFILE_RUN_CACHE: dict[str, SimulationRun] = {}
 
 
 def run_simulation(config: Optional[SimulationConfig] = None,
@@ -95,6 +96,30 @@ def run_simulation(config: Optional[SimulationConfig] = None,
     return run
 
 
+def run_profile(profile, use_cache: bool = True) -> SimulationRun:
+    """Run the simulation behind a scenario profile, cached per profile name.
+
+    ``profile`` is anything with ``name`` and ``config`` attributes
+    (normally a :class:`~repro.scenarios.profiles.SimulationProfile`; the
+    duck typing avoids a circular import).  The profile-name cache sits in
+    front of the per-config cache, so repeated scenario runs — the common
+    case for the golden harness and the benchmark battery — skip even the
+    config hash; a name reused with a *different* configuration falls
+    through to a fresh run instead of returning stale data.
+    """
+    name = profile.name
+    config = profile.config
+    if use_cache:
+        cached = _PROFILE_RUN_CACHE.get(name)
+        if cached is not None and cached.config == config:
+            return cached
+    run = run_simulation(config, use_cache=use_cache)
+    if use_cache:
+        _PROFILE_RUN_CACHE[name] = run
+    return run
+
+
 def clear_simulation_cache() -> None:
     """Drop all memoised simulation runs (mainly for tests)."""
     _RUN_CACHE.clear()
+    _PROFILE_RUN_CACHE.clear()

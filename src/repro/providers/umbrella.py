@@ -36,17 +36,19 @@ class UmbrellaProvider(ListProvider):
         internet: SyntheticInternet,
         traffic: TrafficSimulator,
         list_size: Optional[int] = None,
-        window_days: int = 1,
+        window_days: Optional[int] = None,
         unique_client_weight: float = 1.0,
         query_volume_weight: float = 0.05,
         config: Optional[SimulationConfig] = None,
     ) -> None:
-        if window_days <= 0:
-            raise ValueError("window_days must be positive")
         self.internet = internet
         self.traffic = traffic
         self.config = config or internet.config
         self.list_size = list_size or self.config.list_size
+        if window_days is None:
+            window_days = self.config.umbrella_window_days
+        if window_days <= 0:
+            raise ValueError("window_days must be positive")
         self.window_days = window_days
         self.unique_client_weight = unique_client_weight
         self.query_volume_weight = query_volume_weight

@@ -218,6 +218,110 @@ class TestRankSeries:
         assert archive_rank_series(archive, top_n=30) is archive_rank_series(archive, top_n=30)
 
 
+class TestLowChurnProfileInvalidation:
+    """Invalidation at the paper's ~1% churn regime (``paper_realistic``).
+
+    The delta engines do the least work exactly when consecutive days are
+    nearly identical, so this is the regime in which a stale or
+    under-invalidated cache would be most tempting — and hardest to spot.
+    Each test mutates a (decoupled copy of the) scenario archive via
+    ``archive.add`` or ``psl.add_rule`` and checks the cached results
+    against a naive per-day recomputation.
+    """
+
+    @pytest.fixture(scope="class")
+    def calm_archives(self):
+        import copy
+
+        from repro.providers.simulation import run_profile
+        from repro.scenarios import get_profile
+
+        run = run_profile(get_profile("paper_realistic"))
+        # Copies decouple the mutable containers, so mutating them here
+        # cannot stale the per-profile cached run other tests share.
+        return {name: copy.copy(archive) for name, archive in run.archives.items()}
+
+    @staticmethod
+    def _churned_successor(archive: ListArchive, fraction: float = 0.01) -> ListSnapshot:
+        """A next-day snapshot replacing ~``fraction`` of the last day."""
+        last = archive[len(archive) - 1]
+        entries = list(last.entries)
+        n_churn = max(1, int(len(entries) * fraction))
+        for i in range(n_churn):
+            entries[-(i * 7 + 1)] = f"churned-in-{i}.example-churn.com"
+        return ListSnapshot(provider=archive.provider,
+                            date=last.date + dt.timedelta(days=1),
+                            entries=tuple(entries))
+
+    def test_profile_precondition_is_low_churn(self, calm_archives):
+        from repro.core.stability import mean_daily_change
+
+        fractions = [mean_daily_change(archive) / len(archive[0])
+                     for archive in calm_archives.values()]
+        assert 0.005 <= sum(fractions) / len(fractions) <= 0.02
+
+    def test_add_invalidates_base_domain_sets(self, calm_archives):
+        archive = calm_archives["alexa"]
+        before = archive_base_domain_sets(archive)
+        extra = self._churned_successor(archive)
+        archive.add(extra)
+        after = archive_base_domain_sets(archive)
+        assert after is not before
+        for snapshot in archive:
+            assert after[snapshot.date] == frozenset(
+                normalise_to_base_domains(snapshot.entries)), snapshot.date
+
+    def test_add_invalidates_sld_count_events(self, calm_archives):
+        from collections import Counter
+
+        archive = calm_archives["majestic"]
+        archive_sld_count_events(archive)
+        archive.add(self._churned_successor(archive))
+        dates, events = archive_sld_count_events(archive)
+        assert list(dates) == archive.dates()
+        naive_per_day = []
+        for snapshot in archive:
+            counts: Counter[str] = Counter()
+            for name in snapshot.entries:
+                sld = DomainName.parse(name).sld
+                if sld is not None:
+                    counts[sld] += 1
+            naive_per_day.append(counts)
+        assert set(events) == set().union(*(set(c) for c in naive_per_day))
+        for group, series in events.items():
+            expanded = counts_per_day(series, len(dates))
+            for index in range(len(dates)):
+                assert expanded[index] == naive_per_day[index].get(group, 0), (
+                    group, dates[index])
+
+    def test_add_rule_invalidates_normalisation(self, calm_archives):
+        archive = calm_archives["umbrella"]
+        psl = PublicSuffixList()
+        before = archive_base_domain_sets(archive, psl=psl)
+        # Promote the base of a listed FQDN to a public suffix, which
+        # shifts that entry's base domain one label to the left.
+        target = next(name for snapshot in archive for name in snapshot.entries
+                      if name.count(".") >= 2)
+        new_suffix = target.split(".", 1)[1]
+        psl.add_rule(new_suffix)
+        after = archive_base_domain_sets(archive, psl=psl)
+        assert after is not before
+        for snapshot in archive:
+            assert after[snapshot.date] == frozenset(
+                normalise_to_base_domains(snapshot.entries, psl=psl)), snapshot.date
+
+    def test_add_rule_then_add_compose(self, calm_archives):
+        archive = calm_archives["alexa"]
+        psl = PublicSuffixList()
+        archive_base_domain_sets(archive, psl=psl)
+        archive.add(self._churned_successor(archive, fraction=0.01))
+        psl.add_rule("example-churn.com")
+        after = archive_base_domain_sets(archive, psl=psl)
+        for snapshot in archive:
+            assert after[snapshot.date] == frozenset(
+                normalise_to_base_domains(snapshot.entries, psl=psl)), snapshot.date
+
+
 class TestSnapshotTopSharing:
     def test_top_is_cached_and_identical(self, archive):
         snapshot = archive[0]

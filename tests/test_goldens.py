@@ -1,0 +1,78 @@
+"""Golden-run regression tests: scenario-level parity against committed runs.
+
+Every scenario profile is re-run live and its fingerprint — churn rates,
+tau/KS summaries, intersection means, top-k head hashes — is compared to
+the JSON committed under ``tests/goldens/``.  A refactor of any cached
+fast path (PSL trie, delta engines, providers) that changes a single list
+entry anywhere in the battery shows up here as a named statistic diff.
+
+Regenerate intentionally with ``make goldens`` and commit the diff.
+"""
+
+from __future__ import annotations
+
+import copy
+from pathlib import Path
+
+import pytest
+
+from repro.scenarios import (
+    check_against_golden,
+    diff_fingerprints,
+    golden_path,
+    load_golden,
+    profile_names,
+    run_scenario,
+)
+
+GOLDENS_DIR = Path(__file__).resolve().parent / "goldens"
+
+pytestmark = pytest.mark.golden
+
+
+class TestGoldenFiles:
+    def test_every_profile_has_a_committed_golden(self):
+        missing = [name for name in profile_names()
+                   if not golden_path(GOLDENS_DIR, name).exists()]
+        assert not missing, f"run `make goldens` for: {missing}"
+
+    def test_no_orphaned_goldens(self):
+        known = set(profile_names())
+        orphans = [path.name for path in GOLDENS_DIR.glob("*.json")
+                   if path.stem not in known]
+        assert not orphans
+
+
+@pytest.mark.parametrize("profile", profile_names())
+class TestGoldenParity:
+    def test_live_run_matches_committed_golden(self, profile):
+        report = run_scenario(profile)
+        differences = check_against_golden(report, GOLDENS_DIR)
+        assert not differences, "\n".join(
+            [f"{profile}: live run diverged from tests/goldens/{profile}.json",
+             "(if the change is intentional, refresh with `make goldens`)"]
+            + differences)
+
+
+class TestDiffMachinery:
+    def test_diff_names_the_changed_leaf(self):
+        golden = load_golden(GOLDENS_DIR, "paper_realistic")
+        mutated = copy.deepcopy(golden)
+        mutated["providers"]["alexa"]["churn_fraction"] += 0.5
+        differences = diff_fingerprints(mutated, golden)
+        assert len(differences) == 1
+        assert "providers.alexa.churn_fraction" in differences[0]
+
+    def test_diff_reports_missing_keys_both_ways(self):
+        golden = load_golden(GOLDENS_DIR, "paper_realistic")
+        mutated = copy.deepcopy(golden)
+        del mutated["top_k"]
+        mutated["extra"] = 1
+        differences = diff_fingerprints(mutated, golden)
+        assert any("missing from live run" in d for d in differences)
+        assert any("missing from golden" in d for d in differences)
+
+    def test_missing_golden_file_is_reported(self, tmp_path):
+        report = run_scenario("paper_realistic")
+        differences = check_against_golden(report, tmp_path)
+        assert differences and "no golden committed" in differences[0]

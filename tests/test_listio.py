@@ -6,6 +6,7 @@ import zipfile
 import pytest
 
 from repro.listio import (
+    date_from_filename,
     parse_top_list_csv,
     read_archive,
     read_top_list,
@@ -14,33 +15,76 @@ from repro.listio import (
 )
 from repro.providers.base import ListArchive, ListSnapshot
 
+DATE = dt.date(2018, 1, 30)
+
 
 class TestParse:
     def test_rank_domain_format(self):
-        snapshot = parse_top_list_csv("1,google.com\n2,youtube.com\n", provider="alexa")
+        snapshot = parse_top_list_csv("1,google.com\n2,youtube.com\n",
+                                      provider="alexa", date=DATE)
         assert snapshot.entries == ("google.com", "youtube.com")
 
     def test_majestic_style_columns(self):
         text = "1,com,google.com,extra\n2,org,wikipedia.org,extra\n"
-        snapshot = parse_top_list_csv(text, provider="majestic", domain_column=2)
+        snapshot = parse_top_list_csv(text, provider="majestic", date=DATE,
+                                      domain_column=2)
         assert snapshot.entries == ("google.com", "wikipedia.org")
 
     def test_header_rows_skipped(self):
         text = "GlobalRank,Domain\n1,google.com\n"
-        assert parse_top_list_csv(text, provider="majestic").entries == ("google.com",)
+        snapshot = parse_top_list_csv(text, provider="majestic", date=DATE)
+        assert snapshot.entries == ("google.com",)
 
     def test_duplicates_keep_first(self):
         text = "1,a.com\n2,A.COM\n3,b.com\n"
-        assert parse_top_list_csv(text, provider="alexa").entries == ("a.com", "b.com")
+        snapshot = parse_top_list_csv(text, provider="alexa", date=DATE)
+        assert snapshot.entries == ("a.com", "b.com")
 
     def test_blank_lines_and_short_rows_ignored(self):
         text = "\n1\n1,a.com\n"
-        assert parse_top_list_csv(text, provider="alexa").entries == ("a.com",)
+        snapshot = parse_top_list_csv(text, provider="alexa", date=DATE)
+        assert snapshot.entries == ("a.com",)
 
     def test_date_attached(self):
         snapshot = parse_top_list_csv("1,a.com\n", provider="alexa",
                                       date=dt.date(2018, 4, 30))
         assert snapshot.date == dt.date(2018, 4, 30)
+
+    def test_date_is_required(self):
+        # Defaulting to "today" would parse the same text into different
+        # snapshots across midnight; the date must be explicit.
+        with pytest.raises(ValueError, match="date"):
+            parse_top_list_csv("1,a.com\n", provider="alexa", date=None)
+
+
+class TestFilenameDates:
+    @pytest.mark.parametrize("name, expected", [
+        ("alexa-2018-01-30.csv", dt.date(2018, 1, 30)),
+        ("top-1m_2017-06-06.csv.zip", dt.date(2017, 6, 6)),
+        ("umbrella-2018-04-30-fixed.csv", dt.date(2018, 4, 30)),
+        ("top-1m.csv", None),
+        ("list-2018-13-40.csv", None),  # not a calendar date
+    ])
+    def test_date_from_filename(self, name, expected):
+        assert date_from_filename(name) == expected
+
+    def test_read_derives_date_from_filename(self, tmp_path):
+        path = tmp_path / "alexa-2018-01-30.csv"
+        path.write_text("1,google.com\n", encoding="utf-8")
+        snapshot = read_top_list(path, provider="alexa")
+        assert snapshot.date == dt.date(2018, 1, 30)
+
+    def test_read_without_any_date_raises(self, tmp_path):
+        path = tmp_path / "top-1m.csv"
+        path.write_text("1,google.com\n", encoding="utf-8")
+        with pytest.raises(ValueError, match="snapshot date"):
+            read_top_list(path, provider="alexa")
+
+    def test_explicit_date_wins_over_filename(self, tmp_path):
+        path = tmp_path / "alexa-2018-01-30.csv"
+        path.write_text("1,google.com\n", encoding="utf-8")
+        snapshot = read_top_list(path, provider="alexa", date=dt.date(2018, 2, 2))
+        assert snapshot.date == dt.date(2018, 2, 2)
 
 
 class TestFiles:
@@ -53,12 +97,14 @@ class TestFiles:
         assert loaded.entries == snapshot.entries
 
     def test_zip_support(self, tmp_path):
-        # The Alexa list ships as top-1m.csv.zip.
-        zip_path = tmp_path / "top-1m.csv.zip"
+        # The Alexa list ships as top-1m.csv.zip; archived copies carry
+        # the download date in the file name.
+        zip_path = tmp_path / "top-1m_2018-01-30.csv.zip"
         with zipfile.ZipFile(zip_path, "w") as archive:
             archive.writestr("top-1m.csv", "1,google.com\n2,netflix.com\n")
         snapshot = read_top_list(zip_path, provider="alexa")
         assert snapshot.entries == ("google.com", "netflix.com")
+        assert snapshot.date == dt.date(2018, 1, 30)
 
     def test_archive_roundtrip(self, tmp_path):
         archive = ListArchive(provider="umbrella")
@@ -73,4 +119,11 @@ class TestFiles:
 
     def test_missing_file_raises(self, tmp_path):
         with pytest.raises(FileNotFoundError):
-            read_top_list(tmp_path / "absent.csv", provider="alexa")
+            read_top_list(tmp_path / "absent.csv", provider="alexa",
+                          date=dt.date(2018, 1, 1))
+
+    def test_from_csv_requires_date(self, tmp_path):
+        path = tmp_path / "top.csv"
+        path.write_text("1,a.com\n", encoding="utf-8")
+        with pytest.raises(ValueError, match="date"):
+            ListSnapshot.from_csv(path, provider="alexa")

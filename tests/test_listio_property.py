@@ -1,0 +1,126 @@
+"""Property-based round-trip tests (hypothesis) for :mod:`repro.listio`.
+
+For arbitrary domain lists: writing a snapshot and reading it back — as a
+plain CSV, as an Alexa-style zip, or through Majestic's 3-column format —
+must reproduce the entries, their ranks and the provider exactly.
+"""
+
+from __future__ import annotations
+
+import datetime as dt
+import pathlib
+import string
+import tempfile
+import zipfile
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.listio import parse_top_list_csv, read_archive, read_top_list, write_archive, write_top_list
+from repro.providers.base import ListArchive, ListSnapshot
+
+# --------------------------------------------------------------------------
+# Strategies
+# --------------------------------------------------------------------------
+
+_label = st.text(alphabet=string.ascii_lowercase + string.digits,
+                 min_size=1, max_size=10)
+_domain = st.builds(lambda labels, tld: ".".join(labels + [tld]),
+                    st.lists(_label, min_size=1, max_size=3),
+                    st.sampled_from(["com", "net", "org", "de", "co.uk", "io"]))
+_domains = st.lists(_domain, min_size=1, max_size=30, unique=True)
+_date = st.dates(min_value=dt.date(2017, 6, 6), max_value=dt.date(2018, 4, 30))
+_provider = st.sampled_from(["alexa", "umbrella", "majestic", "prop"])
+
+
+def _snapshot(provider: str, date: dt.date, entries: list[str]) -> ListSnapshot:
+    return ListSnapshot(provider=provider, date=date, entries=tuple(entries))
+
+
+def _assert_equivalent(loaded: ListSnapshot, original: ListSnapshot) -> None:
+    assert loaded.provider == original.provider
+    assert loaded.date == original.date
+    assert loaded.entries == original.entries
+    for rank, domain in enumerate(original.entries, start=1):
+        assert loaded.rank_of(domain) == rank
+
+
+class TestCsvRoundTrip:
+    @given(_provider, _date, _domains)
+    @settings(max_examples=40)
+    def test_write_read_csv(self, provider, date, entries):
+        original = _snapshot(provider, date, entries)
+        with tempfile.TemporaryDirectory() as tmp:
+            path = pathlib.Path(tmp) / "list.csv"
+            write_top_list(original, path)
+            loaded = read_top_list(path, provider=provider, date=date)
+        _assert_equivalent(loaded, original)
+
+    @given(_date, _domains)
+    @settings(max_examples=40)
+    def test_filename_carries_the_date(self, date, entries):
+        original = _snapshot("alexa", date, entries)
+        with tempfile.TemporaryDirectory() as tmp:
+            path = pathlib.Path(tmp) / f"alexa-{date.isoformat()}.csv"
+            write_top_list(original, path)
+            loaded = read_top_list(path, provider="alexa")
+        _assert_equivalent(loaded, original)
+
+    @given(_provider, _date, _domains)
+    @settings(max_examples=40)
+    def test_zip_round_trip(self, provider, date, entries):
+        # The Alexa distribution format: a zip wrapping top-1m.csv.
+        original = _snapshot(provider, date, entries)
+        text = "".join(f"{rank},{domain}\r\n"
+                       for rank, domain in enumerate(original.entries, start=1))
+        with tempfile.TemporaryDirectory() as tmp:
+            path = pathlib.Path(tmp) / "top-1m.csv.zip"
+            with zipfile.ZipFile(path, "w") as archive:
+                archive.writestr("top-1m.csv", text)
+            loaded = read_top_list(path, provider=provider, date=date)
+        _assert_equivalent(loaded, original)
+
+
+class TestMajesticFormat:
+    @given(_date, _domains)
+    @settings(max_examples=40)
+    def test_three_column_round_trip(self, date, entries):
+        # Majestic Million rows carry the domain in the third column.
+        original = _snapshot("majestic", date, entries)
+        text = "GlobalRank,TLD,Domain,RefSubNets\n" + "".join(
+            f"{rank},{domain.rsplit('.', 1)[-1]},{domain},{rank * 17}\n"
+            for rank, domain in enumerate(original.entries, start=1))
+        loaded = parse_top_list_csv(text, provider="majestic", date=date,
+                                    domain_column=2)
+        _assert_equivalent(loaded, original)
+
+    @given(_date, _domains)
+    @settings(max_examples=40)
+    def test_parse_is_idempotent(self, date, entries):
+        original = _snapshot("majestic", date, entries)
+        text = "".join(f"{rank},{domain}\n"
+                       for rank, domain in enumerate(original.entries, start=1))
+        once = parse_top_list_csv(text, provider="majestic", date=date)
+        again = parse_top_list_csv(
+            "".join(f"{rank},{domain}\n"
+                    for rank, domain in enumerate(once.entries, start=1)),
+            provider="majestic", date=date)
+        assert again.entries == once.entries == original.entries
+
+
+class TestArchiveRoundTrip:
+    @given(_provider,
+           st.lists(st.tuples(_date, _domains), min_size=1, max_size=4,
+                    unique_by=lambda pair: pair[0]))
+    @settings(max_examples=25)
+    def test_write_read_archive(self, provider, days):
+        archive = ListArchive(provider=provider)
+        for date, entries in days:
+            archive.add(_snapshot(provider, date, entries))
+        with tempfile.TemporaryDirectory() as tmp:
+            directory = pathlib.Path(tmp) / "archive"
+            write_archive(archive, directory)
+            loaded = read_archive(directory, provider=provider)
+        assert loaded.dates() == archive.dates()
+        for original in archive:
+            _assert_equivalent(loaded[original.date], original)

@@ -1,0 +1,190 @@
+"""Tests for the scenario profiles and the scenario runner.
+
+The acceptance bar of the subsystem: ``paper_realistic`` really sits in
+the paper's ~1% daily churn regime, every scenario report is
+byte-identical across independent runs with the same seed, and the
+per-profile simulation cache returns the same run object without staleness
+when a profile name is reused with a different configuration.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.population.config import SimulationConfig
+from repro.providers.simulation import clear_simulation_cache, run_profile
+from repro.scenarios import (
+    PROFILES,
+    InjectionSpec,
+    ScenarioReport,
+    ScenarioRunner,
+    SimulationProfile,
+    get_profile,
+    profile_names,
+    run_scenario,
+)
+
+
+@pytest.fixture(scope="module")
+def paper_report() -> ScenarioReport:
+    return run_scenario("paper_realistic")
+
+
+class TestProfiles:
+    def test_registry_contains_the_five_presets(self):
+        assert set(profile_names()) == {
+            "paper_realistic", "high_churn_stress", "alexa_change_2018",
+            "weekend_heavy", "manipulated",
+        }
+
+    def test_presets_are_frozen(self):
+        profile = get_profile("paper_realistic")
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            profile.name = "other"  # type: ignore[misc]
+
+    def test_unknown_name_reports_known_profiles(self):
+        with pytest.raises(KeyError, match="paper_realistic"):
+            get_profile("nope")
+
+    def test_with_config_derives_a_distinct_name(self):
+        profile = get_profile("paper_realistic")
+        derived = profile.with_config(n_days=7)
+        assert derived.name != profile.name
+        assert derived.config.n_days == 7
+        # The frozen preset is untouched.
+        assert get_profile("paper_realistic").config.n_days == profile.config.n_days
+
+    def test_injection_outside_period_rejected(self):
+        config = SimulationConfig.small(n_days=7)
+        with pytest.raises(ValueError, match="outside"):
+            SimulationProfile(name="x", description="", config=config,
+                              injections=(InjectionSpec(
+                                  fqdn="a.example.org", n_clients=1,
+                                  queries_per_client=1.0, day=7),))
+
+    def test_profile_top_k_defaults_to_config(self):
+        profile = get_profile("paper_realistic")
+        assert profile.top_k == profile.config.top_k
+        custom = dataclasses.replace(profile, name="x", analysis_top_k=50)
+        assert custom.top_k == 50
+
+    def test_alexa_change_profile_switches_mid_period(self):
+        config = get_profile("alexa_change_2018").config
+        assert config.alexa_change_day is not None
+        assert 0 < config.alexa_change_day < config.n_days
+
+
+class TestPaperRealisticRegime:
+    def test_mean_daily_churn_is_about_one_percent(self, paper_report):
+        fractions = [section["stability"]["churn_fraction"]
+                     for section in paper_report.providers.values()]
+        mean_churn = sum(fractions) / len(fractions)
+        assert 0.005 <= mean_churn <= 0.02, fractions
+
+    def test_every_list_is_calm(self, paper_report):
+        for name, section in paper_report.providers.items():
+            assert section["stability"]["churn_fraction"] <= 0.03, name
+
+    def test_rank_correlation_is_very_strong(self, paper_report):
+        for name, section in paper_report.providers.items():
+            taus = section["rank_dynamics"]["tau_day_to_day"]
+            assert taus["mean"] >= 0.9, name
+        # The web/backlink lists are almost perfectly correlated day to
+        # day; the resolver list stays the most volatile even when calm.
+        for name in ("alexa", "majestic"):
+            taus = paper_report.providers[name]["rank_dynamics"]["tau_day_to_day"]
+            assert taus["strong_share"] >= 0.9, name
+
+    def test_much_calmer_than_the_stress_profile(self, paper_report):
+        stress = run_scenario("high_churn_stress")
+        for name in ("alexa", "umbrella"):
+            calm = paper_report.providers[name]["stability"]["churn_fraction"]
+            wild = stress.providers[name]["stability"]["churn_fraction"]
+            assert wild > 5 * calm, (name, calm, wild)
+
+
+class TestScenarioRegimes:
+    def test_alexa_change_splits_the_period(self):
+        report = run_scenario("alexa_change_2018")
+        changes = report.providers["alexa"]["stability"]["daily_changes"]
+        change_day = report.config["alexa_change_day"]
+        dates = sorted(changes)
+        before = [changes[d] for d in dates[: change_day - 1]]
+        after = [changes[d] for d in dates[change_day - 1:]]
+        assert sum(after) / len(after) > 5 * (sum(before) / len(before) or 1)
+
+    def test_weekend_heavy_amplifies_weekly_pattern(self):
+        heavy = run_scenario("weekend_heavy")
+        calm = run_scenario("paper_realistic")
+        assert (heavy.providers["alexa"]["weekly"]["ks_mean"]
+                > calm.providers["alexa"]["weekly"]["ks_mean"])
+
+    def test_manipulated_reproduces_probes_over_volume(self):
+        report = run_scenario("manipulated")
+        ranks = {fqdn: outcome["rank"]
+                 for fqdn, outcome in report.manipulation.items()}
+        many_probes = ranks["rank-injection-a.example-measurement.org"]
+        many_queries = ranks["rank-injection-b.example-measurement.org"]
+        assert many_probes is not None and many_queries is not None
+        # 10k probes at 1 query/day beat 1k probes at 100 queries/day.
+        assert many_probes < many_queries
+
+
+class TestScenarioReport:
+    def test_serialisation_round_trip(self, paper_report):
+        restored = ScenarioReport.from_json(paper_report.to_json())
+        assert restored == paper_report
+        assert restored.to_json() == paper_report.to_json()
+
+    def test_byte_identical_across_fresh_runs(self):
+        first = ScenarioRunner("paper_realistic", use_cache=False).run()
+        clear_simulation_cache()
+        second = ScenarioRunner("paper_realistic", use_cache=False).run()
+        assert first.to_json() == second.to_json()
+        assert first.fingerprint() == second.fingerprint()
+
+    def test_fingerprint_is_json_clean_and_compact(self, paper_report):
+        import json
+
+        fingerprint = paper_report.fingerprint()
+        text = json.dumps(fingerprint, sort_keys=True)
+        assert json.loads(text) == fingerprint
+        assert len(text) < 10_000
+
+    def test_report_covers_the_full_battery(self, paper_report):
+        for section in paper_report.providers.values():
+            assert {"stability", "rank_dynamics", "weekly", "head_sample"} <= set(section)
+        assert paper_report.intersection["pairs"]
+        assert set(paper_report.recommendations) == set(paper_report.providers)
+
+    def test_recommendations_flag_the_volatile_regimes(self):
+        stress = run_scenario("high_churn_stress")
+        # A >5%-churn list measured longitudinally must not raise criticals
+        # (the plan measures on every archive day), but the calm profile
+        # passes outright as well — both regimes produce a clean plan.
+        for section in stress.recommendations.values():
+            assert section["passes"]
+
+
+class TestProfileRunCache:
+    def test_same_profile_returns_same_run(self):
+        profile = get_profile("paper_realistic")
+        assert run_profile(profile) is run_profile(profile)
+
+    def test_reused_name_with_new_config_is_not_stale(self):
+        profile = get_profile("paper_realistic")
+        run_profile(profile)
+        shadow = dataclasses.replace(profile, config=SimulationConfig.small(n_days=3))
+        other = run_profile(shadow)
+        assert other.config == shadow.config
+        # And the original profile still resolves to its own configuration.
+        assert run_profile(profile).config == profile.config
+
+    def test_uncached_run_is_fresh(self):
+        profile = dataclasses.replace(get_profile("paper_realistic"), name="fresh-test",
+                                      config=SimulationConfig.small(n_days=2))
+        first = run_profile(profile, use_cache=False)
+        second = run_profile(profile, use_cache=False)
+        assert first is not second
