@@ -4,7 +4,9 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test golden-test goldens bench
+STORE ?= .repro-store
+
+.PHONY: test golden-test goldens bench bench-service store serve
 
 ## Tier-1 test suite (what CI runs on every push).
 test:
@@ -19,6 +21,19 @@ golden-test:
 goldens:
 	$(PYTHON) scripts/refresh_goldens.py
 
-## Benchmark suite + seed-vs-fastpath comparison + scenario battery.
+## Benchmark suite + seed-vs-fastpath comparison + scenario battery
+## + serving layer.
 bench:
 	$(PYTHON) benchmarks/run_benchmarks.py
+
+## Serving-layer benchmarks only (store/index/API) → BENCH_service.json.
+bench-service:
+	$(PYTHON) benchmarks/run_benchmarks.py --service
+
+## Build a demo archive store (paper_realistic scenario) at $(STORE).
+store:
+	$(PYTHON) -m repro.service.cli init --store $(STORE)
+
+## Serve the /v1 query API from $(STORE) (build it first: make store).
+serve:
+	$(PYTHON) -m repro.service.cli serve --store $(STORE)

@@ -1,7 +1,7 @@
 #!/usr/bin/env python
 """Run the benchmark suite and write ``BENCH_*.json`` perf artifacts.
 
-Three modes, all on by default:
+Four modes, all on by default:
 
 * ``--suite``: run the ``test_bench_*`` paper-reproduction benchmarks
   under pytest-benchmark and write the raw timing JSON
@@ -14,11 +14,17 @@ Three modes, all on by default:
   :class:`~repro.scenarios.ScenarioRunner` (cold caches per scenario),
   record wall time plus headline statistics and write
   ``BENCH_scenarios.json`` — one call per scenario, end to end.
+* ``--service``: persist the 30-day × 3-provider corpus into an
+  :class:`~repro.service.store.ArchiveStore`, then measure the serving
+  layer (``BENCH_service.json``): store write/load and warm-start times,
+  indexed domain-history lookups vs the naive full archive scan
+  (asserted ≥10× — it is orders of magnitude), and HTTP requests/s per
+  endpoint cold (LRU cleared) vs cached.
 
 Usage::
 
     PYTHONPATH=src python benchmarks/run_benchmarks.py [--suite] [--speedup]
-        [--scenarios] [--out benchmarks/artifacts] [--days 30]
+        [--scenarios] [--service] [--out benchmarks/artifacts] [--days 30]
 """
 
 from __future__ import annotations
@@ -375,6 +381,144 @@ def run_scenarios(out_dir: Path) -> Path:
     return path
 
 
+def _naive_history_scan(archive, domain):
+    """The pre-index path: walk every snapshot, scan its entries."""
+    observations = []
+    for snapshot in archive:
+        for position, name in enumerate(snapshot.entries):
+            if name == domain:
+                observations.append((snapshot.date, position + 1))
+                break
+    return observations
+
+
+def run_service(out_dir: Path, days: int) -> Path:
+    """Benchmark the serving layer: store, index, and HTTP endpoints."""
+    import tempfile
+    import threading
+    import urllib.request
+
+    from repro.service.api import QueryService, create_server
+    from repro.service.index import DomainIndex
+    from repro.service.store import ArchiveStore
+
+    config = SimulationConfig.benchmark(n_days=days)
+    print(f"simulating {days}-day × 3-provider archive "
+          f"(list size {config.list_size}) ...")
+    run = run_simulation(config)
+    archives = run.archives
+    results = {}
+
+    with tempfile.TemporaryDirectory() as tmp:
+        print("persisting corpus into the archive store ...")
+        store_dir = Path(tmp) / "store"
+        _, write_s = _timed(lambda: ArchiveStore.from_archives(store_dir, archives))
+        store = ArchiveStore(store_dir)
+        warm_archives, load_s = _timed(store.load_archives)
+        shard_bytes = sum(p.stat().st_size
+                          for p in store_dir.rglob("*.rls"))
+        csv_bytes = sum(len(f"{rank},{domain}\n")
+                        for archive in archives.values()
+                        for snapshot in archive
+                        for rank, domain in enumerate(snapshot.entries, start=1))
+        for name, loaded in warm_archives.items():
+            assert [s.entries for s in loaded] == \
+                [s.entries for s in archives[name]], f"{name}: store round trip drifted"
+        results["store"] = {
+            "write_seconds": write_s, "load_seconds": load_s,
+            "snapshots": len(store), "shard_bytes": shard_bytes,
+            "csv_equivalent_bytes": csv_bytes,
+            "compression_ratio": csv_bytes / shard_bytes,
+        }
+
+        print("timing indexed history lookups vs naive archive scans ...")
+        index, build_s = _timed(lambda: DomainIndex.from_archives(warm_archives))
+        alexa = archives["alexa"]
+        probes = list(alexa[0].entries[::40]) + \
+            list(alexa[len(alexa) - 1].entries[-20:])
+        probes = list(dict.fromkeys(probes))
+
+        def scan_all():
+            return [_naive_history_scan(alexa, domain) for domain in probes]
+
+        def lookup_all():
+            return [index.history(domain, "alexa") for domain in probes]
+
+        scan_result, scan_s = _timed(scan_all)
+        # One pass is microseconds; repeat for a stable measurement.
+        lookup_rounds = 50
+        lookup_result, lookup_total = _timed(
+            lambda: [lookup_all() for _ in range(lookup_rounds)])
+        lookup_s = lookup_total / lookup_rounds
+        assert lookup_result[0] == scan_result, "index diverged from archive scan"
+        speedup = scan_s / lookup_s
+        assert speedup >= 10, (
+            f"indexed lookups only {speedup:.1f}x over the archive scan")
+        results["index"] = {
+            "build_seconds": build_s, "probe_domains": len(probes),
+            "scan_seconds": scan_s, "indexed_seconds": lookup_s,
+            "speedup": speedup,
+        }
+
+        print("timing HTTP endpoints (cold vs cached) ...")
+        service = QueryService(store)
+        server = create_server(service)
+        port = server.server_address[1]
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        try:
+            targets = {
+                "meta": "/v1/meta",
+                "history": f"/v1/domains/{probes[0]}/history?top_k=100",
+                "stability": "/v1/providers/alexa/stability?top_n=400",
+                "compare": "/v1/compare?providers=alexa,majestic,umbrella&top_n=400",
+            }
+
+            def fetch(target):
+                with urllib.request.urlopen(
+                        f"http://127.0.0.1:{port}{target}", timeout=60) as resp:
+                    return resp.read()
+
+            endpoints = {}
+            for name, target in targets.items():
+                service.clear_cache()
+                _, cold_s = _timed(lambda: fetch(target))
+                requests = 200 if name in ("meta", "history") else 50
+                _, warm_total = _timed(
+                    lambda: [fetch(target) for _ in range(requests)])
+                endpoints[name] = {
+                    "cold_seconds": cold_s,
+                    "cached_requests_per_second": requests / warm_total,
+                    "cold_requests_per_second": 1.0 / cold_s,
+                    "requests_timed": requests,
+                }
+            results["endpoints"] = endpoints
+        finally:
+            server.shutdown()
+            server.server_close()
+
+    artifact = {
+        "kind": "service-layer",
+        "created": time.strftime("%Y-%m-%dT%H:%M:%S"),
+        "config": {"n_days": config.n_days, "list_size": config.list_size,
+                   "providers": sorted(archives)},
+        "results": results,
+    }
+    out_dir.mkdir(parents=True, exist_ok=True)
+    path = out_dir / "BENCH_service.json"
+    path.write_text(json.dumps(artifact, indent=2) + "\n", encoding="utf-8")
+    print(f"\nstore: write {results['store']['write_seconds']:.2f}s, "
+          f"load+warm {results['store']['load_seconds']:.2f}s, "
+          f"{results['store']['compression_ratio']:.1f}x smaller than CSV")
+    print(f"index: {results['index']['speedup']:.0f}x over naive archive scan "
+          f"({len(probes)} probe domains)")
+    for name, row in results["endpoints"].items():
+        print(f"endpoint {name:<10} cold {row['cold_seconds'] * 1000:7.1f} ms   "
+              f"cached {row['cached_requests_per_second']:7.0f} req/s")
+    print(f"wrote {path}")
+    return path
+
+
 def run_suite(out_dir: Path) -> Path:
     out_dir.mkdir(parents=True, exist_ok=True)
     path = out_dir / "BENCH_suite.json"
@@ -401,16 +545,20 @@ def main() -> None:
                         help="run only the seed-vs-fastpath comparison")
     parser.add_argument("--scenarios", action="store_true",
                         help="run only the scenario-profile battery")
+    parser.add_argument("--service", action="store_true",
+                        help="run only the serving-layer benchmarks")
     parser.add_argument("--out", type=Path, default=REPO_ROOT / "benchmarks" / "artifacts",
                         help="artifact output directory")
     parser.add_argument("--days", type=int, default=30,
                         help="days in the speedup comparison archive")
     args = parser.parse_args()
-    run_all = not (args.suite or args.speedup or args.scenarios)
+    run_all = not (args.suite or args.speedup or args.scenarios or args.service)
     if args.scenarios or run_all:
         run_scenarios(args.out)
     if args.speedup or run_all:
         run_speedup(args.out, args.days)
+    if args.service or run_all:
+        run_service(args.out, args.days)
     if args.suite or run_all:
         run_suite(args.out)
 

@@ -1,0 +1,73 @@
+#!/usr/bin/env python3
+"""Serving layer end to end: persist a corpus, index it, query it.
+
+Simulates a small observation period, persists the three provider
+archives into an :class:`~repro.service.store.ArchiveStore`, reloads
+them warm-started, and answers the query API's endpoints offline through
+:class:`~repro.service.api.QueryService` — the same code path
+``repro-serve`` exposes over HTTP.
+
+Run with::
+
+    python examples/serve_archive.py
+
+then serve the same store for real with::
+
+    python -m repro.service.cli serve --store <printed store path>
+"""
+
+from __future__ import annotations
+
+import tempfile
+from pathlib import Path
+
+from repro import SimulationConfig, run_simulation
+from repro.service import ArchiveStore, DomainIndex, QueryService
+
+
+def main() -> None:
+    config = SimulationConfig.small(alexa_change_day=9)
+    print(f"Simulating {config.n_days} days over {config.total_domains()} domains ...")
+    run = run_simulation(config)
+
+    store_dir = Path(tempfile.mkdtemp(prefix="repro-store-")) / "store"
+    store = ArchiveStore.from_archives(store_dir, run.archives)
+    shard_bytes = sum(p.stat().st_size for p in store_dir.rglob("*.rls"))
+    print("\n== Archive store ==")
+    print(f"  {len(store)} snapshots, {len(store.providers())} providers, "
+          f"{shard_bytes / 1024:.0f} KiB on disk at {store_dir}")
+
+    print("\n== Warm-started reload ==")
+    archives = store.load_archives()
+    for name, archive in sorted(archives.items()):
+        seeded = "warm" if "_analysis_cache" in archive.__dict__ else "cold"
+        print(f"  {name:<9} {len(archive)} days, delta engine {seeded}")
+
+    index = DomainIndex.from_archives(archives)
+    probe = archives["alexa"][0].entries[0]
+    print(f"\n== Rank history of {probe} (domain index) ==")
+    for provider in index.providers():
+        history = index.history(probe, provider)
+        longevity = index.longevity(probe, provider)
+        ranks = ", ".join(str(rank) for _, rank in history[:7])
+        print(f"  {provider:<9} listed {longevity.days_listed} days, "
+              f"first ranks: {ranks}")
+
+    print("\n== Query API (offline, same code path as repro-serve) ==")
+    service = QueryService(store)
+    for target in (f"/v1/domains/{probe}/history?top_k={config.top_k}",
+                   "/v1/providers/alexa/stability?top_n=100",
+                   "/v1/compare?providers=alexa,majestic,umbrella&top_n=100"):
+        response = service.handle_request(target)
+        repeat = service.handle_request(target)
+        print(f"  GET {target}")
+        print(f"      {response.status}, {len(response.body)} bytes, "
+              f"ETag {response.etag[:18]}..., "
+              f"repeat from LRU: {repeat.headers['X-Repro-Cache']}")
+    payload = service.handle_request(
+        "/v1/providers/alexa/stability?top_n=100").json()
+    print(f"  alexa churn fraction (top 100): {payload['churn_fraction']:.4f}")
+
+
+if __name__ == "__main__":
+    main()

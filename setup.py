@@ -1,11 +1,28 @@
 """Setuptools entry point.
 
-The project is configured through ``pyproject.toml``; this shim exists so
-that legacy editable installs (``pip install -e . --no-use-pep517`` or
-``python setup.py develop``) work on environments without the ``wheel``
-package, e.g. offline machines.
+Kept as plain ``setup.py`` (no build-time dependencies beyond setuptools)
+so editable installs work on offline machines without the ``wheel``
+package: ``pip install -e .`` or ``python setup.py develop``.
+
+Installing registers the ``repro-serve`` console script (the archive
+store / query API CLI); the uninstalled equivalent is
+``PYTHONPATH=src python -m repro.service.cli``.
 """
 
-from setuptools import setup
+from setuptools import find_packages, setup
 
-setup()
+setup(
+    name="repro-toplists",
+    version="1.1.0",
+    description=("Reproduction of 'A Long Way to the Top' (IMC 2018): "
+                 "top-list analyses, simulation, and serving layer"),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.10",
+    install_requires=["numpy"],
+    entry_points={
+        "console_scripts": [
+            "repro-serve = repro.service.cli:main",
+        ],
+    },
+)

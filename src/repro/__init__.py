@@ -24,6 +24,8 @@ Package map:
   dynamics, weekly patterns, bias comparison).
 * :mod:`repro.scenarios` — named simulation profiles (churn regimes),
   the scenario runner and the golden-run regression harness.
+* :mod:`repro.service` — the serving subsystem: persistent archive
+  store, domain rank-history index, and the ``repro-serve`` query API.
 * :mod:`repro.providers` — Alexa/Umbrella/Majestic list-creation
   simulators, snapshots, archives, the simulation orchestrator.
 * :mod:`repro.population` — the synthetic Internet and its traffic.
@@ -45,12 +47,16 @@ from repro.scenarios import (
     profile_names,
     run_scenario,
 )
+from repro.service import ArchiveStore, DomainIndex, QueryService
 
 __version__ = "1.1.0"
 
 __all__ = [
+    "ArchiveStore",
+    "DomainIndex",
     "ListArchive",
     "ListSnapshot",
+    "QueryService",
     "ScenarioReport",
     "ScenarioRunner",
     "SimulationConfig",

@@ -141,6 +141,51 @@ def _sld_of_memoised(psl: PublicSuffixList):
     return sld_of
 
 
+def base_domain_mapper(psl: Optional[PublicSuffixList] = None):
+    """A memoised ``name -> base domain`` callable for ``psl``.
+
+    The public entry point to the flat per-PSL parse memo used by the
+    delta engines, for callers (e.g. the :mod:`repro.service` store) that
+    normalise entries outside an archive context but must match the
+    analysis pipeline's answers exactly.
+    """
+    return _base_of_memoised(psl or _DEFAULT_PSL)
+
+
+def seed_base_domain_sets(archive: ListArchive,
+                          per_day: Mapping[dt.date, frozenset[str]],
+                          psl: Optional[PublicSuffixList] = None,
+                          top_n: Optional[int] = None
+                          ) -> Mapping[dt.date, frozenset[str]]:
+    """Warm-start the delta engine with precomputed per-day base sets.
+
+    Installs ``per_day`` as the archive's cached
+    :func:`archive_base_domain_sets` result for ``(top_n, psl)``, so a
+    process that *persisted* the sets (the :mod:`repro.service` archive
+    store replays them from stored base ids) does not redo a month of
+    delta computation on restart.  The caller asserts the data is what
+    the delta engine would compute — the sets must cover exactly the
+    archive's dates (validated here); an existing cache entry wins, and
+    a later :meth:`~repro.providers.base.ListArchive.add` drops the
+    seeded entry like any other cached result.
+    """
+    psl = psl or _DEFAULT_PSL
+    key = ("base-domain-sets", top_n, None, _psl_key(psl))
+    cache = _archive_cache(archive)
+    existing = cache.get(key)
+    if existing is not None:
+        return existing
+    expected = archive.dates()
+    if list(per_day) != expected:
+        raise ValueError(
+            "seeded base-domain sets must cover exactly the archive's dates "
+            f"({len(per_day)} given, {len(expected)} in archive)")
+    _evict_superseded(cache, key)
+    view = MappingProxyType(dict(per_day))
+    cache[key] = view
+    return view
+
+
 def snapshot_base_domains(snapshot: ListSnapshot,
                           psl: Optional[PublicSuffixList] = None) -> frozenset[str]:
     """The snapshot's entries normalised to unique base domains (cached)."""

@@ -12,6 +12,7 @@ from __future__ import annotations
 
 import csv
 import datetime as dt
+import gzip
 import io
 import re
 import zipfile
@@ -74,10 +75,29 @@ def parse_top_list_csv(text: str, provider: str, date: dt.date,
     return ListSnapshot(provider=provider, date=date, entries=tuple(entries))
 
 
+def _zip_csv_member(archive: zipfile.ZipFile, path: Path) -> str:
+    """The member of an Alexa-style zip holding the list CSV.
+
+    Real ``top-1m.csv.zip`` downloads can carry directory entries or
+    metadata files before the payload, so "first member" is not reliable:
+    prefer the first ``*.csv`` member, fall back to the first regular
+    file, and reject archives with neither.
+    """
+    names = archive.namelist()
+    files = [name for name in names if not name.endswith("/")]
+    for name in files:
+        if name.lower().endswith(".csv"):
+            return name
+    if files:
+        return files[0]
+    raise ValueError(f"{path.name!r} contains no files")
+
+
 def read_top_list(path: str | Path, provider: str,
                   date: Optional[dt.date] = None,
                   domain_column: int = 1) -> ListSnapshot:
-    """Read a top-list CSV file; ``.zip`` archives (Alexa-style) are supported.
+    """Read a top-list CSV file; ``.zip`` (Alexa-style) and ``.csv.gz``
+    (Umbrella/Majestic mirror-style) archives are supported.
 
     The snapshot date is taken from ``date`` or, failing that, derived
     from an ISO date embedded in the file name
@@ -94,8 +114,10 @@ def read_top_list(path: str | Path, provider: str,
                 "(e.g. alexa-2018-01-30.csv)")
     if path.suffix == ".zip":
         with zipfile.ZipFile(path) as archive:
-            inner = archive.namelist()[0]
+            inner = _zip_csv_member(archive, path)
             text = archive.read(inner).decode("utf-8")
+    elif path.suffix == ".gz":
+        text = gzip.decompress(path.read_bytes()).decode("utf-8")
     else:
         text = path.read_text(encoding="utf-8")
     return parse_top_list_csv(text, provider=provider, date=date,

@@ -225,6 +225,24 @@ class ListArchive:
             snapshot.to_csv(directory / f"{self.provider}-{snapshot.date.isoformat()}.csv")
 
     @classmethod
+    def from_snapshots(cls, snapshots: Iterable[ListSnapshot],
+                       provider: Optional[str] = None) -> "ListArchive":
+        """Build an archive from snapshots (provider inferred if omitted).
+
+        All snapshots must share one provider name; an empty iterable
+        requires an explicit ``provider``.
+        """
+        snapshots = list(snapshots)
+        if provider is None:
+            if not snapshots:
+                raise ValueError("provider is required for an empty archive")
+            provider = snapshots[0].provider
+        archive = cls(provider=provider)
+        for snapshot in snapshots:
+            archive.add(snapshot)
+        return archive
+
+    @classmethod
     def from_directory(cls, directory: str | Path, provider: str) -> "ListArchive":
         """Load an archive written by :meth:`to_directory`."""
         directory = Path(directory)

@@ -43,6 +43,7 @@ from repro.scenarios.runner import (
     SCHEMA_VERSION,
     ScenarioReport,
     ScenarioRunner,
+    canonical_float,
     run_scenario,
 )
 
@@ -53,6 +54,7 @@ __all__ = [
     "ScenarioReport",
     "ScenarioRunner",
     "SimulationProfile",
+    "canonical_float",
     "check_against_golden",
     "diff_fingerprints",
     "get_profile",

@@ -57,9 +57,17 @@ _PROBE_DOMAINS = ("google.com", "netflix.com", "office.com", "jetblue.com")
 _FLOAT_DECIMALS = 10
 
 
-def _f(value: float) -> float:
-    """Canonical float for serialisation (see :data:`_FLOAT_DECIMALS`)."""
+def canonical_float(value: float) -> float:
+    """Canonical float for serialisation (see :data:`_FLOAT_DECIMALS`).
+
+    Shared by every layer that serialises analysis numbers (reports,
+    goldens, the :mod:`repro.service` query API), so "the same number"
+    is byte-identical everywhere it appears.
+    """
     return round(float(value), _FLOAT_DECIMALS)
+
+
+_f = canonical_float
 
 
 def _sha256(text: str) -> str:
@@ -122,6 +130,15 @@ class ScenarioReport:
     def to_json(self) -> str:
         """Canonical JSON: sorted keys, stable layout, byte-reproducible."""
         return json.dumps(self.to_dict(), indent=2, sort_keys=True) + "\n"
+
+    def to_bytes(self) -> bytes:
+        """The canonical JSON document as UTF-8 bytes.
+
+        These are the exact bytes the archive store persists and the
+        query API serves, so "stored report" and "freshly computed
+        report" are indistinguishable on the wire.
+        """
+        return self.to_json().encode("utf-8")
 
     @classmethod
     def from_dict(cls, data: Mapping[str, Any]) -> "ScenarioReport":

@@ -1,0 +1,34 @@
+"""repro.service — the serving subsystem on top of the analysis library.
+
+Three layers turn the in-process analysis pipeline into a system that can
+answer queries without rebuilding the world per request:
+
+* :mod:`repro.service.store` — :class:`ArchiveStore`, an append-only
+  on-disk snapshot store (shared string table + per-day rank arrays,
+  sharded by provider/month) that warm-starts
+  :class:`~repro.providers.base.ListArchive` objects *and* the
+  :mod:`repro.core.cache` delta engine on load.
+* :mod:`repro.service.index` — :class:`DomainIndex`, a domain-centric
+  inverted index (``domain → provider → [(date, rank)]`` plus base-domain
+  membership intervals) answering rank-history, longevity and
+  days-in-top-k queries without an archive scan.
+* :mod:`repro.service.api` — :class:`QueryService`, the deterministic
+  JSON query layer behind the ``repro-serve`` HTTP endpoints, with an
+  LRU result cache keyed on the store version and ETag revalidation.
+
+The command-line entry point lives in :mod:`repro.service.cli`
+(``repro-serve`` / ``python -m repro.service.cli``).
+"""
+
+from repro.service.api import QueryService, Response, create_server
+from repro.service.index import DomainIndex, DomainLongevity
+from repro.service.store import ArchiveStore
+
+__all__ = [
+    "ArchiveStore",
+    "DomainIndex",
+    "DomainLongevity",
+    "QueryService",
+    "Response",
+    "create_server",
+]

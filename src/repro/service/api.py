@@ -1,0 +1,468 @@
+"""Deterministic JSON query API over a stored archive corpus.
+
+:class:`QueryService` binds an :class:`~repro.service.store.ArchiveStore`
+to the analysis library and answers the ``/v1`` endpoints:
+
+========================================  =====================================
+``/v1/meta``                              store/version/provider inventory
+``/v1/domains/{name}/history``            per-provider rank history, longevity,
+                                          days-in-top-k (``providers=``,
+                                          ``start=``, ``end=``, ``top_k=``)
+``/v1/providers/{p}/stability``           the Section-6.1 stability battery
+                                          (``top_n=``)
+``/v1/scenarios/{profile}/report``        the stored scenario report document
+``/v1/compare``                           daily cross-list intersections
+                                          (``providers=a,b``, ``top_n=``)
+========================================  =====================================
+
+Every payload is built from the same :mod:`repro.core` /
+:mod:`repro.scenarios` calls a library user would make directly, floats
+pass through :func:`repro.scenarios.runner.canonical_float`, and
+serialisation is canonical JSON (sorted keys, two-space indent, trailing
+newline) — so an endpoint's bytes are *identical* to computing the answer
+in-process (asserted in ``tests/test_service_api.py``).
+
+Responses carry a strong ETag (SHA-256 of the body) and honour
+``If-None-Match``; bodies are memoised in a bounded LRU keyed on
+``(store.version, canonical request)``, so a mutation-free store serves
+repeated queries from memory and any append invalidates everything at
+once.  The HTTP layer is a thin stdlib ``http.server`` wrapper
+(:func:`create_server`); all logic lives in the transport-free
+:meth:`QueryService.handle_request`, which the CLI, tests and benchmarks
+call directly.
+"""
+
+from __future__ import annotations
+
+import datetime as dt
+import hashlib
+import json
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Mapping, Optional, Sequence
+from urllib.parse import parse_qs, unquote, urlsplit
+
+from repro.core.intersection import intersection_over_time
+from repro.core.stability import (
+    cumulative_unique_domains,
+    daily_changes,
+    days_in_list,
+    intersection_with_reference,
+    mean_daily_change,
+    new_domains_per_day,
+)
+from repro.providers.base import ListArchive
+from repro.scenarios.runner import canonical_float as _f
+from repro.service.index import DomainIndex
+from repro.service.store import ArchiveStore, StoreError
+
+#: Default bound of the per-service response LRU.
+DEFAULT_CACHE_SIZE = 256
+
+
+class ApiError(Exception):
+    """An error with an HTTP status, rendered as a JSON error body."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(message)
+        self.status = status
+
+
+@dataclass
+class Response:
+    """One materialised API response (transport-independent)."""
+
+    status: int
+    body: bytes
+    headers: dict[str, str] = field(default_factory=dict)
+
+    @property
+    def etag(self) -> Optional[str]:
+        return self.headers.get("ETag")
+
+    def json(self) -> Any:
+        """The decoded body (test/CLI convenience)."""
+        return json.loads(self.body.decode("utf-8"))
+
+
+def json_bytes(payload: Any) -> bytes:
+    """Canonical JSON bytes: sorted keys, indent 2, trailing newline.
+
+    The one serialisation used for every payload — identical to
+    :meth:`repro.scenarios.runner.ScenarioReport.to_json`.
+    """
+    return (json.dumps(payload, indent=2, sort_keys=True) + "\n").encode("utf-8")
+
+
+def _etag_of(body: bytes) -> str:
+    return '"' + hashlib.sha256(body).hexdigest() + '"'
+
+
+def _parse_date(params: Mapping[str, list[str]], name: str) -> Optional[dt.date]:
+    values = params.get(name)
+    if not values:
+        return None
+    try:
+        return dt.date.fromisoformat(values[-1])
+    except ValueError:
+        raise ApiError(400, f"{name} must be an ISO date (got {values[-1]!r})") from None
+
+
+def _parse_positive_int(params: Mapping[str, list[str]], name: str) -> Optional[int]:
+    values = params.get(name)
+    if not values:
+        return None
+    try:
+        value = int(values[-1])
+    except ValueError:
+        raise ApiError(400, f"{name} must be an integer (got {values[-1]!r})") from None
+    if value <= 0:
+        raise ApiError(400, f"{name} must be positive (got {value})")
+    return value
+
+
+def _parse_providers(params: Mapping[str, list[str]]) -> Optional[list[str]]:
+    values = params.get("providers")
+    if not values:
+        return None
+    names = [name.strip() for chunk in values for name in chunk.split(",")]
+    names = [name for name in names if name]
+    if not names:
+        raise ApiError(400, "providers must name at least one provider")
+    return names
+
+
+class QueryService:
+    """Query layer over one archive store (transport-free)."""
+
+    def __init__(self, store: ArchiveStore,
+                 cache_size: int = DEFAULT_CACHE_SIZE) -> None:
+        self.store = store
+        self.cache_size = cache_size
+        self._result_cache: OrderedDict[tuple[int, str], Response] = OrderedDict()
+        self._archives: dict[str, ListArchive] = {}
+        self._index = DomainIndex()
+        self._loaded_version: Optional[int] = None
+        # Serves under ThreadingHTTPServer: one lock guards the LRU and
+        # the materialised archives/index against concurrent requests.
+        self._lock = threading.RLock()
+
+    # -- materialised state ----------------------------------------------
+    def _refresh(self) -> None:
+        """Catch the materialised archives/index up with the store.
+
+        Keyed on the store's *data* version, so report saves don't force
+        a reload; new snapshots of an already-loaded provider are applied
+        incrementally (``archive.add`` + ``index.add``) instead of
+        re-replaying the whole corpus.
+        """
+        with self._lock:
+            if self._loaded_version == self.store.data_version:
+                return
+            for provider in self.store.providers():
+                archive = self._archives.get(provider)
+                if archive is None:
+                    archive = self.store.load_archive(provider)
+                    self._archives[provider] = archive
+                    self._index.add_archive(archive)
+                    continue
+                last_loaded = archive.dates()[-1] if len(archive) else None
+                if last_loaded == self.store.dates(provider)[-1]:
+                    continue
+                # One linear pass over the provider's shards for the tail
+                # (load_snapshot per day would re-decode the shard prefix
+                # per new day).
+                for snapshot in self.store.iter_snapshots(provider):
+                    if last_loaded is None or snapshot.date > last_loaded:
+                        archive.add(snapshot)
+                        self._index.add(snapshot)
+            self._loaded_version = self.store.data_version
+
+    def providers(self) -> tuple[str, ...]:
+        self._refresh()
+        return tuple(sorted(self._archives))
+
+    def archive(self, provider: str) -> ListArchive:
+        self._refresh()
+        try:
+            return self._archives[provider]
+        except KeyError:
+            known = ", ".join(sorted(self._archives)) or "none"
+            raise ApiError(404, f"unknown provider {provider!r} "
+                                f"(stored: {known})") from None
+
+    @property
+    def index(self) -> DomainIndex:
+        self._refresh()
+        return self._index
+
+    def clear_cache(self) -> None:
+        """Drop memoised responses (benchmarks' cold-path switch)."""
+        with self._lock:
+            self._result_cache.clear()
+
+    # -- payload builders (pure, deterministic) ---------------------------
+    def meta_payload(self) -> dict[str, Any]:
+        """Store inventory: providers, date ranges, stored reports."""
+        self._refresh()
+        providers: dict[str, Any] = {}
+        for name in sorted(self._archives):
+            archive = self._archives[name]
+            days = len(archive)
+            latest = archive[days - 1] if days else None
+            providers[name] = {
+                "days": days,
+                "first_date": archive[0].date.isoformat() if days else None,
+                "last_date": latest.date.isoformat() if latest else None,
+                "list_size": len(archive[0]) if days else 0,
+                "domains_indexed": self.index.domain_count(name),
+                "top_domain": latest.entries[0] if latest and latest.entries else None,
+            }
+        return {
+            "service": "repro-serve",
+            "store_version": self.store.version,
+            "providers": providers,
+            "reports": list(self.store.report_names()),
+        }
+
+    def domain_history_payload(self, domain: str,
+                               providers: Optional[Sequence[str]] = None,
+                               start: Optional[dt.date] = None,
+                               end: Optional[dt.date] = None,
+                               top_k: Optional[int] = None) -> dict[str, Any]:
+        """Rank history + longevity of one domain across providers.
+
+        Answered entirely from the :class:`DomainIndex`; byte-identical
+        to scanning the archives directly (the parity tests do exactly
+        that).
+        """
+        name = domain.strip().lower().rstrip(".")
+        if not name:
+            raise ApiError(400, "domain must be non-empty")
+        selected = list(providers) if providers is not None else list(self.providers())
+        index = self.index
+        sections: dict[str, Any] = {}
+        for provider in selected:
+            if provider not in self._archives:
+                raise ApiError(404, f"unknown provider {provider!r}")
+            observations = index.history(name, provider, start=start, end=end)
+            longevity = index.longevity(name, provider)
+            section: dict[str, Any] = {
+                "observations": [{"date": date.isoformat(), "rank": rank}
+                                 for date, rank in observations],
+                "days_listed": longevity.days_listed,
+                "first_seen": (longevity.first_seen.isoformat()
+                               if longevity.first_seen else None),
+                "last_seen": (longevity.last_seen.isoformat()
+                              if longevity.last_seen else None),
+                "best_rank": min((r for _, r in observations), default=None),
+                "worst_rank": max((r for _, r in observations), default=None),
+            }
+            if top_k is not None:
+                section["days_in_top_k"] = index.days_in_top_k(name, provider, top_k)
+            sections[provider] = section
+        payload: dict[str, Any] = {"domain": name, "providers": sections}
+        if start is not None:
+            payload["start"] = start.isoformat()
+        if end is not None:
+            payload["end"] = end.isoformat()
+        if top_k is not None:
+            payload["top_k"] = top_k
+        return payload
+
+    def provider_stability_payload(self, provider: str,
+                                   top_n: Optional[int] = None) -> dict[str, Any]:
+        """The Section-6.1 stability battery for one provider's archive."""
+        archive = self.archive(provider)
+        changes = daily_changes(archive, top_n)
+        mean_change = mean_daily_change(archive, top_n)
+        new_counts = new_domains_per_day(archive, top_n)
+        cumulative = cumulative_unique_domains(archive, top_n)
+        counts = days_in_list(archive, top_n)
+        always = (sum(1 for v in counts.values() if v == len(archive)) / len(counts)
+                  if counts else 0.0)
+        decay = intersection_with_reference(archive, reference_days=range(7),
+                                            top_n=top_n)
+        list_size = len(archive[0]) if len(archive) else 0
+        head = list_size if top_n is None else min(top_n, list_size)
+        return {
+            "provider": provider,
+            "top_n": top_n,
+            "days": len(archive),
+            "list_size": list_size,
+            "mean_daily_change": _f(mean_change),
+            "churn_fraction": _f(mean_change / max(1, head)),
+            "daily_changes": {date.isoformat(): count
+                              for date, count in sorted(changes.items())},
+            "new_per_day": {date.isoformat(): count
+                            for date, count in sorted(new_counts.items())},
+            "cumulative_unique": {date.isoformat(): count
+                                  for date, count in sorted(cumulative.items())},
+            "distinct_domains": len(counts),
+            "always_listed_share": _f(always),
+            "reference_decay": {str(offset): _f(value)
+                                for offset, value in sorted(decay.items())},
+        }
+
+    def compare_payload(self, providers: Optional[Sequence[str]] = None,
+                        top_n: Optional[int] = None) -> dict[str, Any]:
+        """Daily pairwise/three-way base-domain intersections (Figure 1a)."""
+        names = sorted(providers) if providers else list(self.providers())
+        if len(names) < 2:
+            raise ApiError(400, "compare needs at least two providers")
+        if len(names) != len(set(names)):
+            raise ApiError(400, "compare providers must be distinct")
+        archives = {name: self.archive(name) for name in names}
+        series = intersection_over_time(archives, top_n=top_n)
+        per_pair: dict[str, list[int]] = {}
+        daily: dict[str, dict[str, int]] = {}
+        for date, matrix in series.items():
+            row = {"&".join(pair): count for pair, count in matrix.items()}
+            daily[date.isoformat()] = row
+            for pair, count in row.items():
+                per_pair.setdefault(pair, []).append(count)
+        return {
+            "providers": names,
+            "top_n": top_n,
+            "days": len(series),
+            "pairs": {
+                pair: {"mean": _f(sum(counts) / len(counts)),
+                       "min": min(counts), "max": max(counts)}
+                for pair, counts in sorted(per_pair.items())
+            },
+            "series": daily,
+        }
+
+    def scenario_report_bytes(self, profile: str) -> bytes:
+        """The stored scenario report document (exact persisted bytes)."""
+        try:
+            return self.store.load_report_bytes(profile)
+        except StoreError:
+            # The store rejects path-escaping profile names before lookup.
+            raise ApiError(400, f"invalid profile name {profile!r}") from None
+        except KeyError:
+            stored = ", ".join(self.store.report_names()) or "none"
+            raise ApiError(404, f"no stored report for profile {profile!r} "
+                                f"(stored: {stored})") from None
+
+    # -- request handling -------------------------------------------------
+    def _route(self, path: str, params: Mapping[str, list[str]]) -> bytes:
+        parts = [part for part in path.split("/") if part]
+        if not parts or parts[0] != "v1":
+            raise ApiError(404, f"unknown path {path!r} (endpoints live under /v1)")
+        tail = parts[1:]
+        if tail == ["meta"]:
+            return json_bytes(self.meta_payload())
+        if len(tail) == 3 and tail[0] == "domains" and tail[2] == "history":
+            return json_bytes(self.domain_history_payload(
+                tail[1],
+                providers=_parse_providers(params),
+                start=_parse_date(params, "start"),
+                end=_parse_date(params, "end"),
+                top_k=_parse_positive_int(params, "top_k")))
+        if len(tail) == 3 and tail[0] == "providers" and tail[2] == "stability":
+            return json_bytes(self.provider_stability_payload(
+                tail[1], top_n=_parse_positive_int(params, "top_n")))
+        if len(tail) == 3 and tail[0] == "scenarios" and tail[2] == "report":
+            return self.scenario_report_bytes(tail[1])
+        if tail == ["compare"]:
+            return json_bytes(self.compare_payload(
+                providers=_parse_providers(params),
+                top_n=_parse_positive_int(params, "top_n")))
+        raise ApiError(404, f"unknown path {path!r}")
+
+    def handle_request(self, target: str,
+                       headers: Optional[Mapping[str, str]] = None) -> Response:
+        """Answer one GET request (``target`` is the path with query string).
+
+        Successful bodies are memoised per ``(store.version, canonical
+        request)``; a matching ``If-None-Match`` turns the answer into an
+        empty 304.
+        """
+        parsed = urlsplit(target)
+        path = unquote(parsed.path)
+        params = parse_qs(parsed.query)
+        canonical = path + "?" + "&".join(
+            f"{key}={','.join(values)}" for key, values in sorted(params.items()))
+        cache_key = (self.store.version, canonical)
+        with self._lock:
+            cached = self._result_cache.get(cache_key)
+            if cached is not None:
+                self._result_cache.move_to_end(cache_key)
+        if cached is not None:
+            response = Response(cached.status, cached.body,
+                                dict(cached.headers))
+            response.headers["X-Repro-Cache"] = "hit"
+        else:
+            try:
+                # Misses compute under the lock: the builders share the
+                # archives' mutable analysis caches with _refresh.
+                with self._lock:
+                    body = self._route(path, params)
+                status = 200
+            except ApiError as error:
+                body = json_bytes({"error": {"status": error.status,
+                                             "message": str(error)}})
+                status = error.status
+            response = Response(status, body, {
+                "Content-Type": "application/json; charset=utf-8",
+                "ETag": _etag_of(body),
+                "X-Repro-Store-Version": str(self.store.version),
+                "X-Repro-Cache": "miss",
+            })
+            if status == 200:
+                # Payloads are deterministic, so two threads racing to
+                # fill the same key store identical bodies.
+                with self._lock:
+                    self._result_cache[cache_key] = Response(
+                        status, body, dict(response.headers))
+                    while len(self._result_cache) > self.cache_size:
+                        self._result_cache.popitem(last=False)
+        if_none_match = {key.lower(): value
+                         for key, value in (headers or {}).items()
+                         }.get("if-none-match")
+        if response.status == 200 and if_none_match:
+            tags = {tag.strip() for tag in if_none_match.split(",")}
+            if "*" in tags or response.headers.get("ETag") in tags:
+                return Response(304, b"", dict(response.headers))
+        return response
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """Minimal HTTP adapter; all behaviour lives in :class:`QueryService`."""
+
+    service: QueryService  # bound by create_server
+    server_version = "repro-serve/1.0"
+    protocol_version = "HTTP/1.1"
+
+    def _answer(self, send_body: bool) -> None:
+        response = self.service.handle_request(self.path, dict(self.headers))
+        self.send_response(response.status)
+        for name, value in response.headers.items():
+            self.send_header(name, value)
+        self.send_header("Content-Length", str(len(response.body)))
+        self.end_headers()
+        if send_body:
+            self.wfile.write(response.body)
+
+    def do_GET(self) -> None:  # noqa: N802 (http.server API)
+        self._answer(send_body=True)
+
+    def do_HEAD(self) -> None:  # noqa: N802
+        self._answer(send_body=False)
+
+    def log_message(self, format: str, *args: Any) -> None:  # noqa: A002
+        pass  # keep the serving process quiet; curl/tests read the bodies
+
+
+def create_server(service: QueryService, host: str = "127.0.0.1",
+                  port: int = 0) -> ThreadingHTTPServer:
+    """A ready-to-run threaded HTTP server bound to ``service``.
+
+    ``port=0`` picks a free port (``server.server_address[1]``); call
+    ``serve_forever()`` to run and ``shutdown()`` to stop.
+    """
+    handler = type("BoundHandler", (_Handler,), {"service": service})
+    return ThreadingHTTPServer((host, port), handler)

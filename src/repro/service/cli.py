@@ -1,0 +1,153 @@
+"""``repro-serve`` — build, serve and query archive stores.
+
+Three subcommands::
+
+    repro-serve init  --store DIR [--scenario NAME] [--tiny] [--no-report]
+    repro-serve serve --store DIR [--host H] [--port P]
+    repro-serve query --store DIR TARGET [TARGET ...]
+
+``init`` simulates a scenario profile, persists its three provider
+archives into an :class:`~repro.service.store.ArchiveStore` and stores
+the scenario's report document; ``serve`` boots the ``/v1`` JSON API on
+stdlib ``http.server``; ``query`` answers requests offline through the
+same :class:`~repro.service.api.QueryService` (handy for smoke tests and
+debugging without a socket).
+
+Also runnable uninstalled: ``PYTHONPATH=src python -m repro.service.cli``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import dataclasses
+import sys
+from pathlib import Path
+from typing import Optional, Sequence
+
+from repro.scenarios.profiles import get_profile, profile_names
+from repro.scenarios.runner import run_scenario
+from repro.service.api import QueryService, create_server
+from repro.service.store import ArchiveStore, StoreError
+
+#: Scale overrides of ``--tiny``: a fixture-sized corpus (seconds to
+#: simulate, kilobytes on disk) for CI smoke jobs and local poking.
+_TINY_SCALE: dict[str, object] = dict(
+    n_domains=1_500, new_domains_per_day=10, n_days=8,
+    list_size=400, top_k=50,
+    alexa_panel_users=8_000, umbrella_clients=6_000,
+    majestic_linking_subnets=150_000,
+    alexa_window_days=5, majestic_window_days=5,
+)
+
+
+def _resolve_profile(name: str, tiny: bool):
+    profile = get_profile(name)
+    if not tiny:
+        return profile
+    config = dataclasses.replace(profile.config, **_TINY_SCALE)  # type: ignore[arg-type]
+    return dataclasses.replace(profile, name=f"{profile.name}+tiny", config=config)
+
+
+def _cmd_init(args: argparse.Namespace) -> int:
+    store_dir = Path(args.store)
+    store = ArchiveStore(store_dir)
+    if store.providers():
+        print(f"error: store at {store_dir} already holds providers "
+              f"{', '.join(store.providers())}", file=sys.stderr)
+        return 2
+    profile = _resolve_profile(args.scenario, args.tiny)
+    print(f"simulating scenario {profile.name!r} "
+          f"({profile.config.n_days} days, list size {profile.config.list_size}) ...")
+    from repro.providers.simulation import run_profile
+
+    run = run_profile(profile)
+    for name in sorted(run.archives):
+        store.append_archive(run.archives[name])
+        print(f"  stored {name}: {len(run.archives[name])} snapshots")
+    if args.report:
+        # Only now pay for the full analysis battery; --no-report inits
+        # need just the simulated archives above.
+        store.save_report(run_scenario(profile))
+        print(f"  stored report: {profile.name}")
+    print(f"store ready at {store_dir} (version {store.version})")
+    print(f"serve it:  repro-serve serve --store {store_dir}")
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    try:
+        store = ArchiveStore(args.store, create=False)
+    except StoreError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    service = QueryService(store)
+    server = create_server(service, host=args.host, port=args.port)
+    host, port = server.server_address[:2]
+    print(f"repro-serve: store {args.store} (version {store.version}, "
+          f"providers: {', '.join(store.providers()) or 'none'})")
+    print(f"listening on http://{host}:{port}/v1/meta")
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.server_close()
+    return 0
+
+
+def _cmd_query(args: argparse.Namespace) -> int:
+    try:
+        store = ArchiveStore(args.store, create=False)
+    except StoreError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    service = QueryService(store)
+    worst = 0
+    for target in args.targets:
+        response = service.handle_request(target)
+        sys.stdout.write(response.body.decode("utf-8"))
+        worst = max(worst, 0 if response.status < 400 else 1)
+    return worst
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-serve",
+        description="Persistent top-list archive store and query API.")
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    init = commands.add_parser(
+        "init", help="simulate a scenario and persist it as a store")
+    init.add_argument("--store", required=True, help="store directory to create")
+    init.add_argument("--scenario", default="paper_realistic",
+                      choices=sorted(profile_names()),
+                      help="scenario profile to simulate (default: paper_realistic)")
+    init.add_argument("--tiny", action="store_true",
+                      help="fixture-sized corpus for smoke tests "
+                           "(profile name gains a '+tiny' suffix)")
+    init.add_argument("--no-report", dest="report", action="store_false",
+                      help="skip storing the scenario report document")
+    init.set_defaults(func=_cmd_init)
+
+    serve = commands.add_parser("serve", help="serve the /v1 JSON API")
+    serve.add_argument("--store", required=True, help="store directory to serve")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8098)
+    serve.set_defaults(func=_cmd_serve)
+
+    query = commands.add_parser(
+        "query", help="answer API requests offline (no server)")
+    query.add_argument("--store", required=True, help="store directory to query")
+    query.add_argument("targets", nargs="+", metavar="TARGET",
+                       help="request target, e.g. '/v1/providers/alexa/stability'")
+    query.set_defaults(func=_cmd_query)
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,231 @@
+"""Domain-centric inverted index over list archives.
+
+Every per-domain question the paper's stability sections ask — "what was
+example.com's Alexa rank over January?", "how many days was it listed?",
+"how long did it stay in the Top 1k?" — today costs a full archive scan:
+``O(days × list size)`` per domain.  :class:`DomainIndex` inverts the
+archives once into
+
+* ``domain → provider → [(date, rank), ...]`` rank observations, and
+* ``base domain → provider → membership intervals`` built from the same
+  day-over-day deltas the :func:`repro.core.cache.archive_base_domain_sets`
+  engine computes (shared via the archive's cache, so indexing a warmed
+  archive parses nothing),
+
+after which rank history, list longevity and days-in-top-k are dictionary
+lookups over exactly the domain's own observations.
+
+The index is incremental (``add()`` accepts the next day's snapshot) and
+order-strict per provider, mirroring the append-only store; answers are
+element-for-element identical to a brute-force scan over the archive
+(property-tested in ``tests/test_service_index.py``).
+"""
+
+from __future__ import annotations
+
+import datetime as dt
+from bisect import bisect_left, bisect_right
+from dataclasses import dataclass
+from typing import Iterable, Mapping, Optional
+
+from repro.core.cache import archive_base_domain_sets, snapshot_base_domains
+from repro.providers.base import ListArchive, ListSnapshot
+
+
+@dataclass(frozen=True)
+class DomainLongevity:
+    """Summary of one domain's presence in one provider's list."""
+
+    days_listed: int
+    first_seen: Optional[dt.date]
+    last_seen: Optional[dt.date]
+
+    @property
+    def span_days(self) -> int:
+        """Days between first and last sighting, inclusive (0 if never seen)."""
+        if self.first_seen is None or self.last_seen is None:
+            return 0
+        return (self.last_seen - self.first_seen).days + 1
+
+
+class _ProviderIndex:
+    """Per-provider observation lists and base-membership events."""
+
+    __slots__ = ("dates", "observations", "base_events", "prev_bases")
+
+    def __init__(self) -> None:
+        self.dates: list[int] = []                      # indexed day ordinals
+        self.observations: dict[str, list[tuple[int, int]]] = {}
+        #: base domain -> [(ordinal, entered?)] transitions, date order.
+        self.base_events: dict[str, list[tuple[int, bool]]] = {}
+        self.prev_bases: frozenset[str] = frozenset()
+
+
+class DomainIndex:
+    """Inverted ``domain → provider → rank history`` index (incremental)."""
+
+    def __init__(self) -> None:
+        self._providers: dict[str, _ProviderIndex] = {}
+
+    # -- construction -----------------------------------------------------
+    def add(self, snapshot: ListSnapshot,
+            bases: Optional[frozenset[str]] = None) -> None:
+        """Index the next snapshot of its provider (strict date order).
+
+        ``bases`` optionally supplies the snapshot's precomputed
+        base-domain set (the bulk loaders pass the delta engine's shared
+        result); otherwise it is taken from the per-snapshot cache.
+        """
+        state = self._providers.setdefault(snapshot.provider, _ProviderIndex())
+        ordinal = snapshot.date.toordinal()
+        if state.dates and ordinal <= state.dates[-1]:
+            last = dt.date.fromordinal(state.dates[-1])
+            raise ValueError(
+                f"index is append-only: {snapshot.provider} snapshot "
+                f"{snapshot.date} is not after the indexed {last}")
+        observations = state.observations
+        for rank, domain in enumerate(snapshot.entries, start=1):
+            series = observations.get(domain)
+            if series is None:
+                observations[domain] = [(ordinal, rank)]
+            else:
+                series.append((ordinal, rank))
+        current = bases if bases is not None else snapshot_base_domains(snapshot)
+        if current != state.prev_bases:
+            events = state.base_events
+            for base in state.prev_bases - current:
+                events[base].append((ordinal, False))
+            for base in current - state.prev_bases:
+                events.setdefault(base, []).append((ordinal, True))
+            state.prev_bases = current
+        state.dates.append(ordinal)
+
+    def add_archive(self, archive: ListArchive) -> None:
+        """Index a whole archive, sharing the delta engine's base sets."""
+        per_day = archive_base_domain_sets(archive)
+        for snapshot in archive:
+            self.add(snapshot, bases=per_day[snapshot.date])
+
+    @classmethod
+    def from_archive(cls, archive: ListArchive) -> "DomainIndex":
+        """Build an index over one archive."""
+        index = cls()
+        index.add_archive(archive)
+        return index
+
+    @classmethod
+    def from_archives(cls, archives: Mapping[str, ListArchive]) -> "DomainIndex":
+        """Build an index over several archives (keyed by provider name)."""
+        index = cls()
+        for name in sorted(archives):
+            index.add_archive(archives[name])
+        return index
+
+    @classmethod
+    def from_store(cls, store, providers: Optional[Iterable[str]] = None
+                   ) -> "DomainIndex":
+        """Build an index from an :class:`~repro.service.store.ArchiveStore`.
+
+        Loads via the store's warm-started archives, so the base-domain
+        deltas are replayed from disk rather than re-parsed.
+        """
+        names = tuple(providers) if providers is not None else store.providers()
+        index = cls()
+        for name in names:
+            index.add_archive(store.load_archive(name))
+        return index
+
+    # -- introspection ----------------------------------------------------
+    def providers(self) -> tuple[str, ...]:
+        """Indexed provider names, sorted."""
+        return tuple(sorted(self._providers))
+
+    def dates(self, provider: str) -> list[dt.date]:
+        """Indexed snapshot dates of ``provider``, in order."""
+        state = self._providers.get(provider)
+        if state is None:
+            return []
+        return [dt.date.fromordinal(o) for o in state.dates]
+
+    def domain_count(self, provider: str) -> int:
+        """Distinct domains ever indexed for ``provider``."""
+        state = self._providers.get(provider)
+        return len(state.observations) if state else 0
+
+    # -- queries ----------------------------------------------------------
+    def _series(self, domain: str, provider: str) -> list[tuple[int, int]]:
+        state = self._providers.get(provider)
+        if state is None:
+            raise KeyError(f"provider {provider!r} is not indexed")
+        return state.observations.get(domain, [])
+
+    def history(self, domain: str, provider: str,
+                start: Optional[dt.date] = None,
+                end: Optional[dt.date] = None) -> list[tuple[dt.date, int]]:
+        """The domain's ``(date, rank)`` observations, optionally windowed.
+
+        Cost is ``O(log h + h')`` for a history of length ``h`` with
+        ``h'`` observations in the window — never an archive scan.
+        """
+        series = self._series(domain, provider)
+        lo = 0 if start is None else bisect_left(series, (start.toordinal(), 0))
+        hi = (len(series) if end is None
+              else bisect_right(series, (end.toordinal() + 1, 0)))
+        return [(dt.date.fromordinal(ordinal), rank)
+                for ordinal, rank in series[lo:hi]]
+
+    def rank_on(self, domain: str, provider: str, date: dt.date) -> Optional[int]:
+        """The domain's rank on ``date`` (``None`` when not listed)."""
+        series = self._series(domain, provider)
+        ordinal = date.toordinal()
+        position = bisect_left(series, (ordinal, 0))
+        if position < len(series) and series[position][0] == ordinal:
+            return series[position][1]
+        return None
+
+    def longevity(self, domain: str, provider: str) -> DomainLongevity:
+        """Days listed plus first/last sighting (Figure 2c's per-domain view)."""
+        series = self._series(domain, provider)
+        if not series:
+            return DomainLongevity(days_listed=0, first_seen=None, last_seen=None)
+        return DomainLongevity(
+            days_listed=len(series),
+            first_seen=dt.date.fromordinal(series[0][0]),
+            last_seen=dt.date.fromordinal(series[-1][0]))
+
+    def days_in_top_k(self, domain: str, provider: str, k: int) -> int:
+        """Days the domain ranked within the Top-``k`` head."""
+        if k <= 0:
+            raise ValueError("k must be positive")
+        return sum(1 for _, rank in self._series(domain, provider) if rank <= k)
+
+    def base_intervals(self, base: str, provider: str
+                       ) -> list[tuple[dt.date, Optional[dt.date]]]:
+        """Closed presence intervals of a *base domain* in the list.
+
+        Returns ``[(entered, left), ...]`` where ``left`` is the last
+        indexed date the base was still present (``None`` while it remains
+        listed on the newest indexed day).  Built from the same change
+        events the delta engine produces, so membership follows the
+        paper's base-domain normalisation (footnote 6), not raw FQDNs.
+        """
+        state = self._providers.get(provider)
+        if state is None:
+            raise KeyError(f"provider {provider!r} is not indexed")
+        events = state.base_events.get(base, [])
+        intervals: list[tuple[dt.date, Optional[dt.date]]] = []
+        entered: Optional[int] = None
+        for ordinal, present in events:
+            if present:
+                entered = ordinal
+            elif entered is not None:
+                # The base left on `ordinal`: last present day is the
+                # provider's previous indexed date.
+                position = bisect_left(state.dates, ordinal)
+                last_present = state.dates[position - 1]
+                intervals.append((dt.date.fromordinal(entered),
+                                  dt.date.fromordinal(last_present)))
+                entered = None
+        if entered is not None:
+            intervals.append((dt.date.fromordinal(entered), None))
+        return intervals

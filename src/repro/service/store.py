@@ -1,0 +1,491 @@
+"""Append-only on-disk archive store with warm-started loads.
+
+The analyses so far rebuilt every :class:`~repro.providers.base.ListArchive`
+from CSV (or a fresh simulation) per process, then re-derived 30 days of
+base-domain deltas before the first query could be answered.  The store
+makes both persistent:
+
+* **Compact binary shards.**  Snapshots are appended to one shard file
+  per ``(provider, month)``.  Within a shard every domain name is stored
+  exactly once in a shared string table; a day's list is a rank-ordered
+  array of table ids.  Daily lists overlap by ~99% (the paper's central
+  stability finding), so after the first day a snapshot costs roughly its
+  churn, not its length.  Each table entry also records the domain's
+  *base domain* (normalised through the default PSL at append time), so
+  a reload can rebuild the per-day base-domain sets by integer refcount
+  replay — no PSL parsing at all.
+* **Warm starts.**  :meth:`ArchiveStore.load_archive` rebuilds the
+  archive and seeds the :mod:`repro.core.cache` delta engine
+  (:func:`~repro.core.cache.seed_base_domain_sets`) with the replayed
+  per-day sets, so a restarted service answers its first
+  intersection/structure query without recomputing a month of deltas.
+  Seeding is skipped (never wrong, just cold) when the default PSL has
+  changed since append time.
+* **Reports.**  Byte-reproducible :class:`~repro.scenarios.runner.ScenarioReport`
+  JSON documents are stored alongside the shards, so the query API serves
+  them as static bytes instead of re-running scenarios per request.
+
+Appends are strictly chronological per provider (an append-only log);
+``store.version`` increments on every mutation and is the cache/ETag
+token of the query layer.
+"""
+
+from __future__ import annotations
+
+import datetime as dt
+import json
+import os
+import struct
+import zlib
+from pathlib import Path
+from typing import Iterable, Iterator, Mapping, Optional
+
+from repro.core.cache import base_domain_mapper, seed_base_domain_sets
+from repro.domain.psl import default_list
+from repro.providers.base import ListArchive, ListSnapshot
+
+#: Per-record magic; bump the digit on incompatible format changes.
+_MAGIC = b"RLS1"
+_HEADER = struct.Struct("<4sIIIII")  # magic, date ordinal, psl version,
+#                                      n_new, n_entries, payload bytes
+_U16 = struct.Struct("<H")
+_U32 = struct.Struct("<I")
+
+#: Base-reference tags in the new-domain block (see :func:`_encode_record`).
+_BASE_IS_NAME = 0      # base == name; name joins the base table
+_BASE_INLINE = 1       # new base string follows inline
+_BASE_REF_OFFSET = 2   # tag - 2 indexes an existing base-table entry
+
+FORMAT_VERSION = 1
+
+
+class StoreError(RuntimeError):
+    """Raised on malformed store contents or invalid append sequences."""
+
+
+def _month_key(date: dt.date) -> str:
+    return f"{date.year:04d}-{date.month:02d}"
+
+
+class _ShardTables:
+    """The replayable per-shard state: string tables and record count."""
+
+    __slots__ = ("names", "name_index", "name_base", "bases", "base_index",
+                 "records", "last_ordinal", "consumed_bytes")
+
+    def __init__(self) -> None:
+        self.names: list[str] = []
+        self.name_index: dict[str, int] = {}
+        self.name_base: list[int] = []      # name id -> base-table id
+        self.bases: list[str] = []
+        self.base_index: dict[str, int] = {}
+        self.records = 0
+        self.last_ordinal = 0
+        self.consumed_bytes = 0             # file offset after the last record
+
+    def intern_base(self, base: str) -> int:
+        base_id = self.base_index.get(base)
+        if base_id is None:
+            base_id = len(self.bases)
+            self.bases.append(base)
+            self.base_index[base] = base_id
+        return base_id
+
+
+def _encode_record(tables: _ShardTables, snapshot: ListSnapshot,
+                   base_of, psl_version: int) -> bytes:
+    """Append ``snapshot`` to ``tables`` and return its wire record."""
+    new_block = bytearray()
+    entry_ids = []
+    n_new = 0
+    for name in snapshot.entries:
+        name_id = tables.name_index.get(name)
+        if name_id is None:
+            name_id = len(tables.names)
+            tables.names.append(name)
+            tables.name_index[name] = name_id
+            base = base_of(name)
+            raw = name.encode("utf-8")
+            new_block += _U16.pack(len(raw)) + raw
+            base_id = tables.base_index.get(base)
+            if base_id is not None:
+                new_block += _U32.pack(_BASE_REF_OFFSET + base_id)
+            elif base == name:
+                base_id = tables.intern_base(base)
+                new_block += _U32.pack(_BASE_IS_NAME)
+            else:
+                base_id = tables.intern_base(base)
+                raw_base = base.encode("utf-8")
+                new_block += _U32.pack(_BASE_INLINE)
+                new_block += _U16.pack(len(raw_base)) + raw_base
+            tables.name_base.append(base_id)
+            n_new += 1
+        entry_ids.append(name_id)
+    body = bytes(new_block) + struct.pack(f"<{len(entry_ids)}I", *entry_ids)
+    payload = zlib.compress(body, 6)
+    tables.records += 1
+    tables.last_ordinal = snapshot.date.toordinal()
+    return _HEADER.pack(_MAGIC, snapshot.date.toordinal(), psl_version,
+                        n_new, len(entry_ids), len(payload)) + payload
+
+
+def _decode_records(data: bytes, tables: _ShardTables, path: Path,
+                    limit: Optional[int] = None
+                    ) -> Iterator[tuple[int, int, list[int]]]:
+    """Replay shard bytes, yielding ``(ordinal, psl_version, entry_ids)``.
+
+    ``tables`` is mutated in step, so a caller may stop early and keep a
+    prefix state (used by the lazy single-snapshot load).  ``limit``
+    bounds the replay to the manifest's record count: bytes past it are
+    an orphaned tail from an append that crashed before its manifest
+    flush, and must not resurrect as data.
+    """
+    offset = 0
+    total = len(data)
+    while offset < total and (limit is None or tables.records < limit):
+        if offset + _HEADER.size > total:
+            raise StoreError(f"{path}: truncated record header at byte {offset}")
+        magic, ordinal, psl_version, n_new, n_entries, payload_len = \
+            _HEADER.unpack_from(data, offset)
+        if magic != _MAGIC:
+            raise StoreError(f"{path}: bad record magic at byte {offset}")
+        offset += _HEADER.size
+        if offset + payload_len > total:
+            raise StoreError(f"{path}: truncated record payload at byte {offset}")
+        body = zlib.decompress(data[offset:offset + payload_len])
+        offset += payload_len
+        cursor = 0
+        for _ in range(n_new):
+            (name_len,) = _U16.unpack_from(body, cursor)
+            cursor += _U16.size
+            name = body[cursor:cursor + name_len].decode("utf-8")
+            cursor += name_len
+            (tag,) = _U32.unpack_from(body, cursor)
+            cursor += _U32.size
+            if tag == _BASE_IS_NAME:
+                base_id = tables.intern_base(name)
+            elif tag == _BASE_INLINE:
+                (base_len,) = _U16.unpack_from(body, cursor)
+                cursor += _U16.size
+                base = body[cursor:cursor + base_len].decode("utf-8")
+                cursor += base_len
+                base_id = tables.intern_base(base)
+            else:
+                base_id = tag - _BASE_REF_OFFSET
+                if base_id >= len(tables.bases):
+                    raise StoreError(f"{path}: dangling base reference {base_id}")
+            tables.name_index[name] = len(tables.names)
+            tables.names.append(name)
+            tables.name_base.append(base_id)
+        entry_ids = list(struct.unpack_from(f"<{n_entries}I", body, cursor))
+        tables.records += 1
+        tables.last_ordinal = ordinal
+        tables.consumed_bytes = offset
+        yield ordinal, psl_version, entry_ids
+
+
+class ArchiveStore:
+    """Durable, append-only archive storage under one root directory.
+
+    Layout::
+
+        root/
+          manifest.json                  # version, per-provider date log
+          shards/<provider>/<YYYY-MM>.rls
+          reports/<profile>.json         # stored ScenarioReport documents
+    """
+
+    def __init__(self, root: str | Path, create: bool = True) -> None:
+        self.root = Path(root)
+        self._manifest_path = self.root / "manifest.json"
+        self._tables: dict[tuple[str, str], _ShardTables] = {}
+        if self._manifest_path.exists():
+            manifest = json.loads(self._manifest_path.read_text(encoding="utf-8"))
+            if manifest.get("format_version") != FORMAT_VERSION:
+                raise StoreError(
+                    f"{self._manifest_path}: unsupported store format "
+                    f"{manifest.get('format_version')!r} (expected {FORMAT_VERSION})")
+            self._manifest = manifest
+        elif create:
+            self.root.mkdir(parents=True, exist_ok=True)
+            self._manifest = {"format_version": FORMAT_VERSION,
+                              "store_version": 0, "data_version": 0,
+                              "providers": {}, "reports": []}
+            self._write_manifest()
+        else:
+            raise StoreError(f"no archive store at {self.root}")
+
+    # -- manifest ---------------------------------------------------------
+    def _write_manifest(self) -> None:
+        text = json.dumps(self._manifest, indent=2, sort_keys=True) + "\n"
+        tmp = self._manifest_path.with_suffix(".json.tmp")
+        tmp.write_text(text, encoding="utf-8")
+        os.replace(tmp, self._manifest_path)
+
+    @property
+    def version(self) -> int:
+        """Monotonic store version; bumps on every mutation.  ETag token."""
+        return self._manifest["store_version"]
+
+    @property
+    def data_version(self) -> int:
+        """Version of the snapshot data only (report saves don't bump it).
+
+        The query layer keys its materialised archives/index on this, so
+        storing a report does not force an archive reload.
+        """
+        return self._manifest.get("data_version", self._manifest["store_version"])
+
+    def providers(self) -> tuple[str, ...]:
+        """Stored provider names, sorted."""
+        return tuple(sorted(self._manifest["providers"]))
+
+    def dates(self, provider: str) -> list[dt.date]:
+        """Stored snapshot dates of ``provider``, in append (= date) order."""
+        entry = self._manifest["providers"].get(provider)
+        if entry is None:
+            return []
+        return [dt.date.fromordinal(o) for o in entry["dates"]]
+
+    def __len__(self) -> int:
+        return sum(len(p["dates"]) for p in self._manifest["providers"].values())
+
+    # -- shard plumbing ---------------------------------------------------
+    def _shard_path(self, provider: str, month: str) -> Path:
+        return self.root / "shards" / provider / f"{month}.rls"
+
+    def _shard_records(self, provider: str, month: str) -> int:
+        """The manifest's record count for a shard (the durable truth)."""
+        entry = self._manifest["providers"].get(provider)
+        return entry["shards"].get(month, 0) if entry else 0
+
+    def _shard_tables(self, provider: str, month: str) -> _ShardTables:
+        """The shard's replayed string tables (cached per open store).
+
+        Replay stops at the manifest's record count; a longer file holds
+        an orphaned tail from an append that crashed before its manifest
+        flush, which the next append truncates away (re-appending that
+        day is then valid again instead of a silent duplicate).
+        """
+        key = (provider, month)
+        tables = self._tables.get(key)
+        if tables is None:
+            tables = _ShardTables()
+            path = self._shard_path(provider, month)
+            if path.exists():
+                data = path.read_bytes()
+                for _ in _decode_records(data, tables, path,
+                                         limit=self._shard_records(provider, month)):
+                    pass
+                if tables.consumed_bytes < len(data):
+                    with path.open("r+b") as handle:
+                        handle.truncate(tables.consumed_bytes)
+            self._tables[key] = tables
+        return tables
+
+    def _months(self, provider: str) -> list[str]:
+        entry = self._manifest["providers"].get(provider)
+        return sorted(entry["shards"]) if entry else []
+
+    # -- appends ----------------------------------------------------------
+    def append(self, snapshot: ListSnapshot, sync: bool = True) -> None:
+        """Append one snapshot (strictly after the provider's last date).
+
+        The record hits the shard file immediately; with ``sync`` (the
+        default) the manifest is rewritten too.  Batch callers may pass
+        ``sync=False`` and :meth:`flush` once.
+        """
+        provider = snapshot.provider
+        if (not provider or "/" in provider or "\\" in provider
+                or provider.startswith(".")):
+            # Provider names become shard path components; reject anything
+            # that could escape the store root.
+            raise StoreError(f"invalid provider name {provider!r}")
+        entry = self._manifest["providers"].setdefault(
+            provider, {"dates": [], "shards": {}})
+        ordinal = snapshot.date.toordinal()
+        if entry["dates"] and ordinal <= entry["dates"][-1]:
+            last = dt.date.fromordinal(entry["dates"][-1])
+            raise StoreError(
+                f"append-only: {provider} snapshot {snapshot.date} is not after "
+                f"the stored {last}")
+        month = _month_key(snapshot.date)
+        tables = self._shard_tables(provider, month)
+        psl = default_list()
+        record = _encode_record(tables, snapshot, base_domain_mapper(psl),
+                                psl.version)
+        path = self._shard_path(provider, month)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        with path.open("ab") as handle:
+            handle.write(record)
+        tables.consumed_bytes += len(record)
+        entry["dates"].append(ordinal)
+        entry["shards"][month] = tables.records
+        self._manifest["store_version"] += 1
+        self._manifest["data_version"] = self._manifest.get("data_version", 0) + 1
+        if sync:
+            self._write_manifest()
+
+    def append_archive(self, archive: ListArchive) -> None:
+        """Append every snapshot of ``archive`` (one manifest write)."""
+        for snapshot in archive:
+            self.append(snapshot, sync=False)
+        self.flush()
+
+    def flush(self) -> None:
+        """Persist the manifest (no-op for data records, written on append)."""
+        self._write_manifest()
+
+    # -- loads ------------------------------------------------------------
+    def _replay(self, provider: str
+                ) -> Iterator[tuple[dt.date, int, tuple[str, ...], list[str]]]:
+        """Yield ``(date, psl_version, entries, entry_bases)`` per stored day."""
+        for month in self._months(provider):
+            path = self._shard_path(provider, month)
+            if not path.exists():
+                raise StoreError(f"manifest names missing shard {path}")
+            expected = self._shard_records(provider, month)
+            tables = _ShardTables()
+            for ordinal, psl_version, entry_ids in _decode_records(
+                    path.read_bytes(), tables, path, limit=expected):
+                names = tables.names
+                name_base = tables.name_base
+                bases = tables.bases
+                entries = tuple(names[i] for i in entry_ids)
+                entry_bases = [bases[name_base[i]] for i in entry_ids]
+                yield dt.date.fromordinal(ordinal), psl_version, entries, entry_bases
+            if tables.records < expected:
+                raise StoreError(
+                    f"{path}: holds {tables.records} records, manifest expects "
+                    f"{expected}")
+
+    def iter_snapshots(self, provider: str) -> Iterator[ListSnapshot]:
+        """Stream the provider's snapshots in date order (lazy, low memory)."""
+        for date, _, entries, _ in self._replay(provider):
+            yield ListSnapshot(provider=provider, date=date, entries=entries)
+
+    def load_snapshot(self, provider: str, date: dt.date) -> ListSnapshot:
+        """Load one snapshot, reading only its month shard."""
+        month = _month_key(date)
+        path = self._shard_path(provider, month)
+        if month not in self._months(provider) or not path.exists():
+            raise KeyError(f"{provider} has no stored snapshot for {date}")
+        target = date.toordinal()
+        tables = _ShardTables()
+        for ordinal, _, entry_ids in _decode_records(
+                path.read_bytes(), tables, path,
+                limit=self._shard_records(provider, month)):
+            if ordinal == target:
+                entries = tuple(tables.names[i] for i in entry_ids)
+                return ListSnapshot(provider=provider, date=date, entries=entries)
+        raise KeyError(f"{provider} has no stored snapshot for {date}")
+
+    def load_archive(self, provider: str, warm: bool = True) -> ListArchive:
+        """Rebuild the provider's full archive.
+
+        With ``warm`` (the default) the per-day base-domain sets are
+        replayed from the stored base ids — a pure integer refcount pass —
+        and seeded into the archive's :mod:`repro.core.cache` entry, so
+        the delta engine starts hot.  Seeding is skipped when the default
+        PSL version no longer matches the one recorded at append time
+        (the stored bases would be stale); the archive itself is always
+        exact.
+        """
+        if provider not in self._manifest["providers"]:
+            raise KeyError(f"no archive stored for provider {provider!r}")
+        psl = default_list()
+        snapshots: list[ListSnapshot] = []
+        per_day: dict[dt.date, frozenset[str]] = {}
+        counts: dict[str, int] = {}
+        prev_entries: Optional[frozenset[str]] = None
+        prev_bases: dict[str, str] = {}
+        prev_frozen: frozenset[str] = frozenset()
+        warmable = warm
+        for date, psl_version, entries, entry_bases in self._replay(provider):
+            snapshot = ListSnapshot(provider=provider, date=date, entries=entries)
+            snapshots.append(snapshot)
+            if not warmable:
+                continue
+            if psl_version != psl.version:
+                warmable = False
+                continue
+            current = snapshot.domain_set()
+            base_by_name = dict(zip(entries, entry_bases))
+            if prev_entries is None:
+                for base in entry_bases:
+                    counts[base] = counts.get(base, 0) + 1
+                frozen = frozenset(counts)
+            else:
+                removed = prev_entries - current
+                added = current - prev_entries
+                if removed or added:
+                    for name in removed:
+                        base = prev_bases[name]
+                        remaining = counts[base] - 1
+                        if remaining:
+                            counts[base] = remaining
+                        else:
+                            del counts[base]
+                    for name in added:
+                        base = base_by_name[name]
+                        counts[base] = counts.get(base, 0) + 1
+                    frozen = frozenset(counts)
+                else:
+                    frozen = prev_frozen
+            per_day[date] = frozen
+            prev_entries = current
+            prev_bases = base_by_name
+            prev_frozen = frozen
+        archive = ListArchive.from_snapshots(snapshots, provider=provider)
+        if warmable and len(per_day) == len(snapshots):
+            seed_base_domain_sets(archive, per_day, psl=psl)
+        return archive
+
+    def load_archives(self, providers: Optional[Iterable[str]] = None,
+                      warm: bool = True) -> dict[str, ListArchive]:
+        """Load several providers' archives (default: all stored)."""
+        names = tuple(providers) if providers is not None else self.providers()
+        return {name: self.load_archive(name, warm=warm) for name in names}
+
+    # -- scenario reports -------------------------------------------------
+    def _report_path(self, profile: str) -> Path:
+        if not profile or "/" in profile or "\\" in profile or profile.startswith("."):
+            raise StoreError(f"invalid profile name {profile!r}")
+        return self.root / "reports" / f"{profile}.json"
+
+    def report_names(self) -> tuple[str, ...]:
+        """Names of stored scenario reports, sorted."""
+        return tuple(sorted(self._manifest["reports"]))
+
+    def save_report(self, report) -> Path:
+        """Store a :class:`~repro.scenarios.runner.ScenarioReport` document.
+
+        The exact ``to_json()`` bytes are persisted, so serving the file
+        is byte-identical to re-running the scenario.
+        """
+        path = self._report_path(report.profile)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(report.to_json(), encoding="utf-8")
+        if report.profile not in self._manifest["reports"]:
+            self._manifest["reports"].append(report.profile)
+            self._manifest["reports"].sort()
+        self._manifest["store_version"] += 1
+        self._write_manifest()
+        return path
+
+    def load_report_bytes(self, profile: str) -> bytes:
+        """The stored report document, as served bytes."""
+        path = self._report_path(profile)
+        if profile not in self._manifest["reports"] or not path.exists():
+            raise KeyError(f"no stored report for profile {profile!r}")
+        return path.read_bytes()
+
+    # -- convenience ------------------------------------------------------
+    @classmethod
+    def from_archives(cls, root: str | Path,
+                      archives: Mapping[str, ListArchive]) -> "ArchiveStore":
+        """Create a store at ``root`` holding ``archives`` (keyed by name)."""
+        store = cls(root)
+        for name in sorted(archives):
+            store.append_archive(archives[name])
+        return store

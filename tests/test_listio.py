@@ -1,6 +1,7 @@
 """Tests for top-list CSV parsing and writing."""
 
 import datetime as dt
+import gzip
 import zipfile
 
 import pytest
@@ -105,6 +106,47 @@ class TestFiles:
         snapshot = read_top_list(zip_path, provider="alexa")
         assert snapshot.entries == ("google.com", "netflix.com")
         assert snapshot.date == dt.date(2018, 1, 30)
+
+    def test_zip_skips_directories_and_metadata_members(self, tmp_path):
+        # Real Alexa zips can lead with a directory entry or a readme;
+        # the reader must find the CSV payload, not namelist()[0].
+        zip_path = tmp_path / "top-1m_2018-01-30.csv.zip"
+        with zipfile.ZipFile(zip_path, "w") as archive:
+            archive.writestr("top-1m/", "")
+            archive.writestr("top-1m/README.txt", "not a list")
+            archive.writestr("top-1m/top-1m.csv", "1,google.com\n2,netflix.com\n")
+        snapshot = read_top_list(zip_path, provider="alexa")
+        assert snapshot.entries == ("google.com", "netflix.com")
+
+    def test_zip_without_csv_falls_back_to_first_file(self, tmp_path):
+        zip_path = tmp_path / "top-1m_2018-01-30.csv.zip"
+        with zipfile.ZipFile(zip_path, "w") as archive:
+            archive.writestr("data/", "")
+            archive.writestr("data/top-1m.txt", "1,google.com\n")
+        snapshot = read_top_list(zip_path, provider="alexa")
+        assert snapshot.entries == ("google.com",)
+
+    def test_zip_with_only_directories_raises(self, tmp_path):
+        zip_path = tmp_path / "top-1m_2018-01-30.csv.zip"
+        with zipfile.ZipFile(zip_path, "w") as archive:
+            archive.writestr("data/", "")
+        with pytest.raises(ValueError, match="no files"):
+            read_top_list(zip_path, provider="alexa")
+
+    def test_gzip_support(self, tmp_path):
+        # Umbrella/Majestic mirrors ship gzip-compressed CSVs.
+        gz_path = tmp_path / "umbrella-2018-01-30.csv.gz"
+        gz_path.write_bytes(gzip.compress(b"1,google.com\n2,netflix.com\n"))
+        snapshot = read_top_list(gz_path, provider="umbrella")
+        assert snapshot.entries == ("google.com", "netflix.com")
+        assert snapshot.date == dt.date(2018, 1, 30)
+
+    def test_gzip_majestic_column(self, tmp_path):
+        gz_path = tmp_path / "majestic_million-2018-01-30.csv.gz"
+        gz_path.write_bytes(gzip.compress(
+            b"GlobalRank,TldRank,Domain\n1,1,google.com\n2,2,bbc.co.uk\n"))
+        snapshot = read_top_list(gz_path, provider="majestic", domain_column=2)
+        assert snapshot.entries == ("google.com", "bbc.co.uk")
 
     def test_archive_roundtrip(self, tmp_path):
         archive = ListArchive(provider="umbrella")

@@ -14,6 +14,7 @@ PACKAGES = (
     "repro.providers",
     "repro.ranking",
     "repro.routing",
+    "repro.service",
     "repro.stats",
     "repro.survey",
     "repro.web",

@@ -1,0 +1,338 @@
+"""Parity and protocol tests for the /v1 query API (repro.service.api).
+
+The central assertion: every endpoint's payload is *byte-identical* to
+computing the same answer directly with :mod:`repro.core` /
+:mod:`repro.scenarios` on the same archives.  The expected documents here
+are built independently in the tests from direct library calls — the API
+must reproduce them to the byte (same floats, same key order, same JSON
+layout).  The golden-marked test closes the loop against the committed
+scenario fingerprints.
+"""
+
+import datetime as dt
+import pathlib
+import threading
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.core.intersection import intersection_over_time
+from repro.core.stability import (
+    cumulative_unique_domains,
+    daily_changes,
+    days_in_list,
+    intersection_with_reference,
+    mean_daily_change,
+    new_domains_per_day,
+)
+from repro.providers.base import ListArchive, ListSnapshot
+from repro.scenarios.golden import load_golden
+from repro.scenarios.profiles import profile_names
+from repro.scenarios.runner import ScenarioReport, canonical_float, run_scenario
+from repro.service.api import QueryService, create_server, json_bytes
+from repro.service.store import ArchiveStore
+
+GOLDEN_DIR = pathlib.Path(__file__).parent / "goldens"
+
+
+@pytest.fixture(scope="module")
+def api_store(tmp_path_factory, small_run):
+    return ArchiveStore.from_archives(tmp_path_factory.mktemp("apistore"),
+                                      small_run.archives)
+
+
+@pytest.fixture(scope="module")
+def service(api_store):
+    return QueryService(api_store)
+
+
+def _probe_domains(small_run):
+    alexa = small_run.archives["alexa"]
+    head = alexa[0].entries[:3]
+    tail = alexa[len(alexa) - 1].entries[-2:]
+    return list(dict.fromkeys(head + tail)) + ["never-listed.example"]
+
+
+class TestHistoryParity:
+    def _expected(self, small_run, domain, top_k=None):
+        sections = {}
+        for provider in sorted(small_run.archives):
+            archive = small_run.archives[provider]
+            observations = [
+                (snapshot.date, snapshot.entries.index(domain) + 1)
+                for snapshot in archive if domain in snapshot.domain_set()]
+            section = {
+                "observations": [{"date": date.isoformat(), "rank": rank}
+                                 for date, rank in observations],
+                "days_listed": len(observations),
+                "first_seen": observations[0][0].isoformat() if observations else None,
+                "last_seen": observations[-1][0].isoformat() if observations else None,
+                "best_rank": min((r for _, r in observations), default=None),
+                "worst_rank": max((r for _, r in observations), default=None),
+            }
+            if top_k is not None:
+                section["days_in_top_k"] = sum(
+                    1 for _, rank in observations if rank <= top_k)
+            sections[provider] = section
+        payload = {"domain": domain, "providers": sections}
+        if top_k is not None:
+            payload["top_k"] = top_k
+        return payload
+
+    def test_byte_identical_to_archive_scan(self, service, small_run):
+        for domain in _probe_domains(small_run):
+            response = service.handle_request(f"/v1/domains/{domain}/history")
+            assert response.status == 200
+            assert response.body == json_bytes(self._expected(small_run, domain))
+
+    def test_top_k_parameter(self, service, small_run):
+        domain = small_run.archives["alexa"][0].entries[0]
+        response = service.handle_request(f"/v1/domains/{domain}/history?top_k=10")
+        assert response.body == json_bytes(
+            self._expected(small_run, domain, top_k=10))
+
+    def test_date_window(self, service, small_run):
+        archive = small_run.archives["alexa"]
+        dates = archive.dates()
+        start, end = dates[2], dates[-3]
+        domain = archive[0].entries[0]
+        response = service.handle_request(
+            f"/v1/domains/{domain}/history?providers=alexa"
+            f"&start={start.isoformat()}&end={end.isoformat()}")
+        observations = [
+            {"date": s.date.isoformat(), "rank": s.entries.index(domain) + 1}
+            for s in archive
+            if start <= s.date <= end and domain in s.domain_set()]
+        payload = response.json()
+        assert payload["providers"]["alexa"]["observations"] == observations
+        assert payload["start"] == start.isoformat()
+        # Longevity stays whole-archive (the window trims observations only).
+        full = [s for s in archive if domain in s.domain_set()]
+        assert payload["providers"]["alexa"]["days_listed"] == len(full)
+
+
+class TestStabilityParity:
+    @pytest.mark.parametrize("provider", ["alexa", "umbrella", "majestic"])
+    @pytest.mark.parametrize("top_n", [None, 100])
+    def test_byte_identical_to_core_calls(self, service, small_run, provider, top_n):
+        archive = small_run.archives[provider]
+        changes = daily_changes(archive, top_n)
+        mean_change = mean_daily_change(archive, top_n)
+        counts = days_in_list(archive, top_n)
+        always = (sum(1 for v in counts.values() if v == len(archive))
+                  / len(counts)) if counts else 0.0
+        list_size = len(archive[0])
+        head = list_size if top_n is None else min(top_n, list_size)
+        expected = {
+            "provider": provider,
+            "top_n": top_n,
+            "days": len(archive),
+            "list_size": list_size,
+            "mean_daily_change": canonical_float(mean_change),
+            "churn_fraction": canonical_float(mean_change / max(1, head)),
+            "daily_changes": {d.isoformat(): c
+                              for d, c in sorted(changes.items())},
+            "new_per_day": {d.isoformat(): c for d, c in
+                            sorted(new_domains_per_day(archive, top_n).items())},
+            "cumulative_unique": {d.isoformat(): c for d, c in
+                                  sorted(cumulative_unique_domains(archive, top_n).items())},
+            "distinct_domains": len(counts),
+            "always_listed_share": canonical_float(always),
+            "reference_decay": {
+                str(offset): canonical_float(value)
+                for offset, value in sorted(intersection_with_reference(
+                    archive, reference_days=range(7), top_n=top_n).items())},
+        }
+        query = "" if top_n is None else f"?top_n={top_n}"
+        response = service.handle_request(f"/v1/providers/{provider}/stability{query}")
+        assert response.status == 200
+        assert response.body == json_bytes(expected)
+
+
+class TestCompareParity:
+    def test_byte_identical_to_intersection_over_time(self, service, small_run):
+        names = ["alexa", "majestic", "umbrella"]
+        series = intersection_over_time(
+            {name: small_run.archives[name] for name in names}, top_n=100)
+        per_pair, daily = {}, {}
+        for date, matrix in series.items():
+            row = {"&".join(pair): count for pair, count in matrix.items()}
+            daily[date.isoformat()] = row
+            for pair, count in row.items():
+                per_pair.setdefault(pair, []).append(count)
+        expected = {
+            "providers": names,
+            "top_n": 100,
+            "days": len(series),
+            "pairs": {pair: {"mean": canonical_float(sum(c) / len(c)),
+                             "min": min(c), "max": max(c)}
+                      for pair, c in sorted(per_pair.items())},
+            "series": daily,
+        }
+        response = service.handle_request(
+            "/v1/compare?providers=alexa,majestic,umbrella&top_n=100")
+        assert response.body == json_bytes(expected)
+
+    def test_needs_two_providers(self, service):
+        assert service.handle_request("/v1/compare?providers=alexa").status == 400
+
+
+class TestScenarioReports:
+    def test_served_bytes_equal_direct_report(self, tmp_path, small_run):
+        # The stored document is the exact to_json() of the direct call,
+        # so the endpoint serves byte-identical scenario numbers.
+        report = ScenarioReport(
+            profile="api_unit", description="unit fixture",
+            config={"n_days": 3}, top_k=10,
+            providers={"alexa": {"stability": {"churn_fraction": 0.01}}},
+            intersection={"pairs": {}}, recommendations={})
+        store = ArchiveStore(tmp_path / "s")
+        store.save_report(report)
+        response = QueryService(store).handle_request("/v1/scenarios/api_unit/report")
+        assert response.status == 200
+        assert response.body == report.to_bytes()
+        assert ScenarioReport.from_json(
+            response.body.decode("utf-8")).to_dict() == report.to_dict()
+
+    def test_unknown_report_404(self, service):
+        response = service.handle_request("/v1/scenarios/nosuch/report")
+        assert response.status == 404
+
+    def test_path_escaping_profile_is_400_not_crash(self, service):
+        for target in ("/v1/scenarios/.hidden/report",
+                       "/v1/scenarios/%2e%2e/report"):
+            response = service.handle_request(target)
+            assert response.status == 400, target
+            assert response.json()["error"]["status"] == 400
+
+
+@pytest.mark.golden
+class TestScenarioReportGoldenParity:
+    def test_served_reports_match_committed_goldens(self, tmp_path):
+        # Store every built-in scenario's report, serve it, reconstruct
+        # the fingerprint from the served bytes and compare against the
+        # committed goldens: the API path cannot drift from the library.
+        store = ArchiveStore(tmp_path / "s")
+        service = QueryService(store)
+        for name in profile_names():
+            report = run_scenario(name)
+            store.save_report(report)
+            response = service.handle_request(f"/v1/scenarios/{name}/report")
+            assert response.status == 200
+            assert response.body == report.to_bytes()
+            served = ScenarioReport.from_json(response.body.decode("utf-8"))
+            assert served.fingerprint() == load_golden(GOLDEN_DIR, name), name
+
+
+class TestProtocol:
+    def test_meta(self, service, api_store, small_run):
+        payload = service.handle_request("/v1/meta").json()
+        assert payload["store_version"] == api_store.version
+        assert sorted(payload["providers"]) == sorted(small_run.archives)
+        section = payload["providers"]["alexa"]
+        archive = small_run.archives["alexa"]
+        assert section["days"] == len(archive)
+        assert section["first_date"] == archive.dates()[0].isoformat()
+        assert section["top_domain"] == archive[len(archive) - 1].entries[0]
+
+    def test_etag_revalidation(self, service):
+        first = service.handle_request("/v1/meta")
+        revalidated = service.handle_request(
+            "/v1/meta", {"If-None-Match": first.etag})
+        assert revalidated.status == 304
+        assert revalidated.body == b""
+        fresh = service.handle_request("/v1/meta", {"If-None-Match": '"stale"'})
+        assert fresh.status == 200
+
+    def test_lru_hit_and_append_invalidation(self, tmp_path):
+        snapshots = [
+            ListSnapshot(provider="alexa",
+                         date=dt.date(2018, 1, 1) + dt.timedelta(days=day),
+                         entries=("a.com", "b.com", f"day{day}.com"))
+            for day in range(3)]
+        store = ArchiveStore(tmp_path / "s")
+        store.append_archive(ListArchive.from_snapshots(snapshots[:2]))
+        service = QueryService(store)
+        target = "/v1/domains/a.com/history"
+        assert service.handle_request(target).headers["X-Repro-Cache"] == "miss"
+        assert service.handle_request(target).headers["X-Repro-Cache"] == "hit"
+        store.append(snapshots[2])
+        response = service.handle_request(target)
+        assert response.headers["X-Repro-Cache"] == "miss"
+        assert response.json()["providers"]["alexa"]["days_listed"] == 3
+
+    def test_report_save_does_not_reload_archives(self, tmp_path):
+        store = ArchiveStore(tmp_path / "s")
+        store.append(ListSnapshot(provider="alexa", date=dt.date(2018, 1, 1),
+                                  entries=("a.com",)))
+        service = QueryService(store)
+        assert service.handle_request("/v1/meta").status == 200
+        loaded = service._loaded_version
+        report = ScenarioReport(
+            profile="late_report", description="", config={}, top_k=1,
+            providers={}, intersection={"pairs": {}}, recommendations={})
+        store.save_report(report)
+        response = service.handle_request("/v1/scenarios/late_report/report")
+        assert response.status == 200
+        assert service._loaded_version == loaded  # archives stayed warm
+
+    def test_concurrent_requests_with_tiny_lru(self, api_store, small_run):
+        # Hammer a 2-slot LRU from several threads: eviction churn must
+        # never corrupt the cache or leak an exception to a request.
+        service = QueryService(api_store, cache_size=2)
+        domains = small_run.archives["alexa"][0].entries[:6]
+        targets = [f"/v1/domains/{domain}/history" for domain in domains]
+        failures = []
+
+        def hammer(seed):
+            try:
+                for i in range(40):
+                    response = service.handle_request(
+                        targets[(seed + i) % len(targets)])
+                    assert response.status == 200
+            except Exception as error:  # noqa: BLE001 — collected for assert
+                failures.append(error)
+
+        threads = [threading.Thread(target=hammer, args=(n,)) for n in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not failures
+
+    def test_errors(self, service):
+        assert service.handle_request("/v1/providers/nosuch/stability").status == 404
+        assert service.handle_request("/nope").status == 404
+        assert service.handle_request(
+            "/v1/providers/alexa/stability?top_n=zero").status == 400
+        assert service.handle_request(
+            "/v1/providers/alexa/stability?top_n=-3").status == 400
+        assert service.handle_request(
+            "/v1/domains/x/history?start=notadate").status == 400
+        body = service.handle_request("/v1/providers/nosuch/stability").json()
+        assert body["error"]["status"] == 404
+
+    def test_http_server_serves_identical_bytes(self, service):
+        server = create_server(service)
+        port = server.server_address[1]
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        try:
+            for target in ("/v1/meta", "/v1/providers/alexa/stability?top_n=50"):
+                local = service.handle_request(target)
+                with urllib.request.urlopen(
+                        f"http://127.0.0.1:{port}{target}", timeout=10) as wire:
+                    assert wire.status == 200
+                    assert wire.read() == local.body
+                    assert wire.headers["ETag"] == local.etag
+            request = urllib.request.Request(
+                f"http://127.0.0.1:{port}/v1/meta",
+                headers={"If-None-Match":
+                         service.handle_request("/v1/meta").etag})
+            with pytest.raises(urllib.error.HTTPError) as excinfo:
+                urllib.request.urlopen(request, timeout=10)
+            assert excinfo.value.code == 304
+        finally:
+            server.shutdown()
+            server.server_close()

@@ -1,0 +1,171 @@
+"""Property-based parity tests for :class:`repro.service.index.DomainIndex`.
+
+The index's whole contract is "same answers as a brute-force scan over the
+archive's snapshots, without the scan".  For arbitrary small archives this
+asserts exactly that — for rank history (windowed and full), longevity,
+days-in-top-k and base-domain membership intervals — and that the answers
+survive incremental ``add()`` updates and an
+:class:`~repro.service.store.ArchiveStore` round trip.
+"""
+
+from __future__ import annotations
+
+import datetime as dt
+import pathlib
+import tempfile
+from typing import Optional
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.cache import snapshot_base_domains
+from repro.providers.base import ListArchive, ListSnapshot
+from repro.service.index import DomainIndex
+from repro.service.store import ArchiveStore
+
+# --------------------------------------------------------------------------
+# Strategies: a pool of FQDNs (several per base domain, so base-level and
+# FQDN-level views genuinely differ), archives as per-day subsets.
+# --------------------------------------------------------------------------
+
+_POOL = tuple(
+    f"{host}.d{i}.{tld}" if host else f"d{i}.{tld}"
+    for i in range(8)
+    for tld in ("com", "co.uk")
+    for host in ("", "www", "mail")
+)
+
+_day_entries = st.lists(st.sampled_from(_POOL), min_size=1, max_size=18,
+                        unique=True)
+_archive_days = st.lists(_day_entries, min_size=2, max_size=7)
+
+
+def _build_archive(days: list[list[str]], provider: str = "prop") -> ListArchive:
+    start = dt.date(2018, 1, 28)  # spans a month boundary for the store
+    return ListArchive.from_snapshots(
+        [ListSnapshot(provider=provider, date=start + dt.timedelta(days=i),
+                      entries=tuple(entries))
+         for i, entries in enumerate(days)])
+
+
+# --------------------------------------------------------------------------
+# Brute-force oracles (the archive scan the index is meant to replace)
+# --------------------------------------------------------------------------
+
+def _scan_history(archive: ListArchive, domain: str,
+                  start: Optional[dt.date] = None,
+                  end: Optional[dt.date] = None) -> list[tuple[dt.date, int]]:
+    observations = []
+    for snapshot in archive:
+        if start is not None and snapshot.date < start:
+            continue
+        if end is not None and snapshot.date > end:
+            continue
+        if domain in snapshot.domain_set():
+            observations.append(
+                (snapshot.date, snapshot.entries.index(domain) + 1))
+    return observations
+
+
+def _scan_base_intervals(archive: ListArchive, base: str):
+    intervals, entered, last_present = [], None, None
+    for snapshot in archive:
+        present = base in snapshot_base_domains(snapshot)
+        if present:
+            if entered is None:
+                entered = snapshot.date
+            last_present = snapshot.date
+        elif entered is not None:
+            intervals.append((entered, last_present))
+            entered = None
+    if entered is not None:
+        intervals.append((entered, None))
+    return intervals
+
+
+def _assert_parity(index: DomainIndex, archive: ListArchive,
+                   provider: str = "prop") -> None:
+    dates = archive.dates()
+    window = (dates[len(dates) // 3], dates[2 * len(dates) // 3])
+    for domain in _POOL + ("never-listed.example",):
+        expected = _scan_history(archive, domain)
+        assert index.history(domain, provider) == expected, domain
+        assert (index.history(domain, provider, start=window[0], end=window[1])
+                == _scan_history(archive, domain, *window)), domain
+        longevity = index.longevity(domain, provider)
+        assert longevity.days_listed == len(expected)
+        assert longevity.first_seen == (expected[0][0] if expected else None)
+        assert longevity.last_seen == (expected[-1][0] if expected else None)
+        for k in (1, 3, 10):
+            assert (index.days_in_top_k(domain, provider, k)
+                    == sum(1 for _, rank in expected if rank <= k)), (domain, k)
+        for date in dates:
+            scan_rank = next((r for d, r in expected if d == date), None)
+            assert index.rank_on(domain, provider, date) == scan_rank
+    bases = {base for snapshot in archive
+             for base in snapshot_base_domains(snapshot)}
+    for base in sorted(bases) + ["never-listed.example"]:
+        assert (index.base_intervals(base, provider)
+                == _scan_base_intervals(archive, base)), base
+
+
+class TestIndexParity:
+    @given(_archive_days)
+    @settings(max_examples=30, deadline=None)
+    def test_from_archive_matches_scan(self, days):
+        archive = _build_archive(days)
+        _assert_parity(DomainIndex.from_archive(archive), archive)
+
+    @given(_archive_days)
+    @settings(max_examples=30, deadline=None)
+    def test_incremental_add_matches_scan(self, days):
+        # Index the first day, then add() the rest one at a time — the
+        # incremental path must answer like the bulk one at every step.
+        archive = _build_archive(days)
+        snapshots = archive.snapshots()
+        index = DomainIndex()
+        for upto, snapshot in enumerate(snapshots, start=1):
+            index.add(snapshot)
+            prefix = ListArchive.from_snapshots(snapshots[:upto])
+            if upto in (1, len(snapshots)):
+                _assert_parity(index, prefix)
+
+    @given(_archive_days)
+    @settings(max_examples=15, deadline=None)
+    def test_store_round_trip_matches_scan(self, days):
+        archive = _build_archive(days)
+        with tempfile.TemporaryDirectory() as tmp:
+            store = ArchiveStore(pathlib.Path(tmp) / "s")
+            store.append_archive(archive)
+            reopened = ArchiveStore(pathlib.Path(tmp) / "s")
+            index = DomainIndex.from_store(reopened)
+        _assert_parity(index, archive)
+
+
+class TestIndexRules:
+    def test_out_of_order_add_rejected(self):
+        archive = _build_archive([["d0.com"], ["d1.com"]])
+        index = DomainIndex()
+        index.add(archive[1])
+        import pytest
+
+        with pytest.raises(ValueError, match="append-only"):
+            index.add(archive[0])
+
+    def test_unknown_provider_raises(self):
+        index = DomainIndex.from_archive(_build_archive([["d0.com"]]))
+        import pytest
+
+        with pytest.raises(KeyError):
+            index.history("d0.com", "nosuch")
+        with pytest.raises(ValueError):
+            index.days_in_top_k("d0.com", "prop", 0)
+
+    def test_multi_provider_isolation(self):
+        a = _build_archive([["d0.com", "d1.com"]], provider="alexa")
+        b = _build_archive([["d1.com", "d0.com"]], provider="majestic")
+        index = DomainIndex.from_archives({"alexa": a, "majestic": b})
+        assert index.providers() == ("alexa", "majestic")
+        assert index.history("d0.com", "alexa")[0][1] == 1
+        assert index.history("d0.com", "majestic")[0][1] == 2
+        assert index.domain_count("alexa") == 2

@@ -1,0 +1,215 @@
+"""Tests for the on-disk archive store (repro.service.store)."""
+
+import datetime as dt
+
+import pytest
+
+from repro.core.cache import archive_base_domain_sets
+from repro.domain.psl import default_list
+from repro.providers.base import ListArchive, ListSnapshot
+from repro.scenarios.runner import ScenarioReport
+from repro.service.store import ArchiveStore, StoreError
+
+
+@pytest.fixture(scope="module")
+def store_root(tmp_path_factory, small_run):
+    root = tmp_path_factory.mktemp("store")
+    ArchiveStore.from_archives(root, small_run.archives)
+    return root
+
+
+def _snapshot(provider, day, entries):
+    return ListSnapshot(provider=provider,
+                        date=dt.date(2018, 1, 1) + dt.timedelta(days=day),
+                        entries=tuple(entries))
+
+
+def _make_report(profile="unit_profile"):
+    return ScenarioReport(
+        profile=profile, description="unit fixture", config={"n_days": 2},
+        top_k=10, providers={"alexa": {"days": 2}},
+        intersection={"pairs": {}}, recommendations={})
+
+
+class TestRoundTrip:
+    def test_snapshots_survive_reload(self, store_root, small_run):
+        store = ArchiveStore(store_root)
+        for name, original in small_run.archives.items():
+            loaded = store.load_archive(name)
+            assert loaded.provider == name
+            assert loaded.dates() == original.dates()
+            for date in original.dates():
+                assert loaded[date].entries == original[date].entries
+
+    def test_manifest_inventory(self, store_root, small_run):
+        store = ArchiveStore(store_root)
+        assert store.providers() == tuple(sorted(small_run.archives))
+        assert len(store) == sum(len(a) for a in small_run.archives.values())
+        for name, original in small_run.archives.items():
+            assert store.dates(name) == original.dates()
+
+    def test_lazy_single_snapshot(self, store_root, small_run):
+        store = ArchiveStore(store_root)
+        original = small_run.archives["alexa"]
+        date = original.dates()[5]
+        assert store.load_snapshot("alexa", date).entries == original[date].entries
+        with pytest.raises(KeyError):
+            store.load_snapshot("alexa", dt.date(1999, 1, 1))
+
+    def test_iter_snapshots_streams_in_order(self, store_root, small_run):
+        store = ArchiveStore(store_root)
+        original = small_run.archives["umbrella"]
+        streamed = list(store.iter_snapshots("umbrella"))
+        assert [s.date for s in streamed] == original.dates()
+        assert [s.entries for s in streamed] == [s.entries for s in original]
+
+    def test_unknown_provider(self, store_root):
+        store = ArchiveStore(store_root)
+        with pytest.raises(KeyError):
+            store.load_archive("nosuch")
+        assert store.dates("nosuch") == []
+
+
+class TestWarmStart:
+    def test_loaded_archive_is_pre_seeded(self, store_root, small_run):
+        store = ArchiveStore(store_root)
+        loaded = store.load_archive("majestic", warm=True)
+        cache = loaded.__dict__.get("_analysis_cache", {})
+        assert any(key[0] == "base-domain-sets" for key in cache), \
+            "warm load must seed the delta engine"
+
+    def test_seeded_sets_match_recomputation(self, store_root, small_run):
+        store = ArchiveStore(store_root)
+        for name, original in small_run.archives.items():
+            seeded = archive_base_domain_sets(store.load_archive(name, warm=True))
+            fresh = archive_base_domain_sets(original)
+            assert dict(seeded) == dict(fresh), name
+
+    def test_cold_load_has_no_seed(self, store_root):
+        store = ArchiveStore(store_root)
+        loaded = store.load_archive("alexa", warm=False)
+        assert "_analysis_cache" not in loaded.__dict__
+
+    def test_psl_change_skips_seeding_but_not_data(self, tmp_path, small_run):
+        # Stored base ids are stamped with the PSL version at append time;
+        # after a rule change they may be stale, so warm loading must fall
+        # back to a cold (still correct) archive.
+        original = small_run.archives["alexa"]
+        store = ArchiveStore(tmp_path / "pslstore")
+        store.append_archive(original)
+        default_list().add_rule("store-warmth-test")
+        reopened = ArchiveStore(tmp_path / "pslstore")
+        loaded = reopened.load_archive("alexa", warm=True)
+        assert "_analysis_cache" not in loaded.__dict__
+        assert [s.entries for s in loaded] == [s.entries for s in original]
+
+
+class TestAppendRules:
+    def test_append_only_per_provider(self, tmp_path):
+        store = ArchiveStore(tmp_path / "s")
+        store.append(_snapshot("alexa", 1, ["a.com", "b.com"]))
+        with pytest.raises(StoreError, match="append-only"):
+            store.append(_snapshot("alexa", 1, ["a.com"]))
+        with pytest.raises(StoreError, match="append-only"):
+            store.append(_snapshot("alexa", 0, ["a.com"]))
+        store.append(_snapshot("alexa", 2, ["a.com", "c.com"]))
+        store.append(_snapshot("majestic", 0, ["a.com"]))  # other provider free
+        assert [d.day for d in store.dates("alexa")] == [2, 3]
+
+    def test_version_bumps_on_every_append(self, tmp_path):
+        store = ArchiveStore(tmp_path / "s")
+        assert store.version == 0
+        store.append(_snapshot("alexa", 0, ["a.com"]))
+        store.append(_snapshot("alexa", 1, ["b.com"]))
+        assert store.version == 2
+
+    def test_month_sharding(self, tmp_path):
+        store = ArchiveStore(tmp_path / "s")
+        archive = ListArchive.from_snapshots(
+            [_snapshot("alexa", day, [f"d{i}.com" for i in range(5)])
+             for day in (29, 30, 31, 32)])  # spans Jan 30 .. Feb 2
+        store.append_archive(archive)
+        shards = sorted(p.name for p in (tmp_path / "s" / "shards" / "alexa").iterdir())
+        assert shards == ["2018-01.rls", "2018-02.rls"]
+        loaded = ArchiveStore(tmp_path / "s").load_archive("alexa")
+        assert loaded.dates() == archive.dates()
+        assert [s.entries for s in loaded] == [s.entries for s in archive]
+
+    def test_string_table_shares_repeated_domains(self, tmp_path):
+        # 50 near-identical days must cost ~one day plus deltas, not 50
+        # full copies: the shared string table is the compactness claim.
+        entries = [f"domain-{i:04d}.example.com" for i in range(200)]
+        store = ArchiveStore(tmp_path / "s")
+        for day in range(50):
+            rotated = entries[day % 7:] + entries[:day % 7]
+            store.append(_snapshot("alexa", day, rotated), sync=False)
+        store.flush()
+        shard_bytes = sum(p.stat().st_size
+                          for p in (tmp_path / "s" / "shards" / "alexa").iterdir())
+        one_day_text = sum(len(e) for e in entries)
+        assert shard_bytes < one_day_text * 10
+
+    def test_invalid_provider_name_rejected(self, tmp_path):
+        store = ArchiveStore(tmp_path / "s")
+        for bad in ("../../tmp/evil", "a/b", "a\\b", ".hidden", ""):
+            with pytest.raises((StoreError, ValueError)):
+                store.append(_snapshot(bad, 0, ["a.com"]))
+        assert store.providers() == ()
+
+    def test_unflushed_append_is_discarded_on_reopen(self, tmp_path):
+        # A crash between the shard write and the manifest flush must not
+        # resurrect the orphan record: the manifest is the durable truth,
+        # re-appending the "lost" day succeeds, and warm starts survive.
+        store = ArchiveStore(tmp_path / "s")
+        store.append(_snapshot("alexa", 0, ["a.com", "b.com"]))
+        store.append(_snapshot("alexa", 1, ["b.com", "c.com"]), sync=False)
+        # no flush(): simulates the crash
+        reopened = ArchiveStore(tmp_path / "s")
+        assert [d.day for d in reopened.dates("alexa")] == [1]
+        assert len(reopened.load_archive("alexa")) == 1
+        reopened.append(_snapshot("alexa", 1, ["c.com", "d.com"]))
+        final = ArchiveStore(tmp_path / "s").load_archive("alexa")
+        assert [s.entries for s in final] == [("a.com", "b.com"), ("c.com", "d.com")]
+        cache = final.__dict__.get("_analysis_cache", {})
+        assert any(key[0] == "base-domain-sets" for key in cache)
+
+    def test_report_save_bumps_only_store_version(self, tmp_path):
+        store = ArchiveStore(tmp_path / "s")
+        store.append(_snapshot("alexa", 0, ["a.com"]))
+        data_before = store.data_version
+        store.save_report(_make_report("epoch_check"))
+        assert store.data_version == data_before
+        assert store.version > data_before
+
+    def test_reopen_and_continue_appending(self, tmp_path):
+        store = ArchiveStore(tmp_path / "s")
+        store.append(_snapshot("alexa", 0, ["a.com", "b.com"]))
+        reopened = ArchiveStore(tmp_path / "s")
+        reopened.append(_snapshot("alexa", 1, ["b.com", "c.com"]))
+        loaded = ArchiveStore(tmp_path / "s").load_archive("alexa")
+        assert [s.entries for s in loaded] == [("a.com", "b.com"), ("b.com", "c.com")]
+
+
+class TestReports:
+    def test_report_roundtrip(self, tmp_path):
+        store = ArchiveStore(tmp_path / "s")
+        report = _make_report()
+        store.save_report(report)
+        assert store.report_names() == ("unit_profile",)
+        assert store.load_report_bytes("unit_profile") == report.to_bytes()
+
+    def test_unknown_report(self, tmp_path):
+        store = ArchiveStore(tmp_path / "s")
+        with pytest.raises(KeyError):
+            store.load_report_bytes("nosuch")
+
+    def test_path_traversal_rejected(self, tmp_path):
+        store = ArchiveStore(tmp_path / "s")
+        with pytest.raises(StoreError):
+            store.load_report_bytes("../../etc/passwd")
+
+    def test_save_bumps_version(self, tmp_path):
+        store = ArchiveStore(tmp_path / "s")
+        before = store.version
+        store.save_report(_make_report())
+        assert store.version == before + 1
