@@ -6,7 +6,7 @@ export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
 STORE ?= .repro-store
 
-.PHONY: test golden-test goldens bench bench-service store serve
+.PHONY: test golden-test goldens bench bench-service bench-interning store serve
 
 ## Tier-1 test suite (what CI runs on every push).
 test:
@@ -29,6 +29,12 @@ bench:
 ## Serving-layer benchmarks only (store/index/API) → BENCH_service.json.
 bench-service:
 	$(PYTHON) benchmarks/run_benchmarks.py --service
+
+## Interned-columnar-vs-string comparison only → BENCH_interning.json
+## (asserts identical outputs, >=1.5x speedup and a lower tracemalloc
+## peak on the 30-day x 3-provider corpus).
+bench-interning:
+	$(PYTHON) benchmarks/run_benchmarks.py --interning
 
 ## Build a demo archive store (paper_realistic scenario) at $(STORE).
 store:

@@ -13,7 +13,7 @@ Run with::
 
 from __future__ import annotations
 
-from repro import SimulationConfig, run_simulation
+from repro import SimulationConfig, default_interner, run_simulation
 from repro.core import (
     intersection_matrix,
     mean_daily_change,
@@ -27,6 +27,8 @@ def main() -> None:
     print(f"Simulating {config.n_days} days over {config.total_domains()} domains "
           f"(lists of {config.list_size} entries, seed {config.seed}) ...")
     run = run_simulation(config)
+    print(f"Columnar core: {len(default_interner())} distinct domains interned; "
+          "snapshots are uint32 id columns, analyses run on integer sets.")
 
     print("\n== Top of the lists (last day) ==")
     for name, archive in run.archives.items():

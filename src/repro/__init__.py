@@ -32,10 +32,14 @@ Package map:
 * :mod:`repro.measurement` — the Section-8 measurement harness.
 * :mod:`repro.ranking` — the Section-7 ranking-mechanism experiments.
 * :mod:`repro.survey` — the Section-3 literature survey.
+* :mod:`repro.interning` — the shared domain ↔ uint32 id space every
+  layer above runs on (columnar snapshots, id-set analyses, the
+  persisted store table).
 * :mod:`repro.domain`, :mod:`repro.dns`, :mod:`repro.web`,
   :mod:`repro.routing`, :mod:`repro.stats` — substrates.
 """
 
+from repro.interning import DomainInterner, default_interner
 from repro.population.config import SimulationConfig
 from repro.providers.base import ListArchive, ListSnapshot
 from repro.providers.simulation import SimulationRun, run_profile, run_simulation
@@ -54,6 +58,7 @@ __version__ = "1.1.0"
 __all__ = [
     "ArchiveStore",
     "DomainIndex",
+    "DomainInterner",
     "ListArchive",
     "ListSnapshot",
     "QueryService",
@@ -63,6 +68,7 @@ __all__ = [
     "SimulationProfile",
     "SimulationRun",
     "__version__",
+    "default_interner",
     "get_profile",
     "profile_names",
     "run_profile",

@@ -25,12 +25,18 @@ from repro.core.bias import CharacteristicComparison, ComparisonCell, Comparison
 from repro.core.cache import (
     archive_alternating_half_ranks,
     archive_base_domain_sets,
+    archive_base_id_sets,
     archive_domain_sets,
+    archive_id_sets,
     archive_rank_partition,
+    archive_rank_partition_ids,
     archive_rank_series,
+    archive_rank_series_ids,
     archive_sld_count_events,
     snapshot_base_domains,
+    snapshot_base_ids,
 )
+from repro.core.interning import BaseIdColumn, DomainInterner, default_interner
 from repro.core.recommendations import (
     Finding,
     RecommendationReport,
@@ -76,9 +82,11 @@ from repro.core.weekly import (
 )
 
 __all__ = [
+    "BaseIdColumn",
     "CharacteristicComparison",
     "ComparisonCell",
     "ComparisonTable",
+    "DomainInterner",
     "Finding",
     "RankVariation",
     "RecommendationReport",
@@ -90,15 +98,20 @@ __all__ = [
     "alias_count",
     "archive_alternating_half_ranks",
     "archive_base_domain_sets",
+    "archive_base_id_sets",
     "archive_domain_sets",
+    "archive_id_sets",
     "archive_rank_partition",
+    "archive_rank_partition_ids",
     "archive_rank_series",
+    "archive_rank_series_ids",
     "archive_sld_count_events",
     "base_domain_share",
     "churn_by_rank",
     "cumulative_unique_domains",
     "daily_changes",
     "days_in_list",
+    "default_interner",
     "disjunct_domains",
     "evaluate_study_plan",
     "intersection_matrix",
@@ -112,6 +125,7 @@ __all__ = [
     "rank_variation",
     "sld_group_dynamics",
     "snapshot_base_domains",
+    "snapshot_base_ids",
     "structure_summary",
     "subdomain_depth_distribution",
     "summarise_archive",

@@ -3,19 +3,25 @@
 The paper's central stability finding — consecutive daily lists overlap
 by ~99% — makes the analysis pipeline's naive shape (re-parse every
 entry of every day through the PSL, for every analysis) almost entirely
-redundant work.  This module exploits it:
+redundant work.  This module exploits it, and since the columnar
+refactor it does so **in id space**: snapshots store interned uint32
+columns (:mod:`repro.interning`), so the delta engines diff
+``frozenset[int]`` objects, keep reference counts in int-keyed dicts,
+and answer base-domain normalisation from a PSL-version-stamped id
+column instead of a string memo.
 
-* :func:`snapshot_base_domains` caches one snapshot's normalised
-  base-domain set per ``(PSL identity, PSL version)``.
-* :func:`archive_base_domain_sets` computes each day's base-domain set as
-  a *delta* against the previous day: only entries that entered or left
-  the list are parsed, and a reference count per base domain keeps the
-  set exact when several FQDNs map to the same base.
+* :func:`snapshot_base_ids` / :func:`snapshot_base_domains` cache one
+  snapshot's normalised base-domain set per ``(PSL identity, version)``.
+* :func:`archive_base_id_sets` computes each day's base set as a *delta*
+  against the previous day: only entries that entered or left the list
+  are resolved, and a per-base reference count keeps the set exact when
+  several FQDNs map to the same base.  :func:`archive_base_domain_sets`
+  is the string-view derivation (identical values, shared objects).
 * :func:`archive_sld_count_events` tracks per-day SLD-group membership
   counts as change events (day index, new count), again delta-driven.
-* :func:`archive_rank_series` builds the per-domain ``(date, rank)``
-  series once per ``(archive, top_n)`` and shares it between the
-  weekday/weekend analyses.
+* :func:`archive_rank_series_ids` / :func:`archive_rank_partition_ids`
+  build id-keyed per-domain rank columns once per ``(archive, top_n)``;
+  the string-keyed views derive from them.
 
 All per-archive results live in the archive's ``_analysis_cache`` dict,
 which :meth:`repro.providers.base.ListArchive.add` drops on mutation;
@@ -35,6 +41,8 @@ from typing import Mapping, Optional, Sequence
 
 from repro.domain.name import normalise
 from repro.domain.psl import PublicSuffixList, default_list
+from repro.interning import base_of as _interning_base_of
+from repro.interning import default_interner
 from repro.providers.base import ListArchive, ListSnapshot
 
 _DEFAULT_PSL = default_list()
@@ -49,7 +57,7 @@ def _psl_key(psl: PublicSuffixList) -> tuple[int, int]:
 
 
 def _memo_for(kind: str, psl: PublicSuffixList) -> dict:
-    """Flat name→answer memo for ``kind``, stored *on* the PSL instance.
+    """Flat per-PSL memo for ``kind``, stored *on* the PSL instance.
 
     The same domains recur across days and lists, so after the first
     sighting a delta entry costs one dict lookup.  Living on the PSL, a
@@ -101,13 +109,10 @@ def _base_of(name: str, psl: PublicSuffixList) -> str:
     """Base domain of ``name``, or the normalised name for bare suffixes.
 
     Mirrors :func:`repro.core.structure.normalise_to_base_domains` for a
-    single entry (footnote 6 of the paper), without materialising a
-    :class:`~repro.domain.name.DomainName` per call: same validation
-    (:func:`normalise` raises on malformed names) and same PSL answer.
+    single entry (footnote 6 of the paper); the one rule shared with the
+    interner's id column (:func:`repro.interning.base_of`).
     """
-    cleaned = normalise(name)
-    base = psl.suffix_and_base(cleaned)[1]
-    return base if base is not None else cleaned
+    return _interning_base_of(name, psl)
 
 
 def _base_of_memoised(psl: PublicSuffixList):
@@ -125,17 +130,19 @@ def _base_of_memoised(psl: PublicSuffixList):
     return base_of
 
 
-def _sld_of_memoised(psl: PublicSuffixList):
-    memo = _memo_for("sld", psl)
+def _sld_of_id_memoised(psl: PublicSuffixList):
+    """Memoised ``domain id -> SLD group label`` lookup (id-keyed)."""
+    memo = _memo_for("sld-id", psl)
+    table = default_interner()
 
-    def sld_of(name: str) -> Optional[str]:
-        sld = memo.get(name, _MISSING)
+    def sld_of(domain_id: int) -> Optional[str]:
+        sld = memo.get(domain_id, _MISSING)
         if sld is _MISSING:
-            base = psl.suffix_and_base(normalise(name))[1]
+            base = psl.suffix_and_base(normalise(table.domain(domain_id)))[1]
             sld = None if base is None else base.split(".", 1)[0]
             if len(memo) >= _PARSE_MEMO_LIMIT:
                 memo.clear()
-            memo[name] = sld
+            memo[domain_id] = sld
         return sld
 
     return sld_of
@@ -144,23 +151,22 @@ def _sld_of_memoised(psl: PublicSuffixList):
 def base_domain_mapper(psl: Optional[PublicSuffixList] = None):
     """A memoised ``name -> base domain`` callable for ``psl``.
 
-    The public entry point to the flat per-PSL parse memo used by the
-    delta engines, for callers (e.g. the :mod:`repro.service` store) that
-    normalise entries outside an archive context but must match the
+    The string-keyed entry point to the per-PSL parse memo, for callers
+    that normalise entries outside an archive context but must match the
     analysis pipeline's answers exactly.
     """
     return _base_of_memoised(psl or _DEFAULT_PSL)
 
 
-def seed_base_domain_sets(archive: ListArchive,
-                          per_day: Mapping[dt.date, frozenset[str]],
-                          psl: Optional[PublicSuffixList] = None,
-                          top_n: Optional[int] = None
-                          ) -> Mapping[dt.date, frozenset[str]]:
-    """Warm-start the delta engine with precomputed per-day base sets.
+def seed_base_id_sets(archive: ListArchive,
+                      per_day: Mapping[dt.date, frozenset[int]],
+                      psl: Optional[PublicSuffixList] = None,
+                      top_n: Optional[int] = None
+                      ) -> Mapping[dt.date, frozenset[int]]:
+    """Warm-start the delta engine with precomputed per-day base-id sets.
 
     Installs ``per_day`` as the archive's cached
-    :func:`archive_base_domain_sets` result for ``(top_n, psl)``, so a
+    :func:`archive_base_id_sets` result for ``(top_n, psl)``, so a
     process that *persisted* the sets (the :mod:`repro.service` archive
     store replays them from stored base ids) does not redo a month of
     delta computation on restart.  The caller asserts the data is what
@@ -186,9 +192,59 @@ def seed_base_domain_sets(archive: ListArchive,
     return view
 
 
+def seed_base_domain_sets(archive: ListArchive,
+                          per_day: Mapping[dt.date, frozenset[str]],
+                          psl: Optional[PublicSuffixList] = None,
+                          top_n: Optional[int] = None
+                          ) -> Mapping[dt.date, frozenset[str]]:
+    """String-keyed wrapper of :func:`seed_base_id_sets` (compatibility).
+
+    The sets are interned into the id lane (days with one shared set
+    object keep sharing one id set), then served back through the
+    string-view derivation.
+    """
+    psl = psl or _DEFAULT_PSL
+    table = default_interner()
+    shared: dict[int, frozenset[int]] = {}
+    as_ids = {}
+    for date, names in per_day.items():
+        id_set = shared.get(id(names))
+        if id_set is None:
+            id_set = table.id_set(table.intern_many(names))
+            shared[id(names)] = id_set
+        as_ids[date] = id_set
+    seed_base_id_sets(archive, as_ids, psl=psl, top_n=top_n)
+    return archive_base_domain_sets(archive, top_n=top_n, psl=psl)
+
+
+def snapshot_base_ids(snapshot: ListSnapshot,
+                      psl: Optional[PublicSuffixList] = None) -> frozenset[int]:
+    """The snapshot's entries normalised to unique base-domain ids (cached)."""
+    psl = psl or _DEFAULT_PSL
+    key = _psl_key(psl)
+    cache = snapshot.__dict__.setdefault("_base_id_sets", {})
+    result = cache.get(key)
+    if result is None:
+        for stale in [k for k in cache if k[0] == key[0] and k[1] < key[1]]:
+            del cache[stale]
+        while len(cache) >= _PSL_GENERATION_LIMIT:
+            del cache[next(iter(cache))]
+        table = default_interner()
+        base_id = table.base_column(psl).base_id
+        boxed = table.boxed
+        result = frozenset({boxed[base_id(domain_id)]
+                            for domain_id in snapshot.entry_ids()})
+        cache[key] = result
+    return result
+
+
 def snapshot_base_domains(snapshot: ListSnapshot,
                           psl: Optional[PublicSuffixList] = None) -> frozenset[str]:
-    """The snapshot's entries normalised to unique base domains (cached)."""
+    """The snapshot's entries normalised to unique base domains (cached).
+
+    String view of :func:`snapshot_base_ids` — identical values, derived
+    once per ``(PSL identity, version)``.
+    """
     psl = psl or _DEFAULT_PSL
     key = _psl_key(psl)
     cache = snapshot.__dict__.setdefault("_base_domain_sets", {})
@@ -198,29 +254,30 @@ def snapshot_base_domains(snapshot: ListSnapshot,
             del cache[stale]
         while len(cache) >= _PSL_GENERATION_LIMIT:
             del cache[next(iter(cache))]
-        base_of = _base_of_memoised(psl)
-        result = frozenset(base_of(name) for name in snapshot.entries)
+        result = frozenset(default_interner().domains(snapshot_base_ids(snapshot, psl)))
         cache[key] = result
     return result
 
 
-def archive_base_domain_sets(archive: ListArchive,
-                             top_n: Optional[int] = None,
-                             psl: Optional[PublicSuffixList] = None,
-                             dates: Optional[Sequence[dt.date]] = None
-                             ) -> Mapping[dt.date, frozenset[str]]:
-    """Per-day normalised base-domain sets of an archive, delta-computed.
+def archive_base_id_sets(archive: ListArchive,
+                         top_n: Optional[int] = None,
+                         psl: Optional[PublicSuffixList] = None,
+                         dates: Optional[Sequence[dt.date]] = None
+                         ) -> Mapping[dt.date, frozenset[int]]:
+    """Per-day normalised base-domain **id** sets, delta-computed.
 
-    Day *n+1* is derived from day *n* by parsing only the entries that
-    were added or removed; a per-base reference count keeps the set exact
-    when multiple FQDNs share a base domain.  Days with identical entry
-    sets share one frozenset object.  The returned mapping is a read-only
-    view of the shared cache (as are all ``archive_*`` results below).
+    The canonical per-archive engine (the string view derives from it):
+    day *n+1* comes from day *n* by resolving only the ids that entered
+    or left the list — an array lookup per changed id once the base
+    column is warm — with an int-keyed reference count keeping the set
+    exact when multiple FQDNs share a base domain.  Days with identical
+    entry sets share one frozenset object.  The returned mapping is a
+    read-only view of the shared cache.
 
     ``dates`` restricts the computation to a sorted subset of the
     archive's dates (deltas work between any two consecutive *processed*
-    days, so the subset stays exact); days outside it are neither parsed
-    nor reported.
+    days, so the subset stays exact); days outside it are neither
+    resolved nor reported.
     """
     psl = psl or _DEFAULT_PSL
     dates_key = None if dates is None else tuple(dates)
@@ -230,32 +287,36 @@ def archive_base_domain_sets(archive: ListArchive,
     if result is not None:
         return result
     _evict_superseded(cache, key)
+    table = default_interner()
+    base_id = table.base_column(psl).base_id
+    boxed = table.boxed
     result = {}
-    base_of = _base_of_memoised(psl)
-    counts: Counter[str] = Counter()
-    prev_raw: Optional[frozenset[str]] = None
-    prev_frozen: frozenset[str] = frozenset()
+    counts: dict[int, int] = {}
+    prev_raw: Optional[frozenset[int]] = None
+    prev_frozen: frozenset[int] = frozenset()
     snapshots = archive if dates_key is None else (archive[d] for d in dates_key)
     for snapshot in snapshots:
         snap = snapshot.top(top_n) if top_n is not None else snapshot
-        raw = snap.domain_set()
+        raw = snap.id_set()
         if prev_raw is None:
-            for name in snap.entries:
-                counts[base_of(name)] += 1
+            for domain_id in snap.entry_ids():
+                base = boxed[base_id(domain_id)]
+                counts[base] = counts.get(base, 0) + 1
             frozen = frozenset(counts)
         else:
             removed = prev_raw - raw
             added = raw - prev_raw
             if removed or added:
-                for name in removed:
-                    base = base_of(name)
+                for domain_id in removed:
+                    base = boxed[base_id(domain_id)]
                     remaining = counts[base] - 1
                     if remaining:
                         counts[base] = remaining
                     else:
                         del counts[base]
-                for name in added:
-                    counts[base_of(name)] += 1
+                for domain_id in added:
+                    base = boxed[base_id(domain_id)]
+                    counts[base] = counts.get(base, 0) + 1
                 frozen = frozenset(counts)
             else:
                 frozen = prev_frozen
@@ -267,16 +328,44 @@ def archive_base_domain_sets(archive: ListArchive,
     return view
 
 
-def archive_domain_sets(archive: ListArchive,
-                        top_n: Optional[int] = None,
-                        dates: Optional[Sequence[dt.date]] = None
-                        ) -> Mapping[dt.date, frozenset[str]]:
-    """Per-day raw (un-normalised) domain sets of an archive (cached).
+def archive_base_domain_sets(archive: ListArchive,
+                             top_n: Optional[int] = None,
+                             psl: Optional[PublicSuffixList] = None,
+                             dates: Optional[Sequence[dt.date]] = None
+                             ) -> Mapping[dt.date, frozenset[str]]:
+    """Per-day normalised base-domain sets of an archive (string view).
 
-    ``dates`` restricts the result to a subset of the archive's dates.
+    Derived from :func:`archive_base_id_sets` — same delta engine, same
+    values; days sharing one id-set object share one string set.  Kept
+    for callers that genuinely need strings (reports, oracles); the
+    analysis hot paths use the id sets directly.
     """
+    psl = psl or _DEFAULT_PSL
     dates_key = None if dates is None else tuple(dates)
-    key = ("domain-sets", top_n, dates_key)
+    key = ("base-domain-strs", top_n, dates_key, _psl_key(psl))
+    cache = _archive_cache(archive)
+    view = cache.get(key)
+    if view is not None:
+        return view
+    _evict_superseded(cache, key)
+    id_view = archive_base_id_sets(archive, top_n=top_n, psl=psl, dates=dates)
+    table = default_interner()
+    shared: dict[int, frozenset[str]] = {}
+    result = {}
+    for date, id_frozen in id_view.items():
+        names = shared.get(id(id_frozen))
+        if names is None:
+            names = frozenset(table.domains(id_frozen))
+            shared[id(id_frozen)] = names
+        result[date] = names
+    view = MappingProxyType(result)
+    cache[key] = view
+    return view
+
+
+def _raw_sets(archive: ListArchive, kind: str, top_n: Optional[int],
+              dates_key: Optional[tuple], per_snapshot) -> Mapping:
+    key = (kind, top_n, dates_key)
     cache = _archive_cache(archive)
     view = cache.get(key)
     if view is None:
@@ -287,10 +376,36 @@ def archive_domain_sets(archive: ListArchive,
         snapshots = archive if dates_key is None else (archive[d] for d in dates_key)
         for snapshot in snapshots:
             snap = snapshot.top(top_n) if top_n is not None else snapshot
-            result[snap.date] = snap.domain_set()
+            result[snap.date] = per_snapshot(snap)
         view = MappingProxyType(result)
         cache[key] = view
     return view
+
+
+def archive_id_sets(archive: ListArchive,
+                    top_n: Optional[int] = None,
+                    dates: Optional[Sequence[dt.date]] = None
+                    ) -> Mapping[dt.date, frozenset[int]]:
+    """Per-day raw (un-normalised) interned-id sets of an archive (cached).
+
+    ``dates`` restricts the result to a subset of the archive's dates.
+    """
+    dates_key = None if dates is None else tuple(dates)
+    return _raw_sets(archive, "id-sets", top_n, dates_key,
+                     ListSnapshot.id_set)
+
+
+def archive_domain_sets(archive: ListArchive,
+                        top_n: Optional[int] = None,
+                        dates: Optional[Sequence[dt.date]] = None
+                        ) -> Mapping[dt.date, frozenset[str]]:
+    """Per-day raw (un-normalised) domain-string sets of an archive (cached).
+
+    ``dates`` restricts the result to a subset of the archive's dates.
+    """
+    dates_key = None if dates is None else tuple(dates)
+    return _raw_sets(archive, "domain-sets", top_n, dates_key,
+                     ListSnapshot.domain_set)
 
 
 def archive_sld_count_events(archive: ListArchive,
@@ -303,8 +418,9 @@ def archive_sld_count_events(archive: ListArchive,
     Returns ``(dates, events)`` where ``events[group]`` is a sequence of
     ``(day_index, count)`` pairs: the group's member count becomes
     ``count`` on ``dates[day_index]`` and stays there until the next
-    event.  Before a group's first event its count is zero.  Only entries
-    that changed between consecutive days are parsed.
+    event.  Before a group's first event its count is zero.  Only ids
+    that changed between consecutive days are resolved (via the
+    id-keyed SLD memo).
     """
     psl = psl or _DEFAULT_PSL
     key = ("sld-count-events", top_n, _psl_key(psl))
@@ -315,24 +431,24 @@ def archive_sld_count_events(archive: ListArchive,
     _evict_superseded(cache, key)
     dates: list[dt.date] = []
     events: dict[str, list[tuple[int, int]]] = {}
-    sld_of = _sld_of_memoised(psl)
+    sld_of = _sld_of_id_memoised(psl)
     counts: Counter[str] = Counter()
-    prev_raw: Optional[frozenset[str]] = None
+    prev_raw: Optional[frozenset[int]] = None
     for index, snapshot in enumerate(archive):
         snap = snapshot.top(top_n) if top_n is not None else snapshot
         dates.append(snap.date)
-        raw = snap.domain_set()
+        raw = snap.id_set()
         if prev_raw is None:
-            for name in snap.entries:
-                sld = sld_of(name)
+            for domain_id in snap.entry_ids():
+                sld = sld_of(domain_id)
                 if sld is not None:
                     counts[sld] += 1
             for group, count in counts.items():
                 events[group] = [(0, count)]
         else:
             changed: set[str] = set()
-            for name in prev_raw - raw:
-                sld = sld_of(name)
+            for domain_id in prev_raw - raw:
+                sld = sld_of(domain_id)
                 if sld is None:
                     continue
                 remaining = counts[sld] - 1
@@ -341,8 +457,8 @@ def archive_sld_count_events(archive: ListArchive,
                 else:
                     del counts[sld]
                 changed.add(sld)
-            for name in raw - prev_raw:
-                sld = sld_of(name)
+            for domain_id in raw - prev_raw:
+                sld = sld_of(domain_id)
                 if sld is None:
                     continue
                 counts[sld] += 1
@@ -370,35 +486,93 @@ def counts_per_day(events: Sequence[tuple[int, int]], n_days: int) -> list[int]:
     return expanded
 
 
+def archive_rank_series_ids(archive: ListArchive,
+                            top_n: Optional[int] = None
+                            ) -> Mapping[int, tuple[tuple[dt.date, int], ...]]:
+    """Per-domain-id ``(date, rank)`` observations in date order (cached).
+
+    Built once per ``(archive, top_n)`` on the id columns and shared by
+    every analysis that needs per-domain rank distributions (Table 4
+    rank variation, the serving layer's history endpoint parity tests).
+    """
+    key = ("rank-series-ids", top_n)
+    cache = _archive_cache(archive)
+    view = cache.get(key)
+    if view is None:
+        result: dict[int, list[tuple[dt.date, int]]] = {}
+        for snapshot in archive:
+            snap = snapshot.top(top_n) if top_n is not None else snapshot
+            date = snap.date
+            for rank, domain_id in enumerate(snap.entry_ids(), start=1):
+                observations = result.get(domain_id)
+                if observations is None:
+                    result[domain_id] = [(date, rank)]
+                else:
+                    observations.append((date, rank))
+        view = MappingProxyType({domain_id: tuple(obs)
+                                 for domain_id, obs in result.items()})
+        cache[key] = view
+    return view
+
+
 def archive_rank_series(archive: ListArchive,
                         top_n: Optional[int] = None
                         ) -> Mapping[str, tuple[tuple[dt.date, int], ...]]:
-    """Per-domain ``(date, rank)`` observations in date order (cached).
+    """Per-domain ``(date, rank)`` observations in date order (string view).
 
-    Built once per ``(archive, top_n)`` and shared by every analysis that
-    needs per-domain rank distributions (e.g. Table 4 rank variation).
+    Derived from :func:`archive_rank_series_ids`; the observation tuples
+    are shared, only the keys are materialised.
     """
     key = ("rank-series", top_n)
     cache = _archive_cache(archive)
     view = cache.get(key)
     if view is None:
-        result: dict[str, list[tuple[dt.date, int]]] = {}
-        for snapshot in archive:
-            snap = snapshot.top(top_n) if top_n is not None else snapshot
-            date = snap.date
-            for rank, domain in enumerate(snap.entries, start=1):
-                observations = result.get(domain)
-                if observations is None:
-                    result[domain] = [(date, rank)]
-                else:
-                    observations.append((date, rank))
-        view = MappingProxyType({domain: tuple(obs) for domain, obs in result.items()})
+        table = default_interner()
+        id_view = archive_rank_series_ids(archive, top_n=top_n)
+        view = MappingProxyType({table.domain(domain_id): observations
+                                 for domain_id, observations in id_view.items()})
         cache[key] = view
     return view
 
 
-def _freeze_rank_dict(ranks: dict[str, list[int]]) -> Mapping[str, tuple[int, ...]]:
-    return MappingProxyType({domain: tuple(values) for domain, values in ranks.items()})
+def _freeze_rank_dict(ranks: dict[int, list[int]]) -> Mapping[int, tuple[int, ...]]:
+    return MappingProxyType({key: tuple(values) for key, values in ranks.items()})
+
+
+def _stringify_rank_dict(ranks: Mapping[int, tuple[int, ...]]
+                         ) -> Mapping[str, tuple[int, ...]]:
+    table = default_interner()
+    return MappingProxyType({table.domain(domain_id): values
+                             for domain_id, values in ranks.items()})
+
+
+def archive_rank_partition_ids(archive: ListArchive,
+                               top_n: Optional[int] = None,
+                               weekend: Sequence[int] = (5, 6)
+                               ) -> tuple[Mapping[int, tuple[int, ...]],
+                                          Mapping[int, tuple[int, ...]]]:
+    """Per-domain-id rank observations split into (weekday, weekend) groups.
+
+    Cached per ``(archive, top_n, weekend)``; ranks are in date order.
+    This is the substrate of the Figure-3a weekday/weekend KS analysis.
+    """
+    weekend_key = tuple(weekend)
+    key = ("rank-partition-ids", top_n, weekend_key)
+    cache = _archive_cache(archive)
+    hit = cache.get(key)
+    if hit is not None:
+        return hit
+    weekday_ranks: dict[int, list[int]] = defaultdict(list)
+    weekend_ranks: dict[int, list[int]] = defaultdict(list)
+    weekend_set = frozenset(weekend_key)
+    for snapshot in archive:
+        snap = snapshot.top(top_n) if top_n is not None else snapshot
+        target = weekend_ranks if snap.date.weekday() in weekend_set else weekday_ranks
+        for rank, domain_id in enumerate(snap.entry_ids(), start=1):
+            target[domain_id].append(rank)
+    result = (_freeze_rank_dict(weekday_ranks), _freeze_rank_dict(weekend_ranks))
+    cache[key] = result
+    return result
 
 
 def archive_rank_partition(archive: ListArchive,
@@ -406,26 +580,51 @@ def archive_rank_partition(archive: ListArchive,
                            weekend: Sequence[int] = (5, 6)
                            ) -> tuple[Mapping[str, tuple[int, ...]],
                                       Mapping[str, tuple[int, ...]]]:
-    """Per-domain rank observations split into (weekday, weekend) groups.
-
-    Cached per ``(archive, top_n, weekend)``; ranks are in date order.
-    This is the substrate of the Figure-3a weekday/weekend KS analysis.
-    """
+    """String-keyed view of :func:`archive_rank_partition_ids` (cached)."""
     weekend_key = tuple(weekend)
     key = ("rank-partition", top_n, weekend_key)
     cache = _archive_cache(archive)
     hit = cache.get(key)
     if hit is not None:
         return hit
-    weekday_ranks: dict[str, list[int]] = defaultdict(list)
-    weekend_ranks: dict[str, list[int]] = defaultdict(list)
+    weekday_ids, weekend_ids = archive_rank_partition_ids(
+        archive, top_n=top_n, weekend=weekend_key)
+    result = (_stringify_rank_dict(weekday_ids), _stringify_rank_dict(weekend_ids))
+    cache[key] = result
+    return result
+
+
+def archive_alternating_half_ranks_ids(archive: ListArchive,
+                                       top_n: Optional[int] = None,
+                                       weekend: Sequence[int] = (5, 6),
+                                       use_weekends: bool = False
+                                       ) -> tuple[Mapping[int, tuple[int, ...]],
+                                                  Mapping[int, tuple[int, ...]]]:
+    """Id-keyed rank observations of one day group, in alternating halves.
+
+    The control comparison of Figure 3a: take only weekday (or only
+    weekend) snapshots and assign them alternately to two halves.
+    Cached per ``(archive, top_n, weekend, use_weekends)``.
+    """
+    weekend_key = tuple(weekend)
+    key = ("half-ranks-ids", top_n, weekend_key, use_weekends)
+    cache = _archive_cache(archive)
+    hit = cache.get(key)
+    if hit is not None:
+        return hit
     weekend_set = frozenset(weekend_key)
+    first_half: dict[int, list[int]] = defaultdict(list)
+    second_half: dict[int, list[int]] = defaultdict(list)
+    index = 0
     for snapshot in archive:
+        if (snapshot.date.weekday() in weekend_set) != use_weekends:
+            continue
         snap = snapshot.top(top_n) if top_n is not None else snapshot
-        target = weekend_ranks if snap.date.weekday() in weekend_set else weekday_ranks
-        for rank, domain in enumerate(snap.entries, start=1):
-            target[domain].append(rank)
-    result = (_freeze_rank_dict(weekday_ranks), _freeze_rank_dict(weekend_ranks))
+        target = first_half if index % 2 == 0 else second_half
+        index += 1
+        for rank, domain_id in enumerate(snap.entry_ids(), start=1):
+            target[domain_id].append(rank)
+    result = (_freeze_rank_dict(first_half), _freeze_rank_dict(second_half))
     cache[key] = result
     return result
 
@@ -436,30 +635,15 @@ def archive_alternating_half_ranks(archive: ListArchive,
                                    use_weekends: bool = False
                                    ) -> tuple[Mapping[str, tuple[int, ...]],
                                               Mapping[str, tuple[int, ...]]]:
-    """Rank observations of one day group split into alternating halves.
-
-    The control comparison of Figure 3a: take only weekday (or only
-    weekend) snapshots and assign them alternately to two halves.
-    Cached per ``(archive, top_n, weekend, use_weekends)``.
-    """
+    """String-keyed view of :func:`archive_alternating_half_ranks_ids`."""
     weekend_key = tuple(weekend)
     key = ("half-ranks", top_n, weekend_key, use_weekends)
     cache = _archive_cache(archive)
     hit = cache.get(key)
     if hit is not None:
         return hit
-    weekend_set = frozenset(weekend_key)
-    first_half: dict[str, list[int]] = defaultdict(list)
-    second_half: dict[str, list[int]] = defaultdict(list)
-    index = 0
-    for snapshot in archive:
-        if (snapshot.date.weekday() in weekend_set) != use_weekends:
-            continue
-        snap = snapshot.top(top_n) if top_n is not None else snapshot
-        target = first_half if index % 2 == 0 else second_half
-        index += 1
-        for rank, domain in enumerate(snap.entries, start=1):
-            target[domain].append(rank)
-    result = (_freeze_rank_dict(first_half), _freeze_rank_dict(second_half))
+    first_ids, second_ids = archive_alternating_half_ranks_ids(
+        archive, top_n=top_n, weekend=weekend_key, use_weekends=use_weekends)
+    result = (_stringify_rank_dict(first_ids), _stringify_rank_dict(second_ids))
     cache[key] = result
     return result

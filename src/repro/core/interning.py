@@ -1,0 +1,18 @@
+"""Alias of :mod:`repro.interning`, the shared domain ↔ id space.
+
+The implementation lives at the top of the package (next to
+:mod:`repro.listio`) because the interner sits *below* every layer:
+:mod:`repro.providers.base` interns at snapshot construction and the
+analysis package imports the providers, so hosting the real module
+inside ``repro.core`` would make the core package's import a cycle.
+This alias keeps the documented ``repro.core.interning`` path working.
+"""
+
+from repro.interning import (  # noqa: F401
+    BaseIdColumn,
+    DomainInterner,
+    base_of,
+    default_interner,
+)
+
+__all__ = ["BaseIdColumn", "DomainInterner", "base_of", "default_interner"]

@@ -4,6 +4,12 @@ The paper normalises all lists to unique base domains before intersecting
 (so Umbrella's FQDNs do not artificially depress the overlap), computes
 pairwise and three-way intersections per day, and studies the domains
 found in only one list ("disjunct" domains).
+
+Since the columnar refactor the per-day set algebra runs in interned-id
+space: each provider's per-day (base-)domain sets are ``frozenset[int]``
+from the shared :mod:`repro.core.cache` delta engine, and only the
+*counts* leave this module — no domain string is hashed, compared or
+materialised on the Figure-1a hot path.
 """
 
 from __future__ import annotations
@@ -14,23 +20,23 @@ from itertools import combinations
 from typing import Iterable, Mapping, Optional, Sequence
 
 from repro.core.cache import (
-    archive_base_domain_sets,
-    archive_domain_sets,
-    snapshot_base_domains,
+    archive_base_id_sets,
+    archive_id_sets,
+    snapshot_base_ids,
 )
 from repro.core.structure import normalise_to_base_domains
 from repro.domain.psl import PublicSuffixList
 from repro.providers.base import ListArchive, ListSnapshot
 
 
-def _domain_set(snapshot: ListSnapshot, normalise: bool,
-                psl: Optional[PublicSuffixList]) -> frozenset[str]:
+def _id_set(snapshot: ListSnapshot, normalise: bool,
+            psl: Optional[PublicSuffixList]) -> frozenset[int]:
     if normalise:
-        return snapshot_base_domains(snapshot, psl=psl)
-    return snapshot.domain_set()
+        return snapshot_base_ids(snapshot, psl=psl)
+    return snapshot.id_set()
 
 
-def _matrix_from_sets(sets: Mapping[str, frozenset[str]]) -> dict[tuple[str, ...], int]:
+def _matrix_from_sets(sets: Mapping[str, frozenset]) -> dict[tuple[str, ...], int]:
     result: dict[tuple[str, ...], int] = {}
     for name_a, name_b in combinations(sorted(sets), 2):
         result[(name_a, name_b)] = len(sets[name_a] & sets[name_b])
@@ -52,7 +58,7 @@ def pairwise_intersection(a: ListSnapshot, b: ListSnapshot,
                           normalise: bool = True,
                           psl: Optional[PublicSuffixList] = None) -> int:
     """Number of (base) domains shared by two snapshots."""
-    return len(_domain_set(a, normalise, psl) & _domain_set(b, normalise, psl))
+    return len(_id_set(a, normalise, psl) & _id_set(b, normalise, psl))
 
 
 def intersection_matrix(snapshots: Mapping[str, ListSnapshot],
@@ -64,7 +70,7 @@ def intersection_matrix(snapshots: Mapping[str, ListSnapshot],
     Keys are sorted tuples of provider names; the full-combination key
     contains every provider (only added when there are 3+ snapshots).
     """
-    sets = {name: _domain_set(snap, normalise, psl) for name, snap in snapshots.items()}
+    sets = {name: _id_set(snap, normalise, psl) for name, snap in snapshots.items()}
     return _matrix_from_sets(sets)
 
 
@@ -77,23 +83,24 @@ def intersection_over_time(archives: Mapping[str, ListArchive],
 
     This is Figure 1a: the daily intersection counts between the Top-1M
     (or, with ``top_n``, Top-1k) lists.  Each archive's per-day
-    (base-)domain sets come from the incremental per-archive cache, so
-    only the ~1% of entries that change between days are re-parsed.
+    (base-)id sets come from the incremental per-archive cache, so only
+    the ~1% of entries that change between days are re-resolved, and the
+    per-day intersections are pure integer-set operations.
     """
     if not archives:
         return {}
     effective_top = top_n if top_n else None
     common_dates = sorted(set.intersection(*(set(a.dates()) for a in archives.values())))
-    per_archive: dict[str, Mapping[dt.date, frozenset[str]]] = {}
+    per_archive: dict[str, Mapping[dt.date, frozenset[int]]] = {}
     for name, archive in archives.items():
-        # Only the shared dates are analysed (and parsed); an archive whose
-        # dates all are shared uses the date-unrestricted cache entry.
+        # Only the shared dates are analysed (and resolved); an archive
+        # whose dates all are shared uses the date-unrestricted cache entry.
         dates = None if len(common_dates) == len(archive) else common_dates
         if normalise:
-            per_archive[name] = archive_base_domain_sets(
+            per_archive[name] = archive_base_id_sets(
                 archive, top_n=effective_top, psl=psl, dates=dates)
         else:
-            per_archive[name] = archive_domain_sets(archive, top_n=effective_top, dates=dates)
+            per_archive[name] = archive_id_sets(archive, top_n=effective_top, dates=dates)
     series: dict[dt.date, dict[tuple[str, ...], int]] = {}
     for date in common_dates:
         series[date] = _matrix_from_sets(

@@ -10,7 +10,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Iterable, Optional, Sequence
 
-from repro.core.cache import archive_rank_series
+from repro.core.cache import archive_rank_series_ids
+from repro.interning import default_interner
 from repro.providers.base import ListArchive
 from repro.stats.kendall import kendall_tau_ranked_lists
 from repro.stats.summary import median
@@ -31,8 +32,10 @@ def churn_by_rank(archive: ListArchive, subset_sizes: Sequence[int]) -> dict[int
             raise ValueError("subset sizes must be positive")
         changes: list[float] = []
         for previous, current in zip(snapshots, snapshots[1:]):
-            prev_top = frozenset(previous.entries[:size])
-            curr_top = frozenset(current.entries[:size])
+            # Shared Top-X heads: the id sets are cached per (snapshot, X)
+            # and shared with every other analysis slicing the same head.
+            prev_top = previous.top(size).id_set()
+            curr_top = current.top(size).id_set()
             if not prev_top:
                 continue
             changes.append(len(prev_top - curr_top) / len(prev_top))
@@ -62,7 +65,11 @@ def kendall_tau_series(archive: ListArchive, top_n: Optional[int] = None,
         pairs = ((snapshots[0], later) for later in snapshots[1:])
     for reference, other in pairs:
         try:
-            taus.append(kendall_tau_ranked_lists(reference.entries, other.entries))
+            # Id columns instead of string tuples: the rank dictionaries
+            # hash dense integers and the Fenwick rank-coordinate fast
+            # path applies unchanged (ids are distinct ⇔ entries are).
+            taus.append(kendall_tau_ranked_lists(reference.entry_ids(),
+                                                 other.entry_ids()))
         except ValueError:
             continue
     return taus
@@ -99,11 +106,14 @@ def rank_variation(archive: ListArchive, domains: Iterable[str]) -> dict[str, Ra
     Days on which a domain is not listed are ignored for the
     highest/median/lowest statistics (but reflected in ``days_listed``).
     """
-    series = archive_rank_series(archive)
+    series = archive_rank_series_ids(archive)
+    id_of = default_interner().id_of
     days_total = len(archive)
     result: dict[str, RankVariation] = {}
     for domain in domains:
-        observed = [rank for _, rank in series.get(domain, ())]
+        domain_id = id_of(domain)
+        observed = [rank for _, rank in
+                    (series.get(domain_id, ()) if domain_id is not None else ())]
         if observed:
             result[domain] = RankVariation(
                 domain=domain, provider=archive.provider,

@@ -2,6 +2,11 @@
 
 All functions operate on a :class:`~repro.providers.base.ListArchive`
 (daily snapshots) and optionally on the Top-``n`` head of each snapshot.
+The counting runs on the snapshots' interned-id sets (the columnar fast
+lane): set differences, unions and membership counts are integer-set
+operations, and domain strings only appear where a result is keyed by
+domain (:func:`days_in_list`).  Every count is identical to the same
+operation on the string sets, because ids and strings are bijective.
 """
 
 from __future__ import annotations
@@ -10,6 +15,7 @@ import datetime as dt
 from collections import Counter
 from typing import Optional, Sequence
 
+from repro.interning import default_interner
 from repro.providers.base import ListArchive, ListSnapshot
 from repro.stats.summary import median
 
@@ -30,7 +36,7 @@ def daily_changes(archive: ListArchive, top_n: Optional[int] = None) -> dict[dt.
     snapshots = _snapshots(archive, top_n)
     changes: dict[dt.date, int] = {}
     for previous, current in zip(snapshots, snapshots[1:]):
-        removed = previous.domain_set() - current.domain_set()
+        removed = previous.id_set() - current.id_set()
         changes[current.date] = len(removed)
     return changes
 
@@ -51,10 +57,10 @@ def new_domains_per_day(archive: ListArchive, top_n: Optional[int] = None
     has not been part of any earlier snapshot of the archive.
     """
     snapshots = _snapshots(archive, top_n)
-    seen: set[str] = set()
+    seen: set[int] = set()
     new_counts: dict[dt.date, int] = {}
     for index, snapshot in enumerate(snapshots):
-        current = snapshot.domain_set()
+        current = snapshot.id_set()
         if index == 0:
             seen |= current
             continue
@@ -68,10 +74,10 @@ def cumulative_unique_domains(archive: ListArchive, top_n: Optional[int] = None
                               ) -> dict[dt.date, int]:
     """Cumulative count of all domains ever seen in the list (Figure 2a)."""
     snapshots = _snapshots(archive, top_n)
-    seen: set[str] = set()
+    seen: set[int] = set()
     cumulative: dict[dt.date, int] = {}
     for snapshot in snapshots:
-        seen |= snapshot.domain_set()
+        seen |= snapshot.id_set()
         cumulative[snapshot.date] = len(seen)
     return cumulative
 
@@ -94,20 +100,21 @@ def intersection_with_reference(archive: ListArchive,
     for start in reference_days:
         if start >= len(snapshots):
             continue
-        reference = snapshots[start].domain_set()
+        reference = snapshots[start].id_set()
         for offset, snapshot in enumerate(snapshots[start:]):
             per_offset.setdefault(offset, []).append(
-                len(reference & snapshot.domain_set()))
+                len(reference & snapshot.id_set()))
     return {offset: median(values) for offset, values in sorted(per_offset.items())}
 
 
 def days_in_list(archive: ListArchive, top_n: Optional[int] = None) -> dict[str, int]:
     """Number of days each domain appears in the list (Figure 2c input)."""
     snapshots = _snapshots(archive, top_n)
-    counts: Counter[str] = Counter()
+    counts: Counter[int] = Counter()
     for snapshot in snapshots:
-        counts.update(snapshot.domain_set())
-    return dict(counts)
+        counts.update(snapshot.id_set())
+    name_of = default_interner().domain
+    return {name_of(domain_id): count for domain_id, count in counts.items()}
 
 
 def days_in_list_cdf(archive: ListArchive, top_n: Optional[int] = None

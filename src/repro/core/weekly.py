@@ -24,12 +24,13 @@ from dataclasses import dataclass
 from typing import Mapping, Optional, Sequence
 
 from repro.core.cache import (
-    archive_alternating_half_ranks,
-    archive_rank_partition,
+    archive_alternating_half_ranks_ids,
+    archive_rank_partition_ids,
     archive_sld_count_events,
     counts_per_day,
 )
 from repro.domain.psl import PublicSuffixList, default_list
+from repro.interning import default_interner
 from repro.providers.base import ListArchive
 from repro.stats.ks import ks_distance
 
@@ -52,16 +53,17 @@ def weekday_weekend_ks(archive: ListArchive, top_n: Optional[int] = None,
     are reported.  A value of 1.0 means the two distributions share no
     common rank (the paper finds ~35% such domains in the late Alexa list).
     """
-    weekday_ranks, weekend_ranks = archive_rank_partition(
+    weekday_ranks, weekend_ranks = archive_rank_partition_ids(
         archive, top_n=top_n, weekend=weekend)
+    name_of = default_interner().domain
     empty: list[int] = []
     distances: dict[str, float] = {}
-    for domain in weekday_ranks.keys() | weekend_ranks.keys():
-        on_weekdays = weekday_ranks.get(domain, empty)
-        on_weekends = weekend_ranks.get(domain, empty)
+    for domain_id in weekday_ranks.keys() | weekend_ranks.keys():
+        on_weekdays = weekday_ranks.get(domain_id, empty)
+        on_weekends = weekend_ranks.get(domain_id, empty)
         if len(on_weekdays) < min_observations or len(on_weekends) < min_observations:
             continue
-        distances[domain] = ks_distance(on_weekdays, on_weekends)
+        distances[name_of(domain_id)] = ks_distance(on_weekdays, on_weekends)
     return distances
 
 
@@ -75,16 +77,17 @@ def within_group_ks(archive: ListArchive, top_n: Optional[int] = None,
     weekday-vs-weekday (and weekend-vs-weekend) distances, which stay very
     small.  The halves are formed by alternating the group's days.
     """
-    first_ranks, second_ranks = archive_alternating_half_ranks(
+    first_ranks, second_ranks = archive_alternating_half_ranks_ids(
         archive, top_n=top_n, weekend=weekend, use_weekends=use_weekends)
+    name_of = default_interner().domain
     empty: list[int] = []
     distances: dict[str, float] = {}
-    for domain in first_ranks.keys() | second_ranks.keys():
-        first_half = first_ranks.get(domain, empty)
-        second_half = second_ranks.get(domain, empty)
+    for domain_id in first_ranks.keys() | second_ranks.keys():
+        first_half = first_ranks.get(domain_id, empty)
+        second_half = second_ranks.get(domain_id, empty)
         if len(first_half) < min_observations or len(second_half) < min_observations:
             continue
-        distances[domain] = ks_distance(first_half, second_half)
+        distances[name_of(domain_id)] = ks_distance(first_half, second_half)
     return distances
 
 

@@ -1,0 +1,214 @@
+"""The shared domain ↔ integer-id space behind the columnar core.
+
+Every analysis in the reproduction — intersection, churn, Kendall tau,
+stability, the serving layer's inverted index — is a set or rank
+operation over ~1M-entry daily lists whose days overlap by ~99%.
+Shuttling raw domain *strings* between layers therefore re-hashes and
+re-compares the same names millions of times.  This module collapses all
+of it into one process-wide, append-only integer ID space:
+
+* :class:`DomainInterner` assigns each distinct domain string a dense
+  ``uint32`` id, exactly once, forever (ids are never reused or
+  re-ordered, so every cached id-keyed structure stays valid for the
+  process lifetime).
+* Snapshots store rank-ordered id *columns* (:mod:`array` of uint32)
+  instead of string tuples; set algebra runs on ``frozenset[int]``
+  sharing one boxed-int object per id; base-domain normalisation becomes
+  an O(1) array lookup via a PSL-version-stamped :class:`BaseIdColumn`.
+* The serving layer persists the table (see
+  :mod:`repro.service.store`), so a restarted process rebuilds the id
+  space without re-parsing a single list entry.
+
+The interner is deliberately *not* a cache: entries are never evicted.
+Its resident cost is one copy of every distinct domain string ever seen
+plus ~40 bytes of id bookkeeping per name — which the columnar layers
+repay by never copying those strings again.
+"""
+
+from __future__ import annotations
+
+import threading
+from array import array
+from typing import Iterable, Optional, Sequence
+
+from repro.domain.name import normalise
+from repro.domain.psl import PublicSuffixList, default_list
+
+#: Sentinel in a :class:`BaseIdColumn` for "not computed yet".  Real ids
+#: are dense from zero, so the maximum uint32 can never collide.
+_UNRESOLVED = 0xFFFF_FFFF
+
+#: Distinct PSL generations of base-id columns retained before the
+#: oldest is dropped (mirrors ``repro.core.cache._PSL_GENERATION_LIMIT``).
+_PSL_GENERATION_LIMIT = 4
+
+
+def base_of(name: str, psl: PublicSuffixList) -> str:
+    """Base domain of ``name``, or the normalised name for bare suffixes.
+
+    The single normalisation rule of the whole pipeline (footnote 6 of
+    the paper): :func:`~repro.domain.name.normalise` validates, the PSL
+    answers, and a name that *is* a public suffix maps to itself.
+    """
+    cleaned = normalise(name)
+    base = psl.suffix_and_base(cleaned)[1]
+    return base if base is not None else cleaned
+
+
+class BaseIdColumn:
+    """Lazy ``domain id -> base-domain id`` column for one PSL version.
+
+    Entries are resolved on first demand (never eagerly: snapshots may
+    hold malformed names that analyses legitimately skip, and resolving
+    them would raise), then answered by a plain array index.  The column
+    is stamped with the PSL's :attr:`~repro.domain.psl.PublicSuffixList.cache_key`;
+    a rule change produces a fresh column, so stale normalisations can
+    never be served.
+    """
+
+    __slots__ = ("_interner", "_psl", "_ids", "psl_key")
+
+    def __init__(self, interner: "DomainInterner", psl: PublicSuffixList) -> None:
+        self._interner = interner
+        self._psl = psl
+        self._ids = array("I")
+        self.psl_key = psl.cache_key
+
+    def base_id(self, domain_id: int) -> int:
+        """The base domain's id for ``domain_id`` (resolved on demand)."""
+        ids = self._ids
+        if domain_id >= len(ids):
+            ids.extend([_UNRESOLVED] * (len(self._interner) - len(ids)))
+        resolved = ids[domain_id]
+        if resolved == _UNRESOLVED:
+            base = base_of(self._interner.domain(domain_id), self._psl)
+            resolved = self._interner.intern(base)
+            if resolved >= len(ids):
+                # Interning the base may have grown the id space.
+                ids.extend([_UNRESOLVED] * (self._interner._size() - len(ids)))
+            ids[domain_id] = resolved
+        return resolved
+
+    def seed(self, domain_id: int, base_id: int) -> None:
+        """Install a known mapping (the store's replay path).
+
+        The caller asserts ``base_id`` is what :func:`base_of` would
+        answer under this column's PSL version; an already-resolved
+        entry is left untouched.
+        """
+        ids = self._ids
+        if domain_id >= len(ids):
+            ids.extend([_UNRESOLVED] * (self._interner._size() - len(ids)))
+        if ids[domain_id] == _UNRESOLVED:
+            ids[domain_id] = base_id
+
+
+class DomainInterner:
+    """Append-only bijection between domain strings and dense uint32 ids.
+
+    Ids are assigned in first-sighting order and never change; the
+    reverse mapping is a plain list index.  One boxed ``int`` object is
+    kept per id (:attr:`boxed`), so every ``frozenset[int]`` built from
+    id columns shares those objects instead of re-boxing per day.
+    Thread-safe for concurrent interning (the serving layer appends
+    under its own lock, but provider simulations may run in threads).
+    """
+
+    __slots__ = ("_domains", "_ids", "boxed", "_lock", "_base_columns")
+
+    def __init__(self) -> None:
+        self._domains: list[str] = []
+        self._ids: dict[str, int] = {}
+        #: id -> the shared boxed int for that id (``boxed[i] is`` stable).
+        self.boxed: list[int] = []
+        self._lock = threading.Lock()
+        self._base_columns: dict[tuple[int, int], BaseIdColumn] = {}
+
+    def _size(self) -> int:
+        return len(self._domains)
+
+    def __len__(self) -> int:
+        return len(self._domains)
+
+    def __contains__(self, domain: str) -> bool:
+        return domain in self._ids
+
+    def intern(self, domain: str) -> int:
+        """The id of ``domain``, assigning the next dense id if new."""
+        ids = self._ids
+        found = ids.get(domain)
+        if found is not None:
+            return found
+        with self._lock:
+            found = ids.get(domain)
+            if found is None:
+                found = len(self._domains)
+                self._domains.append(domain)
+                self.boxed.append(found)
+                ids[domain] = found
+        return found
+
+    def intern_many(self, domains: Iterable[str]) -> array:
+        """Intern a sequence of names into a rank-ordered uint32 column."""
+        intern = self.intern
+        return array("I", (intern(name) for name in domains))
+
+    def id_of(self, domain: str) -> Optional[int]:
+        """The id of ``domain`` if it was ever interned, else ``None``."""
+        return self._ids.get(domain)
+
+    def domain(self, domain_id: int) -> str:
+        """The domain string of ``domain_id`` (list index, no hashing)."""
+        return self._domains[domain_id]
+
+    def domains(self, domain_ids: Sequence[int]) -> tuple[str, ...]:
+        """Materialise an id column back into a string tuple."""
+        return tuple(map(self._domains.__getitem__, domain_ids))
+
+    def id_set(self, domain_ids: Sequence[int]) -> frozenset[int]:
+        """A frozenset over ``domain_ids`` sharing the boxed-int objects.
+
+        ``frozenset(array)`` would box every value anew on every call;
+        routing through :attr:`boxed` makes day-over-day id sets share
+        one int object per domain, which is what keeps 30 days × 3
+        providers of cached per-day sets cheap.
+        """
+        return frozenset(map(self.boxed.__getitem__, domain_ids))
+
+    def base_column(self, psl: Optional[PublicSuffixList] = None) -> BaseIdColumn:
+        """The base-id column for ``psl`` (created per rule-set version).
+
+        Superseded versions of the same PSL instance are dropped
+        immediately; distinct instances are bounded like every other
+        PSL-keyed cache in the pipeline.
+        """
+        psl = psl or default_list()
+        key = psl.cache_key
+        column = self._base_columns.get(key)
+        if column is None:
+            stale = [k for k in self._base_columns
+                     if k[0] == key[0] and k[1] < key[1]]
+            for old in stale:
+                del self._base_columns[old]
+            while len(self._base_columns) >= _PSL_GENERATION_LIMIT:
+                del self._base_columns[next(iter(self._base_columns))]
+            column = BaseIdColumn(self, psl)
+            self._base_columns[key] = column
+        return column
+
+
+_DEFAULT_INTERNER: Optional[DomainInterner] = None
+
+
+def default_interner() -> DomainInterner:
+    """The process-wide interner every layer shares (built lazily).
+
+    One table means ids are comparable across snapshots, archives,
+    providers, the analysis caches and the serving layer — which is the
+    entire point: an id assigned at parse time is the same id the
+    inverted index keys its postings on.
+    """
+    global _DEFAULT_INTERNER
+    if _DEFAULT_INTERNER is None:
+        _DEFAULT_INTERNER = DomainInterner()
+    return _DEFAULT_INTERNER

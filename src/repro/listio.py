@@ -6,6 +6,15 @@ column we use).  These helpers parse such files into
 :class:`~repro.providers.base.ListSnapshot` objects and write archives
 back out, so every analysis in :mod:`repro.core` runs unchanged on real
 downloaded snapshots.
+
+Parsing interns straight into the shared
+:class:`~repro.interning.DomainInterner`: each row's domain becomes a
+uint32 id the moment it is read, deduplication runs on an int set, and
+the snapshot is built columnar via
+:meth:`~repro.providers.base.ListSnapshot.from_ids` — the transient
+per-row strings are garbage the moment the id is known, so parsing a
+month of 1M-entry lists keeps one copy of each distinct name instead of
+thirty.
 """
 
 from __future__ import annotations
@@ -16,9 +25,11 @@ import gzip
 import io
 import re
 import zipfile
+from array import array
 from pathlib import Path
 from typing import Optional
 
+from repro.interning import default_interner
 from repro.providers.base import ListArchive, ListSnapshot
 
 _FILENAME_DATE = re.compile(r"(\d{4}-\d{2}-\d{2})")
@@ -57,8 +68,9 @@ def parse_top_list_csv(text: str, provider: str, date: dt.date,
             "a snapshot date is required (parsing the same text on different "
             "days must not produce different snapshots); pass the list's "
             "download date explicitly")
-    entries: list[str] = []
-    seen: set[str] = set()
+    intern = default_interner().intern
+    entry_ids = array("I")
+    seen: set[int] = set()
     for row in csv.reader(io.StringIO(text)):
         if not row:
             continue
@@ -68,11 +80,14 @@ def parse_top_list_csv(text: str, provider: str, date: dt.date,
         if domain_column >= len(row):
             continue
         domain = row[domain_column].strip().lower().rstrip(".")
-        if not domain or domain in seen:
+        if not domain:
             continue
-        seen.add(domain)
-        entries.append(domain)
-    return ListSnapshot(provider=provider, date=date, entries=tuple(entries))
+        domain_id = intern(domain)
+        if domain_id in seen:
+            continue
+        seen.add(domain_id)
+        entry_ids.append(domain_id)
+    return ListSnapshot.from_ids(provider=provider, date=date, ids=entry_ids)
 
 
 def _zip_csv_member(archive: zipfile.ZipFile, path: Path) -> str:

@@ -6,6 +6,15 @@ provider that day); an *archive* is a day-indexed series of snapshots
 simulated traffic.  Snapshots serialise to the same ``rank,domain`` CSV
 format the real lists use, so the analysis code also runs on downloaded
 real snapshots.
+
+Snapshots are **columnar**: the canonical storage is a rank-ordered
+``uint32`` id column into the process-wide
+:class:`~repro.interning.DomainInterner`, not a string tuple.  Every
+set/rank operation (``domain_set``, ``rank_of``, ``top``) runs on ids;
+the string accessors (``entries``, iteration, ``__contains__``) are
+preserved for compatibility and materialised lazily, so a snapshot
+loaded from the binary archive store never allocates a single domain
+string unless somebody actually asks for one.
 """
 
 from __future__ import annotations
@@ -15,62 +24,146 @@ import bisect
 import csv
 import datetime as dt
 import weakref
+from array import array
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Iterable, Iterator, Mapping, Optional, Sequence
+from typing import Iterable, Iterator, Optional, Sequence
+
+from repro.interning import default_interner
 
 
-@dataclass(frozen=True)
 class ListSnapshot:
-    """One day's ranked top list."""
+    """One day's ranked top list (immutable, interned-id columnar)."""
 
-    provider: str
-    date: dt.date
-    entries: tuple[str, ...]
+    def __init__(self, provider: str, date: dt.date,
+                 entries: Sequence[str] = ()) -> None:
+        # Materialise before interning: a one-shot iterable must feed the
+        # id column and the string view from the same pass.
+        entries = tuple(entries)
+        state = self.__dict__
+        state["provider"] = provider
+        state["date"] = date
+        state["_ids"] = default_interner().intern_many(entries)
+        # Keep the caller's strings as the materialised view: they exist
+        # anyway, and ``entries`` then costs nothing to serve.
+        state["_entries"] = entries
+        self._validate()
 
-    def __post_init__(self) -> None:
-        # Validate uniqueness via the per-instance domain-set cache so a
-        # 1M-entry snapshot allocates its set exactly once.
-        if len(self.domain_set()) != len(self.entries):
+    @classmethod
+    def from_ids(cls, provider: str, date: dt.date, ids: array) -> "ListSnapshot":
+        """Build a snapshot straight from an interned id column.
+
+        The fast lane of :mod:`repro.listio` and the archive store: no
+        string tuple is created (``entries`` stays lazy).  ``ids`` is
+        adopted, not copied — the caller must not mutate it afterwards.
+        """
+        snapshot = object.__new__(cls)
+        state = snapshot.__dict__
+        state["provider"] = provider
+        state["date"] = date
+        state["_ids"] = ids
+        snapshot._validate()
+        return snapshot
+
+    def _validate(self) -> None:
+        # Uniqueness via the id-set cache, so a 1M-entry snapshot
+        # allocates its set exactly once (and on int ids, not strings).
+        if len(self.id_set()) != len(self._ids):
             raise ValueError("snapshot entries must be unique")
 
+    def __setattr__(self, name: str, value: object) -> None:
+        raise AttributeError(f"ListSnapshot is immutable (cannot set {name!r})")
+
+    def __delattr__(self, name: str) -> None:
+        raise AttributeError(f"ListSnapshot is immutable (cannot delete {name!r})")
+
+    # -- identity ---------------------------------------------------------
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, ListSnapshot):
+            return (self.provider == other.provider and self.date == other.date
+                    and self._ids == other._ids)
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        cached = self.__dict__.get("_hash")
+        if cached is None:
+            cached = hash((self.provider, self.date, self._ids.tobytes()))
+            self.__dict__["_hash"] = cached
+        return cached
+
+    def __repr__(self) -> str:
+        return (f"ListSnapshot(provider={self.provider!r}, date={self.date!r}, "
+                f"entries=<{len(self._ids)} domains>)")
+
+    # -- accessors --------------------------------------------------------
+    @property
+    def entries(self) -> tuple[str, ...]:
+        """The ranked domain strings (materialised lazily, then cached)."""
+        cached = self.__dict__.get("_entries")
+        if cached is None:
+            cached = default_interner().domains(self._ids)
+            self.__dict__["_entries"] = cached
+        return cached
+
+    def entry_ids(self) -> array:
+        """The rank-ordered interned-id column (do not mutate)."""
+        return self._ids
+
     def __len__(self) -> int:
-        return len(self.entries)
+        return len(self._ids)
 
     def __iter__(self) -> Iterator[str]:
         return iter(self.entries)
 
     def __contains__(self, domain: str) -> bool:
-        return domain in self.domain_set()
+        domain_id = default_interner().id_of(domain)
+        return domain_id is not None and domain_id in self.id_set()
 
     def top(self, n: int) -> "ListSnapshot":
         """Return a snapshot restricted to the first ``n`` entries.
 
         Heads are cached per instance and returned object-identical on
         repeated calls, so every analysis that slices the same snapshot
-        (``top_n=...``) shares one set of derived caches.  A prefix of a
-        unique list is unique, so validation is skipped, and rank lookups
-        on a head are answered from the parent's rank index.
+        (``top_n=...``) shares one set of derived caches.  A head is an
+        id-array slice; a prefix of a unique list is unique, so
+        validation is skipped, and rank lookups on a head are answered
+        from the parent's rank index.
         """
         if n <= 0:
             raise ValueError("n must be positive")
-        if n >= len(self.entries):
+        if n >= len(self._ids):
             return self
         cache = self.__dict__.setdefault("_top_cache", {})
         child = cache.get(n)
         if child is None:
             child = object.__new__(ListSnapshot)
-            object.__setattr__(child, "provider", self.provider)
-            object.__setattr__(child, "date", self.date)
-            object.__setattr__(child, "entries", self.entries[:n])
+            state = child.__dict__
+            state["provider"] = self.provider
+            state["date"] = self.date
+            state["_ids"] = self._ids[:n]
+            parent_entries = self.__dict__.get("_entries")
+            if parent_entries is not None:
+                state["_entries"] = parent_entries[:n]
             # Weak, so a head kept alive on its own does not pin the full
-            # parent snapshot (and its entries tuple) in memory.
-            child.__dict__["_top_parent"] = weakref.ref(self)
+            # parent snapshot (and its id column) in memory.
+            state["_top_parent"] = weakref.ref(self)
             cache[n] = child
         return child
 
+    def id_set(self) -> frozenset[int]:
+        """The set of interned ids in the snapshot (cached per instance).
+
+        Built through the interner's shared boxed ints, so consecutive
+        days' sets reference one int object per domain.
+        """
+        cached = self.__dict__.get("_id_set")
+        if cached is None:
+            cached = default_interner().id_set(self._ids)
+            self.__dict__["_id_set"] = cached
+        return cached
+
     def domain_set(self) -> frozenset[str]:
-        """The set of domains in the snapshot (cached per instance)."""
+        """The set of domain strings (compatibility view, cached)."""
         cached = self.__dict__.get("_domain_set")
         if cached is None:
             cached = frozenset(self.entries)
@@ -79,6 +172,13 @@ class ListSnapshot:
 
     def rank_of(self, domain: str) -> Optional[int]:
         """1-based rank of ``domain`` or ``None`` when not listed."""
+        domain_id = default_interner().id_of(domain)
+        if domain_id is None:
+            return None
+        return self.rank_of_id(domain_id)
+
+    def rank_of_id(self, domain_id: int) -> Optional[int]:
+        """1-based rank of an interned id or ``None`` when not listed."""
         ranks = self.__dict__.get("_ranks")
         if ranks is None:
             parent_ref = self.__dict__.get("_top_parent")
@@ -86,19 +186,30 @@ class ListSnapshot:
             if parent is not None:
                 # A head shares its parent's rank index: the first n ranks
                 # are identical, so one dict serves every prefix length.
-                rank = parent.rank_of(domain)
-                if rank is not None and rank <= len(self.entries):
+                rank = parent.rank_of_id(domain_id)
+                if rank is not None and rank <= len(self._ids):
                     return rank
                 return None
-            ranks = {name: idx + 1 for idx, name in enumerate(self.entries)}
+            ranks = {identifier: index + 1
+                     for index, identifier in enumerate(self._ids)}
             self.__dict__["_ranks"] = ranks
-        return ranks.get(domain)
+        return ranks.get(domain_id)
 
+    # -- pickling ---------------------------------------------------------
     def __getstate__(self) -> dict:
-        # Derived caches (domain set, rank index, heads, normalised sets,
-        # the weak parent link) are pure accelerators and partly
-        # unpicklable; serialise the dataclass fields only.
-        return {"provider": self.provider, "date": self.date, "entries": self.entries}
+        # Interned ids are process-local, and the derived caches (id/
+        # domain sets, rank index, heads, the weak parent link) are pure
+        # accelerators; serialise the logical fields as strings only.
+        return {"provider": self.provider, "date": self.date,
+                "entries": self.entries}
+
+    def __setstate__(self, state: dict) -> None:
+        ours = self.__dict__
+        ours["provider"] = state["provider"]
+        ours["date"] = state["date"]
+        entries = tuple(state["entries"])
+        ours["_ids"] = default_interner().intern_many(entries)
+        ours["_entries"] = entries
 
     # -- serialisation ----------------------------------------------------
     def to_csv(self, path: str | Path) -> None:
@@ -153,12 +264,21 @@ class ListArchive:
         self._dates = sorted(self._snapshots)
 
     def add(self, snapshot: ListSnapshot) -> None:
-        """Add a snapshot (provider names must match)."""
+        """Add a snapshot (provider names must match, dates must be new).
+
+        A duplicate ``(provider, date)`` is rejected: silently shadowing
+        an already-archived day would invalidate every derived cache and
+        any index built over the archive without a trace.  Build a new
+        archive (e.g. via :meth:`from_snapshots`) to replace a day.
+        """
         if snapshot.provider != self.provider:
             raise ValueError(
                 f"snapshot provider {snapshot.provider!r} != archive provider {self.provider!r}")
-        if snapshot.date not in self._snapshots:
-            bisect.insort(self._dates, snapshot.date)
+        if snapshot.date in self._snapshots:
+            raise ValueError(
+                f"archive already holds a {self.provider!r} snapshot for "
+                f"{snapshot.date}; build a new archive to replace a day")
+        bisect.insort(self._dates, snapshot.date)
         self._snapshots[snapshot.date] = snapshot
         # Any derived per-archive analysis caches are now stale.
         self.__dict__.pop("_analysis_cache", None)

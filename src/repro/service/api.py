@@ -437,6 +437,13 @@ class _Handler(BaseHTTPRequestHandler):
     server_version = "repro-serve/1.0"
     protocol_version = "HTTP/1.1"
 
+    #: The API is read-only; advertised on 405 responses per RFC 9110.
+    _ALLOWED_METHODS = "GET, HEAD"
+
+    #: Upper bound on a discarded write-request body (keeps keep-alive
+    #: connections in sync without letting a client stream gigabytes).
+    _MAX_DISCARDED_BODY = 1 << 20
+
     def _answer(self, send_body: bool) -> None:
         response = self.service.handle_request(self.path, dict(self.headers))
         self.send_response(response.status)
@@ -452,6 +459,53 @@ class _Handler(BaseHTTPRequestHandler):
 
     def do_HEAD(self) -> None:  # noqa: N802
         self._answer(send_body=False)
+
+    def _method_not_allowed(self) -> None:
+        """Answer a write method with 405 + ``Allow`` instead of 501.
+
+        ``http.server`` responds 501 Unsupported to any method without a
+        ``do_*`` handler, which tells a client the server has no idea
+        what POST *means*.  The accurate answer for a read-only resource
+        is 405 Method Not Allowed with the permitted methods listed.
+        """
+        declared = self.headers.get("Content-Length")
+        must_close = False
+        if self.headers.get("Transfer-Encoding"):
+            # A chunked body cannot be drained by length; give up on the
+            # connection rather than parse body bytes as the next request.
+            must_close = True
+        elif declared is not None:
+            try:
+                length = int(declared)
+            except ValueError:
+                length = 0
+                must_close = True
+            pending = min(length, self._MAX_DISCARDED_BODY)
+            if pending > 0:
+                # Drain the request body so a keep-alive connection is
+                # left at a message boundary.
+                self.rfile.read(pending)
+            if length > self._MAX_DISCARDED_BODY:
+                must_close = True
+        body = json_bytes({"error": {
+            "status": 405,
+            "message": (f"method {self.command} not allowed: this API is "
+                        f"read-only (allowed: {self._ALLOWED_METHODS})")}})
+        self.send_response(405)
+        self.send_header("Allow", self._ALLOWED_METHODS)
+        self.send_header("Content-Type", "application/json; charset=utf-8")
+        self.send_header("Content-Length", str(len(body)))
+        if must_close:
+            # Advertise the close; send_header also flips close_connection
+            # so the server loop tears the socket down after this answer.
+            self.send_header("Connection", "close")
+        self.end_headers()
+        self.wfile.write(body)
+
+    do_POST = _method_not_allowed  # noqa: N815 (http.server API)
+    do_PUT = _method_not_allowed  # noqa: N815
+    do_DELETE = _method_not_allowed  # noqa: N815
+    do_PATCH = _method_not_allowed  # noqa: N815
 
     def log_message(self, format: str, *args: Any) -> None:  # noqa: A002
         pass  # keep the serving process quiet; curl/tests read the bodies

@@ -1,4 +1,4 @@
-"""Domain-centric inverted index over list archives.
+"""Domain-centric inverted index over list archives (id postings).
 
 Every per-domain question the paper's stability sections ask — "what was
 example.com's Alexa rank over January?", "how many days was it listed?",
@@ -6,14 +6,19 @@ example.com's Alexa rank over January?", "how many days was it listed?",
 ``O(days × list size)`` per domain.  :class:`DomainIndex` inverts the
 archives once into
 
-* ``domain → provider → [(date, rank), ...]`` rank observations, and
-* ``base domain → provider → membership intervals`` built from the same
-  day-over-day deltas the :func:`repro.core.cache.archive_base_domain_sets`
+* ``domain id → provider → uint32 postings``: one interleaved
+  ``(date ordinal, rank)`` array per domain, appended in date order —
+  eight bytes per observation, no boxed tuples, binary-searchable for
+  windowed history; and
+* ``base-domain id → provider → membership intervals`` built from the
+  same day-over-day deltas the :func:`repro.core.cache.archive_base_id_sets`
   engine computes (shared via the archive's cache, so indexing a warmed
-  archive parses nothing),
+  archive resolves nothing),
 
-after which rank history, list longevity and days-in-top-k are dictionary
-lookups over exactly the domain's own observations.
+after which rank history, list longevity and days-in-top-k are one
+int-keyed dictionary lookup plus a walk over exactly the domain's own
+postings.  Queries arrive as strings and leave as strings; ids never
+escape the index.
 
 The index is incremental (``add()`` accepts the next day's snapshot) and
 order-strict per provider, mirroring the append-only store; answers are
@@ -24,12 +29,16 @@ element-for-element identical to a brute-force scan over the archive
 from __future__ import annotations
 
 import datetime as dt
-from bisect import bisect_left, bisect_right
+from array import array
+from bisect import bisect_left
 from dataclasses import dataclass
 from typing import Iterable, Mapping, Optional
 
-from repro.core.cache import archive_base_domain_sets, snapshot_base_domains
+from repro.core.cache import archive_base_id_sets, snapshot_base_ids
+from repro.interning import default_interner
 from repro.providers.base import ListArchive, ListSnapshot
+
+_EMPTY = array("I")
 
 
 @dataclass(frozen=True)
@@ -48,17 +57,34 @@ class DomainLongevity:
         return (self.last_seen - self.first_seen).days + 1
 
 
+def _bisect_postings(postings: array, ordinal: int) -> int:
+    """First pair index whose date ordinal is ``>= ordinal``.
+
+    ``postings`` interleaves ``(ordinal, rank)`` pairs in date order, so
+    this is a binary search over the even slots.
+    """
+    lo, hi = 0, len(postings) // 2
+    while lo < hi:
+        mid = (lo + hi) // 2
+        if postings[2 * mid] < ordinal:
+            lo = mid + 1
+        else:
+            hi = mid
+    return lo
+
+
 class _ProviderIndex:
-    """Per-provider observation lists and base-membership events."""
+    """Per-provider posting arrays and base-membership events."""
 
     __slots__ = ("dates", "observations", "base_events", "prev_bases")
 
     def __init__(self) -> None:
-        self.dates: list[int] = []                      # indexed day ordinals
-        self.observations: dict[str, list[tuple[int, int]]] = {}
-        #: base domain -> [(ordinal, entered?)] transitions, date order.
-        self.base_events: dict[str, list[tuple[int, bool]]] = {}
-        self.prev_bases: frozenset[str] = frozenset()
+        self.dates: list[int] = []                 # indexed day ordinals
+        #: domain id -> interleaved (ordinal, rank) postings, date order.
+        self.observations: dict[int, array] = {}
+        #: base-domain id -> [(ordinal, entered?)] transitions, date order.
+        self.base_events: dict[int, list[tuple[int, bool]]] = {}
+        self.prev_bases: frozenset[int] = frozenset()
 
 
 class DomainIndex:
@@ -69,12 +95,13 @@ class DomainIndex:
 
     # -- construction -----------------------------------------------------
     def add(self, snapshot: ListSnapshot,
-            bases: Optional[frozenset[str]] = None) -> None:
+            bases: Optional[frozenset] = None) -> None:
         """Index the next snapshot of its provider (strict date order).
 
         ``bases`` optionally supplies the snapshot's precomputed
-        base-domain set (the bulk loaders pass the delta engine's shared
-        result); otherwise it is taken from the per-snapshot cache.
+        base-domain set — as interned ids (the bulk loaders pass the
+        delta engine's shared result) or, for compatibility, as strings;
+        otherwise it is taken from the per-snapshot cache.
         """
         state = self._providers.setdefault(snapshot.provider, _ProviderIndex())
         ordinal = snapshot.date.toordinal()
@@ -84,13 +111,20 @@ class DomainIndex:
                 f"index is append-only: {snapshot.provider} snapshot "
                 f"{snapshot.date} is not after the indexed {last}")
         observations = state.observations
-        for rank, domain in enumerate(snapshot.entries, start=1):
-            series = observations.get(domain)
-            if series is None:
-                observations[domain] = [(ordinal, rank)]
+        for rank, domain_id in enumerate(snapshot.entry_ids(), start=1):
+            postings = observations.get(domain_id)
+            if postings is None:
+                observations[domain_id] = array("I", (ordinal, rank))
             else:
-                series.append((ordinal, rank))
-        current = bases if bases is not None else snapshot_base_domains(snapshot)
+                postings.append(ordinal)
+                postings.append(rank)
+        if bases is None:
+            current = snapshot_base_ids(snapshot)
+        elif bases and not isinstance(next(iter(bases)), int):
+            table = default_interner()
+            current = table.id_set(table.intern_many(bases))
+        else:
+            current = bases
         if current != state.prev_bases:
             events = state.base_events
             for base in state.prev_bases - current:
@@ -101,8 +135,8 @@ class DomainIndex:
         state.dates.append(ordinal)
 
     def add_archive(self, archive: ListArchive) -> None:
-        """Index a whole archive, sharing the delta engine's base sets."""
-        per_day = archive_base_domain_sets(archive)
+        """Index a whole archive, sharing the delta engine's base-id sets."""
+        per_day = archive_base_id_sets(archive)
         for snapshot in archive:
             self.add(snapshot, bases=per_day[snapshot.date])
 
@@ -126,8 +160,9 @@ class DomainIndex:
                    ) -> "DomainIndex":
         """Build an index from an :class:`~repro.service.store.ArchiveStore`.
 
-        Loads via the store's warm-started archives, so the base-domain
-        deltas are replayed from disk rather than re-parsed.
+        Loads via the store's warm-started columnar archives, so the
+        base-domain deltas are replayed from disk rather than re-parsed
+        and no entry strings are materialised along the way.
         """
         names = tuple(providers) if providers is not None else store.providers()
         index = cls()
@@ -153,11 +188,14 @@ class DomainIndex:
         return len(state.observations) if state else 0
 
     # -- queries ----------------------------------------------------------
-    def _series(self, domain: str, provider: str) -> list[tuple[int, int]]:
+    def _postings(self, domain: str, provider: str) -> array:
         state = self._providers.get(provider)
         if state is None:
             raise KeyError(f"provider {provider!r} is not indexed")
-        return state.observations.get(domain, [])
+        domain_id = default_interner().id_of(domain)
+        if domain_id is None:
+            return _EMPTY
+        return state.observations.get(domain_id, _EMPTY)
 
     def history(self, domain: str, provider: str,
                 start: Optional[dt.date] = None,
@@ -167,37 +205,37 @@ class DomainIndex:
         Cost is ``O(log h + h')`` for a history of length ``h`` with
         ``h'`` observations in the window — never an archive scan.
         """
-        series = self._series(domain, provider)
-        lo = 0 if start is None else bisect_left(series, (start.toordinal(), 0))
-        hi = (len(series) if end is None
-              else bisect_right(series, (end.toordinal() + 1, 0)))
-        return [(dt.date.fromordinal(ordinal), rank)
-                for ordinal, rank in series[lo:hi]]
+        postings = self._postings(domain, provider)
+        lo = 0 if start is None else _bisect_postings(postings, start.toordinal())
+        hi = (len(postings) // 2 if end is None
+              else _bisect_postings(postings, end.toordinal() + 1))
+        return [(dt.date.fromordinal(postings[2 * i]), postings[2 * i + 1])
+                for i in range(lo, hi)]
 
     def rank_on(self, domain: str, provider: str, date: dt.date) -> Optional[int]:
         """The domain's rank on ``date`` (``None`` when not listed)."""
-        series = self._series(domain, provider)
+        postings = self._postings(domain, provider)
         ordinal = date.toordinal()
-        position = bisect_left(series, (ordinal, 0))
-        if position < len(series) and series[position][0] == ordinal:
-            return series[position][1]
+        position = _bisect_postings(postings, ordinal)
+        if 2 * position < len(postings) and postings[2 * position] == ordinal:
+            return postings[2 * position + 1]
         return None
 
     def longevity(self, domain: str, provider: str) -> DomainLongevity:
         """Days listed plus first/last sighting (Figure 2c's per-domain view)."""
-        series = self._series(domain, provider)
-        if not series:
+        postings = self._postings(domain, provider)
+        if not postings:
             return DomainLongevity(days_listed=0, first_seen=None, last_seen=None)
         return DomainLongevity(
-            days_listed=len(series),
-            first_seen=dt.date.fromordinal(series[0][0]),
-            last_seen=dt.date.fromordinal(series[-1][0]))
+            days_listed=len(postings) // 2,
+            first_seen=dt.date.fromordinal(postings[0]),
+            last_seen=dt.date.fromordinal(postings[-2]))
 
     def days_in_top_k(self, domain: str, provider: str, k: int) -> int:
         """Days the domain ranked within the Top-``k`` head."""
         if k <= 0:
             raise ValueError("k must be positive")
-        return sum(1 for _, rank in self._series(domain, provider) if rank <= k)
+        return sum(1 for rank in self._postings(domain, provider)[1::2] if rank <= k)
 
     def base_intervals(self, base: str, provider: str
                        ) -> list[tuple[dt.date, Optional[dt.date]]]:
@@ -212,7 +250,8 @@ class DomainIndex:
         state = self._providers.get(provider)
         if state is None:
             raise KeyError(f"provider {provider!r} is not indexed")
-        events = state.base_events.get(base, [])
+        base_id = default_interner().id_of(base)
+        events = state.base_events.get(base_id, []) if base_id is not None else []
         intervals: list[tuple[dt.date, Optional[dt.date]]] = []
         entered: Optional[int] = None
         for ordinal, present in events:

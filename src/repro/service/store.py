@@ -1,33 +1,40 @@
-"""Append-only on-disk archive store with warm-started loads.
+"""Append-only on-disk archive store sharing the process interner.
 
 The analyses so far rebuilt every :class:`~repro.providers.base.ListArchive`
 from CSV (or a fresh simulation) per process, then re-derived 30 days of
 base-domain deltas before the first query could be answered.  The store
-makes both persistent:
+makes both persistent — and since the columnar refactor its on-disk id
+space *is* the shared :class:`~repro.interning.DomainInterner`'s, not a
+private per-shard string table:
 
-* **Compact binary shards.**  Snapshots are appended to one shard file
-  per ``(provider, month)``.  Within a shard every domain name is stored
-  exactly once in a shared string table; a day's list is a rank-ordered
-  array of table ids.  Daily lists overlap by ~99% (the paper's central
-  stability finding), so after the first day a snapshot costs roughly its
-  churn, not its length.  Each table entry also records the domain's
-  *base domain* (normalised through the default PSL at append time), so
-  a reload can rebuild the per-day base-domain sets by integer refcount
-  replay — no PSL parsing at all.
-* **Warm starts.**  :meth:`ArchiveStore.load_archive` rebuilds the
-  archive and seeds the :mod:`repro.core.cache` delta engine
-  (:func:`~repro.core.cache.seed_base_domain_sets`) with the replayed
-  per-day sets, so a restarted service answers its first
-  intersection/structure query without recomputing a month of deltas.
-  Seeding is skipped (never wrong, just cold) when the default PSL has
-  changed since append time.
+* **One persisted domain table.**  ``interner.tbl`` holds every distinct
+  domain (and its base domain, normalised through the default PSL at
+  append time) exactly once, store-wide.  A day's list is a shard record
+  holding a rank-ordered array of table ids — daily lists overlap by
+  ~99% (the paper's central stability finding), so after the first day a
+  snapshot costs four bytes per entry, not its strings.
+* **Columnar loads.**  Opening a store interns the table once into the
+  process :func:`~repro.interning.default_interner` (building a table-id
+  → process-id translation) and, when the PSL version still matches the
+  append-time stamp, seeds the interner's base-id column from the stored
+  bases.  Every snapshot then loads as a pure id column
+  (:meth:`~repro.providers.base.ListSnapshot.from_ids`): **no domain
+  string is materialised per day**, and
+  :meth:`ArchiveStore.load_archive` warm-starts the
+  :mod:`repro.core.cache` delta engine by integer refcount replay
+  (:func:`~repro.core.cache.seed_base_id_sets`).  Seeding is skipped
+  (never wrong, just cold) when the default PSL has changed since
+  append time.
 * **Reports.**  Byte-reproducible :class:`~repro.scenarios.runner.ScenarioReport`
   JSON documents are stored alongside the shards, so the query API serves
   them as static bytes instead of re-running scenarios per request.
 
 Appends are strictly chronological per provider (an append-only log);
 ``store.version`` increments on every mutation and is the cache/ETag
-token of the query layer.
+token of the query layer.  The manifest is the durable truth: table or
+shard bytes past the manifest's counts are an orphaned tail from an
+append that crashed before its manifest flush, and are truncated away on
+the next open.
 """
 
 from __future__ import annotations
@@ -37,26 +44,23 @@ import json
 import os
 import struct
 import zlib
+from array import array
 from pathlib import Path
 from typing import Iterable, Iterator, Mapping, Optional
 
-from repro.core.cache import base_domain_mapper, seed_base_domain_sets
+from repro.core.cache import seed_base_id_sets
 from repro.domain.psl import default_list
+from repro.interning import default_interner
 from repro.providers.base import ListArchive, ListSnapshot
 
 #: Per-record magic; bump the digit on incompatible format changes.
-_MAGIC = b"RLS1"
-_HEADER = struct.Struct("<4sIIIII")  # magic, date ordinal, psl version,
-#                                      n_new, n_entries, payload bytes
+_MAGIC = b"RLS2"
+_HEADER = struct.Struct("<4sIIII")  # magic, date ordinal, psl version,
+#                                     n_entries, payload bytes
 _U16 = struct.Struct("<H")
 _U32 = struct.Struct("<I")
 
-#: Base-reference tags in the new-domain block (see :func:`_encode_record`).
-_BASE_IS_NAME = 0      # base == name; name joins the base table
-_BASE_INLINE = 1       # new base string follows inline
-_BASE_REF_OFFSET = 2   # tag - 2 indexes an existing base-table entry
-
-FORMAT_VERSION = 1
+FORMAT_VERSION = 2
 
 
 class StoreError(RuntimeError):
@@ -67,121 +71,103 @@ def _month_key(date: dt.date) -> str:
     return f"{date.year:04d}-{date.month:02d}"
 
 
-class _ShardTables:
-    """The replayable per-shard state: string tables and record count."""
+class _TableState:
+    """The store's domain table, translated into the process id space."""
 
-    __slots__ = ("names", "name_index", "name_base", "bases", "base_index",
-                 "records", "last_ordinal", "consumed_bytes")
+    __slots__ = ("gids", "base_gids", "consumed_bytes", "_sid_by_gid")
 
     def __init__(self) -> None:
-        self.names: list[str] = []
-        self.name_index: dict[str, int] = {}
-        self.name_base: list[int] = []      # name id -> base-table id
-        self.bases: list[str] = []
-        self.base_index: dict[str, int] = {}
-        self.records = 0
-        self.last_ordinal = 0
-        self.consumed_bytes = 0             # file offset after the last record
+        self.gids = array("I")        # store id -> process (interner) id
+        self.base_gids = array("I")   # store id -> process id of its base
+        self.consumed_bytes = 0
+        self._sid_by_gid: Optional[dict[int, int]] = None
 
-    def intern_base(self, base: str) -> int:
-        base_id = self.base_index.get(base)
-        if base_id is None:
-            base_id = len(self.bases)
-            self.bases.append(base)
-            self.base_index[base] = base_id
-        return base_id
+    def __len__(self) -> int:
+        return len(self.gids)
 
+    def sid_by_gid(self) -> dict[int, int]:
+        """Process-id → store-id index (built on first append, int-keyed)."""
+        index = self._sid_by_gid
+        if index is None:
+            index = {gid: sid for sid, gid in enumerate(self.gids)}
+            self._sid_by_gid = index
+        return index
 
-def _encode_record(tables: _ShardTables, snapshot: ListSnapshot,
-                   base_of, psl_version: int) -> bytes:
-    """Append ``snapshot`` to ``tables`` and return its wire record."""
-    new_block = bytearray()
-    entry_ids = []
-    n_new = 0
-    for name in snapshot.entries:
-        name_id = tables.name_index.get(name)
-        if name_id is None:
-            name_id = len(tables.names)
-            tables.names.append(name)
-            tables.name_index[name] = name_id
-            base = base_of(name)
-            raw = name.encode("utf-8")
-            new_block += _U16.pack(len(raw)) + raw
-            base_id = tables.base_index.get(base)
-            if base_id is not None:
-                new_block += _U32.pack(_BASE_REF_OFFSET + base_id)
-            elif base == name:
-                base_id = tables.intern_base(base)
-                new_block += _U32.pack(_BASE_IS_NAME)
-            else:
-                base_id = tables.intern_base(base)
-                raw_base = base.encode("utf-8")
-                new_block += _U32.pack(_BASE_INLINE)
-                new_block += _U16.pack(len(raw_base)) + raw_base
-            tables.name_base.append(base_id)
-            n_new += 1
-        entry_ids.append(name_id)
-    body = bytes(new_block) + struct.pack(f"<{len(entry_ids)}I", *entry_ids)
-    payload = zlib.compress(body, 6)
-    tables.records += 1
-    tables.last_ordinal = snapshot.date.toordinal()
-    return _HEADER.pack(_MAGIC, snapshot.date.toordinal(), psl_version,
-                        n_new, len(entry_ids), len(payload)) + payload
+    def append(self, gid: int, base_gid: int) -> int:
+        sid = len(self.gids)
+        self.gids.append(gid)
+        self.base_gids.append(base_gid)
+        if self._sid_by_gid is not None:
+            self._sid_by_gid[gid] = sid
+        return sid
 
 
-def _decode_records(data: bytes, tables: _ShardTables, path: Path,
-                    limit: Optional[int] = None
-                    ) -> Iterator[tuple[int, int, list[int]]]:
-    """Replay shard bytes, yielding ``(ordinal, psl_version, entry_ids)``.
+def _decode_table(data: bytes, limit: int, path: Path) -> _TableState:
+    """Replay up to ``limit`` table records into the process interner.
 
-    ``tables`` is mutated in step, so a caller may stop early and keep a
-    prefix state (used by the lazy single-snapshot load).  ``limit``
-    bounds the replay to the manifest's record count: bytes past it are
-    an orphaned tail from an append that crashed before its manifest
-    flush, and must not resurrect as data.
+    The one place a store load touches domain strings: each distinct
+    name is decoded and interned exactly once per open, after which
+    every snapshot and base lookup is id arithmetic.
+    """
+    interner = default_interner()
+    state = _TableState()
+    offset = 0
+    total = len(data)
+    while len(state.gids) < limit:
+        if offset + _U16.size > total:
+            raise StoreError(f"{path}: truncated table record at byte {offset}")
+        (name_len,) = _U16.unpack_from(data, offset)
+        offset += _U16.size
+        if offset + name_len + _U32.size > total:
+            raise StoreError(f"{path}: truncated table record at byte {offset}")
+        name = data[offset:offset + name_len].decode("utf-8")
+        offset += name_len
+        (base_sid,) = _U32.unpack_from(data, offset)
+        offset += _U32.size
+        sid = len(state.gids)
+        if base_sid > sid:
+            raise StoreError(f"{path}: dangling base reference {base_sid} at entry {sid}")
+        gid = interner.intern(name)
+        base_gid = gid if base_sid == sid else state.gids[base_sid]
+        state.append(gid, base_gid)
+        state.consumed_bytes = offset
+    return state
+
+
+def _encode_table_entry(name: str, base_sid: int) -> bytes:
+    raw = name.encode("utf-8")
+    return _U16.pack(len(raw)) + raw + _U32.pack(base_sid)
+
+
+def _iter_shard_records(data: bytes, path: Path, limit: int,
+                        decode_payload: bool = True
+                        ) -> Iterator[tuple[int, int, Optional[tuple[int, ...]], int]]:
+    """Yield ``(ordinal, psl_version, store_ids, end_offset)`` per record.
+
+    ``limit`` bounds the walk to the manifest's record count (bytes past
+    it are an orphaned tail); with ``decode_payload=False`` the payload
+    is skipped undecompressed (the truncation scan of the append path).
     """
     offset = 0
     total = len(data)
-    while offset < total and (limit is None or tables.records < limit):
+    records = 0
+    while offset < total and records < limit:
         if offset + _HEADER.size > total:
             raise StoreError(f"{path}: truncated record header at byte {offset}")
-        magic, ordinal, psl_version, n_new, n_entries, payload_len = \
+        magic, ordinal, psl_version, n_entries, payload_len = \
             _HEADER.unpack_from(data, offset)
         if magic != _MAGIC:
             raise StoreError(f"{path}: bad record magic at byte {offset}")
         offset += _HEADER.size
         if offset + payload_len > total:
             raise StoreError(f"{path}: truncated record payload at byte {offset}")
-        body = zlib.decompress(data[offset:offset + payload_len])
+        store_ids: Optional[tuple[int, ...]] = None
+        if decode_payload:
+            body = zlib.decompress(data[offset:offset + payload_len])
+            store_ids = struct.unpack(f"<{n_entries}I", body)
         offset += payload_len
-        cursor = 0
-        for _ in range(n_new):
-            (name_len,) = _U16.unpack_from(body, cursor)
-            cursor += _U16.size
-            name = body[cursor:cursor + name_len].decode("utf-8")
-            cursor += name_len
-            (tag,) = _U32.unpack_from(body, cursor)
-            cursor += _U32.size
-            if tag == _BASE_IS_NAME:
-                base_id = tables.intern_base(name)
-            elif tag == _BASE_INLINE:
-                (base_len,) = _U16.unpack_from(body, cursor)
-                cursor += _U16.size
-                base = body[cursor:cursor + base_len].decode("utf-8")
-                cursor += base_len
-                base_id = tables.intern_base(base)
-            else:
-                base_id = tag - _BASE_REF_OFFSET
-                if base_id >= len(tables.bases):
-                    raise StoreError(f"{path}: dangling base reference {base_id}")
-            tables.name_index[name] = len(tables.names)
-            tables.names.append(name)
-            tables.name_base.append(base_id)
-        entry_ids = list(struct.unpack_from(f"<{n_entries}I", body, cursor))
-        tables.records += 1
-        tables.last_ordinal = ordinal
-        tables.consumed_bytes = offset
-        yield ordinal, psl_version, entry_ids
+        records += 1
+        yield ordinal, psl_version, store_ids, offset
 
 
 class ArchiveStore:
@@ -191,6 +177,7 @@ class ArchiveStore:
 
         root/
           manifest.json                  # version, per-provider date log
+          interner.tbl                   # the persisted shared domain table
           shards/<provider>/<YYYY-MM>.rls
           reports/<profile>.json         # stored ScenarioReport documents
     """
@@ -198,7 +185,9 @@ class ArchiveStore:
     def __init__(self, root: str | Path, create: bool = True) -> None:
         self.root = Path(root)
         self._manifest_path = self.root / "manifest.json"
-        self._tables: dict[tuple[str, str], _ShardTables] = {}
+        self._table_path = self.root / "interner.tbl"
+        self._table_state: Optional[_TableState] = None
+        self._shard_offsets: dict[tuple[str, str], int] = {}
         if self._manifest_path.exists():
             manifest = json.loads(self._manifest_path.read_text(encoding="utf-8"))
             if manifest.get("format_version") != FORMAT_VERSION:
@@ -210,7 +199,8 @@ class ArchiveStore:
             self.root.mkdir(parents=True, exist_ok=True)
             self._manifest = {"format_version": FORMAT_VERSION,
                               "store_version": 0, "data_version": 0,
-                              "providers": {}, "reports": []}
+                              "providers": {}, "reports": [],
+                              "interner": {"entries": 0, "psl_version": None}}
             self._write_manifest()
         else:
             raise StoreError(f"no archive store at {self.root}")
@@ -250,6 +240,55 @@ class ArchiveStore:
     def __len__(self) -> int:
         return sum(len(p["dates"]) for p in self._manifest["providers"].values())
 
+    # -- the shared domain table ------------------------------------------
+    def _table(self) -> _TableState:
+        """The persisted table, interned into the process id space (cached).
+
+        Replay stops at the manifest's entry count; a longer file holds an
+        orphaned tail from a crashed append, which is truncated away so
+        the next append starts from the durable state.  When the table
+        was written entirely under the current default-PSL version, the
+        stored bases additionally seed the interner's base-id column —
+        after which *nothing* in this process ever PSL-parses a stored
+        name again.
+        """
+        state = self._table_state
+        if state is None:
+            expected = self._manifest["interner"]["entries"]
+            if self._table_path.exists():
+                data = self._table_path.read_bytes()
+                state = _decode_table(data, expected, self._table_path)
+                if state.consumed_bytes < len(data):
+                    with self._table_path.open("r+b") as handle:
+                        handle.truncate(state.consumed_bytes)
+            else:
+                if expected:
+                    raise StoreError(f"manifest names missing table {self._table_path}")
+                state = _TableState()
+            psl = default_list()
+            if self._manifest["interner"]["psl_version"] == psl.version:
+                column = default_interner().base_column(psl)
+                seed = column.seed
+                for gid, base_gid in zip(state.gids, state.base_gids):
+                    seed(gid, base_gid)
+            self._table_state = state
+        return state
+
+    def _table_append(self, state: _TableState, gid: int, column) -> tuple[int, bytes]:
+        """Ensure ``gid`` (and its base) are table entries; return new bytes."""
+        interner = default_interner()
+        index = state.sid_by_gid()
+        encoded = b""
+        base_gid = column.base_id(gid)
+        if base_gid != gid and base_gid not in index:
+            base_sid = state.append(base_gid, base_gid)
+            encoded += _encode_table_entry(interner.domain(base_gid), base_sid)
+        sid = len(state.gids)
+        base_sid = sid if base_gid == gid else index[base_gid]
+        state.append(gid, base_gid)
+        encoded += _encode_table_entry(interner.domain(gid), base_sid)
+        return sid, encoded
+
     # -- shard plumbing ---------------------------------------------------
     def _shard_path(self, provider: str, month: str) -> Path:
         return self.root / "shards" / provider / f"{month}.rls"
@@ -259,29 +298,31 @@ class ArchiveStore:
         entry = self._manifest["providers"].get(provider)
         return entry["shards"].get(month, 0) if entry else 0
 
-    def _shard_tables(self, provider: str, month: str) -> _ShardTables:
-        """The shard's replayed string tables (cached per open store).
+    def _shard_append_offset(self, provider: str, month: str) -> int:
+        """Byte offset after the shard's last durable record.
 
-        Replay stops at the manifest's record count; a longer file holds
-        an orphaned tail from an append that crashed before its manifest
-        flush, which the next append truncates away (re-appending that
-        day is then valid again instead of a silent duplicate).
+        Scanned once per open store (headers only, payloads skipped);
+        a longer file holds an orphaned tail from an append that crashed
+        before its manifest flush, which is truncated away so
+        re-appending that day is valid again instead of a silent
+        duplicate.
         """
         key = (provider, month)
-        tables = self._tables.get(key)
-        if tables is None:
-            tables = _ShardTables()
+        offset = self._shard_offsets.get(key)
+        if offset is None:
+            offset = 0
             path = self._shard_path(provider, month)
             if path.exists():
                 data = path.read_bytes()
-                for _ in _decode_records(data, tables, path,
-                                         limit=self._shard_records(provider, month)):
-                    pass
-                if tables.consumed_bytes < len(data):
+                for *_, end in _iter_shard_records(
+                        data, path, self._shard_records(provider, month),
+                        decode_payload=False):
+                    offset = end
+                if offset < len(data):
                     with path.open("r+b") as handle:
-                        handle.truncate(tables.consumed_bytes)
-            self._tables[key] = tables
-        return tables
+                        handle.truncate(offset)
+            self._shard_offsets[key] = offset
+        return offset
 
     def _months(self, provider: str) -> list[str]:
         entry = self._manifest["providers"].get(provider)
@@ -291,7 +332,8 @@ class ArchiveStore:
     def append(self, snapshot: ListSnapshot, sync: bool = True) -> None:
         """Append one snapshot (strictly after the provider's last date).
 
-        The record hits the shard file immediately; with ``sync`` (the
+        New domains (and their bases) land in the shared table, the id
+        record hits the shard file immediately; with ``sync`` (the
         default) the manifest is rewritten too.  Batch callers may pass
         ``sync=False`` and :meth:`flush` once.
         """
@@ -309,18 +351,42 @@ class ArchiveStore:
             raise StoreError(
                 f"append-only: {provider} snapshot {snapshot.date} is not after "
                 f"the stored {last}")
-        month = _month_key(snapshot.date)
-        tables = self._shard_tables(provider, month)
+        table = self._table()
         psl = default_list()
-        record = _encode_record(tables, snapshot, base_domain_mapper(psl),
-                                psl.version)
+        column = default_interner().base_column(psl)
+        index = table.sid_by_gid()
+        new_table_bytes = bytearray()
+        store_ids = []
+        for gid in snapshot.entry_ids():
+            sid = index.get(gid)
+            if sid is None:
+                sid, encoded = self._table_append(table, gid, column)
+                new_table_bytes += encoded
+            store_ids.append(sid)
+        month = _month_key(snapshot.date)
+        offset = self._shard_append_offset(provider, month)
+        payload = zlib.compress(struct.pack(f"<{len(store_ids)}I", *store_ids), 6)
+        record = _HEADER.pack(_MAGIC, ordinal, psl.version,
+                              len(store_ids), len(payload)) + payload
+        if new_table_bytes:
+            with self._table_path.open("ab") as handle:
+                handle.write(new_table_bytes)
+            table.consumed_bytes += len(new_table_bytes)
         path = self._shard_path(provider, month)
         path.parent.mkdir(parents=True, exist_ok=True)
         with path.open("ab") as handle:
             handle.write(record)
-        tables.consumed_bytes += len(record)
+        self._shard_offsets[(provider, month)] = offset + len(record)
         entry["dates"].append(ordinal)
-        entry["shards"][month] = tables.records
+        entry["shards"][month] = entry["shards"].get(month, 0) + 1
+        interner_entry = self._manifest["interner"]
+        if interner_entry["entries"] == 0:
+            interner_entry["psl_version"] = psl.version
+        elif interner_entry["psl_version"] != psl.version:
+            # Mixed-version table: stored bases are only trusted when the
+            # whole table was normalised under one (the current) version.
+            interner_entry["psl_version"] = None
+        interner_entry["entries"] = len(table)
         self._manifest["store_version"] += 1
         self._manifest["data_version"] = self._manifest.get("data_version", 0) + 1
         if sync:
@@ -337,108 +403,115 @@ class ArchiveStore:
         self._write_manifest()
 
     # -- loads ------------------------------------------------------------
-    def _replay(self, provider: str
-                ) -> Iterator[tuple[dt.date, int, tuple[str, ...], list[str]]]:
-        """Yield ``(date, psl_version, entries, entry_bases)`` per stored day."""
+    def _replay(self, provider: str) -> Iterator[tuple[int, int, array]]:
+        """Yield ``(ordinal, psl_version, entry_gids)`` per stored day.
+
+        ``entry_gids`` is a rank-ordered process-id column — translated
+        from store ids by one array lookup per entry, no strings.
+        """
+        gids = self._table().gids
+        lookup = gids.__getitem__
         for month in self._months(provider):
             path = self._shard_path(provider, month)
             if not path.exists():
                 raise StoreError(f"manifest names missing shard {path}")
             expected = self._shard_records(provider, month)
-            tables = _ShardTables()
-            for ordinal, psl_version, entry_ids in _decode_records(
-                    path.read_bytes(), tables, path, limit=expected):
-                names = tables.names
-                name_base = tables.name_base
-                bases = tables.bases
-                entries = tuple(names[i] for i in entry_ids)
-                entry_bases = [bases[name_base[i]] for i in entry_ids]
-                yield dt.date.fromordinal(ordinal), psl_version, entries, entry_bases
-            if tables.records < expected:
+            records = 0
+            for ordinal, psl_version, store_ids, _ in _iter_shard_records(
+                    path.read_bytes(), path, expected):
+                records += 1
+                yield ordinal, psl_version, array("I", map(lookup, store_ids))
+            if records < expected:
                 raise StoreError(
-                    f"{path}: holds {tables.records} records, manifest expects "
-                    f"{expected}")
+                    f"{path}: holds {records} records, manifest expects {expected}")
 
     def iter_snapshots(self, provider: str) -> Iterator[ListSnapshot]:
-        """Stream the provider's snapshots in date order (lazy, low memory)."""
-        for date, _, entries, _ in self._replay(provider):
-            yield ListSnapshot(provider=provider, date=date, entries=entries)
+        """Stream the provider's snapshots in date order (lazy, columnar)."""
+        for ordinal, _, entry_gids in self._replay(provider):
+            yield ListSnapshot.from_ids(provider=provider,
+                                        date=dt.date.fromordinal(ordinal),
+                                        ids=entry_gids)
 
     def load_snapshot(self, provider: str, date: dt.date) -> ListSnapshot:
-        """Load one snapshot, reading only its month shard."""
+        """Load one snapshot, decoding only its month shard."""
         month = _month_key(date)
         path = self._shard_path(provider, month)
         if month not in self._months(provider) or not path.exists():
             raise KeyError(f"{provider} has no stored snapshot for {date}")
         target = date.toordinal()
-        tables = _ShardTables()
-        for ordinal, _, entry_ids in _decode_records(
-                path.read_bytes(), tables, path,
-                limit=self._shard_records(provider, month)):
+        gids = self._table().gids
+        for ordinal, _, store_ids, _ in _iter_shard_records(
+                path.read_bytes(), path, self._shard_records(provider, month)):
             if ordinal == target:
-                entries = tuple(tables.names[i] for i in entry_ids)
-                return ListSnapshot(provider=provider, date=date, entries=entries)
+                entry_gids = array("I", map(gids.__getitem__, store_ids))
+                return ListSnapshot.from_ids(provider=provider, date=date,
+                                             ids=entry_gids)
         raise KeyError(f"{provider} has no stored snapshot for {date}")
 
     def load_archive(self, provider: str, warm: bool = True) -> ListArchive:
-        """Rebuild the provider's full archive.
+        """Rebuild the provider's full archive, without materialising strings.
 
-        With ``warm`` (the default) the per-day base-domain sets are
-        replayed from the stored base ids — a pure integer refcount pass —
-        and seeded into the archive's :mod:`repro.core.cache` entry, so
-        the delta engine starts hot.  Seeding is skipped when the default
-        PSL version no longer matches the one recorded at append time
-        (the stored bases would be stale); the archive itself is always
-        exact.
+        With ``warm`` (the default) the per-day base-domain **id** sets
+        are replayed from the stored bases — a pure integer refcount pass
+        over the pre-seeded base-id column — and installed into the
+        archive's :mod:`repro.core.cache` entry, so the delta engine
+        starts hot.  Seeding is skipped when the default PSL version no
+        longer matches the one recorded at append time (the stored bases
+        would be stale); the archive itself is always exact.
         """
         if provider not in self._manifest["providers"]:
             raise KeyError(f"no archive stored for provider {provider!r}")
         psl = default_list()
+        interner = default_interner()
+        base_id = interner.base_column(psl).base_id
+        boxed = interner.boxed
         snapshots: list[ListSnapshot] = []
-        per_day: dict[dt.date, frozenset[str]] = {}
-        counts: dict[str, int] = {}
-        prev_entries: Optional[frozenset[str]] = None
-        prev_bases: dict[str, str] = {}
-        prev_frozen: frozenset[str] = frozenset()
+        per_day: dict[dt.date, frozenset[int]] = {}
+        counts: dict[int, int] = {}
+        prev_ids: Optional[frozenset[int]] = None
+        prev_frozen: frozenset[int] = frozenset()
         warmable = warm
-        for date, psl_version, entries, entry_bases in self._replay(provider):
-            snapshot = ListSnapshot(provider=provider, date=date, entries=entries)
+        for ordinal, psl_version, entry_gids in self._replay(provider):
+            date = dt.date.fromordinal(ordinal)
+            snapshot = ListSnapshot.from_ids(provider=provider, date=date,
+                                             ids=entry_gids)
             snapshots.append(snapshot)
             if not warmable:
                 continue
             if psl_version != psl.version:
+                # Some record predates the current rule set: its table
+                # bases were stamped stale, so the column was not seeded.
                 warmable = False
                 continue
-            current = snapshot.domain_set()
-            base_by_name = dict(zip(entries, entry_bases))
-            if prev_entries is None:
-                for base in entry_bases:
+            current = snapshot.id_set()
+            if prev_ids is None:
+                for gid in entry_gids:
+                    base = boxed[base_id(gid)]
                     counts[base] = counts.get(base, 0) + 1
                 frozen = frozenset(counts)
             else:
-                removed = prev_entries - current
-                added = current - prev_entries
+                removed = prev_ids - current
+                added = current - prev_ids
                 if removed or added:
-                    for name in removed:
-                        base = prev_bases[name]
+                    for gid in removed:
+                        base = boxed[base_id(gid)]
                         remaining = counts[base] - 1
                         if remaining:
                             counts[base] = remaining
                         else:
                             del counts[base]
-                    for name in added:
-                        base = base_by_name[name]
+                    for gid in added:
+                        base = boxed[base_id(gid)]
                         counts[base] = counts.get(base, 0) + 1
                     frozen = frozenset(counts)
                 else:
                     frozen = prev_frozen
             per_day[date] = frozen
-            prev_entries = current
-            prev_bases = base_by_name
+            prev_ids = current
             prev_frozen = frozen
         archive = ListArchive.from_snapshots(snapshots, provider=provider)
         if warmable and len(per_day) == len(snapshots):
-            seed_base_domain_sets(archive, per_day, psl=psl)
+            seed_base_id_sets(archive, per_day, psl=psl)
         return archive
 
     def load_archives(self, providers: Optional[Iterable[str]] = None,

@@ -4,11 +4,17 @@ Section 6.3 of the paper uses Kendall's tau [Kendall 1938] to measure the
 similarity in the *order* of top lists between days.  This module
 implements tau-a and tau-b from scratch with an O(n log n) inversion
 counter on an iterative Fenwick (binary indexed) tree, plus a convenience
-wrapper that compares two ranked lists of domains restricted to their
+wrapper that compares two ranked lists of items restricted to their
 common elements (how the paper compares two days of a Top 1k list).  The
 wrapper takes a rank-coordinate fast path: positions in a ranked list are
 already distinct integers sorted on the first list, so the tie machinery
 and the sort are skipped entirely.
+
+The items may be any hashables; the columnar pipeline passes the
+snapshots' interned-id columns (``ListSnapshot.entry_ids()``), which is
+the default fast lane — the rank dictionaries then hash dense uint32
+ids instead of domain strings, and the result is bit-identical because
+ids and entries are bijective.
 """
 
 from __future__ import annotations
@@ -16,17 +22,20 @@ from __future__ import annotations
 from typing import Hashable, Sequence
 
 
-def _count_inversions(values: Sequence[float]) -> int:
+def _count_inversions(values: Sequence[float], distinct: bool = False) -> int:
     """Number of inversions (pairs ``i < j`` with ``values[i] > values[j]``).
 
     Iterative Fenwick-tree counter: coordinate-compress the values, then
     for each element add the count of previously seen elements that are
-    strictly greater (``seen - prefix_count(<= value)``).
+    strictly greater (``seen - prefix_count(<= value)``).  Callers that
+    know the values are distinct (the rank-coordinate fast path) pass
+    ``distinct=True`` to skip the dedup pass.
     """
     n = len(values)
     if n < 2:
         return 0
-    order = {value: index for index, value in enumerate(sorted(set(values)), start=1)}
+    unique = values if distinct else set(values)
+    order = {value: index for index, value in enumerate(sorted(unique), start=1)}
     size = len(order)
     tree = [0] * (size + 1)
     inversions = 0
@@ -122,28 +131,31 @@ def kendall_tau_ranked_lists(
     Returns 1.0 for identical orderings.  Raises ``ValueError`` when fewer
     than two common items exist.
     """
-    rank_a = {item: idx for idx, item in enumerate(list_a)}
     rank_b = {item: idx for idx, item in enumerate(list_b)}
+    if (restrict_to_common and len(rank_b) == len(list_b)
+            and len(set(list_a)) == len(list_a)):
+        # Rank-coordinate fast path: the common items are enumerated in
+        # ``list_a`` order, so the x ranks are strictly increasing and the
+        # y ranks are distinct integers — no ties, no sort, and no
+        # ``rank_a`` dictionary needed.  The discordant pairs are exactly
+        # the inversions of the y sequence, and tau-b's denominator
+        # collapses to the total pair count.  Lists with duplicate items
+        # fall through to the general path, whose tie handling reproduces
+        # their (degenerate) tau.
+        y = [rank_b[item] for item in list_a if item in rank_b]
+        if len(y) < 2:
+            raise ValueError("need at least two common items to correlate")
+        total_pairs = len(y) * (len(y) - 1) // 2
+        discordant = _count_inversions(y, distinct=True)
+        concordant = total_pairs - discordant
+        return (concordant - discordant) / total_pairs
     if restrict_to_common:
         common = [item for item in list_a if item in rank_b]
     else:
         common = list(dict.fromkeys(list(list_a) + list(list_b)))
     if len(common) < 2:
         raise ValueError("need at least two common items to correlate")
-    if (restrict_to_common
-            and len(rank_a) == len(list_a) and len(rank_b) == len(list_b)):
-        # Rank-coordinate fast path: the common items are enumerated in
-        # ``list_a`` order, so the x ranks are strictly increasing and the
-        # y ranks are distinct integers — no ties, no sort needed.  The
-        # discordant pairs are exactly the inversions of the y sequence,
-        # and tau-b's denominator collapses to the total pair count.
-        # Lists with duplicate items fall through to the general path,
-        # whose tie handling reproduces their (degenerate) tau.
-        y = [rank_b[item] for item in common]
-        total_pairs = len(y) * (len(y) - 1) // 2
-        discordant = _count_inversions(y)
-        concordant = total_pairs - discordant
-        return (concordant - discordant) / total_pairs
+    rank_a = {item: idx for idx, item in enumerate(list_a)}
     missing_rank = max(len(list_a), len(list_b))
     x = [rank_a.get(item, missing_rank) for item in common]
     y = [rank_b.get(item, missing_rank) for item in common]

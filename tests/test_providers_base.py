@@ -74,6 +74,17 @@ class TestListArchive:
         with pytest.raises(ValueError):
             archive.add(snap("umbrella", 9, ["x.com"]))
 
+    def test_duplicate_date_rejected(self, archive):
+        # Silently shadowing an archived day would stale every derived
+        # cache and index without a trace; the archive must refuse.
+        duplicate = snap("alexa", 2, ["replacement.com"])
+        assert duplicate.date in archive
+        with pytest.raises(ValueError, match="already holds"):
+            archive.add(duplicate)
+        # The original snapshot and the date index are untouched.
+        assert "replacement.com" not in archive[duplicate.date]
+        assert archive.dates() == sorted(set(archive.dates()))
+
     def test_period(self, archive):
         start = archive.dates()[1]
         end = archive.dates()[3]

@@ -10,6 +10,7 @@ scenario fingerprints.
 """
 
 import datetime as dt
+import json
 import pathlib
 import threading
 import urllib.error
@@ -333,6 +334,35 @@ class TestProtocol:
             with pytest.raises(urllib.error.HTTPError) as excinfo:
                 urllib.request.urlopen(request, timeout=10)
             assert excinfo.value.code == 304
+        finally:
+            server.shutdown()
+            server.server_close()
+
+    def test_write_methods_rejected_with_405_and_allow(self, service):
+        # The API is read-only: POST/PUT/DELETE must answer 405 with an
+        # Allow header (not http.server's default 501), and the body must
+        # be the usual JSON error envelope.
+        server = create_server(service)
+        port = server.server_address[1]
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        try:
+            for method, data in (("POST", b'{"attempt": "write"}'),
+                                 ("PUT", b"x"), ("DELETE", None)):
+                request = urllib.request.Request(
+                    f"http://127.0.0.1:{port}/v1/meta", data=data, method=method)
+                with pytest.raises(urllib.error.HTTPError) as excinfo:
+                    urllib.request.urlopen(request, timeout=10)
+                error = excinfo.value
+                assert error.code == 405, method
+                assert error.headers["Allow"] == "GET, HEAD", method
+                payload = json.loads(error.read().decode("utf-8"))
+                assert payload["error"]["status"] == 405
+                assert method in payload["error"]["message"]
+            # The connection stays usable for reads after the rejection.
+            with urllib.request.urlopen(
+                    f"http://127.0.0.1:{port}/v1/meta", timeout=10) as wire:
+                assert wire.status == 200
         finally:
             server.shutdown()
             server.server_close()
