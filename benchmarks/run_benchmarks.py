@@ -501,6 +501,45 @@ def run_service(out_dir: Path, days: int) -> Path:
                     "requests_timed": requests,
                 }
             results["endpoints"] = endpoints
+
+            print("timing live appends (POST /v1/ingest) ...")
+            import datetime
+
+            last_date = store.dates("alexa")[-1]
+            template = archives["alexa"][len(archives["alexa"]) - 1].entries
+            ingest_days = 5
+            ingest_times = []
+            requery_times = []
+            for offset in range(1, ingest_days + 1):
+                day = last_date + datetime.timedelta(days=offset)
+                body = json.dumps({
+                    "provider": "alexa", "date": day.isoformat(),
+                    "entries": list(template[offset:] + template[:offset]),
+                }).encode("utf-8")
+
+                def post_ingest():
+                    request = urllib.request.Request(
+                        f"http://127.0.0.1:{port}/v1/ingest", data=body,
+                        method="POST",
+                        headers={"Content-Type": "application/json"})
+                    with urllib.request.urlopen(request, timeout=60) as resp:
+                        return resp.read()
+
+                _, ingest_s = _timed(post_ingest)
+                ingest_times.append(ingest_s)
+                _, requery_s = _timed(
+                    lambda: fetch(targets["history"]))
+                requery_times.append(requery_s)
+            post_meta = json.loads(fetch("/v1/meta"))
+            assert post_meta["providers"]["alexa"]["days"] == days + ingest_days, \
+                "live appends not visible without restart"
+            results["live_append"] = {
+                "days_appended": ingest_days,
+                "list_size": len(template),
+                "mean_ingest_seconds": sum(ingest_times) / len(ingest_times),
+                "mean_post_append_history_seconds":
+                    sum(requery_times) / len(requery_times),
+            }
         finally:
             server.shutdown()
             server.server_close()
@@ -523,6 +562,10 @@ def run_service(out_dir: Path, days: int) -> Path:
     for name, row in results["endpoints"].items():
         print(f"endpoint {name:<10} cold {row['cold_seconds'] * 1000:7.1f} ms   "
               f"cached {row['cached_requests_per_second']:7.0f} req/s")
+    live = results["live_append"]
+    print(f"live append: {live['mean_ingest_seconds'] * 1000:.1f} ms/ingest "
+          f"({live['list_size']}-entry day), first post-append history "
+          f"{live['mean_post_append_history_seconds'] * 1000:.1f} ms")
     print(f"wrote {path}")
     return path
 

@@ -17,6 +17,10 @@ column instead of a string memo.
   are resolved, and a per-base reference count keeps the set exact when
   several FQDNs map to the same base.  :func:`archive_base_domain_sets`
   is the string-view derivation (identical values, shared objects).
+* :func:`extend_base_id_sets` is the live-append entry point: it adds a
+  snapshot to an archive while carrying the cached per-day base-id
+  mappings forward by one day instead of letting ``archive.add`` drop
+  them (the serving layer's ``/v1/ingest`` path).
 * :func:`archive_sld_count_events` tracks per-day SLD-group membership
   counts as change events (day index, new count), again delta-driven.
 * :func:`archive_rank_series_ids` / :func:`archive_rank_partition_ids`
@@ -215,6 +219,42 @@ def seed_base_domain_sets(archive: ListArchive,
         as_ids[date] = id_set
     seed_base_id_sets(archive, as_ids, psl=psl, top_n=top_n)
     return archive_base_domain_sets(archive, top_n=top_n, psl=psl)
+
+
+def extend_base_id_sets(archive: ListArchive, snapshot: ListSnapshot,
+                        psl: Optional[PublicSuffixList] = None) -> None:
+    """Add ``snapshot`` to ``archive`` without losing the delta engine.
+
+    :meth:`~repro.providers.base.ListArchive.add` drops the archive's
+    derived caches wholesale — correct, but it would force a live-append
+    server to redo a month of base-domain deltas for every ingested day.
+    This helper captures the cached full-range per-day base-id mappings
+    (every ``top_n`` variant computed under ``psl``) *before* the add,
+    appends the new day's set — resolved through the same base-id
+    column, so the value is exactly what the delta engine would compute
+    — and reinstalls the extended mappings afterwards.
+
+    Falls back to a plain (cold) ``add`` when the snapshot is not
+    strictly after the archive's last date: a mid-series insert would
+    reorder the per-day mapping, so correctness wins over warmth.
+    """
+    psl = psl or _DEFAULT_PSL
+    pkey = _psl_key(psl)
+    cache = archive.__dict__.get("_analysis_cache", {})
+    last = archive.dates()[-1] if len(archive) else None
+    captured = [
+        (key[1], view) for key, view in cache.items()
+        if key[0] == "base-domain-sets" and key[2] is None and key[3] == pkey
+    ] if last is not None and snapshot.date > last else []
+    archive.add(snapshot)
+    if not captured:
+        return
+    fresh = _archive_cache(archive)
+    for top_n, view in captured:
+        snap = snapshot.top(top_n) if top_n is not None else snapshot
+        extended = dict(view)
+        extended[snap.date] = snapshot_base_ids(snap, psl)
+        fresh[("base-domain-sets", top_n, None, pkey)] = MappingProxyType(extended)
 
 
 def snapshot_base_ids(snapshot: ListSnapshot,

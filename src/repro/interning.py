@@ -78,15 +78,21 @@ class BaseIdColumn:
         """The base domain's id for ``domain_id`` (resolved on demand)."""
         ids = self._ids
         if domain_id >= len(ids):
-            ids.extend([_UNRESOLVED] * (len(self._interner) - len(ids)))
+            # Live appends grow the interner while readers resolve; the
+            # extend runs under the interner's lock so two threads cannot
+            # interleave their length reads and stack duplicate padding.
+            with self._interner._lock:
+                if domain_id >= len(ids):
+                    ids.extend([_UNRESOLVED] * (self._interner._size() - len(ids)))
         resolved = ids[domain_id]
         if resolved == _UNRESOLVED:
             base = base_of(self._interner.domain(domain_id), self._psl)
             resolved = self._interner.intern(base)
-            if resolved >= len(ids):
-                # Interning the base may have grown the id space.
-                ids.extend([_UNRESOLVED] * (self._interner._size() - len(ids)))
-            ids[domain_id] = resolved
+            with self._interner._lock:
+                if resolved >= len(ids):
+                    # Interning the base may have grown the id space.
+                    ids.extend([_UNRESOLVED] * (self._interner._size() - len(ids)))
+                ids[domain_id] = resolved
         return resolved
 
     def seed(self, domain_id: int, base_id: int) -> None:

@@ -50,6 +50,30 @@ def date_from_filename(path: str | Path) -> Optional[dt.date]:
     return None
 
 
+def iter_csv_domains(text: str, domain_column: int = 1):
+    """Yield the raw domain cell of every *ranked* row of a top-list CSV.
+
+    The one row filter shared by :func:`parse_top_list_csv` and the
+    serving layer's ``POST /v1/ingest`` CSV branch, so a file the
+    offline parser accepts is never rejected over the wire (or vice
+    versa): header rows (no digit in the first cell), rows without the
+    domain column and rows whose cell is empty are skipped; everything
+    else is yielded verbatim (stripped) for the caller to normalise or
+    validate.
+    """
+    for row in csv.reader(io.StringIO(text)):
+        if not row:
+            continue
+        first = row[0].strip()
+        if not first or not first[0].isdigit():
+            continue
+        if domain_column >= len(row):
+            continue
+        domain = row[domain_column].strip()
+        if domain:
+            yield domain
+
+
 def parse_top_list_csv(text: str, provider: str, date: dt.date,
                        domain_column: int = 1) -> ListSnapshot:
     """Parse CSV text with one ranked domain per row.
@@ -71,15 +95,8 @@ def parse_top_list_csv(text: str, provider: str, date: dt.date,
     intern = default_interner().intern
     entry_ids = array("I")
     seen: set[int] = set()
-    for row in csv.reader(io.StringIO(text)):
-        if not row:
-            continue
-        first = row[0].strip()
-        if not first or not first[0].isdigit():
-            continue
-        if domain_column >= len(row):
-            continue
-        domain = row[domain_column].strip().lower().rstrip(".")
+    for raw in iter_csv_domains(text, domain_column):
+        domain = raw.lower().rstrip(".")
         if not domain:
             continue
         domain_id = intern(domain)

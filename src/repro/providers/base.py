@@ -23,13 +23,41 @@ import abc
 import bisect
 import csv
 import datetime as dt
+import re
 import weakref
 from array import array
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Iterable, Iterator, Optional, Sequence
 
+from repro.domain.name import InvalidDomainError, normalise
 from repro.interning import default_interner
+
+#: Characters a label may hold after normalisation on the *wire* ingest
+#: path: LDH plus underscore (real lists carry ``_dmarc``-style names,
+#: and IDNs arrive as punycode).  Stricter than :func:`normalise`, which
+#: only enforces structural limits.
+_WIRE_LABEL_RE = re.compile(r"[^a-z0-9_-]")
+
+
+def clean_wire_entry(raw: object) -> str:
+    """Normalise and charset-validate one untrusted list entry.
+
+    The process interner and the store's domain table are append-only,
+    so wire input must be rejected *before* it can occupy id space.
+    Beyond :func:`~repro.domain.name.normalise`'s structural checks,
+    every label is restricted to ``[a-z0-9_-]`` — arbitrary printable
+    junk fails here instead of being persisted forever.
+    """
+    if not isinstance(raw, str):
+        raise InvalidDomainError(
+            f"list entries must be strings (got {type(raw).__name__})")
+    name = normalise(raw)
+    for label in name.split("."):
+        if _WIRE_LABEL_RE.search(label):
+            raise InvalidDomainError(
+                f"label {label!r} contains characters outside [a-z0-9_-]")
+    return name
 
 
 class ListSnapshot:
@@ -64,6 +92,48 @@ class ListSnapshot:
         state["_ids"] = ids
         snapshot._validate()
         return snapshot
+
+    @classmethod
+    def from_raw_entries(cls, provider: str, date: dt.date,
+                         entries: Iterable[str]) -> "ListSnapshot":
+        """Build a snapshot from *untrusted* wire entries (ingest path).
+
+        The process interner is append-only — nothing interned is ever
+        evicted — so arbitrary network input must be validated **before**
+        it occupies id space forever.  Each entry goes through
+        :func:`clean_wire_entry` (normalised, structurally checked, and
+        charset-restricted to ``[a-z0-9_-]`` labels) *first*; a rejected
+        body interns nothing (validation runs as a whole pass before the
+        first ``intern`` call), so a fuzzed request cannot grow the
+        table.  Duplicates keep their first rank, matching the CSV
+        parsers.
+        """
+        cleaned = [clean_wire_entry(raw) for raw in entries]
+        return cls.from_cleaned_entries(provider, date, cleaned)
+
+    @classmethod
+    def from_cleaned_entries(cls, provider: str, date: dt.date,
+                             cleaned: Sequence[str]) -> "ListSnapshot":
+        """Build a snapshot from *already normalised* names.
+
+        The second stage of :meth:`from_raw_entries`, for callers that
+        validated entries themselves (the serving layer's CSV ingest
+        normalises per row to decide what to skip, and must not pay for
+        normalising everything a second time).  Duplicates keep their
+        first rank.
+        """
+        if not cleaned:
+            raise InvalidDomainError("snapshot has no valid entries")
+        intern = default_interner().intern
+        ids = array("I")
+        seen: set[int] = set()
+        for name in cleaned:
+            domain_id = intern(name)
+            if domain_id in seen:
+                continue
+            seen.add(domain_id)
+            ids.append(domain_id)
+        return cls.from_ids(provider=provider, date=date, ids=ids)
 
     def _validate(self) -> None:
         # Uniqueness via the id-set cache, so a 1M-entry snapshot

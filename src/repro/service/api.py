@@ -4,15 +4,19 @@
 to the analysis library and answers the ``/v1`` endpoints:
 
 ========================================  =====================================
-``/v1/meta``                              store/version/provider inventory
-``/v1/domains/{name}/history``            per-provider rank history, longevity,
+``GET /v1/meta``                          store/version/provider inventory
+``GET /v1/domains/{name}/history``        per-provider rank history, longevity,
                                           days-in-top-k (``providers=``,
                                           ``start=``, ``end=``, ``top_k=``)
-``/v1/providers/{p}/stability``           the Section-6.1 stability battery
+``GET /v1/providers/{p}/stability``       the Section-6.1 stability battery
                                           (``top_n=``)
-``/v1/scenarios/{profile}/report``        the stored scenario report document
-``/v1/compare``                           daily cross-list intersections
+``GET /v1/scenarios/{profile}/report``    the stored scenario report document
+``GET /v1/compare``                       daily cross-list intersections
                                           (``providers=a,b``, ``top_n=``)
+``POST /v1/ingest``                       append one day's snapshot (JSON or
+                                          CSV body) — live, no restart
+``POST /v1/query``                        batch read: many GET targets in one
+                                          request body
 ========================================  =====================================
 
 Every payload is built from the same :mod:`repro.core` /
@@ -26,10 +30,27 @@ Responses carry a strong ETag (SHA-256 of the body) and honour
 ``If-None-Match``; bodies are memoised in a bounded LRU keyed on
 ``(store.version, canonical request)``, so a mutation-free store serves
 repeated queries from memory and any append invalidates everything at
-once.  The HTTP layer is a thin stdlib ``http.server`` wrapper
-(:func:`create_server`); all logic lives in the transport-free
-:meth:`QueryService.handle_request`, which the CLI, tests and benchmarks
-call directly.
+once.
+
+**Consistency model.**  The service runs under ``ThreadingHTTPServer``;
+one lock guards *all* shared state — the LRU, the materialised archives
+and index, and the version the cache key is derived from.  A cache key's
+version and its body are read/produced inside one continuous lock hold,
+and ``/v1/ingest`` mutates under the same lock: store append (durable,
+atomic manifest publish) → incremental delta-engine extension
+(:func:`repro.core.cache.extend_base_id_sets`) → in-process
+:meth:`~repro.service.index.DomainIndex.add`.  Once an ingest response
+is on the wire, every subsequent read observes the new day.
+
+The HTTP layer is a hardened stdlib ``http.server`` wrapper
+(:func:`create_server`): request bodies are length-capped, chunked
+transfer is rejected up front, protocol-level failures (malformed
+request lines, overlong headers) answer with the same JSON error
+envelope as the API proper, and nothing a client sends can raise out of
+a handler thread (the server records would-be escapes in
+``server.unhandled_errors``, which the fuzz tests assert stays empty).
+All logic lives in the transport-free :meth:`QueryService.handle_request`,
+which the CLI, tests and benchmarks call directly.
 """
 
 from __future__ import annotations
@@ -37,13 +58,15 @@ from __future__ import annotations
 import datetime as dt
 import hashlib
 import json
+import sys
 import threading
 from collections import OrderedDict
 from dataclasses import dataclass, field
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any, Mapping, Optional, Sequence
-from urllib.parse import parse_qs, unquote, urlsplit
+from urllib.parse import parse_qs, unquote, urlencode, urlsplit
 
+from repro.core.cache import extend_base_id_sets
 from repro.core.intersection import intersection_over_time
 from repro.core.stability import (
     cumulative_unique_domains,
@@ -53,21 +76,47 @@ from repro.core.stability import (
     mean_daily_change,
     new_domains_per_day,
 )
-from repro.providers.base import ListArchive
+from repro.domain.name import InvalidDomainError
+from repro.listio import iter_csv_domains
+from repro.providers.base import ListArchive, ListSnapshot, clean_wire_entry
 from repro.scenarios.runner import canonical_float as _f
 from repro.service.index import DomainIndex
-from repro.service.store import ArchiveStore, StoreError
+from repro.service.store import ArchiveStore, StoreConflictError, StoreError
 
 #: Default bound of the per-service response LRU.
 DEFAULT_CACHE_SIZE = 256
+
+#: Largest accepted ingest/batch request body (transport and service).
+#: A real top-1M daily list is ~25 MB as JSON, so the cap leaves
+#: paper-scale days comfortable headroom while still bounding a hostile
+#: client's allocation.
+MAX_BODY_BYTES = 64 << 20
+
+#: Most GET targets one ``POST /v1/query`` batch may carry.
+MAX_BATCH_REQUESTS = 100
+
+#: Query parameters each route accepts; anything else is a 400 (a typoed
+#: parameter silently changing nothing is worse than an error).
+_ROUTE_PARAMS: dict[str, frozenset[str]] = {
+    "meta": frozenset(),
+    "history": frozenset({"providers", "start", "end", "top_k"}),
+    "stability": frozenset({"top_n"}),
+    "report": frozenset(),
+    "compare": frozenset({"providers", "top_n"}),
+    "ingest": frozenset({"provider", "date", "domain_column"}),
+    "query": frozenset(),
+}
 
 
 class ApiError(Exception):
     """An error with an HTTP status, rendered as a JSON error body."""
 
-    def __init__(self, status: int, message: str) -> None:
+    def __init__(self, status: int, message: str,
+                 allow: Optional[str] = None) -> None:
         super().__init__(message)
         self.status = status
+        #: ``Allow`` header value for 405 answers (RFC 9110 requires it).
+        self.allow = allow
 
 
 @dataclass
@@ -98,6 +147,32 @@ def json_bytes(payload: Any) -> bytes:
 
 def _etag_of(body: bytes) -> str:
     return '"' + hashlib.sha256(body).hexdigest() + '"'
+
+
+def _is_get_route(tail: list[str]) -> bool:
+    """Whether ``tail`` (path parts after ``v1``) names a GET endpoint."""
+    if tail in (["meta"], ["compare"]):
+        return True
+    return len(tail) == 3 and (tail[0], tail[2]) in {
+        ("domains", "history"), ("providers", "stability"),
+        ("scenarios", "report")}
+
+
+def allowed_methods(path: str) -> str:
+    """The ``Allow`` header value for ``path`` (per-resource, RFC 9110)."""
+    parts = [part for part in path.split("/") if part]
+    if parts[:1] == ["v1"] and parts[1:] in (["ingest"], ["query"]):
+        return "POST"
+    return "GET, HEAD"
+
+
+def _check_params(params: Mapping[str, list[str]], route: str) -> None:
+    allowed = _ROUTE_PARAMS[route]
+    unknown = sorted(set(params) - allowed)
+    if unknown:
+        raise ApiError(
+            400, f"unknown query parameter(s) for {route}: {', '.join(unknown)} "
+                 f"(allowed: {', '.join(sorted(allowed)) or 'none'})")
 
 
 def _parse_date(params: Mapping[str, list[str]], name: str) -> Optional[dt.date]:
@@ -134,6 +209,16 @@ def _parse_providers(params: Mapping[str, list[str]]) -> Optional[list[str]]:
     return names
 
 
+def _decode_json_body(body: bytes, what: str) -> dict:
+    try:
+        document = json.loads(body.decode("utf-8"))
+    except (UnicodeDecodeError, ValueError):
+        raise ApiError(400, f"{what} body is not valid JSON") from None
+    if not isinstance(document, dict):
+        raise ApiError(400, f"{what} body must be a JSON object")
+    return document
+
+
 class QueryService:
     """Query layer over one archive store (transport-free)."""
 
@@ -145,8 +230,16 @@ class QueryService:
         self._archives: dict[str, ListArchive] = {}
         self._index = DomainIndex()
         self._loaded_version: Optional[int] = None
-        # Serves under ThreadingHTTPServer: one lock guards the LRU and
-        # the materialised archives/index against concurrent requests.
+        #: Last few unexpected exceptions answered as generic 500s; the
+        #: envelope withholds their text (it can carry server paths), so
+        #: this is where operators and tests find the detail.
+        self.internal_errors: list[BaseException] = []
+        # Serves under ThreadingHTTPServer: one lock guards the LRU, the
+        # materialised archives/index, AND the store-version reads the
+        # cache keys derive from.  Every shared-state touch in this class
+        # happens inside it — readers and the ingest writer serialise
+        # here, which is what makes a 200 ingest response a barrier:
+        # later reads cannot miss the new day.
         self._lock = threading.RLock()
 
     # -- materialised state ----------------------------------------------
@@ -176,27 +269,30 @@ class QueryService:
                 # per new day).
                 for snapshot in self.store.iter_snapshots(provider):
                     if last_loaded is None or snapshot.date > last_loaded:
-                        archive.add(snapshot)
+                        extend_base_id_sets(archive, snapshot)
                         self._index.add(snapshot)
             self._loaded_version = self.store.data_version
 
     def providers(self) -> tuple[str, ...]:
-        self._refresh()
-        return tuple(sorted(self._archives))
+        with self._lock:
+            self._refresh()
+            return tuple(sorted(self._archives))
 
     def archive(self, provider: str) -> ListArchive:
-        self._refresh()
-        try:
-            return self._archives[provider]
-        except KeyError:
-            known = ", ".join(sorted(self._archives)) or "none"
-            raise ApiError(404, f"unknown provider {provider!r} "
-                                f"(stored: {known})") from None
+        with self._lock:
+            self._refresh()
+            try:
+                return self._archives[provider]
+            except KeyError:
+                known = ", ".join(sorted(self._archives)) or "none"
+                raise ApiError(404, f"unknown provider {provider!r} "
+                                    f"(stored: {known})") from None
 
     @property
     def index(self) -> DomainIndex:
-        self._refresh()
-        return self._index
+        with self._lock:
+            self._refresh()
+            return self._index
 
     def clear_cache(self) -> None:
         """Drop memoised responses (benchmarks' cold-path switch)."""
@@ -347,15 +443,207 @@ class QueryService:
             raise ApiError(404, f"no stored report for profile {profile!r} "
                                 f"(stored: {stored})") from None
 
+    # -- the write path ---------------------------------------------------
+    def _parse_ingest_snapshot(self, body: bytes,
+                               params: Mapping[str, list[str]],
+                               headers: Optional[Mapping[str, str]]
+                               ) -> tuple[ListSnapshot, int]:
+        """Validate an ingest body into a snapshot (no shared state yet).
+
+        Two body formats: a JSON object ``{"provider", "date",
+        "entries"}``, or a ``rank,domain`` CSV body (``domain_column=2``
+        for Majestic's ``rank,tld,domain`` shape) with ``provider=`` and
+        ``date=`` as query parameters.  ``Content-Type`` ``text/csv``
+        selects CSV explicitly; otherwise a body opening with ``{`` is
+        treated as JSON.  Entries are validated as DNS names *before*
+        touching the append-only interner (see
+        :meth:`~repro.providers.base.ListSnapshot.from_raw_entries`); a
+        CSV row failing validation is skipped (downloaded lists carry
+        junk rows) while a JSON entry failing it rejects the request.
+        Returns the snapshot plus the skipped-row count.
+        """
+        if not body:
+            raise ApiError(400, "ingest requires a request body")
+        if len(body) > MAX_BODY_BYTES:
+            raise ApiError(413, f"ingest body exceeds {MAX_BODY_BYTES} bytes")
+        content_type = {key.lower(): value
+                        for key, value in (headers or {}).items()
+                        }.get("content-type", "")
+        kind = content_type.split(";")[0].strip().lower()
+        is_json = (kind in ("application/json", "text/json")
+                   or (kind not in ("text/csv", "text/plain")
+                       and body.lstrip()[:1] == b"{"))
+        if is_json:
+            # The snapshot identity lives in the body; a provider=/date=
+            # query parameter would be silently shadowed, which is the
+            # exact failure mode the unknown-param policy exists to stop.
+            ignored = sorted(set(params) & {"provider", "date", "domain_column"})
+            if ignored:
+                raise ApiError(
+                    400, f"{', '.join(ignored)} query parameter(s) apply to "
+                         "CSV ingest only; a JSON body carries its own "
+                         "provider and date")
+            document = _decode_json_body(body, "ingest")
+            unknown = sorted(set(document) - {"provider", "date", "entries"})
+            if unknown:
+                raise ApiError(400, "unknown ingest field(s): "
+                                    f"{', '.join(unknown)} "
+                                    "(expected provider, date, entries)")
+            provider = document.get("provider")
+            date_raw = document.get("date")
+            entries = document.get("entries")
+            skipped = 0
+            builder = ListSnapshot.from_raw_entries
+        else:
+            provider_values = params.get("provider", [])
+            date_values = params.get("date", [])
+            if not provider_values or not date_values:
+                raise ApiError(400, "CSV ingest requires provider= and date= "
+                                    "query parameters")
+            provider = provider_values[-1]
+            date_raw = date_values[-1]
+            # Mirrors repro.listio.parse_top_list_csv: rank,domain by
+            # default, domain_column=2 for Majestic's rank,tld,domain
+            # format (the repro-serve ingest CLI exposes the same knob).
+            domain_column = _parse_positive_int(params, "domain_column") or 1
+            try:
+                text = body.decode("utf-8")
+            except UnicodeDecodeError:
+                raise ApiError(400, "CSV ingest body is not valid UTF-8") from None
+            # The row filter is shared with parse_top_list_csv, so a file
+            # the offline parser accepts is never rejected over the wire
+            # (and a bare "domain" header line can never become the
+            # rank-1 entry).  Real downloaded lists carry junk rows; like
+            # the offline parser we keep going past them — but unlike it
+            # we validate first and *drop* the junk, so hostile bytes
+            # never occupy interner id space (JSON ingest, whose bodies
+            # are constructed programmatically, stays strict instead).
+            entries = []
+            skipped = 0
+            for raw in iter_csv_domains(text, domain_column):
+                try:
+                    entries.append(clean_wire_entry(raw))
+                except InvalidDomainError:
+                    skipped += 1
+            if not entries:
+                raise ApiError(400, "CSV ingest body holds no rank,domain "
+                                    "rows (send JSON for a bare entry list)")
+            # Rows are already normalised (that is how skipping was
+            # decided); don't pay for a second pass over a 1M-row day.
+            builder = ListSnapshot.from_cleaned_entries
+        if not isinstance(provider, str) or not provider:
+            raise ApiError(400, "ingest provider must be a non-empty string")
+        if not isinstance(date_raw, str):
+            raise ApiError(400, "ingest date must be an ISO date string")
+        try:
+            date = dt.date.fromisoformat(date_raw)
+        except ValueError:
+            raise ApiError(400, f"ingest date must be an ISO date "
+                                f"(got {date_raw!r})") from None
+        if not isinstance(entries, list) or not entries:
+            raise ApiError(400, "ingest entries must be a non-empty list")
+        try:
+            snapshot = builder(provider, date, entries)
+        except InvalidDomainError as error:
+            raise ApiError(400, f"invalid list entry: {error}") from None
+        return snapshot, skipped
+
+    def ingest(self, snapshot: ListSnapshot) -> dict[str, Any]:
+        """Append ``snapshot`` live: store → delta engine → index.
+
+        Everything runs under the service lock, so the moment this
+        returns, every reader (history, stability, compare, meta)
+        observes the new day — no restart, no archive re-replay.  The
+        store append is durable (fsynced tails, atomic manifest publish)
+        before any in-process state is touched; a failed append leaves
+        the service exactly as it was.
+        """
+        with self._lock:
+            self._refresh()
+            try:
+                self.store.append(snapshot)
+            except StoreConflictError as error:
+                raise ApiError(409, str(error)) from None
+            except StoreError as error:
+                raise ApiError(400, str(error)) from None
+            archive = self._archives.get(snapshot.provider)
+            if archive is None:
+                self._archives[snapshot.provider] = \
+                    ListArchive.from_snapshots([snapshot])
+            else:
+                extend_base_id_sets(archive, snapshot)
+            if self._index.last_date(snapshot.provider) != snapshot.date:
+                self._index.add(snapshot)
+            self._loaded_version = self.store.data_version
+            return {
+                "ingested": {
+                    "provider": snapshot.provider,
+                    "date": snapshot.date.isoformat(),
+                    "entries": len(snapshot),
+                },
+                "store_version": self.store.version,
+                "data_version": self.store.data_version,
+            }
+
+    def batch_query_payload(self, body: bytes) -> dict[str, Any]:
+        """Answer many GET targets in one request (``POST /v1/query``).
+
+        The body is ``{"requests": ["/v1/...", ...]}``; each target runs
+        through the same routing/caching pipeline as a standalone GET
+        (so repeated batches hit the LRU), and per-target errors are
+        embedded rather than failing the batch.  The whole batch runs
+        under one lock hold, so every embedded payload — and the
+        top-level ``store_version`` — reflects a single store version
+        even while a writer is ingesting.
+        """
+        document = _decode_json_body(body, "query")
+        unknown = sorted(set(document) - {"requests"})
+        if unknown:
+            raise ApiError(400, f"unknown query field(s): {', '.join(unknown)} "
+                                "(expected requests)")
+        requests = document.get("requests")
+        if not isinstance(requests, list) or not requests:
+            raise ApiError(400, "query requests must be a non-empty list")
+        if len(requests) > MAX_BATCH_REQUESTS:
+            raise ApiError(400, f"query batches are capped at "
+                                f"{MAX_BATCH_REQUESTS} requests "
+                                f"(got {len(requests)})")
+        for target in requests:
+            if not isinstance(target, str) or not target.startswith("/"):
+                raise ApiError(400, f"query targets must be absolute request "
+                                    f"paths (got {target!r})")
+        responses = []
+        with self._lock:
+            version = self.store.version
+            for target in requests:
+                try:
+                    sub = self._answer_get(target)
+                except ApiError as error:
+                    sub = self._error_response(error)
+                responses.append({
+                    "target": target,
+                    "status": sub.status,
+                    "payload": json.loads(sub.body.decode("utf-8")),
+                })
+        return {
+            "requests": len(responses),
+            "responses": responses,
+            "store_version": version,
+        }
+
     # -- request handling -------------------------------------------------
     def _route(self, path: str, params: Mapping[str, list[str]]) -> bytes:
         parts = [part for part in path.split("/") if part]
         if not parts or parts[0] != "v1":
             raise ApiError(404, f"unknown path {path!r} (endpoints live under /v1)")
         tail = parts[1:]
+        if tail in (["ingest"], ["query"]):
+            raise ApiError(405, f"/v1/{tail[0]} requires POST", allow="POST")
         if tail == ["meta"]:
+            _check_params(params, "meta")
             return json_bytes(self.meta_payload())
         if len(tail) == 3 and tail[0] == "domains" and tail[2] == "history":
+            _check_params(params, "history")
             return json_bytes(self.domain_history_payload(
                 tail[1],
                 providers=_parse_providers(params),
@@ -363,67 +651,147 @@ class QueryService:
                 end=_parse_date(params, "end"),
                 top_k=_parse_positive_int(params, "top_k")))
         if len(tail) == 3 and tail[0] == "providers" and tail[2] == "stability":
+            _check_params(params, "stability")
             return json_bytes(self.provider_stability_payload(
                 tail[1], top_n=_parse_positive_int(params, "top_n")))
         if len(tail) == 3 and tail[0] == "scenarios" and tail[2] == "report":
+            _check_params(params, "report")
             return self.scenario_report_bytes(tail[1])
         if tail == ["compare"]:
+            _check_params(params, "compare")
             return json_bytes(self.compare_payload(
                 providers=_parse_providers(params),
                 top_n=_parse_positive_int(params, "top_n")))
         raise ApiError(404, f"unknown path {path!r}")
 
-    def handle_request(self, target: str,
-                       headers: Optional[Mapping[str, str]] = None) -> Response:
-        """Answer one GET request (``target`` is the path with query string).
+    def _answer_get(self, target: str) -> Response:
+        """The GET pipeline: one lock hold covers version → LRU → route.
 
-        Successful bodies are memoised per ``(store.version, canonical
-        request)``; a matching ``If-None-Match`` turns the answer into an
-        empty 304.
+        The cache key's store version, the LRU probe, the payload build
+        and the insertion all happen inside a single continuous lock
+        acquisition — a concurrent ingest can run strictly before or
+        strictly after, never between the version read and the body it
+        is keyed to (the race the version-keyed LRU would otherwise
+        cache a stale body under).
         """
         parsed = urlsplit(target)
         path = unquote(parsed.path)
-        params = parse_qs(parsed.query)
-        canonical = path + "?" + "&".join(
-            f"{key}={','.join(values)}" for key, values in sorted(params.items()))
-        cache_key = (self.store.version, canonical)
+        # keep_blank_values: '?top_n=' must reach validation and fail
+        # loudly, not silently vanish into the default behaviour.
+        params = parse_qs(parsed.query, keep_blank_values=True)
+        # urlencode percent-escapes values, so '?top_n=5&top_n=10' and
+        # '?top_n=5,10' canonicalise differently — a cached 200 for the
+        # former must never answer the latter (which cold-paths to 400).
+        canonical = path + "?" + urlencode(sorted(params.items()), doseq=True)
         with self._lock:
+            version = self.store.version
+            cache_key = (version, canonical)
             cached = self._result_cache.get(cache_key)
             if cached is not None:
                 self._result_cache.move_to_end(cache_key)
-        if cached is not None:
-            response = Response(cached.status, cached.body,
-                                dict(cached.headers))
-            response.headers["X-Repro-Cache"] = "hit"
-        else:
-            try:
-                # Misses compute under the lock: the builders share the
-                # archives' mutable analysis caches with _refresh.
-                with self._lock:
-                    body = self._route(path, params)
-                status = 200
-            except ApiError as error:
-                body = json_bytes({"error": {"status": error.status,
-                                             "message": str(error)}})
-                status = error.status
-            response = Response(status, body, {
+                response = Response(cached.status, cached.body,
+                                    dict(cached.headers))
+                response.headers["X-Repro-Cache"] = "hit"
+                return response
+            body = self._route(path, params)  # ApiError propagates
+            response = Response(200, body, {
                 "Content-Type": "application/json; charset=utf-8",
                 "ETag": _etag_of(body),
-                "X-Repro-Store-Version": str(self.store.version),
+                "X-Repro-Store-Version": str(version),
                 "X-Repro-Cache": "miss",
             })
-            if status == 200:
-                # Payloads are deterministic, so two threads racing to
-                # fill the same key store identical bodies.
-                with self._lock:
-                    self._result_cache[cache_key] = Response(
-                        status, body, dict(response.headers))
-                    while len(self._result_cache) > self.cache_size:
-                        self._result_cache.popitem(last=False)
+            # Payloads are deterministic per version, so two threads
+            # racing to fill the same key store identical bodies.
+            self._result_cache[cache_key] = Response(
+                response.status, body, dict(response.headers))
+            while len(self._result_cache) > self.cache_size:
+                self._result_cache.popitem(last=False)
+        return response
+
+    def _answer_post(self, target: str, headers: Optional[Mapping[str, str]],
+                     body: bytes) -> Response:
+        parsed = urlsplit(target)
+        path = unquote(parsed.path)
+        params = parse_qs(parsed.query, keep_blank_values=True)
+        parts = [part for part in path.split("/") if part]
+        tail = parts[1:] if parts[:1] == ["v1"] else None
+        if tail == ["ingest"]:
+            _check_params(params, "ingest")
+            snapshot, skipped = self._parse_ingest_snapshot(body, params, headers)
+            payload = self.ingest(snapshot)
+            payload["ingested"]["skipped_rows"] = skipped
+        elif tail == ["query"]:
+            _check_params(params, "query")
+            if len(body) > MAX_BODY_BYTES:
+                raise ApiError(413, f"query body exceeds {MAX_BODY_BYTES} bytes")
+            payload = self.batch_query_payload(body)
+        elif tail is not None and _is_get_route(tail):
+            raise ApiError(405, f"method POST not allowed for {path} "
+                                "(allowed: GET, HEAD)", allow="GET, HEAD")
+        else:
+            raise ApiError(404, f"unknown path {path!r}")
+        out = json_bytes(payload)
+        return Response(200, out, {
+            "Content-Type": "application/json; charset=utf-8",
+            "ETag": _etag_of(out),
+            # The payload's version was captured under the lock that
+            # produced it; re-reading here could expose a concurrent
+            # writer's later version in the header of this body.
+            "X-Repro-Store-Version": str(payload["store_version"]),
+            "X-Repro-Cache": "miss",
+        })
+
+    def _error_response(self, error: ApiError) -> Response:
+        body = json_bytes({"error": {"status": error.status,
+                                     "message": str(error)}})
+        headers = {
+            "Content-Type": "application/json; charset=utf-8",
+            "ETag": _etag_of(body),
+            "X-Repro-Store-Version": str(self.store.version),
+            "X-Repro-Cache": "miss",
+        }
+        if error.allow:
+            headers["Allow"] = error.allow
+        return Response(error.status, body, headers)
+
+    def handle_request(self, target: str,
+                       headers: Optional[Mapping[str, str]] = None,
+                       method: str = "GET", body: bytes = b"") -> Response:
+        """Answer one request (``target`` is the path with query string).
+
+        GET/HEAD bodies are memoised per ``(store.version, canonical
+        request)``; a matching ``If-None-Match`` turns the answer into an
+        empty 304.  POST routes to the ingest/batch endpoints.  This
+        method never raises: errors — including unexpected ones — come
+        back as JSON error-envelope responses, which is what keeps the
+        serving threads alive under fuzzed input.
+        """
+        method = method.upper()
+        try:
+            if method in ("GET", "HEAD"):
+                response = self._answer_get(target)
+            elif method == "POST":
+                response = self._answer_post(target, headers, body)
+            else:
+                allow = allowed_methods(unquote(urlsplit(target).path))
+                raise ApiError(405, f"method {method} not allowed "
+                                    f"(allowed: {allow})", allow=allow)
+        except ApiError as error:
+            response = self._error_response(error)
+        except Exception as error:  # noqa: BLE001 — serving must not die
+            # The envelope names only the exception type: str(error) can
+            # carry server-side paths (OSError file names etc.) that a
+            # remote client has no business seeing.  The full exception
+            # is retained on the service for operators and tests.
+            self.internal_errors.append(error)
+            del self.internal_errors[:-16]
+            response = self._error_response(ApiError(
+                500, f"internal error ({type(error).__name__}); "
+                     "detail retained server-side"))
         if_none_match = {key.lower(): value
                          for key, value in (headers or {}).items()
                          }.get("if-none-match")
-        if response.status == 200 and if_none_match:
+        if response.status == 200 and method in ("GET", "HEAD") and if_none_match:
             tags = {tag.strip() for tag in if_none_match.split(",")}
             if "*" in tags or response.headers.get("ETag") in tags:
                 return Response(304, b"", dict(response.headers))
@@ -431,79 +799,200 @@ class QueryService:
 
 
 class _Handler(BaseHTTPRequestHandler):
-    """Minimal HTTP adapter; all behaviour lives in :class:`QueryService`."""
+    """Hardened HTTP adapter; all behaviour lives in :class:`QueryService`."""
 
     service: QueryService  # bound by create_server
-    server_version = "repro-serve/1.0"
+    server_version = "repro-serve/1.1"
     protocol_version = "HTTP/1.1"
+    #: Per-connection socket timeout, so a stalled client cannot pin a
+    #: handler thread forever.
+    timeout = 30
 
-    #: The API is read-only; advertised on 405 responses per RFC 9110.
-    _ALLOWED_METHODS = "GET, HEAD"
+    #: Upper bound on an accepted POST body (413 beyond it, unread).
+    _MAX_BODY = MAX_BODY_BYTES
 
     #: Upper bound on a discarded write-request body (keeps keep-alive
     #: connections in sync without letting a client stream gigabytes).
     _MAX_DISCARDED_BODY = 1 << 20
 
-    def _answer(self, send_body: bool) -> None:
-        response = self.service.handle_request(self.path, dict(self.headers))
+    def _send_service_response(self, response: Response,
+                               send_body: bool = True,
+                               close: bool = False) -> None:
         self.send_response(response.status)
         for name, value in response.headers.items():
             self.send_header(name, value)
         self.send_header("Content-Length", str(len(response.body)))
+        if close:
+            # send_header also flips close_connection for the server loop.
+            self.send_header("Connection", "close")
         self.end_headers()
         if send_body:
             self.wfile.write(response.body)
 
-    def do_GET(self) -> None:  # noqa: N802 (http.server API)
-        self._answer(send_body=True)
+    def _drain_request_body(self) -> bool:
+        """Discard the body of a request whose handler won't read one.
 
-    def do_HEAD(self) -> None:  # noqa: N802
-        self._answer(send_body=False)
-
-    def _method_not_allowed(self) -> None:
-        """Answer a write method with 405 + ``Allow`` instead of 501.
-
-        ``http.server`` responds 501 Unsupported to any method without a
-        ``do_*`` handler, which tells a client the server has no idea
-        what POST *means*.  The accurate answer for a read-only resource
-        is 405 Method Not Allowed with the permitted methods listed.
+        Any method may carry a body (a GET with ``Content-Length`` is
+        unusual but legal); leaving it unread would make the server
+        parse the body bytes as the *next* request line on a keep-alive
+        connection.  Returns whether the connection must close instead
+        (chunked or oversized framing that cannot be drained by length).
         """
-        declared = self.headers.get("Content-Length")
-        must_close = False
         if self.headers.get("Transfer-Encoding"):
-            # A chunked body cannot be drained by length; give up on the
-            # connection rather than parse body bytes as the next request.
-            must_close = True
-        elif declared is not None:
-            try:
-                length = int(declared)
-            except ValueError:
-                length = 0
-                must_close = True
-            pending = min(length, self._MAX_DISCARDED_BODY)
-            if pending > 0:
-                # Drain the request body so a keep-alive connection is
-                # left at a message boundary.
-                self.rfile.read(pending)
-            if length > self._MAX_DISCARDED_BODY:
-                must_close = True
-        body = json_bytes({"error": {
-            "status": 405,
-            "message": (f"method {self.command} not allowed: this API is "
-                        f"read-only (allowed: {self._ALLOWED_METHODS})")}})
-        self.send_response(405)
-        self.send_header("Allow", self._ALLOWED_METHODS)
+            return True
+        declared = self.headers.get("Content-Length")
+        if declared is None:
+            return False
+        try:
+            length = int(declared)
+        except ValueError:
+            return True
+        if length < 0:
+            return True
+        pending = min(length, self._MAX_DISCARDED_BODY)
+        if pending > 0:
+            self.rfile.read(pending)
+        return length > self._MAX_DISCARDED_BODY
+
+    def _send_json_error(self, status: int, message: str,
+                         close: bool = False, allow: Optional[str] = None) -> None:
+        """A transport-level error in the same envelope the API uses."""
+        body = json_bytes({"error": {"status": status, "message": message}})
+        self.send_response(status)
+        if allow:
+            self.send_header("Allow", allow)
         self.send_header("Content-Type", "application/json; charset=utf-8")
         self.send_header("Content-Length", str(len(body)))
-        if must_close:
-            # Advertise the close; send_header also flips close_connection
-            # so the server loop tears the socket down after this answer.
+        if close:
+            # send_header also flips close_connection, so the server loop
+            # tears the socket down after this answer.
             self.send_header("Connection", "close")
         self.end_headers()
         self.wfile.write(body)
 
-    do_POST = _method_not_allowed  # noqa: N815 (http.server API)
-    do_PUT = _method_not_allowed  # noqa: N815
+    def send_error(self, code, message=None, explain=None):  # noqa: D401
+        """JSON error envelope for protocol-level failures.
+
+        ``http.server`` calls this for malformed request lines, overlong
+        headers and unsupported HTTP versions, and would answer with an
+        HTML page; every other error this server emits is a JSON
+        envelope, so protocol errors match it — a fuzzing client always
+        gets a parseable body.  The parser state is unknown at this
+        point, so the connection closes.
+        """
+        self.close_connection = True
+        if message is None:
+            message = self.responses.get(code, ("unknown error",))[0] \
+                if isinstance(self.responses.get(code), tuple) \
+                else "unknown error"
+        body = json_bytes({"error": {"status": int(code), "message": message}})
+        try:
+            self.send_response(int(code), message)
+            self.send_header("Content-Type", "application/json; charset=utf-8")
+            self.send_header("Content-Length", str(len(body)))
+            self.send_header("Connection", "close")
+            self.end_headers()
+            if (self.command != "HEAD"
+                    and int(code) >= 200 and int(code) not in (204, 205, 304)):
+                self.wfile.write(body)
+        except (BrokenPipeError, ConnectionResetError):
+            pass
+
+    def _guarded(self, answer) -> None:
+        """Run ``answer()``; nothing may escape the handler thread."""
+        try:
+            answer()
+        except (BrokenPipeError, ConnectionResetError, TimeoutError):
+            # The client went away mid-response; nothing to answer.
+            self.close_connection = True
+        except Exception:  # noqa: BLE001 — last-ditch: keep the thread alive
+            try:
+                self._send_json_error(500, "internal server error", close=True)
+            except OSError:
+                self.close_connection = True
+
+    def _answer(self, send_body: bool) -> None:
+        must_close = self._drain_request_body()
+        response = self.service.handle_request(self.path, dict(self.headers))
+        self._send_service_response(response, send_body, close=must_close)
+
+    def do_GET(self) -> None:  # noqa: N802 (http.server API)
+        self._guarded(lambda: self._answer(send_body=True))
+
+    def do_HEAD(self) -> None:  # noqa: N802
+        self._guarded(lambda: self._answer(send_body=False))
+
+    def _read_post_body(self) -> Optional[bytes]:
+        """Read a length-bounded POST body; answer the error and return
+        ``None`` when the framing is unusable.
+
+        Chunked transfer is rejected up front (before any body byte is
+        read): the API's bodies are small and length-known, and a
+        truncated chunk stream must never stall or desync a handler
+        thread.  Oversized declarations answer 413 *without reading*,
+        and a body shorter than its declaration (client hung up) is a
+        400.
+        """
+        if self.headers.get("Transfer-Encoding"):
+            self._send_json_error(
+                400, "chunked transfer encoding is not supported; "
+                     "send Content-Length", close=True)
+            return None
+        declared = self.headers.get("Content-Length")
+        if declared is None:
+            self._send_json_error(411, "POST requires Content-Length", close=True)
+            return None
+        try:
+            length = int(declared)
+        except ValueError:
+            self._send_json_error(
+                400, f"invalid Content-Length {declared!r}", close=True)
+            return None
+        if length < 0:
+            self._send_json_error(
+                400, f"invalid Content-Length {declared!r}", close=True)
+            return None
+        if length > self._MAX_BODY:
+            self._send_json_error(
+                413, f"request body exceeds {self._MAX_BODY} bytes", close=True)
+            return None
+        body = self.rfile.read(length) if length else b""
+        if len(body) < length:
+            self._send_json_error(
+                400, "request body shorter than Content-Length", close=True)
+            return None
+        return body
+
+    def do_POST(self) -> None:  # noqa: N802
+        def answer() -> None:
+            body = self._read_post_body()
+            if body is None:
+                return
+            response = self.service.handle_request(
+                self.path, dict(self.headers), method="POST", body=body)
+            self._send_service_response(response)
+
+        self._guarded(answer)
+
+    def _method_not_allowed(self) -> None:
+        """Answer an unsupported write method with 405 + ``Allow``.
+
+        ``http.server`` responds 501 Unsupported to any method without a
+        ``do_*`` handler, which tells a client the server has no idea
+        what PUT *means*.  The accurate answer is 405 Method Not Allowed
+        with the resource's permitted methods listed.
+        """
+        def answer() -> None:
+            must_close = self._drain_request_body()
+            allow = allowed_methods(urlsplit(self.path).path)
+            self._send_json_error(
+                405, f"method {self.command} not allowed "
+                     f"(allowed: {allow})",
+                close=must_close, allow=allow)
+
+        self._guarded(answer)
+
+    do_PUT = _method_not_allowed  # noqa: N815 (http.server API)
     do_DELETE = _method_not_allowed  # noqa: N815
     do_PATCH = _method_not_allowed  # noqa: N815
 
@@ -511,12 +1000,36 @@ class _Handler(BaseHTTPRequestHandler):
         pass  # keep the serving process quiet; curl/tests read the bodies
 
 
+class ApiHTTPServer(ThreadingHTTPServer):
+    """Threaded server that records unexpected handler-thread failures.
+
+    The handler layer is built so no client input can raise out of a
+    request (``QueryService.handle_request`` never raises, transport
+    errors answer JSON envelopes); :attr:`unhandled_errors` is the
+    tripwire proving it — the fuzz and concurrency tests assert it
+    stays empty.  Client disconnects are not failures and are ignored.
+    """
+
+    daemon_threads = True
+
+    def __init__(self, *args: Any, **kwargs: Any) -> None:
+        super().__init__(*args, **kwargs)
+        self.unhandled_errors: list[BaseException] = []
+
+    def handle_error(self, request, client_address) -> None:  # noqa: D102
+        error = sys.exc_info()[1]
+        if isinstance(error, (ConnectionError, TimeoutError)):
+            return
+        self.unhandled_errors.append(error)
+
+
 def create_server(service: QueryService, host: str = "127.0.0.1",
-                  port: int = 0) -> ThreadingHTTPServer:
+                  port: int = 0) -> ApiHTTPServer:
     """A ready-to-run threaded HTTP server bound to ``service``.
 
     ``port=0`` picks a free port (``server.server_address[1]``); call
-    ``serve_forever()`` to run and ``shutdown()`` to stop.
+    ``serve_forever()`` to run and ``shutdown()`` to stop.  The returned
+    server exposes ``unhandled_errors`` (see :class:`ApiHTTPServer`).
     """
     handler = type("BoundHandler", (_Handler,), {"service": service})
-    return ThreadingHTTPServer((host, port), handler)
+    return ApiHTTPServer((host, port), handler)

@@ -1,17 +1,20 @@
-"""``repro-serve`` — build, serve and query archive stores.
+"""``repro-serve`` — build, serve, feed and query archive stores.
 
-Three subcommands::
+Four subcommands::
 
-    repro-serve init  --store DIR [--scenario NAME] [--tiny] [--no-report]
-    repro-serve serve --store DIR [--host H] [--port P]
-    repro-serve query --store DIR TARGET [TARGET ...]
+    repro-serve init   --store DIR [--scenario NAME] [--tiny] [--no-report]
+    repro-serve serve  --store DIR [--host H] [--port P]
+    repro-serve ingest --store DIR --provider P [--date D] FILE [FILE ...]
+    repro-serve query  --store DIR TARGET [TARGET ...]
 
 ``init`` simulates a scenario profile, persists its three provider
 archives into an :class:`~repro.service.store.ArchiveStore` and stores
 the scenario's report document; ``serve`` boots the ``/v1`` JSON API on
-stdlib ``http.server``; ``query`` answers requests offline through the
-same :class:`~repro.service.api.QueryService` (handy for smoke tests and
-debugging without a socket).
+stdlib ``http.server``; ``ingest`` appends downloaded top-list CSVs
+(``rank,domain``, ``.zip``/``.csv.gz`` supported) to an existing store —
+the offline twin of ``POST /v1/ingest``; ``query`` answers requests
+offline through the same :class:`~repro.service.api.QueryService` (handy
+for smoke tests and debugging without a socket).
 
 Also runnable uninstalled: ``PYTHONPATH=src python -m repro.service.cli``.
 """
@@ -20,6 +23,7 @@ from __future__ import annotations
 
 import argparse
 import dataclasses
+import datetime as dt
 import sys
 from pathlib import Path
 from typing import Optional, Sequence
@@ -95,6 +99,62 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_ingest(args: argparse.Namespace) -> int:
+    from repro.domain.name import InvalidDomainError
+    from repro.listio import read_top_list
+    from repro.providers.base import ListSnapshot, clean_wire_entry
+
+    def validated(snapshot):
+        """Apply the wire ingest's validation: junk rows are skipped.
+
+        Real downloaded lists carry junk rows; `POST /v1/ingest` skips
+        them (counted), and the offline twin must accept the same files
+        — and keep them out of the store's persistent domain table.
+        """
+        cleaned, skipped = [], 0
+        for name in snapshot.entries:
+            try:
+                cleaned.append(clean_wire_entry(name))
+            except InvalidDomainError:
+                skipped += 1
+        return ListSnapshot.from_cleaned_entries(
+            snapshot.provider, snapshot.date, cleaned), skipped
+
+    try:
+        store = ArchiveStore(args.store, create=args.create)
+    except StoreError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    if args.date is not None and len(args.files) > 1:
+        print("error: --date only applies to a single file; embed ISO dates "
+              "in the file names for batches", file=sys.stderr)
+        return 2
+    appended = 0
+    try:
+        for path in args.files:
+            try:
+                snapshot, skipped = validated(read_top_list(
+                    path, provider=args.provider, date=args.date,
+                    domain_column=args.domain_column))
+                # Batched like append_archive: one durable manifest write
+                # (and one fsync pass) for the whole invocation instead
+                # of a full fsync chain per file.
+                store.append(snapshot, sync=False)
+                appended += 1
+            except (StoreError, ValueError, OSError) as error:
+                print(f"error: {path}: {error}", file=sys.stderr)
+                return 2
+            note = f" ({skipped} junk rows skipped)" if skipped else ""
+            print(f"  ingested {args.provider} {snapshot.date}: "
+                  f"{len(snapshot)} entries{note}")
+    finally:
+        if appended:
+            store.flush()
+    print(f"store at {args.store} now at version {store.version} "
+          f"({len(store)} snapshots)")
+    return 0
+
+
 def _cmd_query(args: argparse.Namespace) -> int:
     try:
         store = ArchiveStore(args.store, create=False)
@@ -134,6 +194,24 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--host", default="127.0.0.1")
     serve.add_argument("--port", type=int, default=8098)
     serve.set_defaults(func=_cmd_serve)
+
+    ingest = commands.add_parser(
+        "ingest", help="append downloaded top-list CSVs to an existing store")
+    ingest.add_argument("--store", required=True, help="store directory to extend")
+    ingest.add_argument("--create", action="store_true",
+                        help="create the store if it does not exist yet "
+                             "(real-data stores need no init)")
+    ingest.add_argument("--provider", required=True,
+                        help="provider name the snapshots belong to")
+    ingest.add_argument("--date", type=dt.date.fromisoformat, default=None,
+                        help="snapshot date (single file only; otherwise "
+                             "derived from ISO dates in the file names)")
+    ingest.add_argument("--domain-column", type=int, default=1,
+                        help="CSV column holding the domain (default 1; "
+                             "Majestic's rank,tld,domain format uses 2)")
+    ingest.add_argument("files", nargs="+", metavar="FILE",
+                        help="top-list files (.csv, .csv.gz or .zip)")
+    ingest.set_defaults(func=_cmd_ingest)
 
     query = commands.add_parser(
         "query", help="answer API requests offline (no server)")

@@ -187,6 +187,18 @@ class DomainIndex:
         state = self._providers.get(provider)
         return len(state.observations) if state else 0
 
+    def last_date(self, provider: str) -> Optional[dt.date]:
+        """The newest indexed date of ``provider`` (``None`` when empty).
+
+        The live-append path checks this before wiring a freshly ingested
+        snapshot in, so a double-apply is rejected by :meth:`add` rather
+        than silently double-counted.
+        """
+        state = self._providers.get(provider)
+        if state is None or not state.dates:
+            return None
+        return dt.date.fromordinal(state.dates[-1])
+
     # -- queries ----------------------------------------------------------
     def _postings(self, domain: str, provider: str) -> array:
         state = self._providers.get(provider)

@@ -35,6 +35,17 @@ token of the query layer.  The manifest is the durable truth: table or
 shard bytes past the manifest's counts are an orphaned tail from an
 append that crashed before its manifest flush, and are truncated away on
 the next open.
+
+**Live appends.**  The store is safe to append to while readers are
+active in the same process.  Writers serialise on one lock; the table
+and shard tails are written (and, for synced appends, fsynced) *before*
+the manifest flips, and the in-memory manifest is copy-on-write: an
+append builds a fresh manifest dict and publishes it with a single
+reference swap, so a reader never observes ``store.version`` bumped
+ahead of the date log it describes.  Readers that walk several manifest
+fields (``load_archive``, ``iter_snapshots``) capture one manifest
+reference up front and answer entirely from that consistent snapshot,
+even if appends land mid-iteration.
 """
 
 from __future__ import annotations
@@ -43,6 +54,7 @@ import datetime as dt
 import json
 import os
 import struct
+import threading
 import zlib
 from array import array
 from pathlib import Path
@@ -65,6 +77,15 @@ FORMAT_VERSION = 2
 
 class StoreError(RuntimeError):
     """Raised on malformed store contents or invalid append sequences."""
+
+
+class StoreConflictError(StoreError):
+    """An append that conflicts with already-published days.
+
+    Distinguished from plain :class:`StoreError` so API layers can map
+    out-of-order/duplicate days to 409 Conflict without matching on the
+    error message.
+    """
 
 
 def _month_key(date: dt.date) -> str:
@@ -188,6 +209,19 @@ class ArchiveStore:
         self._table_path = self.root / "interner.tbl"
         self._table_state: Optional[_TableState] = None
         self._shard_offsets: dict[tuple[str, str], int] = {}
+        # Serialises mutations (and the lazy table load, which may
+        # truncate an orphaned tail) against concurrent appenders.
+        self._write_lock = threading.RLock()
+        # Files appended (and directories created) with sync=False since
+        # the last durable manifest; the next durable write fsyncs them
+        # before the manifest may name their records.
+        self._dirty_files: set[Path] = set()
+        self._dirty_dirs: set[Path] = set()
+        stale_tmp = self._manifest_path.with_suffix(".json.tmp")
+        if stale_tmp.exists():
+            # A crash mid-publish leaves a (possibly truncated) tmp
+            # manifest; the real manifest is intact, the tmp is garbage.
+            stale_tmp.unlink()
         if self._manifest_path.exists():
             manifest = json.loads(self._manifest_path.read_text(encoding="utf-8"))
             if manifest.get("format_version") != FORMAT_VERSION:
@@ -206,11 +240,37 @@ class ArchiveStore:
             raise StoreError(f"no archive store at {self.root}")
 
     # -- manifest ---------------------------------------------------------
-    def _write_manifest(self) -> None:
-        text = json.dumps(self._manifest, indent=2, sort_keys=True) + "\n"
+    @staticmethod
+    def _fsync_dir(directory: Path) -> None:
+        """Flush a directory entry (new file / rename) to stable storage."""
+        fd = os.open(directory, os.O_RDONLY)
+        try:
+            os.fsync(fd)
+        finally:
+            os.close(fd)
+
+    def _publish_manifest(self, manifest: dict) -> None:
+        """Write ``manifest`` durably up to the atomic rename.
+
+        After this returns the on-disk manifest *is* ``manifest`` —
+        callers that need to distinguish pre- from post-publish failures
+        (the append rollback) call this and then
+        :meth:`_fsync_dir` separately.
+        """
+        text = json.dumps(manifest, indent=2, sort_keys=True) + "\n"
         tmp = self._manifest_path.with_suffix(".json.tmp")
-        tmp.write_text(text, encoding="utf-8")
+        with tmp.open("w", encoding="utf-8") as handle:
+            handle.write(text)
+            handle.flush()
+            os.fsync(handle.fileno())
         os.replace(tmp, self._manifest_path)
+
+    def _write_manifest(self, manifest: Optional[dict] = None) -> None:
+        if manifest is None:
+            manifest = self._manifest
+        self._publish_manifest(manifest)
+        # The rename itself must survive power loss, not just the bytes.
+        self._fsync_dir(self.root)
 
     @property
     def version(self) -> int:
@@ -232,6 +292,8 @@ class ArchiveStore:
 
     def dates(self, provider: str) -> list[dt.date]:
         """Stored snapshot dates of ``provider``, in append (= date) order."""
+        # One manifest read: published manifests are never mutated in
+        # place, so the entry is a consistent snapshot under appends.
         entry = self._manifest["providers"].get(provider)
         if entry is None:
             return []
@@ -254,24 +316,32 @@ class ArchiveStore:
         """
         state = self._table_state
         if state is None:
-            expected = self._manifest["interner"]["entries"]
-            if self._table_path.exists():
-                data = self._table_path.read_bytes()
-                state = _decode_table(data, expected, self._table_path)
-                if state.consumed_bytes < len(data):
-                    with self._table_path.open("r+b") as handle:
-                        handle.truncate(state.consumed_bytes)
-            else:
-                if expected:
-                    raise StoreError(f"manifest names missing table {self._table_path}")
-                state = _TableState()
-            psl = default_list()
-            if self._manifest["interner"]["psl_version"] == psl.version:
-                column = default_interner().base_column(psl)
-                seed = column.seed
-                for gid, base_gid in zip(state.gids, state.base_gids):
-                    seed(gid, base_gid)
-            self._table_state = state
+            # Built under the write lock: the first load may truncate an
+            # orphaned tail, which must not race an in-flight append that
+            # is growing the very same file.
+            with self._write_lock:
+                state = self._table_state
+                if state is not None:
+                    return state
+                expected = self._manifest["interner"]["entries"]
+                if self._table_path.exists():
+                    data = self._table_path.read_bytes()
+                    state = _decode_table(data, expected, self._table_path)
+                    if state.consumed_bytes < len(data):
+                        with self._table_path.open("r+b") as handle:
+                            handle.truncate(state.consumed_bytes)
+                else:
+                    if expected:
+                        raise StoreError(
+                            f"manifest names missing table {self._table_path}")
+                    state = _TableState()
+                psl = default_list()
+                if self._manifest["interner"]["psl_version"] == psl.version:
+                    column = default_interner().base_column(psl)
+                    seed = column.seed
+                    for gid, base_gid in zip(state.gids, state.base_gids):
+                        seed(gid, base_gid)
+                self._table_state = state
         return state
 
     def _table_append(self, state: _TableState, gid: int, column) -> tuple[int, bytes]:
@@ -293,9 +363,16 @@ class ArchiveStore:
     def _shard_path(self, provider: str, month: str) -> Path:
         return self.root / "shards" / provider / f"{month}.rls"
 
-    def _shard_records(self, provider: str, month: str) -> int:
-        """The manifest's record count for a shard (the durable truth)."""
-        entry = self._manifest["providers"].get(provider)
+    def _shard_records(self, provider: str, month: str,
+                       manifest: Optional[dict] = None) -> int:
+        """The manifest's record count for a shard (the durable truth).
+
+        ``manifest`` lets a multi-step reader pin one published manifest
+        so a concurrent append cannot shift the counts mid-walk.
+        """
+        if manifest is None:
+            manifest = self._manifest
+        entry = manifest["providers"].get(provider)
         return entry["shards"].get(month, 0) if entry else 0
 
     def _shard_append_offset(self, provider: str, month: str) -> int:
@@ -324,18 +401,33 @@ class ArchiveStore:
             self._shard_offsets[key] = offset
         return offset
 
-    def _months(self, provider: str) -> list[str]:
-        entry = self._manifest["providers"].get(provider)
+    def _months(self, provider: str,
+                manifest: Optional[dict] = None) -> list[str]:
+        if manifest is None:
+            manifest = self._manifest
+        entry = manifest["providers"].get(provider)
         return sorted(entry["shards"]) if entry else []
+
+    @staticmethod
+    def _append_file(path: Path, data: bytes, sync: bool) -> None:
+        with path.open("ab") as handle:
+            handle.write(data)
+            if sync:
+                handle.flush()
+                os.fsync(handle.fileno())
 
     # -- appends ----------------------------------------------------------
     def append(self, snapshot: ListSnapshot, sync: bool = True) -> None:
         """Append one snapshot (strictly after the provider's last date).
 
-        New domains (and their bases) land in the shared table, the id
-        record hits the shard file immediately; with ``sync`` (the
-        default) the manifest is rewritten too.  Batch callers may pass
-        ``sync=False`` and :meth:`flush` once.
+        Concurrent-safe against in-process readers: writers serialise on
+        the store's write lock, new table/shard bytes are written (and,
+        with ``sync``, fsynced) *before* the manifest flips, and the
+        in-memory manifest is published as one new dict — a reader never
+        observes a version whose record counts outrun the data on disk.
+        With ``sync`` (the default) the manifest is rewritten durably per
+        append; batch callers may pass ``sync=False`` and :meth:`flush`
+        once, which fsyncs the accumulated tails first.
         """
         provider = snapshot.provider
         if (not provider or "/" in provider or "\\" in provider
@@ -343,54 +435,125 @@ class ArchiveStore:
             # Provider names become shard path components; reject anything
             # that could escape the store root.
             raise StoreError(f"invalid provider name {provider!r}")
-        entry = self._manifest["providers"].setdefault(
-            provider, {"dates": [], "shards": {}})
-        ordinal = snapshot.date.toordinal()
-        if entry["dates"] and ordinal <= entry["dates"][-1]:
-            last = dt.date.fromordinal(entry["dates"][-1])
-            raise StoreError(
-                f"append-only: {provider} snapshot {snapshot.date} is not after "
-                f"the stored {last}")
-        table = self._table()
-        psl = default_list()
-        column = default_interner().base_column(psl)
-        index = table.sid_by_gid()
-        new_table_bytes = bytearray()
-        store_ids = []
-        for gid in snapshot.entry_ids():
-            sid = index.get(gid)
-            if sid is None:
-                sid, encoded = self._table_append(table, gid, column)
-                new_table_bytes += encoded
-            store_ids.append(sid)
-        month = _month_key(snapshot.date)
-        offset = self._shard_append_offset(provider, month)
-        payload = zlib.compress(struct.pack(f"<{len(store_ids)}I", *store_ids), 6)
-        record = _HEADER.pack(_MAGIC, ordinal, psl.version,
-                              len(store_ids), len(payload)) + payload
-        if new_table_bytes:
-            with self._table_path.open("ab") as handle:
-                handle.write(new_table_bytes)
-            table.consumed_bytes += len(new_table_bytes)
-        path = self._shard_path(provider, month)
-        path.parent.mkdir(parents=True, exist_ok=True)
-        with path.open("ab") as handle:
-            handle.write(record)
-        self._shard_offsets[(provider, month)] = offset + len(record)
-        entry["dates"].append(ordinal)
-        entry["shards"][month] = entry["shards"].get(month, 0) + 1
-        interner_entry = self._manifest["interner"]
-        if interner_entry["entries"] == 0:
-            interner_entry["psl_version"] = psl.version
-        elif interner_entry["psl_version"] != psl.version:
-            # Mixed-version table: stored bases are only trusted when the
-            # whole table was normalised under one (the current) version.
-            interner_entry["psl_version"] = None
-        interner_entry["entries"] = len(table)
-        self._manifest["store_version"] += 1
-        self._manifest["data_version"] = self._manifest.get("data_version", 0) + 1
-        if sync:
-            self._write_manifest()
+        with self._write_lock:
+            manifest = self._manifest
+            entry = manifest["providers"].get(provider, {"dates": [], "shards": {}})
+            ordinal = snapshot.date.toordinal()
+            if entry["dates"] and ordinal <= entry["dates"][-1]:
+                last = dt.date.fromordinal(entry["dates"][-1])
+                raise StoreConflictError(
+                    f"append-only: {provider} snapshot {snapshot.date} is not after "
+                    f"the stored {last}")
+            table = self._table()
+            table_len_before = len(table)
+            table_bytes_before = table.consumed_bytes
+            psl = default_list()
+            column = default_interner().base_column(psl)
+            index = table.sid_by_gid()
+            month = _month_key(snapshot.date)
+            path = self._shard_path(provider, month)
+            offset = self._shard_append_offset(provider, month)
+            published = False
+            try:
+                # Inside the try: _table_append mutates the in-memory
+                # table per new domain, and a mid-loop failure (e.g. a
+                # name the base-id column cannot normalise) must unwind
+                # those entries like any other failed append.
+                new_table_bytes = bytearray()
+                store_ids = []
+                for gid in snapshot.entry_ids():
+                    sid = index.get(gid)
+                    if sid is None:
+                        sid, encoded = self._table_append(table, gid, column)
+                        new_table_bytes += encoded
+                    store_ids.append(sid)
+                payload = zlib.compress(
+                    struct.pack(f"<{len(store_ids)}I", *store_ids), 6)
+                record = _HEADER.pack(_MAGIC, ordinal, psl.version,
+                                      len(store_ids), len(payload)) + payload
+                if new_table_bytes:
+                    self._append_file(self._table_path, bytes(new_table_bytes), sync)
+                    table.consumed_bytes += len(new_table_bytes)
+                    if not sync:
+                        self._dirty_files.add(self._table_path)
+                provider_dir = path.parent
+                new_provider_dir = not provider_dir.exists()
+                provider_dir.mkdir(parents=True, exist_ok=True)
+                new_shard = not path.exists()
+                self._append_file(path, record, sync)
+                # New directory entries (the shard file, and on a
+                # provider's first shard its directory) must be durable
+                # before a manifest may name them; with sync=False they
+                # join the dirty set the next durable write drains.
+                if new_shard:
+                    self._dirty_dirs.add(provider_dir)
+                if new_provider_dir:
+                    self._dirty_dirs.add(provider_dir.parent)
+                if not sync:
+                    self._dirty_files.add(path)
+                self._shard_offsets[(provider, month)] = offset + len(record)
+                # Copy-on-write manifest: the published dicts are never
+                # mutated, so readers holding the old reference stay
+                # consistent and the swap below is the atomic publish point.
+                providers = dict(manifest["providers"])
+                providers[provider] = {
+                    "dates": entry["dates"] + [ordinal],
+                    "shards": {**entry["shards"],
+                               month: entry["shards"].get(month, 0) + 1},
+                }
+                interner_entry = dict(manifest["interner"])
+                if interner_entry["entries"] == 0:
+                    interner_entry["psl_version"] = psl.version
+                elif interner_entry["psl_version"] != psl.version:
+                    # Mixed-version table: stored bases are only trusted
+                    # when the whole table was normalised under one (the
+                    # current) version.
+                    interner_entry["psl_version"] = None
+                interner_entry["entries"] = len(table)
+                new_manifest = dict(manifest)
+                new_manifest["providers"] = providers
+                new_manifest["interner"] = interner_entry
+                new_manifest["store_version"] = manifest["store_version"] + 1
+                new_manifest["data_version"] = manifest.get("data_version", 0) + 1
+                if sync:
+                    # Everything the manifest is about to name must be
+                    # durable first: this append's tails were fsynced
+                    # above, but earlier sync=False appends may still owe
+                    # theirs (the manifest counts their records too).
+                    self._sync_dirty()
+                    self._publish_manifest(new_manifest)
+                    published = True
+                    # The rename itself must survive power loss too.
+                    self._fsync_dir(self.root)
+            except BaseException:
+                if published:
+                    # The durable manifest already names this record (only
+                    # a post-rename step failed): the data must stay, and
+                    # the in-memory state must agree with the disk.
+                    self._manifest = new_manifest
+                    raise
+                # Nothing was published, so whatever this append managed
+                # to write is an orphan — and appends always write at
+                # EOF, so a partial tail buried under a later successful
+                # append would be replayed in the newer record's place,
+                # while the extended in-memory table would stop future
+                # appends from re-encoding the lost entries.  Roll the
+                # file tails and the in-memory table back to the
+                # still-published state before re-raising.
+                if path.exists():
+                    with path.open("r+b") as handle:
+                        handle.truncate(offset)
+                self._shard_offsets[(provider, month)] = offset
+                if len(table) > table_len_before:
+                    table.consumed_bytes = table_bytes_before
+                    if self._table_path.exists():
+                        with self._table_path.open("r+b") as handle:
+                            handle.truncate(table_bytes_before)
+                    del table.gids[table_len_before:]
+                    del table.base_gids[table_len_before:]
+                    table._sid_by_gid = None
+                raise
+            self._manifest = new_manifest
 
     def append_archive(self, archive: ListArchive) -> None:
         """Append every snapshot of ``archive`` (one manifest write)."""
@@ -398,24 +561,49 @@ class ArchiveStore:
             self.append(snapshot, sync=False)
         self.flush()
 
+    def _sync_dirty(self) -> None:
+        """Fsync every file tail and directory entry owed since the last
+        durable manifest (the write-ahead half of a batched append)."""
+        for path in sorted(self._dirty_files):
+            with path.open("rb") as handle:
+                os.fsync(handle.fileno())
+        self._dirty_files.clear()
+        for directory in sorted(self._dirty_dirs):
+            self._fsync_dir(directory)
+        self._dirty_dirs.clear()
+
     def flush(self) -> None:
-        """Persist the manifest (no-op for data records, written on append)."""
-        self._write_manifest()
+        """Make batched ``sync=False`` appends durable.
+
+        Fsyncs every table/shard tail (and new directory entry) written
+        since the last flush, then rewrites the manifest — the same
+        write-ahead order a synced append uses, amortised over the batch.
+        """
+        with self._write_lock:
+            self._sync_dirty()
+            self._write_manifest()
 
     # -- loads ------------------------------------------------------------
-    def _replay(self, provider: str) -> Iterator[tuple[int, int, array]]:
+    def _replay(self, provider: str,
+                manifest: Optional[dict] = None) -> Iterator[tuple[int, int, array]]:
         """Yield ``(ordinal, psl_version, entry_gids)`` per stored day.
 
         ``entry_gids`` is a rank-ordered process-id column — translated
-        from store ids by one array lookup per entry, no strings.
+        from store ids by one array lookup per entry, no strings.  The
+        walk pins one published manifest up front, so a concurrent
+        append can neither shift the record counts mid-iteration nor
+        surface a half-written tail (bytes past the pinned counts are
+        simply never decoded).
         """
+        if manifest is None:
+            manifest = self._manifest
         gids = self._table().gids
         lookup = gids.__getitem__
-        for month in self._months(provider):
+        for month in self._months(provider, manifest):
             path = self._shard_path(provider, month)
             if not path.exists():
                 raise StoreError(f"manifest names missing shard {path}")
-            expected = self._shard_records(provider, month)
+            expected = self._shard_records(provider, month, manifest)
             records = 0
             for ordinal, psl_version, store_ids, _ in _iter_shard_records(
                     path.read_bytes(), path, expected):
@@ -434,14 +622,16 @@ class ArchiveStore:
 
     def load_snapshot(self, provider: str, date: dt.date) -> ListSnapshot:
         """Load one snapshot, decoding only its month shard."""
+        manifest = self._manifest
         month = _month_key(date)
         path = self._shard_path(provider, month)
-        if month not in self._months(provider) or not path.exists():
+        if month not in self._months(provider, manifest) or not path.exists():
             raise KeyError(f"{provider} has no stored snapshot for {date}")
         target = date.toordinal()
         gids = self._table().gids
         for ordinal, _, store_ids, _ in _iter_shard_records(
-                path.read_bytes(), path, self._shard_records(provider, month)):
+                path.read_bytes(), path,
+                self._shard_records(provider, month, manifest)):
             if ordinal == target:
                 entry_gids = array("I", map(gids.__getitem__, store_ids))
                 return ListSnapshot.from_ids(provider=provider, date=date,
@@ -459,7 +649,8 @@ class ArchiveStore:
         longer matches the one recorded at append time (the stored bases
         would be stale); the archive itself is always exact.
         """
-        if provider not in self._manifest["providers"]:
+        manifest = self._manifest
+        if provider not in manifest["providers"]:
             raise KeyError(f"no archive stored for provider {provider!r}")
         psl = default_list()
         interner = default_interner()
@@ -471,7 +662,7 @@ class ArchiveStore:
         prev_ids: Optional[frozenset[int]] = None
         prev_frozen: frozenset[int] = frozenset()
         warmable = warm
-        for ordinal, psl_version, entry_gids in self._replay(provider):
+        for ordinal, psl_version, entry_gids in self._replay(provider, manifest):
             date = dt.date.fromordinal(ordinal)
             snapshot = ListSnapshot.from_ids(provider=provider, date=date,
                                              ids=entry_gids)
@@ -537,13 +728,29 @@ class ArchiveStore:
         is byte-identical to re-running the scenario.
         """
         path = self._report_path(report.profile)
-        path.parent.mkdir(parents=True, exist_ok=True)
-        path.write_text(report.to_json(), encoding="utf-8")
-        if report.profile not in self._manifest["reports"]:
-            self._manifest["reports"].append(report.profile)
-            self._manifest["reports"].sort()
-        self._manifest["store_version"] += 1
-        self._write_manifest()
+        with self._write_lock:
+            new_dir = not path.parent.exists()
+            path.parent.mkdir(parents=True, exist_ok=True)
+            # Same write-ahead shape as appends: the bytes (and, for a
+            # fresh reports/ directory, its entry) are durable before the
+            # manifest may name the profile.
+            tmp = path.with_suffix(".json.tmp")
+            with tmp.open("w", encoding="utf-8") as handle:
+                handle.write(report.to_json())
+                handle.flush()
+                os.fsync(handle.fileno())
+            os.replace(tmp, path)
+            self._fsync_dir(path.parent)
+            if new_dir:
+                self._fsync_dir(self.root)
+            manifest = self._manifest
+            new_manifest = dict(manifest)
+            if report.profile not in manifest["reports"]:
+                new_manifest["reports"] = sorted(
+                    manifest["reports"] + [report.profile])
+            new_manifest["store_version"] = manifest["store_version"] + 1
+            self._write_manifest(new_manifest)
+            self._manifest = new_manifest
         return path
 
     def load_report_bytes(self, profile: str) -> bytes:

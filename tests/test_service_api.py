@@ -226,6 +226,226 @@ class TestScenarioReportGoldenParity:
             assert served.fingerprint() == load_golden(GOLDEN_DIR, name), name
 
 
+class TestIngestProtocol:
+    def _store(self, tmp_path):
+        snapshots = [
+            ListSnapshot(provider="alexa",
+                         date=dt.date(2018, 1, 1) + dt.timedelta(days=day),
+                         entries=("a.com", "b.com", f"day{day}.com"))
+            for day in range(2)]
+        store = ArchiveStore(tmp_path / "ingest-store")
+        store.append_archive(ListArchive.from_snapshots(snapshots))
+        return store
+
+    def test_json_ingest_round_trip(self, tmp_path):
+        service = QueryService(self._store(tmp_path))
+        body = json.dumps({"provider": "alexa", "date": "2018-01-03",
+                           "entries": ["a.com", " C.COM. ", "sub.b.com"]})
+        response = service.handle_request(
+            "/v1/ingest", {"Content-Type": "application/json"},
+            method="POST", body=body.encode("utf-8"))
+        assert response.status == 200
+        payload = response.json()
+        assert payload["ingested"] == {"provider": "alexa",
+                                       "date": "2018-01-03", "entries": 3,
+                                       "skipped_rows": 0}
+        assert payload["store_version"] == service.store.version
+        # The version header was captured under the same lock hold that
+        # produced the body (the write-path half of the lock audit).
+        assert response.headers["X-Repro-Store-Version"] == \
+            str(payload["store_version"])
+        # Normalised entries are served back (lowercase, dot-stripped).
+        history = service.handle_request("/v1/domains/c.com/history").json()
+        assert history["providers"]["alexa"]["observations"] == [
+            {"date": "2018-01-03", "rank": 2}]
+
+    def test_csv_ingest_with_query_params(self, tmp_path):
+        service = QueryService(self._store(tmp_path))
+        # The empty-domain row ("17,") is skipped exactly as the offline
+        # parser skips it — the row filter is shared with listio.
+        response = service.handle_request(
+            "/v1/ingest?provider=alexa&date=2018-01-03",
+            {"Content-Type": "text/csv"},
+            method="POST", body=b"rank,domain\r\n1,a.com\r\n17,\r\n2,z.com\r\n")
+        assert response.status == 200
+        assert response.json()["ingested"]["entries"] == 2
+        meta = service.handle_request("/v1/meta").json()
+        assert meta["providers"]["alexa"]["days"] == 3
+
+    def test_csv_ingest_majestic_domain_column(self, tmp_path):
+        # Majestic's rank,tld,domain,... format: the domain is column 2,
+        # not the trailing column (which is numeric and would otherwise
+        # pass DNS validation and be interned forever).
+        service = QueryService(self._store(tmp_path))
+        response = service.handle_request(
+            "/v1/ingest?provider=majestic&date=2018-01-01&domain_column=2",
+            {"Content-Type": "text/csv"},
+            method="POST",
+            body=b"rank,tld,domain,refsubnets\r\n"
+                 b"1,com,a.com,5000\r\n2,org,m.org,4000\r\n")
+        assert response.status == 200
+        history = service.handle_request("/v1/domains/m.org/history").json()
+        assert history["providers"]["majestic"]["observations"] == [
+            {"date": "2018-01-01", "rank": 2}]
+
+    def test_csv_ingest_skips_junk_rows_like_the_offline_parser(self, tmp_path):
+        # Downloaded lists carry junk rows; the offline parser keeps
+        # going past them, so the wire must not reject the whole day —
+        # but the junk is dropped *before* interning, never stored.
+        service = QueryService(self._store(tmp_path))
+        response = service.handle_request(
+            "/v1/ingest?provider=alexa&date=2018-01-03",
+            {"Content-Type": "text/csv"},
+            method="POST",
+            body=b"1,a.com\r\n2,bad..label\r\n3," + b"x" * 300 + b".com\r\n4,z.com\r\n")
+        assert response.status == 200
+        assert response.json()["ingested"] == {
+            "provider": "alexa", "date": "2018-01-03",
+            "entries": 2, "skipped_rows": 2}
+        history = service.handle_request("/v1/domains/z.com/history").json()
+        assert history["providers"]["alexa"]["observations"] == [
+            {"date": "2018-01-03", "rank": 2}]
+
+    def test_csv_ingest_rejects_headers_and_bare_lines(self, tmp_path):
+        # A bare "domain" header line must not be ingested as the rank-1
+        # entry (it would pass DNS validation and occupy interner id
+        # space forever); ranked rows are required, as in listio.
+        service = QueryService(self._store(tmp_path))
+        response = service.handle_request(
+            "/v1/ingest?provider=alexa&date=2018-01-03",
+            {"Content-Type": "text/csv"},
+            method="POST", body=b"domain\r\na.com\r\nb.com\r\n")
+        assert response.status == 400
+        assert "no rank,domain rows" in response.json()["error"]["message"]
+
+    def test_json_ingest_rejects_csv_only_params(self, tmp_path):
+        # provider=/date= belong to the CSV branch; on a JSON body they
+        # would be silently shadowed by the body's own fields.
+        service = QueryService(self._store(tmp_path))
+        body = json.dumps({"provider": "alexa", "date": "2018-01-03",
+                           "entries": ["a.com"]}).encode()
+        response = service.handle_request(
+            "/v1/ingest?date=2018-01-04", method="POST", body=body)
+        assert response.status == 400
+        assert "CSV ingest only" in response.json()["error"]["message"]
+
+    def test_new_provider_via_ingest(self, tmp_path):
+        service = QueryService(self._store(tmp_path))
+        body = json.dumps({"provider": "fresh", "date": "2018-01-01",
+                           "entries": ["a.com", "q.com"]})
+        assert service.handle_request(
+            "/v1/ingest", method="POST", body=body.encode()).status == 200
+        meta = service.handle_request("/v1/meta").json()
+        assert sorted(meta["providers"]) == ["alexa", "fresh"]
+        assert meta["providers"]["fresh"]["days"] == 1
+
+    def test_out_of_order_day_is_409(self, tmp_path):
+        service = QueryService(self._store(tmp_path))
+        body = json.dumps({"provider": "alexa", "date": "2018-01-02",
+                           "entries": ["a.com"]})
+        response = service.handle_request(
+            "/v1/ingest", method="POST", body=body.encode())
+        assert response.status == 409
+        assert "append-only" in response.json()["error"]["message"]
+        # Nothing was applied: the served state is unchanged.
+        assert service.handle_request("/v1/meta").json()[
+            "providers"]["alexa"]["days"] == 2
+
+    def test_validation_errors_are_400(self, tmp_path):
+        service = QueryService(self._store(tmp_path))
+        bad_bodies = [
+            b"",  # empty
+            b"not json at all",
+            json.dumps({"provider": "alexa", "date": "2018-01-03"}).encode(),
+            json.dumps({"provider": "alexa", "date": "nope",
+                        "entries": ["a.com"]}).encode(),
+            json.dumps({"provider": "alexa", "date": "2018-01-03",
+                        "entries": ["bad..label"]}).encode(),
+            json.dumps({"provider": "alexa", "date": "2018-01-03",
+                        "entries": ["a.com"], "surprise": True}).encode(),
+        ]
+        for body in bad_bodies:
+            response = service.handle_request("/v1/ingest", method="POST",
+                                              body=body)
+            assert response.status == 400, body[:60]
+            assert response.json()["error"]["status"] == 400
+        # CSV without provider/date params is also a 400.
+        assert service.handle_request(
+            "/v1/ingest", {"Content-Type": "text/csv"},
+            method="POST", body=b"1,a.com\r\n").status == 400
+
+    def test_get_on_ingest_is_405_with_allow_post(self, tmp_path):
+        service = QueryService(self._store(tmp_path))
+        response = service.handle_request("/v1/ingest")
+        assert response.status == 405
+        assert response.headers["Allow"] == "POST"
+
+    def test_ingest_invalidates_etags(self, tmp_path):
+        service = QueryService(self._store(tmp_path))
+        first = service.handle_request("/v1/meta")
+        body = json.dumps({"provider": "alexa", "date": "2018-01-03",
+                           "entries": ["a.com"]})
+        service.handle_request("/v1/ingest", method="POST", body=body.encode())
+        after = service.handle_request(
+            "/v1/meta", {"If-None-Match": first.etag})
+        assert after.status == 200  # stale ETag no longer matches
+        assert after.etag != first.etag
+
+
+class TestBatchQuery:
+    def test_batch_matches_individual_gets(self, service):
+        targets = ["/v1/meta", "/v1/providers/alexa/stability?top_n=50",
+                   "/v1/compare?providers=alexa,majestic&top_n=50"]
+        response = service.handle_request(
+            "/v1/query", method="POST",
+            body=json.dumps({"requests": targets}).encode())
+        assert response.status == 200
+        payload = response.json()
+        assert payload["requests"] == len(targets)
+        for item, target in zip(payload["responses"], targets):
+            assert item["target"] == target
+            assert item["status"] == 200
+            assert item["payload"] == service.handle_request(target).json()
+
+    def test_batch_embeds_per_target_errors(self, service):
+        response = service.handle_request(
+            "/v1/query", method="POST",
+            body=json.dumps({"requests": ["/v1/meta", "/nope",
+                                          "/v1/providers/ghost/stability"]}).encode())
+        assert response.status == 200
+        statuses = [item["status"] for item in response.json()["responses"]]
+        assert statuses == [200, 404, 404]
+        assert response.json()["responses"][1]["payload"]["error"]["status"] == 404
+
+    def test_batch_validation(self, service):
+        cases = [
+            (b"[]", 400), (b"{}", 400),
+            (json.dumps({"requests": []}).encode(), 400),
+            (json.dumps({"requests": ["relative"]}).encode(), 400),
+            (json.dumps({"requests": ["/v1/meta"], "x": 1}).encode(), 400),
+            (json.dumps({"requests": ["/v1/meta"] * 101}).encode(), 400),
+        ]
+        for body, expected in cases:
+            assert service.handle_request(
+                "/v1/query", method="POST", body=body).status == expected, body[:40]
+
+    def test_canonical_key_distinguishes_commas_from_repeats(self, service):
+        # '?top_n=5&top_n=10' (valid, last wins) and '?top_n=5,10'
+        # (invalid) must not share an LRU slot: warm the former, then the
+        # latter must still cold-path to its 400.
+        warm = service.handle_request(
+            "/v1/providers/alexa/stability?top_n=5&top_n=10")
+        assert warm.status == 200
+        collided = service.handle_request(
+            "/v1/providers/alexa/stability?top_n=5,10")
+        assert collided.status == 400
+
+    def test_get_on_query_is_405(self, service):
+        response = service.handle_request("/v1/query")
+        assert response.status == 405
+        assert response.headers["Allow"] == "POST"
+
+
 class TestProtocol:
     def test_meta(self, service, api_store, small_run):
         payload = service.handle_request("/v1/meta").json()

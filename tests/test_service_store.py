@@ -181,6 +181,98 @@ class TestAppendRules:
         assert store.data_version == data_before
         assert store.version > data_before
 
+    def test_failed_manifest_write_rolls_back_the_tail(self, tmp_path, monkeypatch):
+        # If the manifest write itself fails, the just-written shard/table
+        # tail must be rolled back: appends always write at EOF, so an
+        # orphan record buried under a later successful append would be
+        # replayed in the newer record's place.
+        store = ArchiveStore(tmp_path / "s")
+        store.append(_snapshot("alexa", 0, ["a.com", "b.com"]))
+        real_publish = ArchiveStore._publish_manifest
+
+        def failing_publish(self, manifest):
+            raise OSError("disk full")
+
+        monkeypatch.setattr(ArchiveStore, "_publish_manifest", failing_publish)
+        with pytest.raises(OSError):
+            store.append(_snapshot("alexa", 1, ["b.com", "lost.example"]))
+        monkeypatch.setattr(ArchiveStore, "_publish_manifest", real_publish)
+        assert [d.day for d in store.dates("alexa")] == [1]
+        # The next (different) day lands cleanly, in-process and on disk.
+        store.append(_snapshot("alexa", 2, ["b.com", "c.com"]))
+        for view in (store, ArchiveStore(tmp_path / "s")):
+            loaded = view.load_archive("alexa")
+            assert [s.entries for s in loaded] == \
+                [("a.com", "b.com"), ("b.com", "c.com")]
+
+    def test_post_publish_failure_keeps_the_record(self, tmp_path, monkeypatch):
+        # If the failure lands AFTER the manifest rename (e.g. the root
+        # directory fsync), the on-disk manifest already names the new
+        # record: rolling the data back would brick the store, so the
+        # append must instead keep the record and publish in memory.
+        store = ArchiveStore(tmp_path / "s")
+        store.append(_snapshot("alexa", 0, ["a.com"]))
+
+        def failing_dir_fsync(directory):
+            raise OSError("EIO on directory fd")
+
+        monkeypatch.setattr(ArchiveStore, "_fsync_dir",
+                            staticmethod(failing_dir_fsync))
+        with pytest.raises(OSError):
+            store.append(_snapshot("alexa", 1, ["a.com", "kept.example"]))
+        monkeypatch.undo()
+        assert [d.day for d in store.dates("alexa")] == [1, 2]
+        for view in (store, ArchiveStore(tmp_path / "s")):
+            loaded = view.load_archive("alexa")
+            assert [s.entries for s in loaded] == \
+                [("a.com",), ("a.com", "kept.example")]
+
+    def test_failed_data_write_rolls_back_the_table(self, tmp_path, monkeypatch):
+        # A failed shard write must also unwind the in-memory table
+        # extension: otherwise the next append finds the new domains'
+        # store ids in memory, never re-encodes their table records, and
+        # publishes a manifest whose entry count outruns the table file.
+        store = ArchiveStore(tmp_path / "s")
+        store.append(_snapshot("alexa", 0, ["a.com", "b.com"]))
+        real_append = ArchiveStore._append_file
+
+        def failing_append(path, data, sync):
+            if path.suffix == ".rls":
+                raise OSError("disk full")
+            return real_append(path, data, sync)
+
+        monkeypatch.setattr(ArchiveStore, "_append_file",
+                            staticmethod(failing_append))
+        with pytest.raises(OSError):
+            store.append(_snapshot("alexa", 1, ["b.com", "lost.example"]))
+        monkeypatch.setattr(ArchiveStore, "_append_file",
+                            staticmethod(real_append))
+        store.append(_snapshot("alexa", 1, ["b.com", "lost.example"]))
+        for view in (store, ArchiveStore(tmp_path / "s")):
+            loaded = view.load_archive("alexa")
+            assert [s.entries for s in loaded] == \
+                [("a.com", "b.com"), ("b.com", "lost.example")]
+
+    def test_unresolvable_name_mid_append_rolls_back_table(self, tmp_path):
+        # ListSnapshot tolerates malformed names (analyses skip them),
+        # but the store cannot normalise their base domains: the append
+        # fails mid-table-encoding, and the entries appended before the
+        # bad one must be unwound or a later clean append would publish
+        # a manifest counting table records never written to disk.
+        from repro.domain.name import InvalidDomainError
+
+        store = ArchiveStore(tmp_path / "s")
+        store.append(_snapshot("alexa", 0, ["a.com"]))
+        bad = _snapshot("alexa", 1, ["new-one.com", "bad..label", "new-two.com"])
+        with pytest.raises(InvalidDomainError):
+            store.append(bad)
+        assert [d.day for d in store.dates("alexa")] == [1]
+        store.append(_snapshot("alexa", 1, ["new-one.com", "a.com"]))
+        for view in (store, ArchiveStore(tmp_path / "s")):
+            loaded = view.load_archive("alexa")
+            assert [s.entries for s in loaded] == \
+                [("a.com",), ("new-one.com", "a.com")]
+
     def test_reopen_and_continue_appending(self, tmp_path):
         store = ArchiveStore(tmp_path / "s")
         store.append(_snapshot("alexa", 0, ["a.com", "b.com"]))
