@@ -6,7 +6,8 @@ export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
 STORE ?= .repro-store
 
-.PHONY: test golden-test goldens bench bench-service bench-interning store serve
+.PHONY: test golden-test goldens chaos bench bench-service bench-interning \
+	bench-replication store serve
 
 ## Tier-1 test suite (what CI runs on every push).
 test:
@@ -20,6 +21,14 @@ golden-test:
 ## (tests/goldens/*.json); commit the resulting diff.
 goldens:
 	$(PYTHON) scripts/refresh_goldens.py
+
+## Fault-injection, retry and replica-convergence suites under one
+## deterministic chaos seed (override: make chaos CHAOS_SEED=7).
+CHAOS_SEED ?= 0
+chaos:
+	REPRO_CHAOS_SEED=$(CHAOS_SEED) $(PYTHON) -m pytest -q \
+		tests/test_faults.py tests/test_util_retry.py \
+		tests/test_service_replica.py tests/test_service_chaos.py
 
 ## Benchmark suite + seed-vs-fastpath comparison + scenario battery
 ## + serving layer.
@@ -35,6 +44,11 @@ bench-service:
 ## peak on the 30-day x 3-provider corpus).
 bench-interning:
 	$(PYTHON) benchmarks/run_benchmarks.py --interning
+
+## Follower-replication benchmarks only (bootstrap resync, per-day lag,
+## dormant fault-point overhead <2%) → BENCH_replication.json.
+bench-replication:
+	$(PYTHON) benchmarks/run_benchmarks.py --replication
 
 ## Build a demo archive store (paper_realistic scenario) at $(STORE).
 store:

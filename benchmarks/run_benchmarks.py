@@ -1,7 +1,7 @@
 #!/usr/bin/env python
 """Run the benchmark suite and write ``BENCH_*.json`` perf artifacts.
 
-Five modes, all on by default:
+Six modes, all on by default:
 
 * ``--suite``: run the ``test_bench_*`` paper-reproduction benchmarks
   under pytest-benchmark and write the raw timing JSON
@@ -20,6 +20,13 @@ Five modes, all on by default:
   indexed domain-history lookups vs the naive full archive scan
   (asserted ≥10× — it is orders of magnitude), and HTTP requests/s per
   endpoint cold (LRU cleared) vs cached.
+* ``--replication``: measure follower replication (``BENCH_replication.json``):
+  full bootstrap resync of a populated leader, per-day replication lag
+  (leader ingest of a 4000-entry day → follower caught up and flushed),
+  and the cost of the dormant fault-injection points on the cached read
+  path — the per-check guard cost over the per-request cost, asserted
+  under 2% (the "no-op when disabled" contract), with the cost of an
+  installed-but-inert plan recorded alongside for context.
 * ``--interning``: compare the interned-id columnar pipeline against a
   faithful reconstruction of the string-based one on the same corpus
   (``BENCH_interning.json``): wall time and ``tracemalloc`` peak memory
@@ -570,6 +577,147 @@ def run_service(out_dir: Path, days: int) -> Path:
     return path
 
 
+def run_replication(out_dir: Path, days: int) -> Path:
+    """Benchmark follower replication and the dormant fault-point cost."""
+    import datetime
+    import tempfile
+
+    from repro import faults
+    from repro.faults import FaultPlan, FaultRule
+    from repro.providers.base import ListSnapshot
+    from repro.service.api import QueryService
+    from repro.service.replica import Replica
+    from repro.service.store import ArchiveStore
+
+    config = SimulationConfig.benchmark(n_days=days)
+    print(f"simulating {days}-day × 3-provider archive "
+          f"(list size {config.list_size}) ...")
+    run = run_simulation(config)
+    archives = run.archives
+    results = {}
+
+    with tempfile.TemporaryDirectory() as tmp:
+        leader_store = ArchiveStore.from_archives(Path(tmp) / "leader",
+                                                  archives)
+        leader = QueryService(leader_store)
+
+        def fetch(since, limit):
+            response = leader.handle_request(
+                f"/v1/replication/log?since={since}&max={limit}")
+            assert response.status == 200, response.body
+            return response.json()
+
+        print("timing follower bootstrap (full log resync) ...")
+        follower_store = ArchiveStore(Path(tmp) / "follower")
+        replica = Replica(follower_store, fetch, batch=64,
+                          sleep=lambda s: None)
+        applied, bootstrap_s = _timed(replica.sync_to_leader)
+        assert follower_store.version == leader_store.version
+        results["bootstrap"] = {
+            "entries_applied": applied,
+            "seconds": bootstrap_s,
+            "entries_per_second": applied / bootstrap_s,
+        }
+
+        print("timing per-day replication lag (ingest → follower flushed) ...")
+        last_date = leader_store.dates("alexa")[-1]
+        template = archives["alexa"][len(archives["alexa"]) - 1].entries
+        lag_days = 5
+        lags = []
+        for offset in range(1, lag_days + 1):
+            day = last_date + datetime.timedelta(days=offset)
+            snapshot = ListSnapshot(
+                "alexa", day, template[offset:] + template[:offset])
+            leader.ingest(snapshot)
+            _, lag_s = _timed(replica.sync_once)
+            assert replica.staleness() == 0
+            lags.append(lag_s)
+        results["per_day_lag"] = {
+            "days": lag_days,
+            "list_size": len(template),
+            "mean_seconds": sum(lags) / len(lags),
+            "max_seconds": max(lags),
+        }
+
+        print("timing dormant fault points on the cached read path ...")
+        # Disabled injection is one attribute check (`faults.ACTIVE is
+        # not None`) per point, and the cached read path crosses exactly
+        # one point (``api.request``).  Measure both sides of that ratio
+        # directly: the guard's per-check cost in a tight loop, and the
+        # cached request's cost best-of-N — their quotient is the
+        # disabled-injection overhead, free of scheduler noise.
+        faults.uninstall()
+        target = "/v1/providers/alexa/stability"
+        leader.handle_request(target)  # prime the LRU
+        rounds, requests = 5, 400
+
+        def hammer():
+            for _ in range(requests):
+                leader.handle_request(target)
+
+        request_s = min(_timed(hammer)[1] for _ in range(rounds)) / requests
+
+        guard_loops = 200_000
+
+        def guard_loop():
+            for _ in range(guard_loops):
+                if faults.ACTIVE is not None:  # the disabled-path guard
+                    raise AssertionError("no plan should be active")
+
+        loop_s = min(_timed(guard_loop)[1] for _ in range(rounds))
+        # Subtract the bare loop so only the guard expression is charged.
+        noop_s = min(_timed(lambda: [None for _ in range(guard_loops)])[1]
+                     for _ in range(rounds))
+        guard_s = max(0.0, loop_s - noop_s) / guard_loops
+        overhead = guard_s / request_s
+        assert overhead < 0.02, (
+            f"dormant fault points cost {overhead:.2%} on cached reads")
+
+        # For context, also record the *enabled*-but-inert cost: a plan
+        # installed whose rules match nothing still pays hit() lookups.
+        inert = FaultPlan(0, [FaultRule("never.matched.point", "error")])
+        faults.install(inert)
+        try:
+            inert_s = min(_timed(hammer)[1] for _ in range(rounds)) / requests
+        finally:
+            faults.uninstall()
+        results["dormant_fault_overhead"] = {
+            "requests_per_round": requests,
+            "rounds_best_of": rounds,
+            "cached_request_seconds": request_s,
+            "guard_check_seconds": guard_s,
+            "disabled_overhead_fraction": overhead,
+            "bound": 0.02,
+            "inert_plan_request_seconds": inert_s,
+            "inert_plan_overhead_fraction": inert_s / request_s - 1.0,
+        }
+
+    artifact = {
+        "kind": "replication",
+        "created": time.strftime("%Y-%m-%dT%H:%M:%S"),
+        "config": {"n_days": config.n_days, "list_size": config.list_size,
+                   "providers": sorted(archives)},
+        "results": results,
+    }
+    out_dir.mkdir(parents=True, exist_ok=True)
+    path = out_dir / "BENCH_replication.json"
+    path.write_text(json.dumps(artifact, indent=2) + "\n", encoding="utf-8")
+    boot = results["bootstrap"]
+    lag = results["per_day_lag"]
+    dormant = results["dormant_fault_overhead"]
+    print(f"\nbootstrap: {boot['entries_applied']} entries in "
+          f"{boot['seconds']:.2f}s ({boot['entries_per_second']:.0f}/s)")
+    print(f"per-day lag: mean {lag['mean_seconds'] * 1000:.1f} ms, "
+          f"max {lag['max_seconds'] * 1000:.1f} ms "
+          f"({lag['list_size']}-entry days)")
+    print(f"dormant fault points: {dormant['disabled_overhead_fraction']:.4%} "
+          f"of a cached read when disabled (bound {dormant['bound']:.0%}); "
+          f"{dormant['inert_plan_overhead_fraction']:+.1%} with an inert "
+          f"plan installed")
+    print(f"wrote {path}")
+    return path
+
+
 # --------------------------------------------------------------------------
 # Interned-id columnar core vs the string pipeline (PR 4)
 # --------------------------------------------------------------------------
@@ -829,13 +977,15 @@ def main() -> None:
                         help="run only the serving-layer benchmarks")
     parser.add_argument("--interning", action="store_true",
                         help="run only the interned-columnar-vs-string comparison")
+    parser.add_argument("--replication", action="store_true",
+                        help="run only the follower-replication benchmarks")
     parser.add_argument("--out", type=Path, default=REPO_ROOT / "benchmarks" / "artifacts",
                         help="artifact output directory")
     parser.add_argument("--days", type=int, default=30,
                         help="days in the speedup comparison archive")
     args = parser.parse_args()
     run_all = not (args.suite or args.speedup or args.scenarios or args.service
-                   or args.interning)
+                   or args.interning or args.replication)
     if args.scenarios or run_all:
         run_scenarios(args.out)
     if args.speedup or run_all:
@@ -844,6 +994,8 @@ def main() -> None:
         run_interning(args.out, args.days)
     if args.service or run_all:
         run_service(args.out, args.days)
+    if args.replication or run_all:
+        run_replication(args.out, args.days)
     if args.suite or run_all:
         run_suite(args.out)
 

@@ -1,0 +1,310 @@
+"""Deterministic fault injection for the serving substrate.
+
+Disks tear writes, fsyncs fail, processes die between a data write and
+its manifest rename, and networks drop responses mid-body.  The store
+and API layers are built to survive all of that — but a robustness claim
+is only worth what its tests can *reproduce*, and "kill -9 at the right
+microsecond" is not a reproducible test.  This module turns every
+failure mode into a named **injection point** driven by a seeded
+:class:`FaultPlan`, so a chaos schedule is an ordinary value: the same
+seed fires the same faults at the same calls, every run, on every
+machine.
+
+Design rules:
+
+* **One attribute check when disabled.**  Production call sites guard
+  every injection with ``if faults.ACTIVE is not None`` — a module
+  attribute load and an identity test.  With no plan installed the hot
+  path pays nothing else (the ``--replication`` benchmark asserts the
+  cached-read overhead stays under 2%).
+* **Namespaced determinism.**  Each injection point draws from its own
+  child RNG, seeded as ``f"{seed}:{point}"`` — the same discipline as a
+  simulation config's per-subsystem ``child_rng``: adding a rule for one
+  point never shifts the random stream of another.
+* **Crashes are not errors.**  :class:`InjectedCrash` derives from
+  ``BaseException`` and means *the process died here*: code that would
+  normally roll partial work back must re-raise it untouched (the store
+  append does exactly that), leaving the torn on-disk state for the
+  next open's recovery path — which is what a real crash leaves.
+
+Injection points currently threaded through the codebase:
+
+==============================  ============================================
+``store.table.write``           domain-table tail append (torn/error/crash)
+``store.shard.write``           shard record append (torn/error/crash)
+``store.table.fsync``           table tail fsync
+``store.shard.fsync``           shard tail fsync
+``store.dirty.fsync``           batched-append catch-up fsync
+``store.manifest.write``        manifest tmp-file write (torn tmp is safe)
+``store.manifest.fsync``        manifest tmp fsync
+``store.manifest.rename.before``  just before the atomic manifest rename
+``store.manifest.rename.after``   just after it (data durable, cleanup not)
+``store.report.write``          report tmp-file write (torn tmp is safe)
+``store.dir.fsync``             directory-entry fsync
+``api.request``                 request admission (slow → stall;
+                                error → 503 degraded answer)
+``api.request.read``            POST body read (drop/torn → client vanished)
+``api.response.write``          response body write (drop/torn/slow)
+``replica.fetch``               follower's replication-log fetch
+``replica.apply``               follower applying one log entry
+==============================  ============================================
+"""
+
+from __future__ import annotations
+
+import fnmatch
+import threading
+import time
+from dataclasses import dataclass
+from typing import Iterable, Optional
+
+__all__ = [
+    "ACTIVE",
+    "FaultPlan",
+    "FaultRule",
+    "InjectedCrash",
+    "InjectedFault",
+    "fired_crash",
+    "injected",
+    "install",
+    "is_crash",
+    "uninstall",
+]
+
+#: Fault kinds a rule may inject.
+KINDS = ("error", "crash", "torn", "slow", "drop")
+
+
+class InjectedFault(OSError):
+    """A deterministic injected I/O failure (an ordinary ``OSError``).
+
+    Raised for ``error`` rules and after the kept prefix of a ``torn``
+    write: callers' normal error handling (append rollback, retry
+    policies, 500 envelopes) must treat it exactly like a real failure.
+    """
+
+    def __init__(self, point: str, detail: str = "injected fault") -> None:
+        super().__init__(f"{detail} at {point!r}")
+        self.point = point
+
+
+class InjectedCrash(BaseException):
+    """A simulated process death at an injection point.
+
+    Deliberately **not** an :class:`Exception`: nothing that catches
+    ``Exception`` (retry loops, error envelopes) may swallow it, and
+    rollback code must detect it via :func:`is_crash` and re-raise
+    without undoing partial writes — a real crash does not get to run
+    ``except`` blocks.  Tests catch it at the harness level and
+    simulate the restart by reopening the store from disk.
+    """
+
+    def __init__(self, point: str) -> None:
+        super().__init__(f"injected crash at {point!r}")
+        self.point = point
+
+
+def is_crash(error: BaseException) -> bool:
+    """Whether ``error`` is a simulated process death (see above)."""
+    return isinstance(error, InjectedCrash)
+
+
+@dataclass(frozen=True)
+class FaultRule:
+    """One deterministic fault source bound to an injection-point pattern.
+
+    ``point`` is an ``fnmatch`` pattern (``"store.*"`` matches every
+    store point).  A rule fires when the point's 1-based call counter is
+    in ``on_calls`` (if given) *and* the point's child RNG draws under
+    ``probability``; ``max_fires`` bounds the total fires so a
+    probabilistic schedule always lets a retry loop win eventually.
+    """
+
+    point: str
+    kind: str
+    probability: float = 1.0
+    on_calls: Optional[tuple[int, ...]] = None
+    max_fires: Optional[int] = None
+    #: ``slow`` rules sleep this many seconds.
+    delay: float = 0.005
+    #: ``torn`` rules keep this many bytes; ``None`` draws a prefix
+    #: length from the point's child RNG (deterministic per seed).
+    keep_bytes: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in KINDS:
+            raise ValueError(f"unknown fault kind {self.kind!r} "
+                             f"(expected one of {', '.join(KINDS)})")
+        if not 0.0 <= self.probability <= 1.0:
+            raise ValueError(f"probability must be in [0, 1] "
+                             f"(got {self.probability})")
+
+
+class FaultPlan:
+    """A seeded schedule of injected faults over named points.
+
+    Thread-safe: per-point call counters, fire counts and child RNGs are
+    guarded by one lock (chaos tests run writers, readers and the
+    replica tailer concurrently).  The plan records every fired fault in
+    :attr:`fired` as ``(point, call_index, kind)`` so a test can assert
+    its schedule actually executed.
+    """
+
+    def __init__(self, seed: int, rules: Iterable[FaultRule] = ()) -> None:
+        self.seed = seed
+        self.rules = tuple(rules)
+        self.fired: list[tuple[str, int, str]] = []
+        self._lock = threading.Lock()
+        self._calls: dict[str, int] = {}
+        self._fires: dict[int, int] = {}  # rule index -> times fired
+        self._rngs: dict[str, "random.Random"] = {}
+        # point -> tuple of (rule_index, rule) whose pattern matches it;
+        # memoised so a ruleless point costs one dict probe per hit.
+        self._matched: dict[str, tuple[tuple[int, FaultRule], ...]] = {}
+
+    # -- plumbing ---------------------------------------------------------
+    def _rules_for(self, point: str) -> tuple[tuple[int, FaultRule], ...]:
+        matched = self._matched.get(point)
+        if matched is None:
+            matched = tuple((i, rule) for i, rule in enumerate(self.rules)
+                            if fnmatch.fnmatchcase(point, rule.point))
+            self._matched[point] = matched
+        return matched
+
+    def _rng(self, point: str) -> "random.Random":
+        rng = self._rngs.get(point)
+        if rng is None:
+            import random
+
+            rng = self._rngs[point] = random.Random(f"{self.seed}:{point}")
+        return rng
+
+    def _select(self, point: str) -> Optional[tuple[FaultRule, int]]:
+        """The rule firing at this call of ``point`` (and the call index)."""
+        with self._lock:
+            call = self._calls.get(point, 0) + 1
+            self._calls[point] = call
+            for index, rule in self._rules_for(point):
+                if rule.on_calls is not None and call not in rule.on_calls:
+                    continue
+                if rule.max_fires is not None \
+                        and self._fires.get(index, 0) >= rule.max_fires:
+                    continue
+                if rule.probability < 1.0 \
+                        and self._rng(point).random() >= rule.probability:
+                    continue
+                self._fires[index] = self._fires.get(index, 0) + 1
+                self.fired.append((point, call, rule.kind))
+                return rule, call
+        return None
+
+    def calls(self, point: str) -> int:
+        """How many times ``point`` has been hit."""
+        with self._lock:
+            return self._calls.get(point, 0)
+
+    # -- injection --------------------------------------------------------
+    def hit(self, point: str) -> None:
+        """Pass through ``point``: sleep, raise, or do nothing.
+
+        ``torn`` rules degrade to ``error`` here — tearing only means
+        something at a write point (use :meth:`on_write` there).
+        """
+        selected = self._select(point)
+        if selected is None:
+            return
+        rule, _ = selected
+        if rule.kind == "slow":
+            time.sleep(rule.delay)
+        elif rule.kind == "crash":
+            raise InjectedCrash(point)
+        elif rule.kind == "drop":
+            raise ConnectionResetError(f"injected connection drop at {point!r}")
+        else:  # error, torn
+            raise InjectedFault(point)
+
+    def on_write(self, point: str, size: int) -> Optional[int]:
+        """Pass a ``size``-byte write through ``point``.
+
+        Returns ``None`` (write everything) or the number of bytes the
+        caller must write before raising :class:`InjectedFault` — the
+        torn-write contract.  Non-torn kinds behave as in :meth:`hit`.
+        """
+        selected = self._select(point)
+        if selected is None:
+            return None
+        rule, _ = selected
+        if rule.kind == "slow":
+            time.sleep(rule.delay)
+            return None
+        if rule.kind == "crash":
+            raise InjectedCrash(point)
+        if rule.kind == "drop":
+            raise ConnectionResetError(f"injected connection drop at {point!r}")
+        if rule.kind == "torn":
+            if rule.keep_bytes is not None:
+                return min(rule.keep_bytes, size)
+            return self._rng(point).randrange(0, max(size, 1))
+        raise InjectedFault(point)
+
+    def torn_write(self, point: str, handle, data: bytes) -> None:
+        """Write ``data`` to ``handle``, honouring the plan at ``point``.
+
+        The shared torn-write helper: a firing ``torn`` rule writes the
+        kept prefix, flushes it (the tear must reach the OS to be
+        observable by recovery), then raises :class:`InjectedFault`.
+        """
+        keep = self.on_write(point, len(data))
+        if keep is None:
+            handle.write(data)
+            return
+        handle.write(data[:keep])
+        handle.flush()
+        raise InjectedFault(point, f"torn write ({keep}/{len(data)} bytes)")
+
+
+#: The installed plan, or ``None``.  Production call sites check this
+#: attribute and do nothing else when it is ``None``.
+ACTIVE: Optional[FaultPlan] = None
+
+_install_lock = threading.Lock()
+
+
+def install(plan: FaultPlan) -> FaultPlan:
+    """Install ``plan`` as the process-wide active fault plan."""
+    global ACTIVE
+    with _install_lock:
+        ACTIVE = plan
+    return plan
+
+
+def uninstall() -> None:
+    """Deactivate fault injection (the default state)."""
+    global ACTIVE
+    with _install_lock:
+        ACTIVE = None
+
+
+class injected:
+    """Context manager installing ``plan`` for the ``with`` body.
+
+    Usable around a whole chaos schedule::
+
+        with faults.injected(FaultPlan(seed=7, rules=[...])) as plan:
+            ...
+        assert plan.fired
+    """
+
+    def __init__(self, plan: FaultPlan) -> None:
+        self.plan = plan
+
+    def __enter__(self) -> FaultPlan:
+        return install(self.plan)
+
+    def __exit__(self, *exc_info: object) -> None:
+        uninstall()
+
+
+def fired_crash(plan: FaultPlan) -> bool:
+    """Whether ``plan`` has fired at least one ``crash`` rule."""
+    return any(kind == "crash" for _, _, kind in plan.fired)

@@ -75,7 +75,8 @@ def iter_csv_domains(text: str, domain_column: int = 1):
 
 
 def parse_top_list_csv(text: str, provider: str, date: dt.date,
-                       domain_column: int = 1) -> ListSnapshot:
+                       domain_column: int = 1,
+                       source: Optional[str] = None) -> ListSnapshot:
     """Parse CSV text with one ranked domain per row.
 
     ``date`` is required: every stability analysis keys on the snapshot
@@ -86,6 +87,11 @@ def parse_top_list_csv(text: str, provider: str, date: dt.date,
     the Alexa/Umbrella ``rank,domain`` format; Majestic's
     ``rank,tld,domain,...`` format uses 2).  Header rows (no digit in the
     first column) are skipped; duplicate domains keep their first rank.
+
+    Empty text, and text whose every row is filtered out, raise
+    ``ValueError`` — an empty snapshot would silently zero every
+    stability metric downstream.  ``source`` (e.g. the file path) names
+    the offending input in that error.
     """
     if date is None:
         raise ValueError(
@@ -104,6 +110,18 @@ def parse_top_list_csv(text: str, provider: str, date: dt.date,
             continue
         seen.add(domain_id)
         entry_ids.append(domain_id)
+    if not entry_ids:
+        where = f"{source}: " if source else ""
+        rows = sum(1 for line in text.splitlines() if line.strip())
+        if rows == 0:
+            raise ValueError(
+                f"{where}top list is empty (no CSV rows at all); an empty "
+                "snapshot would silently zero every downstream metric")
+        raise ValueError(
+            f"{where}no valid ranked row among {rows} CSV row(s): every row "
+            f"was a header, lacked column {domain_column + 1}, or had an "
+            f"empty domain cell (is domain_column={domain_column} right "
+            "for this provider's format?)")
     return ListSnapshot.from_ids(provider=provider, date=date, ids=entry_ids)
 
 
@@ -153,7 +171,7 @@ def read_top_list(path: str | Path, provider: str,
     else:
         text = path.read_text(encoding="utf-8")
     return parse_top_list_csv(text, provider=provider, date=date,
-                              domain_column=domain_column)
+                              domain_column=domain_column, source=str(path))
 
 
 def write_top_list(snapshot: ListSnapshot, path: str | Path) -> None:

@@ -15,6 +15,11 @@ answer queries without rebuilding the world per request:
 * :mod:`repro.service.api` — :class:`QueryService`, the deterministic
   JSON query layer behind the ``repro-serve`` HTTP endpoints, with an
   LRU result cache keyed on the store version and ETag revalidation.
+* :mod:`repro.service.replica` — :class:`Replica`, a follower that
+  tails a leader's mutation log over ``GET /v1/replication/log`` and
+  converges to byte-identical store files and payloads (retry/backoff
+  and circuit breaking via :mod:`repro.util.retry`; failure modes are
+  reproducible through :mod:`repro.faults`).
 
 The command-line entry point lives in :mod:`repro.service.cli`
 (``repro-serve`` / ``python -m repro.service.cli``).
@@ -22,6 +27,7 @@ The command-line entry point lives in :mod:`repro.service.cli`
 
 from repro.service.api import QueryService, Response, create_server
 from repro.service.index import DomainIndex, DomainLongevity
+from repro.service.replica import Replica, ReplicaError, http_fetcher
 from repro.service.store import ArchiveStore
 
 __all__ = [
@@ -29,6 +35,9 @@ __all__ = [
     "DomainIndex",
     "DomainLongevity",
     "QueryService",
+    "Replica",
+    "ReplicaError",
     "Response",
     "create_server",
+    "http_fetcher",
 ]

@@ -13,8 +13,15 @@ to the analysis library and answers the ``/v1`` endpoints:
 ``GET /v1/scenarios/{profile}/report``    the stored scenario report document
 ``GET /v1/compare``                       daily cross-list intersections
                                           (``providers=a,b``, ``top_n=``)
+``GET /v1/replication/log``               the store's mutation log for
+                                          followers (``since=``, ``max=``)
+``GET /v1/health``                        role, versions, staleness, degraded
+                                          flags (uncached)
+``GET /v1/ready``                         readiness probe: 200 serving /
+                                          503 still syncing (uncached)
 ``POST /v1/ingest``                       append one day's snapshot (JSON or
                                           CSV body) — live, no restart
+                                          (leader role only; followers 403)
 ``POST /v1/query``                        batch read: many GET targets in one
                                           request body
 ========================================  =====================================
@@ -66,6 +73,7 @@ from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any, Mapping, Optional, Sequence
 from urllib.parse import parse_qs, unquote, urlencode, urlsplit
 
+from repro import faults
 from repro.core.cache import extend_base_id_sets
 from repro.core.intersection import intersection_over_time
 from repro.core.stability import (
@@ -95,6 +103,11 @@ MAX_BODY_BYTES = 64 << 20
 #: Most GET targets one ``POST /v1/query`` batch may carry.
 MAX_BATCH_REQUESTS = 100
 
+#: Default / largest number of log entries one replication fetch returns
+#: (append entries carry whole days, so batches stay deliberately small).
+DEFAULT_REPLICATION_BATCH = 16
+MAX_REPLICATION_BATCH = 256
+
 #: Query parameters each route accepts; anything else is a 400 (a typoed
 #: parameter silently changing nothing is worse than an error).
 _ROUTE_PARAMS: dict[str, frozenset[str]] = {
@@ -105,6 +118,9 @@ _ROUTE_PARAMS: dict[str, frozenset[str]] = {
     "compare": frozenset({"providers", "top_n"}),
     "ingest": frozenset({"provider", "date", "domain_column"}),
     "query": frozenset(),
+    "replication": frozenset({"since", "max"}),
+    "health": frozenset(),
+    "ready": frozenset(),
 }
 
 
@@ -151,7 +167,8 @@ def _etag_of(body: bytes) -> str:
 
 def _is_get_route(tail: list[str]) -> bool:
     """Whether ``tail`` (path parts after ``v1``) names a GET endpoint."""
-    if tail in (["meta"], ["compare"]):
+    if tail in (["meta"], ["compare"], ["health"], ["ready"],
+                ["replication", "log"]):
         return True
     return len(tail) == 3 and (tail[0], tail[2]) in {
         ("domains", "history"), ("providers", "stability"),
@@ -198,6 +215,20 @@ def _parse_positive_int(params: Mapping[str, list[str]], name: str) -> Optional[
     return value
 
 
+def _parse_non_negative_int(params: Mapping[str, list[str]],
+                            name: str) -> Optional[int]:
+    values = params.get(name)
+    if not values:
+        return None
+    try:
+        value = int(values[-1])
+    except ValueError:
+        raise ApiError(400, f"{name} must be an integer (got {values[-1]!r})") from None
+    if value < 0:
+        raise ApiError(400, f"{name} must be >= 0 (got {value})")
+    return value
+
+
 def _parse_providers(params: Mapping[str, list[str]]) -> Optional[list[str]]:
     values = params.get("providers")
     if not values:
@@ -220,12 +251,24 @@ def _decode_json_body(body: bytes, what: str) -> dict:
 
 
 class QueryService:
-    """Query layer over one archive store (transport-free)."""
+    """Query layer over one archive store (transport-free).
+
+    ``role`` is ``"leader"`` (accepts ``POST /v1/ingest``) or
+    ``"follower"`` (read-only: ingest answers 403; the store mutates
+    only through the attached :class:`~repro.service.replica.Replica`,
+    whose staleness ``/v1/health`` and ``/v1/ready`` report).
+    """
 
     def __init__(self, store: ArchiveStore,
-                 cache_size: int = DEFAULT_CACHE_SIZE) -> None:
+                 cache_size: int = DEFAULT_CACHE_SIZE,
+                 role: str = "leader") -> None:
+        if role not in ("leader", "follower"):
+            raise ValueError(f"role must be 'leader' or 'follower' (got {role!r})")
         self.store = store
         self.cache_size = cache_size
+        self.role = role
+        #: The follower's tailer, bound via :meth:`attach_replica`.
+        self._replica = None
         self._result_cache: OrderedDict[tuple[int, str], Response] = OrderedDict()
         self._archives: dict[str, ListArchive] = {}
         self._index = DomainIndex()
@@ -298,6 +341,11 @@ class QueryService:
         """Drop memoised responses (benchmarks' cold-path switch)."""
         with self._lock:
             self._result_cache.clear()
+
+    def attach_replica(self, replica) -> None:
+        """Bind the follower's tailer so health/ready report its staleness."""
+        with self._lock:
+            self._replica = replica
 
     # -- payload builders (pure, deterministic) ---------------------------
     def meta_payload(self) -> dict[str, Any]:
@@ -442,6 +490,69 @@ class QueryService:
             stored = ", ".join(self.store.report_names()) or "none"
             raise ApiError(404, f"no stored report for profile {profile!r} "
                                 f"(stored: {stored})") from None
+
+    def replication_log_payload(self, since: int,
+                                limit: int) -> dict[str, Any]:
+        """Mutation-log entries for a follower at version ``since``.
+
+        ``remaining`` tells the follower how far behind this batch still
+        leaves it, so a bootstrap loops without a second round-trip to
+        discover it has more to pull.
+        """
+        version = self.store.version
+        entries = self.store.mutation_log(since, limit)
+        return {
+            "since": since,
+            "store_version": version,
+            "entries": entries,
+            "remaining": max(0, version - since - len(entries)),
+        }
+
+    def health_payload(self) -> dict[str, Any]:
+        """Liveness report: role, versions, staleness, degraded flags.
+
+        Never memoised: a follower's staleness moves without its store
+        version moving, so this payload must be rebuilt per request.
+        """
+        payload: dict[str, Any] = {
+            "service": "repro-serve",
+            "role": self.role,
+            "store_version": self.store.version,
+            "data_version": self.store.data_version,
+            "internal_errors": len(self.internal_errors),
+        }
+        degraded = bool(self.internal_errors)
+        if self._replica is not None:
+            replication = self._replica.status()
+            payload["replication"] = replication
+            if replication.get("breaker") not in (None, "closed") \
+                    or replication.get("last_error"):
+                degraded = True
+        payload["status"] = "degraded" if degraded else "ok"
+        return payload
+
+    def ready_payload(self) -> tuple[int, dict[str, Any]]:
+        """Readiness probe: ``(status_code, payload)``.
+
+        A leader is ready once its store is open.  A follower is ready
+        only after at least one successful sync with staleness within
+        its bound — before that it answers 503 so a load balancer keeps
+        traffic on caught-up nodes.
+        """
+        ready = True
+        reason = None
+        if self._replica is not None:
+            ready = self._replica.ready()
+            if not ready:
+                reason = "replica not caught up with leader"
+        payload: dict[str, Any] = {
+            "ready": ready,
+            "role": self.role,
+            "store_version": self.store.version,
+        }
+        if reason:
+            payload["reason"] = reason
+        return (200 if ready else 503), payload
 
     # -- the write path ---------------------------------------------------
     def _parse_ingest_snapshot(self, body: bytes,
@@ -662,6 +773,14 @@ class QueryService:
             return json_bytes(self.compare_payload(
                 providers=_parse_providers(params),
                 top_n=_parse_positive_int(params, "top_n")))
+        if tail == ["replication", "log"]:
+            _check_params(params, "replication")
+            since = _parse_non_negative_int(params, "since") or 0
+            limit = _parse_positive_int(params, "max") or DEFAULT_REPLICATION_BATCH
+            if limit > MAX_REPLICATION_BATCH:
+                raise ApiError(400, f"max is capped at {MAX_REPLICATION_BATCH} "
+                                    f"entries (got {limit})")
+            return json_bytes(self.replication_log_payload(since, limit))
         raise ApiError(404, f"unknown path {path!r}")
 
     def _answer_get(self, target: str) -> Response:
@@ -683,6 +802,26 @@ class QueryService:
         # '?top_n=5,10' canonicalise differently — a cached 200 for the
         # former must never answer the latter (which cold-paths to 400).
         canonical = path + "?" + urlencode(sorted(params.items()), doseq=True)
+        parts = [part for part in path.split("/") if part]
+        if parts[:1] == ["v1"] and parts[1:] in (["health"], ["ready"]):
+            # Probes bypass the version-keyed LRU entirely: a follower's
+            # staleness moves without its store version moving, so a
+            # memoised body would report stale health forever.
+            route = parts[1]
+            _check_params(params, route)
+            with self._lock:
+                if route == "health":
+                    status, payload = 200, self.health_payload()
+                else:
+                    status, payload = self.ready_payload()
+                version = self.store.version
+            body = json_bytes(payload)
+            return Response(status, body, {
+                "Content-Type": "application/json; charset=utf-8",
+                "Cache-Control": "no-store",
+                "X-Repro-Store-Version": str(version),
+                "X-Repro-Cache": "bypass",
+            })
         with self._lock:
             version = self.store.version
             cache_key = (version, canonical)
@@ -717,6 +856,9 @@ class QueryService:
         tail = parts[1:] if parts[:1] == ["v1"] else None
         if tail == ["ingest"]:
             _check_params(params, "ingest")
+            if self.role != "leader":
+                raise ApiError(403, "this node is a read-only follower; "
+                                    "POST /v1/ingest on the leader")
             snapshot, skipped = self._parse_ingest_snapshot(body, params, headers)
             payload = self.ingest(snapshot)
             payload["ingested"]["skipped_rows"] = skipped
@@ -767,6 +909,17 @@ class QueryService:
         serving threads alive under fuzzed input.
         """
         method = method.upper()
+        if faults.ACTIVE is not None:
+            try:
+                # Injection point "api.request": a ``slow`` rule stalls
+                # admission, an ``error`` rule answers 503 — the
+                # degraded-mode shape a load-shedding proxy produces —
+                # without polluting ``internal_errors`` (the fault is
+                # deliberate, not an escape).
+                faults.ACTIVE.hit("api.request")
+            except faults.InjectedFault:
+                return self._error_response(ApiError(
+                    503, "service degraded (injected fault)"))
         try:
             if method in ("GET", "HEAD"):
                 response = self._answer_get(target)
@@ -827,7 +980,19 @@ class _Handler(BaseHTTPRequestHandler):
             self.send_header("Connection", "close")
         self.end_headers()
         if send_body:
-            self.wfile.write(response.body)
+            if faults.ACTIVE is None:
+                self.wfile.write(response.body)
+            else:
+                try:
+                    # Injection point "api.response.write": a ``torn``
+                    # rule ships a body prefix, a ``drop`` rule none.
+                    faults.ACTIVE.torn_write("api.response.write",
+                                             self.wfile, response.body)
+                except faults.InjectedFault as error:
+                    # From the server's side a torn response *is* the
+                    # connection dying mid-body; map it to the shape
+                    # ``_guarded`` already handles as a client loss.
+                    raise ConnectionResetError(str(error)) from error
 
     def _drain_request_body(self) -> bool:
         """Discard the body of a request whose handler won't read one.
@@ -956,6 +1121,11 @@ class _Handler(BaseHTTPRequestHandler):
             self._send_json_error(
                 413, f"request body exceeds {self._MAX_BODY} bytes", close=True)
             return None
+        if faults.ACTIVE is not None:
+            # Injection point "api.request.read": a ``drop`` rule is the
+            # client vanishing mid-upload (connection-loss path), an
+            # ``error`` rule a socket-level read failure (500 envelope).
+            faults.ACTIVE.hit("api.request.read")
         body = self.rfile.read(length) if length else b""
         if len(body) < length:
             self._send_json_error(

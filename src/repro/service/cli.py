@@ -4,17 +4,23 @@ Four subcommands::
 
     repro-serve init   --store DIR [--scenario NAME] [--tiny] [--no-report]
     repro-serve serve  --store DIR [--host H] [--port P]
-    repro-serve ingest --store DIR --provider P [--date D] FILE [FILE ...]
+                       [--follow URL [--poll-interval S] [--max-staleness N]]
+    repro-serve ingest (--store DIR | --url URL) --provider P [--date D]
+                       [--retry] FILE [FILE ...]
     repro-serve query  --store DIR TARGET [TARGET ...]
 
 ``init`` simulates a scenario profile, persists its three provider
 archives into an :class:`~repro.service.store.ArchiveStore` and stores
 the scenario's report document; ``serve`` boots the ``/v1`` JSON API on
-stdlib ``http.server``; ``ingest`` appends downloaded top-list CSVs
+stdlib ``http.server`` — with ``--follow`` it serves a read-only
+*follower* that tails the named leader's replication log and reports its
+staleness on ``/v1/health``; ``ingest`` appends downloaded top-list CSVs
 (``rank,domain``, ``.zip``/``.csv.gz`` supported) to an existing store —
-the offline twin of ``POST /v1/ingest``; ``query`` answers requests
-offline through the same :class:`~repro.service.api.QueryService` (handy
-for smoke tests and debugging without a socket).
+or, with ``--url``, POSTs them to a running leader, and ``--retry``
+wraps either path in the shared backoff policy
+(:mod:`repro.util.retry`); ``query`` answers requests offline through
+the same :class:`~repro.service.api.QueryService` (handy for smoke
+tests and debugging without a socket).
 
 Also runnable uninstalled: ``PYTHONPATH=src python -m repro.service.cli``.
 """
@@ -54,37 +60,57 @@ def _resolve_profile(name: str, tiny: bool):
 
 def _cmd_init(args: argparse.Namespace) -> int:
     store_dir = Path(args.store)
-    store = ArchiveStore(store_dir)
-    if store.providers():
-        print(f"error: store at {store_dir} already holds providers "
-              f"{', '.join(store.providers())}", file=sys.stderr)
-        return 2
-    profile = _resolve_profile(args.scenario, args.tiny)
-    print(f"simulating scenario {profile.name!r} "
-          f"({profile.config.n_days} days, list size {profile.config.list_size}) ...")
-    from repro.providers.simulation import run_profile
+    with ArchiveStore(store_dir) as store:
+        if store.providers():
+            print(f"error: store at {store_dir} already holds providers "
+                  f"{', '.join(store.providers())}", file=sys.stderr)
+            return 2
+        profile = _resolve_profile(args.scenario, args.tiny)
+        print(f"simulating scenario {profile.name!r} "
+              f"({profile.config.n_days} days, list size {profile.config.list_size}) ...")
+        from repro.providers.simulation import run_profile
 
-    run = run_profile(profile)
-    for name in sorted(run.archives):
-        store.append_archive(run.archives[name])
-        print(f"  stored {name}: {len(run.archives[name])} snapshots")
-    if args.report:
-        # Only now pay for the full analysis battery; --no-report inits
-        # need just the simulated archives above.
-        store.save_report(run_scenario(profile))
-        print(f"  stored report: {profile.name}")
-    print(f"store ready at {store_dir} (version {store.version})")
+        run = run_profile(profile)
+        for name in sorted(run.archives):
+            store.append_archive(run.archives[name])
+            print(f"  stored {name}: {len(run.archives[name])} snapshots")
+        if args.report:
+            # Only now pay for the full analysis battery; --no-report inits
+            # need just the simulated archives above.
+            store.save_report(run_scenario(profile))
+            print(f"  stored report: {profile.name}")
+        print(f"store ready at {store_dir} (version {store.version})")
     print(f"serve it:  repro-serve serve --store {store_dir}")
     return 0
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
+    import threading
+
+    follow = args.follow
     try:
-        store = ArchiveStore(args.store, create=False)
+        # A fresh follower bootstraps from an empty store; a leader must
+        # be pointed at an existing one (init/ingest create it).
+        store = ArchiveStore(args.store, create=follow is not None)
     except StoreError as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
-    service = QueryService(store)
+    service = QueryService(store, role="follower" if follow else "leader")
+    stop: Optional[threading.Event] = None
+    tailer: Optional[threading.Thread] = None
+    if follow:
+        from repro.service.replica import Replica, http_fetcher
+
+        replica = Replica(store, http_fetcher(follow),
+                          max_staleness=args.max_staleness)
+        service.attach_replica(replica)
+        stop = threading.Event()
+        tailer = threading.Thread(
+            target=replica.run, args=(stop, args.poll_interval),
+            name="replica-tailer", daemon=True)
+        tailer.start()
+        print(f"repro-serve: following leader at {follow} "
+              f"(poll every {args.poll_interval}s)")
     server = create_server(service, host=args.host, port=args.port)
     host, port = server.server_address[:2]
     print(f"repro-serve: store {args.store} (version {store.version}, "
@@ -95,7 +121,11 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     except KeyboardInterrupt:
         pass
     finally:
+        if stop is not None:
+            stop.set()
+            tailer.join(timeout=10)
         server.server_close()
+        store.close()
     return 0
 
 
@@ -120,17 +150,45 @@ def _cmd_ingest(args: argparse.Namespace) -> int:
         return ListSnapshot.from_cleaned_entries(
             snapshot.provider, snapshot.date, cleaned), skipped
 
-    try:
-        store = ArchiveStore(args.store, create=args.create)
-    except StoreError as error:
-        print(f"error: {error}", file=sys.stderr)
+    if (args.store is None) == (args.url is None):
+        print("error: ingest needs exactly one of --store or --url",
+              file=sys.stderr)
         return 2
     if args.date is not None and len(args.files) > 1:
         print("error: --date only applies to a single file; embed ISO dates "
               "in the file names for batches", file=sys.stderr)
         return 2
-    appended = 0
+
+    from repro.util.retry import RetryPolicy, RetryExhaustedError, call_with_retry
+
+    # One shared policy for both paths; --retry is what distinguishes a
+    # flaky-disk/flaky-network ingest from fail-fast batch scripting.
+    policy = RetryPolicy(max_attempts=5 if args.retry else 1,
+                         base_delay=0.2, max_delay=5.0, deadline=60.0)
+
+    def attempt(fn, what: str):
+        if not args.retry:
+            return fn()
+        def note_retry(attempt_no, error, delay):
+            print(f"  retrying {what} (attempt {attempt_no} failed: "
+                  f"{error}; next in {delay:.2f}s)", file=sys.stderr)
+        try:
+            return call_with_retry(fn, policy, retry_on=(OSError,),
+                                   on_retry=note_retry)
+        except RetryExhaustedError as error:
+            raise error.last_error or error
+
+    if args.url is not None:
+        return _ingest_over_http(args, validated, attempt)
+
     try:
+        store = ArchiveStore(args.store, create=args.create)
+    except StoreError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    # The context manager is what makes batched sync=False tails durable
+    # on *every* exit path, error returns included.
+    with store:
         for path in args.files:
             try:
                 snapshot, skipped = validated(read_top_list(
@@ -139,19 +197,66 @@ def _cmd_ingest(args: argparse.Namespace) -> int:
                 # Batched like append_archive: one durable manifest write
                 # (and one fsync pass) for the whole invocation instead
                 # of a full fsync chain per file.
-                store.append(snapshot, sync=False)
-                appended += 1
+                attempt(lambda: store.append(snapshot, sync=False),
+                        f"append of {path}")
             except (StoreError, ValueError, OSError) as error:
                 print(f"error: {path}: {error}", file=sys.stderr)
                 return 2
             note = f" ({skipped} junk rows skipped)" if skipped else ""
             print(f"  ingested {args.provider} {snapshot.date}: "
                   f"{len(snapshot)} entries{note}")
-    finally:
-        if appended:
-            store.flush()
     print(f"store at {args.store} now at version {store.version} "
           f"({len(store)} snapshots)")
+    return 0
+
+
+def _ingest_over_http(args: argparse.Namespace, validated, attempt) -> int:
+    """POST validated snapshots to a running leader (``ingest --url``)."""
+    import json
+    import urllib.error
+    import urllib.request
+
+    from repro.listio import read_top_list
+
+    class _Rejected(Exception):
+        """A 4xx the server will answer identically on retry."""
+
+    base = args.url.rstrip("/")
+
+    def post(snapshot):
+        body = json.dumps({
+            "provider": snapshot.provider,
+            "date": snapshot.date.isoformat(),
+            "entries": list(snapshot.entries),
+        }).encode("utf-8")
+        request = urllib.request.Request(
+            f"{base}/v1/ingest", data=body, method="POST",
+            headers={"Content-Type": "application/json"})
+        try:
+            with urllib.request.urlopen(request, timeout=60) as response:
+                return json.loads(response.read().decode("utf-8"))
+        except urllib.error.HTTPError as error:
+            detail = error.read().decode("utf-8", "replace").strip()
+            if error.code < 500:
+                # Client errors (bad body, conflict, follower 403) won't
+                # heal on retry; only 5xx/transport failures stay OSError
+                # for the retry policy.
+                raise _Rejected(f"HTTP {error.code}: {detail}") from None
+            raise
+
+    for path in args.files:
+        try:
+            snapshot, skipped = validated(read_top_list(
+                path, provider=args.provider, date=args.date,
+                domain_column=args.domain_column))
+            payload = attempt(lambda: post(snapshot), f"upload of {path}")
+        except (_Rejected, ValueError, OSError) as error:
+            print(f"error: {path}: {error}", file=sys.stderr)
+            return 2
+        note = f" ({skipped} junk rows skipped)" if skipped else ""
+        print(f"  uploaded {args.provider} {snapshot.date}: "
+              f"{len(snapshot)} entries{note} "
+              f"(leader version {payload['store_version']})")
     return 0
 
 
@@ -193,11 +298,27 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--store", required=True, help="store directory to serve")
     serve.add_argument("--host", default="127.0.0.1")
     serve.add_argument("--port", type=int, default=8098)
+    serve.add_argument("--follow", default=None, metavar="URL",
+                       help="run as a read-only follower tailing this "
+                            "leader's /v1/replication/log (creates the "
+                            "store directory if missing)")
+    serve.add_argument("--poll-interval", type=float, default=1.0,
+                       help="seconds between follower sync cycles "
+                            "(default 1.0; --follow only)")
+    serve.add_argument("--max-staleness", type=int, default=0,
+                       help="versions a follower may lag and still answer "
+                            "/v1/ready with 200 (default 0; --follow only)")
     serve.set_defaults(func=_cmd_serve)
 
     ingest = commands.add_parser(
         "ingest", help="append downloaded top-list CSVs to an existing store")
-    ingest.add_argument("--store", required=True, help="store directory to extend")
+    ingest.add_argument("--store", default=None, help="store directory to extend")
+    ingest.add_argument("--url", default=None, metavar="URL",
+                        help="POST to a running leader's /v1/ingest instead "
+                             "of writing a local store")
+    ingest.add_argument("--retry", action="store_true",
+                        help="retry transient failures with backoff "
+                             "(shared repro.util.retry policy)")
     ingest.add_argument("--create", action="store_true",
                         help="create the store if it does not exist yet "
                              "(real-data stores need no init)")

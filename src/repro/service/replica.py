@@ -1,0 +1,274 @@
+"""Follower replica: tail a leader's mutation log into a local store.
+
+The :class:`~repro.service.store.ArchiveStore` manifest records every
+mutation in one global order (its ``log``; entry *i* produced store
+version *i + 1*), and appends are deterministic given that order — the
+interner table's first-seen ordering, the shard records and the zlib
+payloads all fall out of the entry sequence alone.  A follower therefore
+needs no snapshot transfer or file copying: it replays the leader's log
+through the *ordinary* append machinery and converges to byte-identical
+``interner.tbl`` / shard files, hence byte-identical query payloads at
+every shared version (the chaos differential tests assert exactly this).
+
+:class:`Replica` pulls batches from ``GET /v1/replication/log`` (or any
+injected ``fetch`` callable — the tests drive a leader's
+:meth:`~repro.service.api.QueryService.handle_request` in-process),
+retries transient failures under a :class:`~repro.util.retry.RetryPolicy`
+with a :class:`~repro.util.retry.CircuitBreaker`, and applies entries
+with batched ``sync=False`` appends plus one :meth:`flush` per cycle.
+
+Crash safety comes for free from the store: a replica killed mid-batch
+left un-fsynced tails the durable manifest does not name; the next open
+truncates them, ``store.version`` falls back to the durable truth, and
+the next sync re-fetches from there — re-appending the same entries at
+the truncated EOF reproduces the same bytes.  Entries at or below the
+local version are skipped, so re-delivered batches are idempotent.
+"""
+
+from __future__ import annotations
+
+import datetime as dt
+import http.client
+import json
+import random
+import threading
+import time
+import urllib.request
+from typing import Any, Callable, Mapping, Optional
+from urllib.parse import urlencode
+
+from repro import faults
+from repro.providers.base import ListSnapshot
+from repro.service.api import json_bytes
+from repro.service.store import ArchiveStore
+from repro.util.retry import (
+    CircuitBreaker,
+    CircuitOpenError,
+    RetryExhaustedError,
+    RetryPolicy,
+    call_with_retry,
+)
+
+__all__ = ["Replica", "ReplicaError", "http_fetcher"]
+
+
+class ReplicaError(RuntimeError):
+    """Replication cannot proceed (divergence, gaps, malformed entries)."""
+
+
+def http_fetcher(base_url: str,
+                 timeout: float = 10.0) -> Callable[[int, int], dict]:
+    """A ``fetch(since, limit)`` callable over HTTP (stdlib only).
+
+    Network failures surface as ``OSError``/``urllib`` errors, which the
+    replica's retry policy treats as transient.
+    """
+    base = base_url.rstrip("/")
+
+    def fetch(since: int, limit: int) -> dict:
+        query = urlencode({"since": since, "max": limit})
+        try:
+            with urllib.request.urlopen(f"{base}/v1/replication/log?{query}",
+                                        timeout=timeout) as response:
+                return json.loads(response.read().decode("utf-8"))
+        except http.client.HTTPException as error:
+            # Truncated/garbled responses (e.g. IncompleteRead when the
+            # leader dies mid-send) are transient network failures, not
+            # protocol errors — normalise to the retryable shape.
+            raise OSError(f"replication fetch failed: {error!r}") from error
+
+    return fetch
+
+
+class Replica:
+    """Tail one leader's mutation log into a local follower store.
+
+    ``fetch(since, limit)`` returns the leader's replication payload
+    (``{"store_version", "entries", "remaining", ...}``).  One replica
+    owns its store's write side; :meth:`status` is safe from any thread
+    (the health endpoint calls it concurrently with a sync cycle).
+    """
+
+    def __init__(self, store: ArchiveStore,
+                 fetch: Callable[[int, int], Mapping[str, Any]],
+                 *,
+                 policy: Optional[RetryPolicy] = None,
+                 breaker: Optional[CircuitBreaker] = None,
+                 batch: int = 16,
+                 max_staleness: int = 0,
+                 rng: Optional[random.Random] = None,
+                 clock: Callable[[], float] = time.monotonic,
+                 sleep: Callable[[float], None] = time.sleep) -> None:
+        self.store = store
+        self.policy = policy if policy is not None else RetryPolicy(
+            max_attempts=5, base_delay=0.02, max_delay=0.5)
+        self.breaker = breaker if breaker is not None else CircuitBreaker(
+            failure_threshold=8, reset_timeout=5.0, clock=clock)
+        self.batch = batch
+        #: Largest ``leader_version - local_version`` :meth:`ready` accepts.
+        self.max_staleness = max_staleness
+        self._fetch = fetch
+        self._rng = rng if rng is not None else random.Random()
+        self._clock = clock
+        self._sleep = sleep
+        self._lock = threading.Lock()
+        self._leader_version: Optional[int] = None
+        self._last_error: Optional[BaseException] = None
+        self._sync_cycles = 0
+        self._applied_total = 0
+
+    # -- observability ----------------------------------------------------
+    def status(self) -> dict[str, Any]:
+        """Staleness and degraded-mode flags (the health payload body)."""
+        with self._lock:
+            leader_version = self._leader_version
+            last_error = self._last_error
+            cycles = self._sync_cycles
+            applied = self._applied_total
+        local = self.store.version
+        staleness = (None if leader_version is None
+                     else max(0, leader_version - local))
+        return {
+            "leader_version": leader_version,
+            "local_version": local,
+            "staleness": staleness,
+            "max_staleness": self.max_staleness,
+            "breaker": self.breaker.state,
+            "last_error": (f"{type(last_error).__name__}: {last_error}"
+                           if last_error is not None else None),
+            "sync_cycles": cycles,
+            "entries_applied": applied,
+        }
+
+    def staleness(self) -> Optional[int]:
+        """Versions behind the last-seen leader (``None`` before a sync)."""
+        return self.status()["staleness"]
+
+    def ready(self) -> bool:
+        """Whether this follower should take read traffic."""
+        staleness = self.staleness()
+        return staleness is not None and staleness <= self.max_staleness
+
+    # -- the tail loop ----------------------------------------------------
+    def _fetch_batch(self) -> Mapping[str, Any]:
+        if faults.ACTIVE is not None:
+            faults.ACTIVE.hit("replica.fetch")
+        return self._fetch(self.store.version, self.batch)
+
+    def _apply(self, entry: Mapping[str, Any]) -> bool:
+        """Apply one log entry; returns whether it advanced the store.
+
+        Entries at or below the local version are idempotently skipped
+        (re-delivered batch); an entry that would leave a version gap is
+        a protocol violation and raises — a follower must never append
+        day *n+1* without day *n*.
+        """
+        if faults.ACTIVE is not None:
+            faults.ACTIVE.hit("replica.apply")
+        version = entry["version"]
+        local = self.store.version
+        if version <= local:
+            return False
+        if version != local + 1:
+            raise ReplicaError(
+                f"replication gap: leader sent version {version}, "
+                f"local store is at {local}")
+        kind = entry["kind"]
+        if kind == "append":
+            snapshot = ListSnapshot.from_cleaned_entries(
+                entry["provider"], dt.date.fromisoformat(entry["date"]),
+                entry["entries"])
+            self.store.append(snapshot, sync=False)
+        elif kind == "report":
+            # ``json_bytes`` is the canonical serialisation the leader
+            # stored, so the round trip is byte-stable.
+            self.store.save_report_bytes(entry["profile"],
+                                         json_bytes(entry["document"]))
+        else:
+            raise ReplicaError(f"unknown replication entry kind {kind!r}")
+        return True
+
+    def sync_once(self) -> int:
+        """One sync cycle: fetch/apply until caught up with the leader.
+
+        Returns how many entries were applied.  Transient fetch failures
+        retry under the policy (and trip the breaker); exhaustion raises
+        :class:`~repro.util.retry.RetryExhaustedError`.  Batched appends
+        are flushed durably before the cycle counts as complete.
+        """
+        applied = 0
+        try:
+            while True:
+                payload = call_with_retry(
+                    self._fetch_batch, self.policy,
+                    retry_on=(OSError, json.JSONDecodeError),
+                    rng=self._rng, clock=self._clock, sleep=self._sleep,
+                    breaker=self.breaker)
+                leader_version = payload["store_version"]
+                with self._lock:
+                    self._leader_version = leader_version
+                if leader_version < self.store.version:
+                    raise ReplicaError(
+                        f"leader at version {leader_version} is behind this "
+                        f"replica ({self.store.version}); refusing to diverge")
+                for entry in payload["entries"]:
+                    if self._apply(entry):
+                        applied += 1
+                if not payload["remaining"] \
+                        and self.store.version >= leader_version:
+                    break
+        except BaseException as error:
+            if applied and not faults.is_crash(error):
+                # Keep the prefix that did land: it is valid data and the
+                # next cycle resumes after it.  (Not on a simulated
+                # crash — a dead process runs no cleanup; recovery
+                # happens at the next open instead.)
+                self.store.flush()
+            if not faults.is_crash(error):
+                recorded = error
+                if isinstance(error, RetryExhaustedError) \
+                        and error.last_error is not None:
+                    # Health pages want the root cause ("leader refused
+                    # connection"), not the retry wrapper.
+                    recorded = error.last_error
+                with self._lock:
+                    self._last_error = recorded
+            raise
+        if applied:
+            self.store.flush()
+        with self._lock:
+            self._last_error = None
+            self._sync_cycles += 1
+            self._applied_total += applied
+        return applied
+
+    def sync_to_leader(self, attempts: int = 10) -> int:
+        """Sync until staleness 0, tolerating leader churn in between.
+
+        :meth:`sync_once` already loops until it has caught up with the
+        version its last fetch reported; this wrapper re-runs it while
+        fresh mutations keep landing, up to ``attempts`` cycles.
+        """
+        total = 0
+        for _ in range(attempts):
+            total += self.sync_once()
+            if self.staleness() == 0:
+                return total
+        raise ReplicaError(
+            f"still {self.staleness()} versions behind after "
+            f"{attempts} sync cycles")
+
+    def run(self, stop: threading.Event, poll_interval: float = 1.0) -> None:
+        """Tail forever (the ``repro-serve serve --follow`` loop).
+
+        Sync failures are recorded (health reports them as degraded) and
+        retried next tick; an injected crash propagates — a simulated
+        process death must kill the loop, not be absorbed by it.
+        """
+        while not stop.is_set():
+            try:
+                self.sync_once()
+            except (RetryExhaustedError, CircuitOpenError, ReplicaError,
+                    OSError, KeyError, ValueError):
+                pass  # recorded in status(); retried next tick
+            stop.wait(poll_interval)

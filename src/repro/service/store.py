@@ -60,6 +60,7 @@ from array import array
 from pathlib import Path
 from typing import Iterable, Iterator, Mapping, Optional
 
+from repro import faults
 from repro.core.cache import seed_base_id_sets
 from repro.domain.psl import default_list
 from repro.interning import default_interner
@@ -217,6 +218,9 @@ class ArchiveStore:
         # before the manifest may name their records.
         self._dirty_files: set[Path] = set()
         self._dirty_dirs: set[Path] = set()
+        #: Whether the in-memory manifest is ahead of the durable one
+        #: (batched ``sync=False`` appends); ``close()`` flushes iff set.
+        self._manifest_dirty = False
         stale_tmp = self._manifest_path.with_suffix(".json.tmp")
         if stale_tmp.exists():
             # A crash mid-publish leaves a (possibly truncated) tmp
@@ -228,21 +232,75 @@ class ArchiveStore:
                 raise StoreError(
                     f"{self._manifest_path}: unsupported store format "
                     f"{manifest.get('format_version')!r} (expected {FORMAT_VERSION})")
+            if "log" not in manifest:
+                manifest = self._synthesise_log(manifest)
             self._manifest = manifest
         elif create:
             self.root.mkdir(parents=True, exist_ok=True)
             self._manifest = {"format_version": FORMAT_VERSION,
                               "store_version": 0, "data_version": 0,
-                              "providers": {}, "reports": [],
+                              "providers": {}, "reports": [], "log": [],
                               "interner": {"entries": 0, "psl_version": None}}
             self._write_manifest()
         else:
             raise StoreError(f"no archive store at {self.root}")
 
+    @staticmethod
+    def _synthesise_log(manifest: dict) -> dict:
+        """Derive a mutation log for a pre-log store (one-time migration).
+
+        The log is the replication truth: entry ``i`` is the mutation
+        that produced store version ``i + 1``.  Stores written before
+        the log existed cannot recover their historical global append
+        order (the manifest only keeps per-provider date lists), so the
+        migration assigns the canonical order — appends merged by
+        ``(date, provider)``, then reports by name — and re-anchors
+        ``store_version``/``data_version`` to match.  Versions are an
+        internal cache/replication token, never persisted outside the
+        store, so re-anchoring is safe; it happens in memory and lands
+        on disk with the next durable write.  Deterministic, so a
+        leader and a fresh follower opening the same old store agree.
+        """
+        appends = sorted(
+            (ordinal, provider)
+            for provider, entry in manifest["providers"].items()
+            for ordinal in entry["dates"])
+        log = [["append", provider, ordinal] for ordinal, provider in appends]
+        log += [["report", profile] for profile in sorted(manifest["reports"])]
+        migrated = dict(manifest)
+        migrated["log"] = log
+        migrated["store_version"] = len(log)
+        migrated["data_version"] = len(appends)
+        return migrated
+
+    # -- lifecycle --------------------------------------------------------
+    def close(self) -> None:
+        """Flush any batched state, making the store durable.
+
+        Idempotent and cheap when nothing is pending: only a store whose
+        in-memory manifest is ahead of the durable one (``sync=False``
+        appends since the last :meth:`flush`) pays for the fsync chain.
+        """
+        with self._write_lock:
+            if self._dirty_files or self._dirty_dirs or self._manifest_dirty:
+                self._sync_dirty()
+                self._write_manifest()
+
+    def __enter__(self) -> "ArchiveStore":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        # Even on an in-flight exception the already-appended snapshots
+        # are good data; making them durable is strictly better than
+        # silently dropping a batched tail on the floor.
+        self.close()
+
     # -- manifest ---------------------------------------------------------
     @staticmethod
     def _fsync_dir(directory: Path) -> None:
         """Flush a directory entry (new file / rename) to stable storage."""
+        if faults.ACTIVE is not None:
+            faults.ACTIVE.hit("store.dir.fsync")
         fd = os.open(directory, os.O_RDONLY)
         try:
             os.fsync(fd)
@@ -260,15 +318,25 @@ class ArchiveStore:
         text = json.dumps(manifest, indent=2, sort_keys=True) + "\n"
         tmp = self._manifest_path.with_suffix(".json.tmp")
         with tmp.open("w", encoding="utf-8") as handle:
-            handle.write(text)
+            if faults.ACTIVE is None:
+                handle.write(text)
+            else:
+                # A torn tmp write is the safe tear: the real manifest
+                # is untouched and the next open discards the tmp.
+                faults.ACTIVE.torn_write("store.manifest.write", handle, text)
             handle.flush()
+            if faults.ACTIVE is not None:
+                faults.ACTIVE.hit("store.manifest.fsync")
             os.fsync(handle.fileno())
+        if faults.ACTIVE is not None:
+            faults.ACTIVE.hit("store.manifest.rename.before")
         os.replace(tmp, self._manifest_path)
 
     def _write_manifest(self, manifest: Optional[dict] = None) -> None:
         if manifest is None:
             manifest = self._manifest
         self._publish_manifest(manifest)
+        self._manifest_dirty = False
         # The rename itself must survive power loss, not just the bytes.
         self._fsync_dir(self.root)
 
@@ -409,11 +477,24 @@ class ArchiveStore:
         return sorted(entry["shards"]) if entry else []
 
     @staticmethod
-    def _append_file(path: Path, data: bytes, sync: bool) -> None:
+    def _append_file(path: Path, data: bytes, sync: bool,
+                     point: str = "store.file") -> None:
+        """Append ``data`` to ``path``'s tail (the write-ahead half).
+
+        ``point`` names the fault-injection site (``store.table`` /
+        ``store.shard``): ``<point>.write`` may tear or fail the write,
+        ``<point>.fsync`` may fail the durability step — exactly the
+        two distinct failure modes a real disk offers.
+        """
         with path.open("ab") as handle:
-            handle.write(data)
+            if faults.ACTIVE is None:
+                handle.write(data)
+            else:
+                faults.ACTIVE.torn_write(point + ".write", handle, data)
             if sync:
                 handle.flush()
+                if faults.ACTIVE is not None:
+                    faults.ACTIVE.hit(point + ".fsync")
                 os.fsync(handle.fileno())
 
     # -- appends ----------------------------------------------------------
@@ -472,7 +553,8 @@ class ArchiveStore:
                 record = _HEADER.pack(_MAGIC, ordinal, psl.version,
                                       len(store_ids), len(payload)) + payload
                 if new_table_bytes:
-                    self._append_file(self._table_path, bytes(new_table_bytes), sync)
+                    self._append_file(self._table_path, bytes(new_table_bytes),
+                                      sync, point="store.table")
                     table.consumed_bytes += len(new_table_bytes)
                     if not sync:
                         self._dirty_files.add(self._table_path)
@@ -480,7 +562,7 @@ class ArchiveStore:
                 new_provider_dir = not provider_dir.exists()
                 provider_dir.mkdir(parents=True, exist_ok=True)
                 new_shard = not path.exists()
-                self._append_file(path, record, sync)
+                self._append_file(path, record, sync, point="store.shard")
                 # New directory entries (the shard file, and on a
                 # provider's first shard its directory) must be durable
                 # before a manifest may name them; with sync=False they
@@ -515,6 +597,8 @@ class ArchiveStore:
                 new_manifest["interner"] = interner_entry
                 new_manifest["store_version"] = manifest["store_version"] + 1
                 new_manifest["data_version"] = manifest.get("data_version", 0) + 1
+                new_manifest["log"] = manifest["log"] + [
+                    ["append", provider, ordinal]]
                 if sync:
                     # Everything the manifest is about to name must be
                     # durable first: this append's tails were fsynced
@@ -523,9 +607,19 @@ class ArchiveStore:
                     self._sync_dirty()
                     self._publish_manifest(new_manifest)
                     published = True
+                    if faults.ACTIVE is not None:
+                        # Post-rename faults land here, after ``published``
+                        # is set: the durable manifest already names the
+                        # record, so rollback below must not run.
+                        faults.ACTIVE.hit("store.manifest.rename.after")
                     # The rename itself must survive power loss too.
                     self._fsync_dir(self.root)
-            except BaseException:
+            except BaseException as error:
+                if faults.is_crash(error):
+                    # A simulated process death never gets to clean up:
+                    # leave the torn tails exactly as a real crash would
+                    # and let the next open's recovery truncate them.
+                    raise
                 if published:
                     # The durable manifest already names this record (only
                     # a post-rename step failed): the data must stay, and
@@ -554,6 +648,8 @@ class ArchiveStore:
                     table._sid_by_gid = None
                 raise
             self._manifest = new_manifest
+            if not sync:
+                self._manifest_dirty = True
 
     def append_archive(self, archive: ListArchive) -> None:
         """Append every snapshot of ``archive`` (one manifest write)."""
@@ -566,6 +662,8 @@ class ArchiveStore:
         durable manifest (the write-ahead half of a batched append)."""
         for path in sorted(self._dirty_files):
             with path.open("rb") as handle:
+                if faults.ACTIVE is not None:
+                    faults.ACTIVE.hit("store.dirty.fsync")
                 os.fsync(handle.fileno())
         self._dirty_files.clear()
         for directory in sorted(self._dirty_dirs):
@@ -582,6 +680,52 @@ class ArchiveStore:
         with self._write_lock:
             self._sync_dirty()
             self._write_manifest()
+
+    # -- replication ------------------------------------------------------
+    def mutation_log(self, since: int = 0,
+                     limit: Optional[int] = None) -> list[dict]:
+        """Materialised mutation-log entries for versions ``> since``.
+
+        The manifest's ``log`` records every mutation in global order —
+        entry ``i`` produced store version ``i + 1`` — which is exactly
+        what a follower needs: replaying the log through the ordinary
+        append machinery reproduces the leader's table first-seen order,
+        hence byte-identical ``interner.tbl`` and shard files.  Each
+        returned dict is JSON-ready::
+
+            {"version": 7, "kind": "append", "provider": "alexa",
+             "date": "2018-05-01", "entries": ["a.com", ...]}
+            {"version": 9, "kind": "report", "profile": "default",
+             "document": {...}}
+
+        ``since`` is the follower's current store version; ``limit``
+        bounds the batch (appends carry whole days, so batches are kept
+        small on the wire).
+        """
+        manifest = self._manifest  # one pinned, never-mutated reference
+        log = manifest["log"]
+        if since < 0:
+            since = 0
+        stop = len(log) if limit is None else min(len(log), since + limit)
+        entries: list[dict] = []
+        for index in range(since, stop):
+            record = log[index]
+            kind = record[0]
+            if kind == "append":
+                _, provider, ordinal = record
+                date = dt.date.fromordinal(ordinal)
+                snapshot = self.load_snapshot(provider, date)
+                entries.append({"version": index + 1, "kind": "append",
+                                "provider": provider,
+                                "date": date.isoformat(),
+                                "entries": list(snapshot.entries)})
+            else:
+                _, profile = record
+                entries.append({"version": index + 1, "kind": "report",
+                                "profile": profile,
+                                "document": json.loads(
+                                    self.load_report_bytes(profile))})
+        return entries
 
     # -- loads ------------------------------------------------------------
     def _replay(self, provider: str,
@@ -727,7 +871,17 @@ class ArchiveStore:
         The exact ``to_json()`` bytes are persisted, so serving the file
         is byte-identical to re-running the scenario.
         """
-        path = self._report_path(report.profile)
+        return self.save_report_bytes(report.profile,
+                                      report.to_json().encode("utf-8"))
+
+    def save_report_bytes(self, profile: str, document: bytes) -> Path:
+        """Store an already-serialised report document under ``profile``.
+
+        The replication path lands here: a follower receives the leader's
+        report bytes and persists them verbatim, so the two stores serve
+        identical documents.
+        """
+        path = self._report_path(profile)
         with self._write_lock:
             new_dir = not path.parent.exists()
             path.parent.mkdir(parents=True, exist_ok=True)
@@ -735,8 +889,12 @@ class ArchiveStore:
             # fresh reports/ directory, its entry) are durable before the
             # manifest may name the profile.
             tmp = path.with_suffix(".json.tmp")
-            with tmp.open("w", encoding="utf-8") as handle:
-                handle.write(report.to_json())
+            with tmp.open("wb") as handle:
+                if faults.ACTIVE is None:
+                    handle.write(document)
+                else:
+                    faults.ACTIVE.torn_write("store.report.write", handle,
+                                             document)
                 handle.flush()
                 os.fsync(handle.fileno())
             os.replace(tmp, path)
@@ -745,10 +903,11 @@ class ArchiveStore:
                 self._fsync_dir(self.root)
             manifest = self._manifest
             new_manifest = dict(manifest)
-            if report.profile not in manifest["reports"]:
+            if profile not in manifest["reports"]:
                 new_manifest["reports"] = sorted(
-                    manifest["reports"] + [report.profile])
+                    manifest["reports"] + [profile])
             new_manifest["store_version"] = manifest["store_version"] + 1
+            new_manifest["log"] = manifest["log"] + [["report", profile]]
             self._write_manifest(new_manifest)
             self._manifest = new_manifest
         return path

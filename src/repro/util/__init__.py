@@ -1,0 +1,27 @@
+"""repro.util — shared infrastructure helpers.
+
+Small policy modules the serving subsystem composes rather than
+re-implementing per call site:
+
+* :mod:`repro.util.retry` — retry with decorrelated-jitter backoff,
+  deadline budgets and a circuit breaker (used by the replica tailer
+  and the ``repro-serve ingest --retry`` client path).
+"""
+
+from repro.util.retry import (
+    CircuitBreaker,
+    CircuitOpenError,
+    RetryExhaustedError,
+    RetryPolicy,
+    backoff_delays,
+    call_with_retry,
+)
+
+__all__ = [
+    "CircuitBreaker",
+    "CircuitOpenError",
+    "RetryExhaustedError",
+    "RetryPolicy",
+    "backoff_delays",
+    "call_with_retry",
+]

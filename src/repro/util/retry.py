@@ -1,0 +1,243 @@
+"""Retry policy: bounded backoff, deadline budgets, circuit breaking.
+
+One shared policy module instead of ad-hoc ``for attempt in range(...)``
+loops: the replica tailer, the ``repro-serve ingest --retry`` client
+path and the chaos tests all compose the same three pieces —
+
+* :class:`RetryPolicy` + :func:`backoff_delays` — *decorrelated jitter*
+  (each delay drawn uniformly from ``[base, 3 × previous]``, capped at
+  ``max_delay``), the schedule that both spreads synchronised retriers
+  apart and keeps expected delay growing with attempt count.  Fully
+  deterministic under a seeded RNG, which is what makes a retrying chaos
+  schedule reproducible.
+* **Deadline budgets** — a policy's ``deadline`` is a total wall-clock
+  budget measured from the first attempt: sleeps are clipped so the
+  budget is *never* exceeded, and a retry that could not start within
+  the budget is not started at all (the property tests drive this with
+  a fake clock and assert the invariant exactly).
+* :class:`CircuitBreaker` — after ``failure_threshold`` consecutive
+  failures the circuit opens and :func:`call_with_retry` fails fast
+  (:class:`CircuitOpenError`) without touching the callee; after
+  ``reset_timeout`` one probe attempt is allowed through (half-open) and
+  its outcome closes or re-opens the circuit.  A follower that lost its
+  leader stops hammering the socket, and ``/v1/health`` reports the
+  breaker state as a degraded-mode flag.
+
+``clock``/``sleep``/``rng`` are injectable everywhere, so tests run in
+virtual time with zero real sleeping.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass
+from typing import Callable, Iterator, Optional, Tuple, Type
+
+__all__ = [
+    "CircuitBreaker",
+    "CircuitOpenError",
+    "RetryExhaustedError",
+    "RetryPolicy",
+    "backoff_delays",
+    "call_with_retry",
+]
+
+
+class RetryExhaustedError(Exception):
+    """All attempts failed (or the deadline budget ran out).
+
+    Chains from the last underlying failure (``__cause__``), and keeps
+    it on :attr:`last_error` for callers that branch on the cause.
+    """
+
+    def __init__(self, message: str, last_error: Optional[BaseException]) -> None:
+        super().__init__(message)
+        self.last_error = last_error
+
+
+class CircuitOpenError(Exception):
+    """The circuit breaker is open; the call was not attempted."""
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How hard to try: attempts, backoff shape, and a total time budget.
+
+    ``jitter`` selects the backoff family:
+
+    * ``"decorrelated"`` (default) — AWS-style decorrelated jitter:
+      ``delay = min(cap, uniform(base, 3 × previous))``.
+    * ``"none"`` — pure capped exponential: ``min(cap, base × 2^k)``;
+      deterministic without an RNG (useful as the monotone envelope in
+      tests).
+    """
+
+    max_attempts: int = 5
+    base_delay: float = 0.05
+    max_delay: float = 2.0
+    #: Total wall-clock budget in seconds across all attempts and
+    #: sleeps, measured from the first attempt; ``None`` = unbounded.
+    deadline: Optional[float] = None
+    jitter: str = "decorrelated"
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError(f"max_attempts must be >= 1 (got {self.max_attempts})")
+        if self.base_delay < 0 or self.max_delay < self.base_delay:
+            raise ValueError(
+                f"need 0 <= base_delay <= max_delay "
+                f"(got {self.base_delay}, {self.max_delay})")
+        if self.deadline is not None and self.deadline < 0:
+            raise ValueError(f"deadline must be >= 0 (got {self.deadline})")
+        if self.jitter not in ("decorrelated", "none"):
+            raise ValueError(f"unknown jitter mode {self.jitter!r}")
+
+
+def backoff_delays(policy: RetryPolicy,
+                   rng: Optional[random.Random] = None) -> Iterator[float]:
+    """The policy's infinite backoff-delay sequence (caller bounds it).
+
+    Every yielded delay is in ``[0, policy.max_delay]``; with a seeded
+    ``rng`` the sequence is fully deterministic.  The *k*-th delay backs
+    off the *k*-th failure, so the sequence is consumed between
+    attempts.
+    """
+    if policy.jitter == "none":
+        delay = policy.base_delay
+        while True:
+            yield min(delay, policy.max_delay)
+            # Grow past the cap is pointless; freeze there.
+            delay = min(delay * 2, policy.max_delay) if delay else policy.max_delay
+    else:
+        if rng is None:
+            rng = random.Random()
+        previous = policy.base_delay
+        while True:
+            delay = min(policy.max_delay,
+                        rng.uniform(policy.base_delay, max(previous * 3,
+                                                           policy.base_delay)))
+            previous = delay
+            yield delay
+
+
+def call_with_retry(fn: Callable[[], object],
+                    policy: RetryPolicy = RetryPolicy(),
+                    *,
+                    retry_on: Tuple[Type[BaseException], ...] = (Exception,),
+                    rng: Optional[random.Random] = None,
+                    clock: Callable[[], float] = time.monotonic,
+                    sleep: Callable[[float], None] = time.sleep,
+                    breaker: Optional["CircuitBreaker"] = None,
+                    on_retry: Optional[Callable[[int, BaseException, float],
+                                                None]] = None) -> object:
+    """Call ``fn`` until it succeeds, the policy is exhausted, or the
+    deadline budget runs out.
+
+    Only ``retry_on`` exceptions are retried — anything else (including
+    ``BaseException`` like an injected crash) propagates immediately.
+    ``on_retry(attempt, error, delay)`` is invoked before each backoff
+    sleep.  With ``breaker``, every outcome is recorded and an open
+    circuit raises :class:`CircuitOpenError` without calling ``fn``.
+
+    The deadline invariant: no sleep ends after ``start + deadline``
+    (sleeps are clipped), and no attempt *starts* after the deadline has
+    passed.
+    """
+    start = clock()
+    delays = backoff_delays(policy, rng)
+    last_error: Optional[BaseException] = None
+    for attempt in range(1, policy.max_attempts + 1):
+        if breaker is not None and not breaker.allow():
+            raise CircuitOpenError(
+                f"circuit open after {breaker.consecutive_failures} "
+                f"consecutive failures") from last_error
+        try:
+            result = fn()
+        except retry_on as error:
+            last_error = error
+            if breaker is not None:
+                breaker.record_failure()
+            if attempt >= policy.max_attempts:
+                break
+            delay = next(delays)
+            if policy.deadline is not None:
+                remaining = policy.deadline - (clock() - start)
+                if remaining <= 0:
+                    break
+                delay = min(delay, remaining)
+            if on_retry is not None:
+                on_retry(attempt, error, delay)
+            if delay > 0:
+                sleep(delay)
+            if policy.deadline is not None \
+                    and clock() - start >= policy.deadline:
+                break
+        else:
+            if breaker is not None:
+                breaker.record_success()
+            return result
+    raise RetryExhaustedError(
+        f"gave up after {attempt} attempt(s)", last_error) from last_error
+
+
+class CircuitBreaker:
+    """Consecutive-failure circuit breaker (closed → open → half-open).
+
+    * **closed** — calls flow; ``failure_threshold`` consecutive
+      failures trip it open.
+    * **open** — :meth:`allow` is ``False`` until ``reset_timeout``
+      seconds have passed since the tripping failure.
+    * **half-open** — one probe call is allowed; success closes the
+      circuit, failure re-opens it (and restarts the timeout).
+
+    Not thread-safe by itself; the replica serialises its sync cycles,
+    which is the only writer.
+    """
+
+    def __init__(self, failure_threshold: int = 5, reset_timeout: float = 30.0,
+                 clock: Callable[[], float] = time.monotonic) -> None:
+        if failure_threshold < 1:
+            raise ValueError(
+                f"failure_threshold must be >= 1 (got {failure_threshold})")
+        if reset_timeout < 0:
+            raise ValueError(f"reset_timeout must be >= 0 (got {reset_timeout})")
+        self.failure_threshold = failure_threshold
+        self.reset_timeout = reset_timeout
+        self._clock = clock
+        self.consecutive_failures = 0
+        self._opened_at: Optional[float] = None
+        self._half_open = False
+
+    @property
+    def state(self) -> str:
+        """``"closed"``, ``"open"`` or ``"half-open"`` (for health pages)."""
+        if self._opened_at is None:
+            return "closed"
+        if self._half_open or \
+                self._clock() - self._opened_at >= self.reset_timeout:
+            return "half-open"
+        return "open"
+
+    def allow(self) -> bool:
+        """Whether a call may proceed now (may transition to half-open)."""
+        if self._opened_at is None:
+            return True
+        if self._half_open:
+            # One probe is already in flight; hold further calls back.
+            return False
+        if self._clock() - self._opened_at >= self.reset_timeout:
+            self._half_open = True
+            return True
+        return False
+
+    def record_success(self) -> None:
+        self.consecutive_failures = 0
+        self._opened_at = None
+        self._half_open = False
+
+    def record_failure(self) -> None:
+        self.consecutive_failures += 1
+        if self._half_open or self.consecutive_failures >= self.failure_threshold:
+            self._opened_at = self._clock()
+            self._half_open = False

@@ -1,0 +1,167 @@
+"""The fault-injection layer itself: determinism, kinds, plan plumbing.
+
+Chaos tests are only trustworthy if the chaos is: the same seed must
+fire the same faults at the same calls every run, an uninstalled plan
+must be invisible, and each fault kind must surface as the documented
+exception shape.
+"""
+
+import io
+
+import pytest
+
+from repro import faults
+from repro.faults import FaultPlan, FaultRule, InjectedCrash, InjectedFault
+
+
+@pytest.fixture(autouse=True)
+def _clean_plan():
+    faults.uninstall()
+    yield
+    faults.uninstall()
+
+
+def _run_schedule(seed: int, calls: int = 40) -> list[tuple[str, int, str]]:
+    plan = FaultPlan(seed, [
+        FaultRule("store.shard.write", "error", probability=0.3),
+        FaultRule("store.manifest.*", "crash", on_calls=(3,)),
+        FaultRule("api.*", "drop", probability=0.2, max_fires=2),
+    ])
+    for _ in range(calls):
+        for point in ("store.shard.write", "store.manifest.fsync",
+                      "api.response.write"):
+            try:
+                plan.hit(point)
+            except (InjectedFault, InjectedCrash, ConnectionResetError):
+                pass
+    return list(plan.fired)
+
+
+class TestDeterminism:
+    def test_same_seed_same_schedule(self):
+        assert _run_schedule(7) == _run_schedule(7)
+
+    def test_different_seeds_differ(self):
+        assert _run_schedule(7) != _run_schedule(8)
+
+    def test_points_are_independent_streams(self):
+        """Adding a rule for one point never shifts another point's draws."""
+        base = FaultPlan(11, [FaultRule("a", "error", probability=0.5)])
+        extended = FaultPlan(11, [FaultRule("a", "error", probability=0.5),
+                                  FaultRule("b", "error", probability=0.5)])
+        for plan in (base, extended):
+            for _ in range(30):
+                try:
+                    plan.hit("a")
+                except InjectedFault:
+                    pass
+                try:
+                    plan.hit("b")
+                except InjectedFault:
+                    pass
+        a_base = [f for f in base.fired if f[0] == "a"]
+        a_ext = [f for f in extended.fired if f[0] == "a"]
+        assert a_base == a_ext
+
+
+class TestKinds:
+    def test_error_is_oserror(self):
+        plan = FaultPlan(1, [FaultRule("p", "error")])
+        with pytest.raises(OSError) as excinfo:
+            plan.hit("p")
+        assert excinfo.value.point == "p"
+
+    def test_crash_is_not_exception(self):
+        plan = FaultPlan(1, [FaultRule("p", "crash")])
+        with pytest.raises(BaseException) as excinfo:
+            plan.hit("p")
+        assert not isinstance(excinfo.value, Exception)
+        assert faults.is_crash(excinfo.value)
+
+    def test_drop_is_connection_reset(self):
+        plan = FaultPlan(1, [FaultRule("p", "drop")])
+        with pytest.raises(ConnectionResetError):
+            plan.hit("p")
+
+    def test_slow_sleeps_and_passes(self):
+        plan = FaultPlan(1, [FaultRule("p", "slow", delay=0.0)])
+        plan.hit("p")  # must not raise
+        assert plan.fired == [("p", 1, "slow")]
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            FaultRule("p", "explode")
+
+    def test_bad_probability_rejected(self):
+        with pytest.raises(ValueError):
+            FaultRule("p", "error", probability=1.5)
+
+
+class TestTornWrites:
+    def test_torn_write_keeps_prefix(self):
+        plan = FaultPlan(1, [FaultRule("p", "torn", keep_bytes=3)])
+        handle = io.BytesIO()
+        with pytest.raises(InjectedFault):
+            plan.torn_write("p", handle, b"abcdef")
+        assert handle.getvalue() == b"abc"
+
+    def test_torn_prefix_is_deterministic(self):
+        def torn_len(seed):
+            plan = FaultPlan(seed, [FaultRule("p", "torn")])
+            handle = io.BytesIO()
+            with pytest.raises(InjectedFault):
+                plan.torn_write("p", handle, b"x" * 100)
+            return len(handle.getvalue())
+
+        assert torn_len(5) == torn_len(5)
+        assert 0 <= torn_len(5) < 100
+
+    def test_clean_write_passes_through(self):
+        plan = FaultPlan(1, [])
+        handle = io.BytesIO()
+        plan.torn_write("p", handle, b"abcdef")
+        assert handle.getvalue() == b"abcdef"
+
+
+class TestScheduling:
+    def test_on_calls_targets_exact_calls(self):
+        plan = FaultPlan(1, [FaultRule("p", "error", on_calls=(2, 4))])
+        outcomes = []
+        for _ in range(5):
+            try:
+                plan.hit("p")
+                outcomes.append("ok")
+            except InjectedFault:
+                outcomes.append("fault")
+        assert outcomes == ["ok", "fault", "ok", "fault", "ok"]
+
+    def test_max_fires_lets_retries_win(self):
+        plan = FaultPlan(1, [FaultRule("p", "error", max_fires=2)])
+        failures = 0
+        for _ in range(5):
+            try:
+                plan.hit("p")
+            except InjectedFault:
+                failures += 1
+        assert failures == 2
+        assert plan.calls("p") == 5
+
+    def test_pattern_matches_namespaces(self):
+        plan = FaultPlan(1, [FaultRule("store.*", "error")])
+        with pytest.raises(InjectedFault):
+            plan.hit("store.shard.write")
+        plan.hit("api.request")  # unmatched: passes
+
+    def test_install_uninstall(self):
+        assert faults.ACTIVE is None
+        plan = faults.install(FaultPlan(1))
+        assert faults.ACTIVE is plan
+        faults.uninstall()
+        assert faults.ACTIVE is None
+
+    def test_injected_context_manager(self):
+        with faults.injected(FaultPlan(3, [FaultRule("p", "error")])) as plan:
+            assert faults.ACTIVE is plan
+            with pytest.raises(InjectedFault):
+                plan.hit("p")
+        assert faults.ACTIVE is None

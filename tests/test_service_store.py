@@ -236,10 +236,10 @@ class TestAppendRules:
         store.append(_snapshot("alexa", 0, ["a.com", "b.com"]))
         real_append = ArchiveStore._append_file
 
-        def failing_append(path, data, sync):
+        def failing_append(path, data, sync, point="store.file"):
             if path.suffix == ".rls":
                 raise OSError("disk full")
-            return real_append(path, data, sync)
+            return real_append(path, data, sync, point)
 
         monkeypatch.setattr(ArchiveStore, "_append_file",
                             staticmethod(failing_append))

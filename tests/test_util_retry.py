@@ -1,0 +1,249 @@
+"""Property-based tests for the shared retry/backoff/breaker policy.
+
+The replica tailer and the ingest client both lean on these invariants:
+delays never exceed the cap, expected delay grows with attempt count,
+a seeded policy is fully deterministic, and the deadline budget is a
+hard bound — no sleep ends past it (driven with a fake clock, so the
+suite never actually sleeps).
+"""
+
+import itertools
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.util.retry import (
+    CircuitBreaker,
+    CircuitOpenError,
+    RetryExhaustedError,
+    RetryPolicy,
+    backoff_delays,
+    call_with_retry,
+)
+
+
+class FakeClock:
+    """Virtual time: ``sleep`` advances ``now`` instantly."""
+
+    def __init__(self) -> None:
+        self.now = 0.0
+        self.sleeps: list[float] = []
+
+    def __call__(self) -> float:
+        return self.now
+
+    def sleep(self, seconds: float) -> None:
+        assert seconds >= 0
+        self.sleeps.append(seconds)
+        self.now += seconds
+
+
+_policies = st.builds(
+    RetryPolicy,
+    max_attempts=st.integers(min_value=1, max_value=12),
+    base_delay=st.floats(min_value=0.0, max_value=0.5,
+                         allow_nan=False, allow_infinity=False),
+    max_delay=st.floats(min_value=0.5, max_value=10.0,
+                        allow_nan=False, allow_infinity=False),
+    jitter=st.sampled_from(["decorrelated", "none"]),
+)
+
+
+class TestBackoffProperties:
+    @settings(max_examples=60, deadline=None)
+    @given(policy=_policies, seed=st.integers(0, 2**32 - 1))
+    def test_delays_bounded_by_cap(self, policy, seed):
+        delays = itertools.islice(
+            backoff_delays(policy, random.Random(seed)), 50)
+        for delay in delays:
+            assert 0.0 <= delay <= policy.max_delay
+
+    @settings(max_examples=40, deadline=None)
+    @given(policy=_policies, seed=st.integers(0, 2**32 - 1))
+    def test_deterministic_under_seed(self, policy, seed):
+        first = list(itertools.islice(
+            backoff_delays(policy, random.Random(seed)), 30))
+        second = list(itertools.islice(
+            backoff_delays(policy, random.Random(seed)), 30))
+        assert first == second
+
+    @settings(max_examples=25, deadline=None)
+    @given(seed=st.integers(0, 2**32 - 1))
+    def test_monotone_in_expectation(self, seed):
+        """Mean delay at attempt k+1 >= mean at attempt k (pre-cap region).
+
+        Decorrelated jitter draws uniform(base, 3*prev); averaged over
+        many seeded sequences the per-attempt mean must not shrink while
+        the cap is not yet binding.
+        """
+        policy = RetryPolicy(max_attempts=6, base_delay=0.1, max_delay=1e9)
+        rng = random.Random(seed)
+        columns = [[] for _ in range(6)]
+        for _ in range(300):
+            sequence = backoff_delays(policy, rng)
+            for k in range(6):
+                columns[k].append(next(sequence))
+        means = [sum(c) / len(c) for c in columns]
+        for earlier, later in zip(means, means[1:]):
+            assert later >= earlier * 0.95  # tolerate sampling noise
+
+    def test_no_jitter_is_capped_exponential(self):
+        policy = RetryPolicy(base_delay=0.1, max_delay=1.0, jitter="none")
+        delays = list(itertools.islice(backoff_delays(policy), 6))
+        assert delays == pytest.approx([0.1, 0.2, 0.4, 0.8, 1.0, 1.0])
+
+
+class TestDeadline:
+    @settings(max_examples=60, deadline=None)
+    @given(deadline=st.floats(min_value=0.01, max_value=5.0),
+           attempts=st.integers(min_value=1, max_value=10),
+           seed=st.integers(0, 2**32 - 1))
+    def test_deadline_never_exceeded(self, deadline, attempts, seed):
+        clock = FakeClock()
+        policy = RetryPolicy(max_attempts=attempts, base_delay=0.05,
+                             max_delay=2.0, deadline=deadline)
+        calls = []
+
+        def always_fails():
+            calls.append(clock.now)
+            raise OSError("nope")
+
+        with pytest.raises(RetryExhaustedError):
+            call_with_retry(always_fails, policy, rng=random.Random(seed),
+                            clock=clock, sleep=clock.sleep)
+        # The budget is hard: no sleep ended past it, and no attempt
+        # started after it ran out.
+        assert clock.now <= deadline + 1e-9
+        assert all(start < deadline for start in calls)
+
+    def test_success_needs_no_sleep(self):
+        clock = FakeClock()
+        result = call_with_retry(lambda: 42, RetryPolicy(),
+                                 clock=clock, sleep=clock.sleep)
+        assert result == 42
+        assert clock.sleeps == []
+
+
+class TestCallWithRetry:
+    def test_retries_then_succeeds(self):
+        clock = FakeClock()
+        attempts = iter([OSError("a"), OSError("b"), "done"])
+
+        def flaky():
+            outcome = next(attempts)
+            if isinstance(outcome, Exception):
+                raise outcome
+            return outcome
+
+        result = call_with_retry(flaky, RetryPolicy(max_attempts=5),
+                                 rng=random.Random(0),
+                                 clock=clock, sleep=clock.sleep)
+        assert result == "done"
+        assert len(clock.sleeps) == 2
+
+    def test_exhaustion_chains_last_error(self):
+        clock = FakeClock()
+        with pytest.raises(RetryExhaustedError) as excinfo:
+            call_with_retry(lambda: (_ for _ in ()).throw(OSError("disk")),
+                            RetryPolicy(max_attempts=3),
+                            rng=random.Random(0),
+                            clock=clock, sleep=clock.sleep)
+        assert isinstance(excinfo.value.last_error, OSError)
+        assert isinstance(excinfo.value.__cause__, OSError)
+
+    def test_non_retryable_propagates_immediately(self):
+        calls = []
+
+        def fails():
+            calls.append(1)
+            raise KeyError("not retryable")
+
+        with pytest.raises(KeyError):
+            call_with_retry(fails, RetryPolicy(max_attempts=5),
+                            retry_on=(OSError,), sleep=lambda s: None)
+        assert len(calls) == 1
+
+    def test_on_retry_observes_each_backoff(self):
+        clock = FakeClock()
+        seen = []
+        with pytest.raises(RetryExhaustedError):
+            call_with_retry(lambda: (_ for _ in ()).throw(OSError()),
+                            RetryPolicy(max_attempts=4),
+                            rng=random.Random(1), clock=clock,
+                            sleep=clock.sleep,
+                            on_retry=lambda a, e, d: seen.append((a, d)))
+        assert [a for a, _ in seen] == [1, 2, 3]
+        assert [d for _, d in seen] == clock.sleeps
+
+
+class TestCircuitBreaker:
+    def test_opens_after_threshold(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(failure_threshold=3, reset_timeout=10.0,
+                                 clock=clock)
+        for _ in range(3):
+            assert breaker.allow()
+            breaker.record_failure()
+        assert breaker.state == "open"
+        assert not breaker.allow()
+
+    def test_half_open_probe_closes_on_success(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(failure_threshold=1, reset_timeout=5.0,
+                                 clock=clock)
+        breaker.record_failure()
+        assert breaker.state == "open"
+        clock.now += 5.0
+        assert breaker.state == "half-open"
+        assert breaker.allow()       # the single probe
+        assert not breaker.allow()   # held back while probing
+        breaker.record_success()
+        assert breaker.state == "closed"
+
+    def test_half_open_failure_reopens(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(failure_threshold=1, reset_timeout=5.0,
+                                 clock=clock)
+        breaker.record_failure()
+        clock.now += 5.0
+        assert breaker.allow()
+        breaker.record_failure()
+        assert breaker.state == "open"
+        assert not breaker.allow()
+
+    def test_call_with_retry_fails_fast_when_open(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(failure_threshold=2, reset_timeout=100.0,
+                                 clock=clock)
+        calls = []
+
+        def fails():
+            calls.append(1)
+            raise OSError("down")
+
+        with pytest.raises(RetryExhaustedError):
+            call_with_retry(fails, RetryPolicy(max_attempts=2),
+                            rng=random.Random(0), clock=clock,
+                            sleep=clock.sleep, breaker=breaker)
+        assert breaker.state == "open"
+        with pytest.raises(CircuitOpenError):
+            call_with_retry(fails, RetryPolicy(max_attempts=2),
+                            rng=random.Random(0), clock=clock,
+                            sleep=clock.sleep, breaker=breaker)
+        assert len(calls) == 2  # the open circuit never touched the callee
+
+
+class TestPolicyValidation:
+    def test_rejects_bad_attempts(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(max_attempts=0)
+
+    def test_rejects_inverted_delays(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(base_delay=2.0, max_delay=1.0)
+
+    def test_rejects_unknown_jitter(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(jitter="gaussian")
