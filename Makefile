@@ -6,12 +6,18 @@ export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
 STORE ?= .repro-store
 
-.PHONY: test golden-test goldens chaos bench bench-service bench-interning \
-	bench-replication store serve
+.PHONY: test test-scale golden-test goldens chaos bench bench-service \
+	bench-interning bench-replication bench-scale store serve
 
 ## Tier-1 test suite (what CI runs on every push).
 test:
 	$(PYTHON) -m pytest -x -q
+
+## The scale test matrix at paper_bench size (100k-entry corpora):
+## store/index/API oracles plus tracemalloc budget ceilings.  Tier-1
+## runs the same oracles at the tiny preset; this tier is its own CI job.
+test-scale:
+	$(PYTHON) -m pytest -q --run-scale -m scale
 
 ## Only the scenario golden-run regression tests.
 golden-test:
@@ -49,6 +55,12 @@ bench-interning:
 ## dormant fault-point overhead <2%) → BENCH_replication.json.
 bench-replication:
 	$(PYTHON) benchmarks/run_benchmarks.py --replication
+
+## Scale-preset benchmarks (paper_bench + full_1m synthetic corpora):
+## ingest/query/battery timings with hard time and memory-budget asserts
+## → BENCH_scale.json.
+bench-scale:
+	$(PYTHON) benchmarks/run_benchmarks.py --scale
 
 ## Build a demo archive store (paper_realistic scenario) at $(STORE).
 store:

@@ -35,11 +35,23 @@ Six modes, all on by default:
   assertion also runs on tiny CI archives), plus the Kendall-tau id
   lane and the per-day column-vs-tuple storage footprint.
 
+One opt-in mode (excluded from the all-on default — it builds 1M-entry
+corpora):
+
+* ``--scale``: run the native-scale battery (``BENCH_scale.json``) at
+  the ``paper_bench`` and ``full_1m`` presets of :mod:`repro.scale`:
+  deterministic synthetic corpora, per-day ingest into a chunked
+  :class:`~repro.service.store.ArchiveStore` (steady-state append of a
+  1M-entry day asserted under 1 s), lazy head/point/full-day query
+  timings with ``tracemalloc`` peaks (head peak asserted a small
+  fraction of a full-day load), and the analysis battery under each
+  preset's traced memory ceiling.
+
 Usage::
 
     PYTHONPATH=src python benchmarks/run_benchmarks.py [--suite] [--speedup]
-        [--scenarios] [--service] [--interning] [--out benchmarks/artifacts]
-        [--days 30]
+        [--scenarios] [--service] [--interning] [--scale]
+        [--out benchmarks/artifacts] [--days 30]
 """
 
 from __future__ import annotations
@@ -947,6 +959,180 @@ def run_interning(out_dir: Path, days: int) -> Path:
     return path
 
 
+def run_scale(out_dir: Path,
+              scales: Sequence[str] = ("paper_bench", "full_1m")) -> Path:
+    """Native-scale battery: chunked-store ingest/query plus analyses.
+
+    For each scale preset, generate the deterministic synthetic corpus,
+    time per-day ingest into a chunked :class:`ArchiveStore`, measure the
+    lazy query paths (head / point rank / full day) with their
+    ``tracemalloc`` peaks, and run the analysis battery under a traced
+    memory ceiling.  Asserted invariants:
+
+    * steady-state append of a day stays under 1 s (the Top-1M ingest
+      target; the first-ever append pays the interning bootstrap and is
+      recorded separately),
+    * the analysis battery's peak stays under the preset's
+      ``memory_budget_bytes``,
+    * at chunk-dominated list sizes a head query's peak allocation is a
+      small fraction of a full-day load (the chunked-store laziness
+      contract),
+    * the full-width daily change equals the generator's configured
+      churn exactly (corpus correctness).
+    """
+    import statistics
+    import tempfile
+
+    from repro.core.stability import (cumulative_unique_domains, daily_changes,
+                                      days_in_list, mean_daily_change,
+                                      new_domains_per_day)
+    from repro.scale import get_scale, synthetic_archives
+    from repro.service.store import CHUNK_ENTRIES, ArchiveStore
+
+    sections: dict[str, dict] = {}
+    for scale_name in scales:
+        scale = get_scale(scale_name)
+        print(f"\n=== scale {scale.name}: {scale.list_size:,}-entry lists x "
+              f"{scale.n_days} days x {len(scale.providers)} providers ===")
+        print("generating synthetic corpus ...")
+        archives, generate_s = _timed(lambda: synthetic_archives(scale))
+
+        print("ingesting per-day into a chunked store ...")
+        append_times: list[float] = []
+        with tempfile.TemporaryDirectory(prefix=f"scale-{scale.name}-") as tmp:
+            store_dir = Path(tmp) / "store"
+            with ArchiveStore(store_dir) as store:
+                for provider in sorted(archives):
+                    for snapshot in archives[provider]:
+                        _, seconds = _timed(lambda s=snapshot: store.append(s))
+                        append_times.append(seconds)
+                store_bytes = sum(f.stat().st_size
+                                  for f in store_dir.rglob("*") if f.is_file())
+
+                # The very first append bootstraps the store's interning
+                # table (every name is new); afterwards a day only adds
+                # its churned names — that is the steady state ingest of
+                # a provider being tailed day by day.
+                steady = append_times[1:]
+                steady_median = statistics.median(steady)
+                assert steady_median < 1.0, (
+                    f"steady-state append of a {scale.list_size:,}-entry day "
+                    f"took {steady_median:.2f}s (target: well under 1 s)")
+
+                print("measuring lazy query paths ...")
+                qp = scale.providers[0]
+                last = store.dates(qp)[-1]
+                top_k = scale.analysis_top_k
+                # Warm once: lazy translation tables (gid<->sid) belong to
+                # store-open cost, not to the per-query steady state.
+                store.load_head(qp, last, top_k)
+                head, head_s = _timed(lambda: store.load_head(qp, last, top_k))
+                _, head_peak = _traced_peak(lambda: store.load_head(qp, last, top_k))
+                probe_id = head.entry_ids()[top_k - 1]
+                store.rank_of_id(qp, last, probe_id)
+                rank, rank_s = _timed(lambda: store.rank_of_id(qp, last, probe_id))
+                assert rank == top_k, f"probe id ranked {rank}, expected {top_k}"
+                full, full_s = _timed(lambda: store.load_snapshot(qp, last))
+                _, full_peak = _traced_peak(lambda: store.load_snapshot(qp, last))
+                assert len(full) == scale.list_size
+                if scale.list_size >= 16 * CHUNK_ENTRIES:
+                    # Chunk-dominated regime: a head query must touch a
+                    # handful of chunks, never inflate the day.
+                    assert head_peak < full_peak / 4, (
+                        f"head query peak {head_peak} bytes not well below "
+                        f"full-day load peak {full_peak} bytes")
+
+        print("running analysis battery under traced memory ceiling ...")
+        window_days = min(7, scale.n_days)
+        first = archives[scale.providers[0]]
+        dates = first.dates()
+
+        def battery():
+            top_k = scale.analysis_top_k
+            head_change = {p: mean_daily_change(a, top_n=top_k)
+                           for p, a in archives.items()}
+            head_new = {p: statistics.fmean(
+                            new_domains_per_day(a, top_n=top_k).values())
+                        for p, a in archives.items()}
+            cumulative = cumulative_unique_domains(first, top_n=top_k)
+            tenures = days_in_list(first, top_n=top_k)
+            matrix = intersection_over_time(
+                archives, top_n=top_k, normalise=False)
+            all_three = tuple(sorted(archives))
+            final_common = matrix[max(matrix)][all_three]
+            # Full-width churn runs on a window: the architecture's whole
+            # point is that day-level set analyses never need the entire
+            # period of full-size sets resident at once.
+            window = first.period(dates[0], dates[window_days - 1])
+            full_width = mean_daily_change(window)
+            return {
+                "head_mean_daily_change": head_change,
+                "head_mean_new_domains": head_new,
+                "head_cumulative_unique": cumulative[max(cumulative)],
+                "head_distinct_tenures": len(tenures),
+                "head_final_three_way_intersection": final_common,
+                "full_width_window_days": window_days,
+                "full_width_mean_daily_change": full_width,
+            }
+
+        results, battery_s = _timed(lambda: _traced_peak(battery))
+        results, battery_peak = results
+        assert battery_peak < scale.memory_budget_bytes, (
+            f"{scale.name} battery peaked at {battery_peak / 1e6:.0f} MB, "
+            f"budget {scale.memory_budget_bytes / 1e6:.0f} MB")
+        if scale.churn_per_day:
+            assert results["full_width_mean_daily_change"] == scale.churn_per_day, (
+                "synthetic corpus churn diverged from the configured rate")
+
+        sections[scale.name] = {
+            "config": {
+                "list_size": scale.list_size, "n_days": scale.n_days,
+                "providers": list(scale.providers),
+                "analysis_top_k": scale.analysis_top_k,
+                "churn_per_day": scale.churn_per_day,
+                "memory_budget_bytes": scale.memory_budget_bytes,
+            },
+            "generate_seconds": generate_s,
+            "ingest": {
+                "days_appended": len(append_times),
+                "bootstrap_first_day_seconds": append_times[0],
+                "steady_state_seconds": {
+                    "min": min(steady), "median": steady_median,
+                    "max": max(steady)},
+                "store_bytes": store_bytes,
+            },
+            "queries": {
+                "head_n": scale.analysis_top_k,
+                "head_seconds": head_s, "head_peak_bytes": head_peak,
+                "rank_of_id_seconds": rank_s,
+                "full_day_seconds": full_s, "full_day_peak_bytes": full_peak,
+            },
+            "analysis": {
+                "battery_seconds": battery_s,
+                "battery_peak_bytes": battery_peak,
+                "results": results,
+            },
+        }
+        print(f"  ingest: bootstrap {append_times[0]:.2f}s, steady median "
+              f"{steady_median * 1e3:.0f}ms/day; store {store_bytes / 1e6:.1f} MB")
+        print(f"  queries: head {head_s * 1e3:.1f}ms "
+              f"(peak {head_peak / 1e3:.0f} KB), full day {full_s * 1e3:.0f}ms "
+              f"(peak {full_peak / 1e6:.1f} MB)")
+        print(f"  battery: {battery_s:.1f}s, peak {battery_peak / 1e6:.0f} MB "
+              f"(budget {scale.memory_budget_bytes / 1e6:.0f} MB)")
+
+    artifact = {
+        "kind": "scale-battery",
+        "created": time.strftime("%Y-%m-%dT%H:%M:%S"),
+        "scales": sections,
+    }
+    out_dir.mkdir(parents=True, exist_ok=True)
+    path = out_dir / "BENCH_scale.json"
+    path.write_text(json.dumps(artifact, indent=2) + "\n", encoding="utf-8")
+    print(f"wrote {path}")
+    return path
+
+
 def run_suite(out_dir: Path) -> Path:
     out_dir.mkdir(parents=True, exist_ok=True)
     path = out_dir / "BENCH_suite.json"
@@ -979,13 +1165,19 @@ def main() -> None:
                         help="run only the interned-columnar-vs-string comparison")
     parser.add_argument("--replication", action="store_true",
                         help="run only the follower-replication benchmarks")
+    parser.add_argument("--scale", action="store_true",
+                        help="run the native-scale battery (paper_bench + "
+                             "full_1m presets; opt-in, not part of the "
+                             "all-on default)")
     parser.add_argument("--out", type=Path, default=REPO_ROOT / "benchmarks" / "artifacts",
                         help="artifact output directory")
     parser.add_argument("--days", type=int, default=30,
                         help="days in the speedup comparison archive")
     args = parser.parse_args()
     run_all = not (args.suite or args.speedup or args.scenarios or args.service
-                   or args.interning or args.replication)
+                   or args.interning or args.replication or args.scale)
+    if args.scale:
+        run_scale(args.out)
     if args.scenarios or run_all:
         run_scenarios(args.out)
     if args.speedup or run_all:

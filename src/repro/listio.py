@@ -26,9 +26,11 @@ import io
 import re
 import zipfile
 from array import array
+from contextlib import contextmanager
 from pathlib import Path
-from typing import Optional
+from typing import Iterable, Iterator, Optional
 
+from repro.domain.name import InvalidDomainError
 from repro.interning import default_interner
 from repro.providers.base import ListArchive, ListSnapshot
 
@@ -50,7 +52,7 @@ def date_from_filename(path: str | Path) -> Optional[dt.date]:
     return None
 
 
-def iter_csv_domains(text: str, domain_column: int = 1):
+def iter_csv_domains(source: "str | Iterable[str]", domain_column: int = 1):
     """Yield the raw domain cell of every *ranked* row of a top-list CSV.
 
     The one row filter shared by :func:`parse_top_list_csv` and the
@@ -60,8 +62,15 @@ def iter_csv_domains(text: str, domain_column: int = 1):
     domain column and rows whose cell is empty are skipped; everything
     else is yielded verbatim (stripped) for the caller to normalise or
     validate.
+
+    ``source`` is whole CSV text or any iterable of lines (an open text
+    file, a decompressing stream) — the streaming form never holds more
+    than one row in memory, which is how a 1M-entry day flows from disk
+    or socket into the interner without a day-sized string list.
     """
-    for row in csv.reader(io.StringIO(text)):
+    if isinstance(source, str):
+        source = io.StringIO(source)
+    for row in csv.reader(source):
         if not row:
             continue
         first = row[0].strip()
@@ -72,6 +81,75 @@ def iter_csv_domains(text: str, domain_column: int = 1):
         domain = row[domain_column].strip()
         if domain:
             yield domain
+
+
+class _CountingLines:
+    """Pass-through line iterator counting non-blank lines as they flow.
+
+    The streaming parser's error messages report how many CSV rows the
+    input held; counting during the single pass keeps the "no valid row"
+    diagnostics of the materialised parser without re-reading (or ever
+    holding) the text.
+    """
+
+    __slots__ = ("_lines", "rows")
+
+    def __init__(self, lines: Iterable[str]) -> None:
+        self._lines = iter(lines)
+        self.rows = 0
+
+    def __iter__(self) -> Iterator[str]:
+        return self
+
+    def __next__(self) -> str:
+        line = next(self._lines)
+        if line.strip():
+            self.rows += 1
+        return line
+
+
+def parse_top_list_rows(lines: Iterable[str], provider: str, date: dt.date,
+                        domain_column: int = 1,
+                        source: Optional[str] = None) -> ListSnapshot:
+    """Parse an iterable of CSV *lines* into a snapshot, streaming.
+
+    The one-pass core of :func:`parse_top_list_csv` and
+    :func:`read_top_list`: each row's domain becomes an interned id the
+    moment its line is read, so a 1M-entry day costs one id column plus
+    one row in flight — never a day-sized list of Python strings.
+    Semantics (row filter, lowercasing, duplicate-keeps-first-rank,
+    empty-input errors) are identical to the text form.
+    """
+    if date is None:
+        raise ValueError(
+            "a snapshot date is required (parsing the same text on different "
+            "days must not produce different snapshots); pass the list's "
+            "download date explicitly")
+    counted = _CountingLines(lines)
+    intern = default_interner().intern
+    entry_ids = array("I")
+    seen: set[int] = set()
+    for raw in iter_csv_domains(counted, domain_column):
+        domain = raw.lower().rstrip(".")
+        if not domain:
+            continue
+        domain_id = intern(domain)
+        if domain_id in seen:
+            continue
+        seen.add(domain_id)
+        entry_ids.append(domain_id)
+    if not entry_ids:
+        where = f"{source}: " if source else ""
+        if counted.rows == 0:
+            raise ValueError(
+                f"{where}top list is empty (no CSV rows at all); an empty "
+                "snapshot would silently zero every downstream metric")
+        raise ValueError(
+            f"{where}no valid ranked row among {counted.rows} CSV row(s): "
+            f"every row was a header, lacked column {domain_column + 1}, or "
+            f"had an empty domain cell (is domain_column={domain_column} "
+            "right for this provider's format?)")
+    return ListSnapshot.from_ids(provider=provider, date=date, ids=entry_ids)
 
 
 def parse_top_list_csv(text: str, provider: str, date: dt.date,
@@ -93,36 +171,9 @@ def parse_top_list_csv(text: str, provider: str, date: dt.date,
     stability metric downstream.  ``source`` (e.g. the file path) names
     the offending input in that error.
     """
-    if date is None:
-        raise ValueError(
-            "a snapshot date is required (parsing the same text on different "
-            "days must not produce different snapshots); pass the list's "
-            "download date explicitly")
-    intern = default_interner().intern
-    entry_ids = array("I")
-    seen: set[int] = set()
-    for raw in iter_csv_domains(text, domain_column):
-        domain = raw.lower().rstrip(".")
-        if not domain:
-            continue
-        domain_id = intern(domain)
-        if domain_id in seen:
-            continue
-        seen.add(domain_id)
-        entry_ids.append(domain_id)
-    if not entry_ids:
-        where = f"{source}: " if source else ""
-        rows = sum(1 for line in text.splitlines() if line.strip())
-        if rows == 0:
-            raise ValueError(
-                f"{where}top list is empty (no CSV rows at all); an empty "
-                "snapshot would silently zero every downstream metric")
-        raise ValueError(
-            f"{where}no valid ranked row among {rows} CSV row(s): every row "
-            f"was a header, lacked column {domain_column + 1}, or had an "
-            f"empty domain cell (is domain_column={domain_column} right "
-            "for this provider's format?)")
-    return ListSnapshot.from_ids(provider=provider, date=date, ids=entry_ids)
+    return parse_top_list_rows(io.StringIO(text), provider=provider,
+                               date=date, domain_column=domain_column,
+                               source=source)
 
 
 def _zip_csv_member(archive: zipfile.ZipFile, path: Path) -> str:
@@ -162,16 +213,74 @@ def read_top_list(path: str | Path, provider: str,
                 f"cannot determine the snapshot date of {path.name!r}: pass "
                 "date= or embed an ISO date in the file name "
                 "(e.g. alexa-2018-01-30.csv)")
+    # Stream lines straight off the (decompressing) file object: a
+    # 1M-entry download is parsed row by row into the id column without
+    # the whole text — or any per-day string list — ever existing.
+    with _open_list_lines(path) as lines:
+        return parse_top_list_rows(
+            lines, provider=provider, date=date,
+            domain_column=domain_column, source=str(path))
+
+
+@contextmanager
+def _open_list_lines(path: Path) -> Iterator[Iterable[str]]:
+    """Open a list file as a lazily-decoded line stream.
+
+    ``.zip`` members and ``.csv.gz`` bodies decompress incrementally as
+    lines are pulled — the archive is never inflated whole.
+    """
     if path.suffix == ".zip":
         with zipfile.ZipFile(path) as archive:
             inner = _zip_csv_member(archive, path)
-            text = archive.read(inner).decode("utf-8")
+            with archive.open(inner) as member:
+                yield io.TextIOWrapper(member, encoding="utf-8", newline="")
     elif path.suffix == ".gz":
-        text = gzip.decompress(path.read_bytes()).decode("utf-8")
+        with gzip.open(path, "rt", encoding="utf-8", newline="") as lines:
+            yield lines
     else:
-        text = path.read_text(encoding="utf-8")
-    return parse_top_list_csv(text, provider=provider, date=date,
-                              domain_column=domain_column, source=str(path))
+        with path.open("r", encoding="utf-8", newline="") as lines:
+            yield lines
+
+
+def stream_wire_top_list(path: str | Path, provider: str,
+                         date: Optional[dt.date] = None,
+                         domain_column: int = 1
+                         ) -> tuple[ListSnapshot, int]:
+    """Read a top-list file through *wire* validation, streaming.
+
+    The offline twin of ``POST /v1/ingest``'s CSV branch (and the
+    ``repro-serve ingest`` engine): rows flow file → row filter →
+    :func:`~repro.providers.base.clean_wire_entry` → interner without a
+    day-sized string list, junk rows are skipped and counted, and
+    nothing invalid ever occupies id space.  Returns
+    ``(snapshot, skipped_rows)``.  Date handling and the empty-input
+    errors match :func:`read_top_list`.
+    """
+    path = Path(path)
+    if date is None:
+        date = date_from_filename(path)
+        if date is None:
+            raise ValueError(
+                f"cannot determine the snapshot date of {path.name!r}: pass "
+                "date= or embed an ISO date in the file name "
+                "(e.g. alexa-2018-01-30.csv)")
+    with _open_list_lines(path) as lines:
+        counted = _CountingLines(lines)
+        try:
+            return ListSnapshot.from_wire_rows(
+                provider, date, iter_csv_domains(counted, domain_column))
+        except InvalidDomainError:
+            if counted.rows == 0:
+                raise ValueError(
+                    f"{path}: top list is empty (no CSV rows at all); an "
+                    "empty snapshot would silently zero every downstream "
+                    "metric") from None
+            raise ValueError(
+                f"{path}: no valid ranked row among {counted.rows} CSV "
+                f"row(s): every row was a header, lacked column "
+                f"{domain_column + 1}, failed wire validation, or had an "
+                f"empty domain cell (is domain_column={domain_column} "
+                "right for this provider's format?)") from None
 
 
 def write_top_list(snapshot: ListSnapshot, path: str | Path) -> None:

@@ -78,12 +78,16 @@ class ListSnapshot:
         self._validate()
 
     @classmethod
-    def from_ids(cls, provider: str, date: dt.date, ids: array) -> "ListSnapshot":
+    def from_ids(cls, provider: str, date: dt.date,
+                 ids: "array | memoryview") -> "ListSnapshot":
         """Build a snapshot straight from an interned id column.
 
         The fast lane of :mod:`repro.listio` and the archive store: no
         string tuple is created (``entries`` stays lazy).  ``ids`` is
-        adopted, not copied — the caller must not mutate it afterwards.
+        adopted, not copied — the caller must not mutate it afterwards —
+        and may be a ``memoryview`` window over a larger uint32 column
+        (the zero-copy rank-band path), which behaves identically for
+        every read operation.
         """
         snapshot = object.__new__(cls)
         state = snapshot.__dict__
@@ -135,10 +139,50 @@ class ListSnapshot:
             ids.append(domain_id)
         return cls.from_ids(provider=provider, date=date, ids=ids)
 
+    @classmethod
+    def from_wire_rows(cls, provider: str, date: dt.date,
+                       rows: Iterable[str]) -> tuple["ListSnapshot", int]:
+        """Build a snapshot from a *stream* of untrusted rows (skip mode).
+
+        The streaming lane of CSV ingest: rows flow one at a time
+        through :func:`clean_wire_entry` → intern → id column, so a
+        million-entry day is never materialised as a Python string list.
+        Rows that fail wire validation are skipped (their count is
+        returned); duplicates keep their first rank, uncounted —
+        exactly the semantics of cleaning eagerly and calling
+        :meth:`from_cleaned_entries`.  Because rejection happens per
+        row, every valid row ahead of (or behind) junk still interns;
+        callers wanting all-or-nothing validation must use
+        :meth:`from_raw_entries` instead.
+        """
+        intern = default_interner().intern
+        ids = array("I")
+        seen: set[int] = set()
+        skipped = 0
+        for raw in rows:
+            try:
+                name = clean_wire_entry(raw)
+            except InvalidDomainError:
+                skipped += 1
+                continue
+            domain_id = intern(name)
+            if domain_id in seen:
+                continue
+            seen.add(domain_id)
+            ids.append(domain_id)
+        if not ids:
+            raise InvalidDomainError("snapshot has no valid entries")
+        return cls.from_ids(provider=provider, date=date, ids=ids), skipped
+
     def _validate(self) -> None:
-        # Uniqueness via the id-set cache, so a 1M-entry snapshot
-        # allocates its set exactly once (and on int ids, not strings).
-        if len(self.id_set()) != len(self._ids):
+        # Uniqueness on the raw ids with a *transient* set: routing this
+        # through the id-set cache would keep every snapshot's full-size
+        # frozenset resident from construction on (gigabytes across a
+        # 1M-entry month) when most store/ingest snapshots never need
+        # set analytics at all.  ``id_set()`` stays lazily cached for
+        # the callers that do.
+        ids = self._ids
+        if len(set(ids)) != len(ids):
             raise ValueError("snapshot entries must be unique")
 
     def __setattr__(self, name: str, value: object) -> None:
@@ -175,8 +219,13 @@ class ListSnapshot:
             self.__dict__["_entries"] = cached
         return cached
 
-    def entry_ids(self) -> array:
-        """The rank-ordered interned-id column (do not mutate)."""
+    def entry_ids(self) -> "array | memoryview":
+        """The rank-ordered interned-id column (do not mutate).
+
+        A full snapshot returns its ``array``; a :meth:`top` head
+        returns the zero-copy ``memoryview`` window it is backed by —
+        iteration, indexing, ``len`` and buffer reads behave alike.
+        """
         return self._ids
 
     def __len__(self) -> int:
@@ -210,15 +259,31 @@ class ListSnapshot:
             state = child.__dict__
             state["provider"] = self.provider
             state["date"] = self.date
-            state["_ids"] = self._ids[:n]
+            # Zero-copy: the head's id column is a memoryview window over
+            # the parent's buffer (slicing a memoryview is again a view),
+            # so a 1M-entry snapshot's every head shares one allocation.
+            state["_ids"] = self.id_window(0, n)
             parent_entries = self.__dict__.get("_entries")
             if parent_entries is not None:
                 state["_entries"] = parent_entries[:n]
-            # Weak, so a head kept alive on its own does not pin the full
-            # parent snapshot (and its id column) in memory.
+            # Weak, so a head kept alive on its own pins only the
+            # parent's id buffer (through the window above), never the
+            # parent snapshot object and its derived caches.
             state["_top_parent"] = weakref.ref(self)
             cache[n] = child
         return child
+
+    def id_window(self, start: int, stop: int) -> memoryview:
+        """A zero-copy uint32 window over ranks ``start+1 .. stop``.
+
+        The rank-band accessor: the returned ``memoryview`` aliases the
+        snapshot's id column (no bytes are copied, whatever the band
+        size) and supports iteration, indexing, ``len`` and equality
+        against id arrays.  Do not mutate it.
+        """
+        ids = self._ids
+        view = ids if isinstance(ids, memoryview) else memoryview(ids)
+        return view[start:stop]
 
     def id_set(self) -> frozenset[int]:
         """The set of interned ids in the snapshot (cached per instance).

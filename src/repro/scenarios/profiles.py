@@ -100,6 +100,19 @@ class SimulationProfile:
         return replace(self, name=f"{self.name}+custom",
                        config=replace(self.config, **overrides))  # type: ignore[arg-type]
 
+    def at_scale(self, scale: object) -> "SimulationProfile":
+        """A copy of the profile resized to a named scale preset.
+
+        ``profile.at_scale("tiny")`` is how the CLI's ``--tiny``/``--scale``
+        flags and the scale test matrix resize a scenario: the copy's name
+        gains a ``+<scale>`` suffix and its configuration takes the
+        preset's overrides.  Synthetic-only presets (``full_1m``) raise
+        :class:`repro.scale.ScaleError` — see :mod:`repro.scale`.
+        """
+        from repro.scale import scaled_profile  # local: scale imports providers
+
+        return scaled_profile(self, scale)  # type: ignore[arg-type]
+
 
 #: Scale shared by all presets: small enough that every scenario simulates
 #: in a few seconds, large enough that head/tail effects are visible.

@@ -64,6 +64,7 @@ from __future__ import annotations
 
 import datetime as dt
 import hashlib
+import io
 import json
 import sys
 import threading
@@ -85,8 +86,9 @@ from repro.core.stability import (
     new_domains_per_day,
 )
 from repro.domain.name import InvalidDomainError
+from repro.interning import default_interner
 from repro.listio import iter_csv_domains
-from repro.providers.base import ListArchive, ListSnapshot, clean_wire_entry
+from repro.providers.base import ListArchive, ListSnapshot
 from repro.scenarios.runner import canonical_float as _f
 from repro.service.index import DomainIndex
 from repro.service.store import ArchiveStore, StoreConflictError, StoreError
@@ -362,7 +364,11 @@ class QueryService:
                 "last_date": latest.date.isoformat() if latest else None,
                 "list_size": len(archive[0]) if days else 0,
                 "domains_indexed": self.index.domain_count(name),
-                "top_domain": latest.entries[0] if latest and latest.entries else None,
+                # One interner lookup, not latest.entries[0]: that would
+                # materialise the whole day's string tuple (a megabyte-
+                # scale allocation at 1M entries) to read one name.
+                "top_domain": (default_interner().domain(latest.entry_ids()[0])
+                               if latest and len(latest) else None),
             }
         return {
             "service": "repro-serve",
@@ -571,6 +577,9 @@ class QueryService:
         :meth:`~repro.providers.base.ListSnapshot.from_raw_entries`); a
         CSV row failing validation is skipped (downloaded lists carry
         junk rows) while a JSON entry failing it rejects the request.
+        CSV rows stream straight into the id column
+        (:meth:`~repro.providers.base.ListSnapshot.from_wire_rows`), so
+        a 1M-row day is never materialised as a Python string list.
         Returns the snapshot plus the skipped-row count.
         """
         if not body:
@@ -584,6 +593,18 @@ class QueryService:
         is_json = (kind in ("application/json", "text/json")
                    or (kind not in ("text/csv", "text/plain")
                        and body.lstrip()[:1] == b"{"))
+
+        def identity(provider: object, date_raw: object) -> tuple[str, dt.date]:
+            if not isinstance(provider, str) or not provider:
+                raise ApiError(400, "ingest provider must be a non-empty string")
+            if not isinstance(date_raw, str):
+                raise ApiError(400, "ingest date must be an ISO date string")
+            try:
+                return provider, dt.date.fromisoformat(date_raw)
+            except ValueError:
+                raise ApiError(400, f"ingest date must be an ISO date "
+                                    f"(got {date_raw!r})") from None
+
         if is_json:
             # The snapshot identity lives in the body; a provider=/date=
             # query parameter would be silently shadowed, which is the
@@ -600,64 +621,50 @@ class QueryService:
                 raise ApiError(400, "unknown ingest field(s): "
                                     f"{', '.join(unknown)} "
                                     "(expected provider, date, entries)")
-            provider = document.get("provider")
-            date_raw = document.get("date")
+            provider, date = identity(document.get("provider"),
+                                      document.get("date"))
             entries = document.get("entries")
-            skipped = 0
-            builder = ListSnapshot.from_raw_entries
-        else:
-            provider_values = params.get("provider", [])
-            date_values = params.get("date", [])
-            if not provider_values or not date_values:
-                raise ApiError(400, "CSV ingest requires provider= and date= "
-                                    "query parameters")
-            provider = provider_values[-1]
-            date_raw = date_values[-1]
-            # Mirrors repro.listio.parse_top_list_csv: rank,domain by
-            # default, domain_column=2 for Majestic's rank,tld,domain
-            # format (the repro-serve ingest CLI exposes the same knob).
-            domain_column = _parse_positive_int(params, "domain_column") or 1
+            if not isinstance(entries, list) or not entries:
+                raise ApiError(400, "ingest entries must be a non-empty list")
             try:
-                text = body.decode("utf-8")
-            except UnicodeDecodeError:
-                raise ApiError(400, "CSV ingest body is not valid UTF-8") from None
-            # The row filter is shared with parse_top_list_csv, so a file
-            # the offline parser accepts is never rejected over the wire
-            # (and a bare "domain" header line can never become the
-            # rank-1 entry).  Real downloaded lists carry junk rows; like
-            # the offline parser we keep going past them — but unlike it
-            # we validate first and *drop* the junk, so hostile bytes
-            # never occupy interner id space (JSON ingest, whose bodies
-            # are constructed programmatically, stays strict instead).
-            entries = []
-            skipped = 0
-            for raw in iter_csv_domains(text, domain_column):
-                try:
-                    entries.append(clean_wire_entry(raw))
-                except InvalidDomainError:
-                    skipped += 1
-            if not entries:
-                raise ApiError(400, "CSV ingest body holds no rank,domain "
-                                    "rows (send JSON for a bare entry list)")
-            # Rows are already normalised (that is how skipping was
-            # decided); don't pay for a second pass over a 1M-row day.
-            builder = ListSnapshot.from_cleaned_entries
-        if not isinstance(provider, str) or not provider:
-            raise ApiError(400, "ingest provider must be a non-empty string")
-        if not isinstance(date_raw, str):
-            raise ApiError(400, "ingest date must be an ISO date string")
+                snapshot = ListSnapshot.from_raw_entries(provider, date, entries)
+            except InvalidDomainError as error:
+                raise ApiError(400, f"invalid list entry: {error}") from None
+            return snapshot, 0
+        provider_values = params.get("provider", [])
+        date_values = params.get("date", [])
+        if not provider_values or not date_values:
+            raise ApiError(400, "CSV ingest requires provider= and date= "
+                                "query parameters")
+        # Identity is validated before any row may intern: a request that
+        # is going to 400 on its parameters must not grow the id space.
+        provider, date = identity(provider_values[-1], date_values[-1])
+        # Mirrors repro.listio.parse_top_list_csv: rank,domain by
+        # default, domain_column=2 for Majestic's rank,tld,domain
+        # format (the repro-serve ingest CLI exposes the same knob).
+        domain_column = _parse_positive_int(params, "domain_column") or 1
         try:
-            date = dt.date.fromisoformat(date_raw)
-        except ValueError:
-            raise ApiError(400, f"ingest date must be an ISO date "
-                                f"(got {date_raw!r})") from None
-        if not isinstance(entries, list) or not entries:
-            raise ApiError(400, "ingest entries must be a non-empty list")
+            text = body.decode("utf-8")
+        except UnicodeDecodeError:
+            raise ApiError(400, "CSV ingest body is not valid UTF-8") from None
+        # The row filter is shared with parse_top_list_csv, so a file
+        # the offline parser accepts is never rejected over the wire
+        # (and a bare "domain" header line can never become the
+        # rank-1 entry).  Real downloaded lists carry junk rows; like
+        # the offline parser we keep going past them — but unlike it
+        # we validate first and *drop* the junk, so hostile bytes
+        # never occupy interner id space (JSON ingest, whose bodies
+        # are constructed programmatically, stays strict instead).
+        # Rows flow one at a time through validate → intern → id
+        # column; only the decoded body text exists in full.
         try:
-            snapshot = builder(provider, date, entries)
-        except InvalidDomainError as error:
-            raise ApiError(400, f"invalid list entry: {error}") from None
-        return snapshot, skipped
+            return ListSnapshot.from_wire_rows(
+                provider, date, iter_csv_domains(io.StringIO(text),
+                                                 domain_column))
+        except InvalidDomainError:
+            raise ApiError(400, "CSV ingest body holds no rank,domain "
+                                "rows (send JSON for a bare entry list)"
+                           ) from None
 
     def ingest(self, snapshot: ListSnapshot) -> dict[str, Any]:
         """Append ``snapshot`` live: store → delta engine → index.

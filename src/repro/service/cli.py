@@ -2,7 +2,8 @@
 
 Four subcommands::
 
-    repro-serve init   --store DIR [--scenario NAME] [--tiny] [--no-report]
+    repro-serve init   --store DIR [--scenario NAME] [--tiny | --scale NAME]
+                       [--no-report]
     repro-serve serve  --store DIR [--host H] [--port P]
                        [--follow URL [--poll-interval S] [--max-staleness N]]
     repro-serve ingest (--store DIR | --url URL) --provider P [--date D]
@@ -28,34 +29,32 @@ Also runnable uninstalled: ``PYTHONPATH=src python -m repro.service.cli``.
 from __future__ import annotations
 
 import argparse
-import dataclasses
 import datetime as dt
 import sys
 from pathlib import Path
 from typing import Optional, Sequence
 
+from repro.scale import ScaleError, scale_names
 from repro.scenarios.profiles import get_profile, profile_names
 from repro.scenarios.runner import run_scenario
 from repro.service.api import QueryService, create_server
 from repro.service.store import ArchiveStore, StoreError
 
-#: Scale overrides of ``--tiny``: a fixture-sized corpus (seconds to
-#: simulate, kilobytes on disk) for CI smoke jobs and local poking.
-_TINY_SCALE: dict[str, object] = dict(
-    n_domains=1_500, new_domains_per_day=10, n_days=8,
-    list_size=400, top_k=50,
-    alexa_panel_users=8_000, umbrella_clients=6_000,
-    majestic_linking_subnets=150_000,
-    alexa_window_days=5, majestic_window_days=5,
-)
+def _resolve_profile(name: str, tiny: bool, scale: Optional[str] = None):
+    """Resolve a scenario, resized to a scale preset when asked.
 
-
-def _resolve_profile(name: str, tiny: bool):
+    ``--tiny`` is shorthand for ``--scale tiny`` (the flag predates the
+    preset registry and CI smoke jobs depend on the ``+tiny`` profile
+    names it produces).  Synthetic-only presets raise
+    :class:`repro.scale.ScaleError` with pointers to the synthetic
+    corpus generator — ``init`` simulates, it does not fabricate.
+    """
     profile = get_profile(name)
-    if not tiny:
+    if tiny:
+        scale = "tiny"
+    if scale is None:
         return profile
-    config = dataclasses.replace(profile.config, **_TINY_SCALE)  # type: ignore[arg-type]
-    return dataclasses.replace(profile, name=f"{profile.name}+tiny", config=config)
+    return profile.at_scale(scale)
 
 
 def _cmd_init(args: argparse.Namespace) -> int:
@@ -65,7 +64,11 @@ def _cmd_init(args: argparse.Namespace) -> int:
             print(f"error: store at {store_dir} already holds providers "
                   f"{', '.join(store.providers())}", file=sys.stderr)
             return 2
-        profile = _resolve_profile(args.scenario, args.tiny)
+        try:
+            profile = _resolve_profile(args.scenario, args.tiny, args.scale)
+        except ScaleError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 2
         print(f"simulating scenario {profile.name!r} "
               f"({profile.config.n_days} days, list size {profile.config.list_size}) ...")
         from repro.providers.simulation import run_profile
@@ -130,25 +133,12 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 
 
 def _cmd_ingest(args: argparse.Namespace) -> int:
-    from repro.domain.name import InvalidDomainError
-    from repro.listio import read_top_list
-    from repro.providers.base import ListSnapshot, clean_wire_entry
-
-    def validated(snapshot):
-        """Apply the wire ingest's validation: junk rows are skipped.
-
-        Real downloaded lists carry junk rows; `POST /v1/ingest` skips
-        them (counted), and the offline twin must accept the same files
-        — and keep them out of the store's persistent domain table.
-        """
-        cleaned, skipped = [], 0
-        for name in snapshot.entries:
-            try:
-                cleaned.append(clean_wire_entry(name))
-            except InvalidDomainError:
-                skipped += 1
-        return ListSnapshot.from_cleaned_entries(
-            snapshot.provider, snapshot.date, cleaned), skipped
+    # The wire ingest's validation, streaming: rows flow file →
+    # clean_wire_entry → interner with junk rows skipped (counted), so
+    # `POST /v1/ingest` and the offline twin accept the same files, keep
+    # the same rows out of the persistent domain table, and neither ever
+    # materialises a 1M-entry day as a Python string list.
+    from repro.listio import stream_wire_top_list
 
     if (args.store is None) == (args.url is None):
         print("error: ingest needs exactly one of --store or --url",
@@ -179,7 +169,7 @@ def _cmd_ingest(args: argparse.Namespace) -> int:
             raise error.last_error or error
 
     if args.url is not None:
-        return _ingest_over_http(args, validated, attempt)
+        return _ingest_over_http(args, attempt)
 
     try:
         store = ArchiveStore(args.store, create=args.create)
@@ -191,9 +181,9 @@ def _cmd_ingest(args: argparse.Namespace) -> int:
     with store:
         for path in args.files:
             try:
-                snapshot, skipped = validated(read_top_list(
+                snapshot, skipped = stream_wire_top_list(
                     path, provider=args.provider, date=args.date,
-                    domain_column=args.domain_column))
+                    domain_column=args.domain_column)
                 # Batched like append_archive: one durable manifest write
                 # (and one fsync pass) for the whole invocation instead
                 # of a full fsync chain per file.
@@ -210,13 +200,13 @@ def _cmd_ingest(args: argparse.Namespace) -> int:
     return 0
 
 
-def _ingest_over_http(args: argparse.Namespace, validated, attempt) -> int:
+def _ingest_over_http(args: argparse.Namespace, attempt) -> int:
     """POST validated snapshots to a running leader (``ingest --url``)."""
     import json
     import urllib.error
     import urllib.request
 
-    from repro.listio import read_top_list
+    from repro.listio import stream_wire_top_list
 
     class _Rejected(Exception):
         """A 4xx the server will answer identically on retry."""
@@ -246,9 +236,9 @@ def _ingest_over_http(args: argparse.Namespace, validated, attempt) -> int:
 
     for path in args.files:
         try:
-            snapshot, skipped = validated(read_top_list(
+            snapshot, skipped = stream_wire_top_list(
                 path, provider=args.provider, date=args.date,
-                domain_column=args.domain_column))
+                domain_column=args.domain_column)
             payload = attempt(lambda: post(snapshot), f"upload of {path}")
         except (_Rejected, ValueError, OSError) as error:
             print(f"error: {path}: {error}", file=sys.stderr)
@@ -289,7 +279,11 @@ def build_parser() -> argparse.ArgumentParser:
                       help="scenario profile to simulate (default: paper_realistic)")
     init.add_argument("--tiny", action="store_true",
                       help="fixture-sized corpus for smoke tests "
-                           "(profile name gains a '+tiny' suffix)")
+                           "(profile name gains a '+tiny' suffix; "
+                           "shorthand for --scale tiny)")
+    init.add_argument("--scale", default=None, choices=sorted(scale_names()),
+                      help="resize the scenario to a named scale preset "
+                           "(simulatable presets only; see repro.scale)")
     init.add_argument("--no-report", dest="report", action="store_false",
                       help="skip storing the scenario report document")
     init.set_defaults(func=_cmd_init)

@@ -13,6 +13,15 @@ private per-shard string table:
   holding a rank-ordered array of table ids — daily lists overlap by
   ~99% (the paper's central stability finding), so after the first day a
   snapshot costs four bytes per entry, not its strings.
+* **Chunked records (format v3).**  A day's id column is split into
+  fixed-size rank-range chunks (:data:`CHUNK_ENTRIES`), each compressed
+  independently behind a per-record chunk directory.  Whole-day loads
+  inflate chunk by chunk straight into the id column;
+  :meth:`ArchiveStore.load_head` and :meth:`ArchiveStore.rank_of_id`
+  inflate *only* the chunks a head or point query touches — on a
+  1M-entry day a ``top(1000)`` costs one chunk, not four megabytes.
+  v2 stores (one whole-day payload per record) stay readable; their
+  records surface as single-chunk days.
 * **Columnar loads.**  Opening a store interns the table once into the
   process :func:`~repro.interning.default_interner` (building a table-id
   → process-id translation) and, when the PSL version still matches the
@@ -52,8 +61,10 @@ from __future__ import annotations
 
 import datetime as dt
 import json
+import mmap
 import os
 import struct
+import sys
 import threading
 import zlib
 from array import array
@@ -67,13 +78,33 @@ from repro.interning import default_interner
 from repro.providers.base import ListArchive, ListSnapshot
 
 #: Per-record magic; bump the digit on incompatible format changes.
-_MAGIC = b"RLS2"
+#: v3 records are *chunked*: the header is followed by a chunk directory
+#: (``n_chunks`` × ``(entry_count, compressed_len)``) and then the
+#: independently-compressed chunk payloads, so readers decompress only
+#: the rank ranges a query touches.  v2 records (one whole-day payload)
+#: remain readable; the per-record magic tells them apart, so a shard
+#: may mix both after an old store is appended to.
+_MAGIC = b"RLS3"
+_MAGIC_V2 = b"RLS2"
 _HEADER = struct.Struct("<4sIIII")  # magic, date ordinal, psl version,
-#                                     n_entries, payload bytes
+#                                     n_entries, n_chunks (v2: payload bytes)
+_CHUNK_DIR = struct.Struct("<II")   # entry count, compressed bytes
 _U16 = struct.Struct("<H")
 _U32 = struct.Struct("<I")
 
-FORMAT_VERSION = 2
+#: Entries per rank-range chunk.  Read at append time (not baked into
+#: the file format — readers trust each record's chunk directory), so
+#: tests may patch it small to exercise many-chunk records with tiny
+#: lists.  16k entries ≈ 64 KiB raw per chunk: large enough that zlib
+#: compresses well, small enough that a ``top(1000)`` or point query on
+#: a 1M-entry day decompresses ~1/64th of it.
+CHUNK_ENTRIES = 16_384
+
+FORMAT_VERSION = 3
+#: Manifest format versions this reader accepts.  v2 stores open as-is
+#: (their records carry the v2 magic); the first append rewrites the
+#: manifest as v3.
+SUPPORTED_FORMATS = frozenset({2, FORMAT_VERSION})
 
 
 class StoreError(RuntimeError):
@@ -161,35 +192,115 @@ def _encode_table_entry(name: str, base_sid: int) -> bytes:
     return _U16.pack(len(raw)) + raw + _U32.pack(base_sid)
 
 
-def _iter_shard_records(data: bytes, path: Path, limit: int,
-                        decode_payload: bool = True
-                        ) -> Iterator[tuple[int, int, Optional[tuple[int, ...]], int]]:
-    """Yield ``(ordinal, psl_version, store_ids, end_offset)`` per record.
+def _pack_ids(ids: array) -> bytes:
+    """Little-endian bytes of a uint32 id array (the on-disk layout)."""
+    if sys.byteorder != "little":
+        ids = array("I", ids)
+        ids.byteswap()
+    return ids.tobytes()
 
-    ``limit`` bounds the walk to the manifest's record count (bytes past
-    it are an orphaned tail); with ``decode_payload=False`` the payload
-    is skipped undecompressed (the truncation scan of the append path).
+
+def _unpack_ids(raw: bytes) -> array:
+    """Decode little-endian uint32 bytes into an id array (no boxing)."""
+    ids = array("I")
+    ids.frombytes(raw)
+    if sys.byteorder != "little":
+        ids.byteswap()
+    return ids
+
+
+#: One record's payload as ``[(entry_count, compressed_bytes), ...]`` —
+#: still compressed, so consumers inflate only the chunks they touch.
+_Chunks = list[tuple[int, memoryview]]
+
+
+def _decode_chunks(chunks: _Chunks) -> array:
+    """Inflate every chunk of a record into one store-id column."""
+    ids = array("I")
+    for _count, raw in chunks:
+        ids += _unpack_ids(zlib.decompress(raw))
+    return ids
+
+
+def _shard_view(path: Path) -> "bytes | memoryview":
+    """A month shard's bytes as a lazily-paged read-only view.
+
+    Queries against a 1M-entry month must not start by copying the whole
+    ~80 MB shard onto the heap just to walk its record headers, so the
+    file is memory-mapped: the header/directory walk touches only its
+    own pages, and a chunk's bytes are faulted in when the chunk is
+    actually inflated.  Chunk views returned to callers keep the mapping
+    alive; it unmaps when the last view is dropped.  Empty (or
+    otherwise unmappable) files fall back to a plain read.
+    """
+    with path.open("rb") as handle:
+        try:
+            mapped = mmap.mmap(handle.fileno(), 0, access=mmap.ACCESS_READ)
+        except (ValueError, OSError):
+            return handle.read()
+    return memoryview(mapped)
+
+
+def _iter_shard_records(data: "bytes | memoryview", path: Path, limit: int,
+                        decode_payload: bool = True
+                        ) -> Iterator[tuple[int, int, Optional[_Chunks], int]]:
+    """Yield ``(ordinal, psl_version, chunks, end_offset)`` per record.
+
+    ``chunks`` is the record's still-compressed chunk list (a v2 record
+    surfaces as a single whole-day chunk) — decompression is the
+    caller's choice, per chunk, so point and head queries inflate only
+    the rank ranges they touch.  ``limit`` bounds the walk to the
+    manifest's record count (bytes past it are an orphaned tail); with
+    ``decode_payload=False`` the payload is skipped entirely (the
+    truncation scan of the append path).
     """
     offset = 0
     total = len(data)
+    view = memoryview(data)
     records = 0
     while offset < total and records < limit:
         if offset + _HEADER.size > total:
             raise StoreError(f"{path}: truncated record header at byte {offset}")
-        magic, ordinal, psl_version, n_entries, payload_len = \
+        magic, ordinal, psl_version, n_entries, tail_field = \
             _HEADER.unpack_from(data, offset)
-        if magic != _MAGIC:
-            raise StoreError(f"{path}: bad record magic at byte {offset}")
         offset += _HEADER.size
-        if offset + payload_len > total:
-            raise StoreError(f"{path}: truncated record payload at byte {offset}")
-        store_ids: Optional[tuple[int, ...]] = None
-        if decode_payload:
-            body = zlib.decompress(data[offset:offset + payload_len])
-            store_ids = struct.unpack(f"<{n_entries}I", body)
-        offset += payload_len
+        chunks: Optional[_Chunks] = None
+        if magic == _MAGIC:
+            n_chunks = tail_field
+            dir_size = n_chunks * _CHUNK_DIR.size
+            if offset + dir_size > total:
+                raise StoreError(
+                    f"{path}: truncated chunk directory at byte {offset}")
+            directory = [_CHUNK_DIR.unpack_from(data, offset + i * _CHUNK_DIR.size)
+                         for i in range(n_chunks)]
+            offset += dir_size
+            if sum(count for count, _ in directory) != n_entries:
+                raise StoreError(
+                    f"{path}: chunk directory counts disagree with record "
+                    f"header at byte {offset}")
+            payload_len = sum(length for _, length in directory)
+            if offset + payload_len > total:
+                raise StoreError(
+                    f"{path}: truncated record payload at byte {offset}")
+            if decode_payload:
+                chunks = []
+                at = offset
+                for count, length in directory:
+                    chunks.append((count, view[at:at + length]))
+                    at += length
+            offset += payload_len
+        elif magic == _MAGIC_V2:
+            payload_len = tail_field
+            if offset + payload_len > total:
+                raise StoreError(
+                    f"{path}: truncated record payload at byte {offset}")
+            if decode_payload:
+                chunks = [(n_entries, view[offset:offset + payload_len])]
+            offset += payload_len
+        else:
+            raise StoreError(f"{path}: bad record magic at byte {offset - _HEADER.size}")
         records += 1
-        yield ordinal, psl_version, store_ids, offset
+        yield ordinal, psl_version, chunks, offset
 
 
 class ArchiveStore:
@@ -228,10 +339,11 @@ class ArchiveStore:
             stale_tmp.unlink()
         if self._manifest_path.exists():
             manifest = json.loads(self._manifest_path.read_text(encoding="utf-8"))
-            if manifest.get("format_version") != FORMAT_VERSION:
+            if manifest.get("format_version") not in SUPPORTED_FORMATS:
                 raise StoreError(
                     f"{self._manifest_path}: unsupported store format "
-                    f"{manifest.get('format_version')!r} (expected {FORMAT_VERSION})")
+                    f"{manifest.get('format_version')!r} "
+                    f"(expected one of {sorted(SUPPORTED_FORMATS)})")
             if "log" not in manifest:
                 manifest = self._synthesise_log(manifest)
             self._manifest = manifest
@@ -541,17 +653,29 @@ class ArchiveStore:
                 # name the base-id column cannot normalise) must unwind
                 # those entries like any other failed append.
                 new_table_bytes = bytearray()
-                store_ids = []
+                store_ids = array("I")
                 for gid in snapshot.entry_ids():
                     sid = index.get(gid)
                     if sid is None:
                         sid, encoded = self._table_append(table, gid, column)
                         new_table_bytes += encoded
                     store_ids.append(sid)
-                payload = zlib.compress(
-                    struct.pack(f"<{len(store_ids)}I", *store_ids), 6)
+                # Chunked payload: each CHUNK_ENTRIES-sized rank range is
+                # compressed independently so readers can inflate only the
+                # ranges a query touches.  The chunk size is read here, at
+                # append time; readers follow the record's own directory.
+                chunk_entries = CHUNK_ENTRIES
+                directory = bytearray()
+                payload = bytearray()
+                for start in range(0, len(store_ids), chunk_entries):
+                    piece = store_ids[start:start + chunk_entries]
+                    compressed = zlib.compress(_pack_ids(piece), 6)
+                    directory += _CHUNK_DIR.pack(len(piece), len(compressed))
+                    payload += compressed
                 record = _HEADER.pack(_MAGIC, ordinal, psl.version,
-                                      len(store_ids), len(payload)) + payload
+                                      len(store_ids),
+                                      len(directory) // _CHUNK_DIR.size
+                                      ) + bytes(directory) + bytes(payload)
                 if new_table_bytes:
                     self._append_file(self._table_path, bytes(new_table_bytes),
                                       sync, point="store.table")
@@ -593,6 +717,9 @@ class ArchiveStore:
                     interner_entry["psl_version"] = None
                 interner_entry["entries"] = len(table)
                 new_manifest = dict(manifest)
+                # A v2 store's first append introduces v3 records, so the
+                # manifest advertises the format old readers must refuse.
+                new_manifest["format_version"] = FORMAT_VERSION
                 new_manifest["providers"] = providers
                 new_manifest["interner"] = interner_entry
                 new_manifest["store_version"] = manifest["store_version"] + 1
@@ -733,11 +860,13 @@ class ArchiveStore:
         """Yield ``(ordinal, psl_version, entry_gids)`` per stored day.
 
         ``entry_gids`` is a rank-ordered process-id column — translated
-        from store ids by one array lookup per entry, no strings.  The
-        walk pins one published manifest up front, so a concurrent
-        append can neither shift the record counts mid-iteration nor
-        surface a half-written tail (bytes past the pinned counts are
-        simply never decoded).
+        from store ids by one array lookup per entry, no strings.  Each
+        record is inflated chunk by chunk straight into the id column
+        (one transient chunk-sized array at a time, never a boxed
+        whole-day tuple).  The walk pins one published manifest up
+        front, so a concurrent append can neither shift the record
+        counts mid-iteration nor surface a half-written tail (bytes
+        past the pinned counts are simply never decoded).
         """
         if manifest is None:
             manifest = self._manifest
@@ -749,10 +878,14 @@ class ArchiveStore:
                 raise StoreError(f"manifest names missing shard {path}")
             expected = self._shard_records(provider, month, manifest)
             records = 0
-            for ordinal, psl_version, store_ids, _ in _iter_shard_records(
-                    path.read_bytes(), path, expected):
+            for ordinal, psl_version, chunks, _ in _iter_shard_records(
+                    _shard_view(path), path, expected):
                 records += 1
-                yield ordinal, psl_version, array("I", map(lookup, store_ids))
+                entry_gids = array("I")
+                for _count, raw in chunks:
+                    entry_gids.extend(
+                        map(lookup, _unpack_ids(zlib.decompress(raw))))
+                yield ordinal, psl_version, entry_gids
             if records < expected:
                 raise StoreError(
                     f"{path}: holds {records} records, manifest expects {expected}")
@@ -764,23 +897,74 @@ class ArchiveStore:
                                         date=dt.date.fromordinal(ordinal),
                                         ids=entry_gids)
 
-    def load_snapshot(self, provider: str, date: dt.date) -> ListSnapshot:
-        """Load one snapshot, decoding only its month shard."""
+    def _record_chunks(self, provider: str, date: dt.date) -> _Chunks:
+        """One day's still-compressed chunk list (the lazy-read entry).
+
+        Walks the month shard's headers only — no other day's payload is
+        inflated, and the matched day's chunks stay compressed until the
+        caller touches them.
+        """
         manifest = self._manifest
         month = _month_key(date)
         path = self._shard_path(provider, month)
         if month not in self._months(provider, manifest) or not path.exists():
             raise KeyError(f"{provider} has no stored snapshot for {date}")
         target = date.toordinal()
-        gids = self._table().gids
-        for ordinal, _, store_ids, _ in _iter_shard_records(
-                path.read_bytes(), path,
+        for ordinal, _, chunks, _ in _iter_shard_records(
+                _shard_view(path), path,
                 self._shard_records(provider, month, manifest)):
             if ordinal == target:
-                entry_gids = array("I", map(gids.__getitem__, store_ids))
-                return ListSnapshot.from_ids(provider=provider, date=date,
-                                             ids=entry_gids)
+                return chunks
         raise KeyError(f"{provider} has no stored snapshot for {date}")
+
+    def load_snapshot(self, provider: str, date: dt.date) -> ListSnapshot:
+        """Load one snapshot, decoding only its month shard."""
+        store_ids = _decode_chunks(self._record_chunks(provider, date))
+        gids = self._table().gids
+        entry_gids = array("I", map(gids.__getitem__, store_ids))
+        return ListSnapshot.from_ids(provider=provider, date=date,
+                                     ids=entry_gids)
+
+    def load_head(self, provider: str, date: dt.date, n: int) -> ListSnapshot:
+        """Load only the top-``n`` head of one stored day.
+
+        Decompresses just the leading ``ceil(n / chunk)`` chunks of the
+        day's record — on a chunked (v3) 1M-entry day a ``top(1000)``
+        inflates one chunk, not the megabytes behind it.
+        """
+        if n <= 0:
+            raise ValueError("n must be positive")
+        head_sids = array("I")
+        for count, raw in self._record_chunks(provider, date):
+            if len(head_sids) >= n:
+                break
+            head_sids += _unpack_ids(zlib.decompress(raw))
+        gids = self._table().gids
+        entry_gids = array("I", map(gids.__getitem__, head_sids[:n]))
+        return ListSnapshot.from_ids(provider=provider, date=date,
+                                     ids=entry_gids)
+
+    def rank_of_id(self, provider: str, date: dt.date,
+                   domain_id: int) -> Optional[int]:
+        """1-based rank of an interned id on one stored day, or ``None``.
+
+        A point query: the store-id is resolved through the table's
+        process-id index, then the day's chunks are inflated one at a
+        time until the id is found — unmatched chunks ahead of it are
+        the only decompression paid, and chunks behind it are never
+        touched.
+        """
+        sid = self._table().sid_by_gid().get(domain_id)
+        if sid is None:
+            return None
+        rank_base = 0
+        for count, raw in self._record_chunks(provider, date):
+            chunk = _unpack_ids(zlib.decompress(raw))
+            try:
+                return rank_base + chunk.index(sid) + 1
+            except ValueError:
+                rank_base += len(chunk)
+        return None
 
     def load_archive(self, provider: str, warm: bool = True) -> ListArchive:
         """Rebuild the provider's full archive, without materialising strings.
@@ -818,7 +1002,11 @@ class ArchiveStore:
                 # bases were stamped stale, so the column was not seeded.
                 warmable = False
                 continue
-            current = snapshot.id_set()
+            # Transient set, NOT snapshot.id_set(): the cached form would
+            # pin every day's full-size frozenset from load on — the
+            # delta below only ever needs a two-day window, and analyses
+            # that want per-day sets build (and cache) them lazily.
+            current = interner.id_set(entry_gids)
             if prev_ids is None:
                 for gid in entry_gids:
                     base = boxed[base_id(gid)]

@@ -16,6 +16,27 @@ from repro.population.traffic import TrafficSimulator
 from repro.providers.simulation import SimulationRun, run_simulation
 
 
+def pytest_addoption(parser: pytest.Parser) -> None:
+    parser.addoption(
+        "--run-scale", action="store_true", default=False,
+        help="run paper_bench-scale tests (marked 'scale'; ~100k-entry "
+             "corpora — see `make test-scale`)")
+
+
+def pytest_collection_modifyitems(config: pytest.Config, items) -> None:
+    """Tier-1 skips ``scale``-marked tests unless explicitly enabled.
+
+    The paper_bench matrix builds 100k-entry corpora; it belongs in its
+    own CI job (and ``make test-scale``), not on every local run.
+    """
+    if config.getoption("--run-scale"):
+        return
+    skip = pytest.mark.skip(reason="paper_bench scale; enable with --run-scale")
+    for item in items:
+        if "scale" in item.keywords:
+            item.add_marker(skip)
+
+
 @pytest.fixture(scope="session")
 def small_config() -> SimulationConfig:
     """The small simulation configuration used across the test suite.

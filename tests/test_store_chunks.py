@@ -1,0 +1,290 @@
+"""Chunk-granularity regressions for the v3 store format.
+
+The chunked record format earns its keep only if every boundary is
+exact: a ``load_head`` that lands on a chunk edge, a day whose size is
+one off a multiple of the chunk size, a point query for the last entry
+of the last chunk.  These tests pin that behaviour with a tiny
+monkeypatched chunk size (so boundaries are cheap to hit), prove v2
+records written before the chunk directory existed stay readable — and
+mixable with v3 appends in one shard — and re-run the PR-5 style
+crash-truncation oracle with the cut landing *inside* a record's final
+chunk payload.
+"""
+
+import datetime as dt
+import json
+import math
+import zlib
+from array import array
+from pathlib import Path
+
+import pytest
+
+import repro.service.store as store_module
+from repro.interning import default_interner
+from repro.providers.base import ListSnapshot
+from repro.service.store import (_CHUNK_DIR, _HEADER, _MAGIC, _MAGIC_V2,
+                                 _decode_chunks, _iter_shard_records,
+                                 _pack_ids, ArchiveStore, StoreError)
+
+BASE = dt.date(2018, 5, 1)
+
+
+def _snapshot(day: int, size: int, provider: str = "alexa") -> ListSnapshot:
+    entries = tuple(f"chunk-d{day}-{i:05d}.example" for i in range(size))
+    return ListSnapshot(provider=provider, date=BASE + dt.timedelta(days=day),
+                        entries=entries)
+
+
+def _shard_path(root: Path, provider: str = "alexa") -> Path:
+    paths = sorted((root / "shards" / provider).glob("*.rls"))
+    assert len(paths) == 1
+    return paths[0]
+
+
+def _record_chunk_counts(path: Path) -> list[int]:
+    """Number of chunks per record in a shard file, in append order."""
+    counts = []
+    data = path.read_bytes()
+    offset = 0
+    while offset < len(data):
+        magic, _, _, _, tail_field = _HEADER.unpack_from(data, offset)
+        offset += _HEADER.size
+        if magic == _MAGIC:
+            directory = [_CHUNK_DIR.unpack_from(data, offset + i * _CHUNK_DIR.size)
+                         for i in range(tail_field)]
+            counts.append(tail_field)
+            offset += tail_field * _CHUNK_DIR.size + sum(l for _, l in directory)
+        else:
+            assert magic == _MAGIC_V2
+            counts.append(1)
+            offset += tail_field
+    return counts
+
+
+@pytest.fixture
+def small_chunks(monkeypatch):
+    """Shrink the chunk size so boundary cases cost a handful of entries."""
+    monkeypatch.setattr(store_module, "CHUNK_ENTRIES", 4)
+    return 4
+
+
+class TestChunkBoundaries:
+    SIZES = [1, 3, 4, 5, 8, 9, 13]
+
+    def test_every_size_round_trips_with_expected_chunking(
+            self, tmp_path, small_chunks):
+        days = [_snapshot(day, size) for day, size in enumerate(self.SIZES)]
+        with ArchiveStore(tmp_path / "store") as store:
+            for snapshot in days:
+                store.append(snapshot)
+            for snapshot, size in zip(days, self.SIZES):
+                loaded = store.load_snapshot("alexa", snapshot.date)
+                assert loaded.entries == snapshot.entries
+        counts = _record_chunk_counts(_shard_path(tmp_path / "store"))
+        assert counts == [math.ceil(size / small_chunks) for size in self.SIZES]
+
+    def test_load_head_at_and_across_chunk_edges(self, tmp_path, small_chunks):
+        size = 13  # chunks of 4: [4, 4, 4, 1]
+        snapshot = _snapshot(0, size)
+        with ArchiveStore(tmp_path / "store") as store:
+            store.append(snapshot)
+            for n in (1, 3, 4, 5, 8, 9, 12, 13, 50):
+                head = store.load_head("alexa", snapshot.date, n)
+                assert head.entries == snapshot.entries[:n]
+            with pytest.raises(ValueError):
+                store.load_head("alexa", snapshot.date, 0)
+
+    def test_rank_of_id_in_every_chunk_and_absent(self, tmp_path, small_chunks):
+        size = 13
+        snapshot = _snapshot(0, size)
+        other_day = _snapshot(1, 2)
+        interner = default_interner()
+        with ArchiveStore(tmp_path / "store") as store:
+            store.append(snapshot)
+            store.append(other_day)
+            for rank, name in enumerate(snapshot.entries, start=1):
+                assert store.rank_of_id(
+                    "alexa", snapshot.date, interner.intern(name)) == rank
+            # Interned but absent from this day (lives on the other day).
+            elsewhere = interner.intern(other_day.entries[0])
+            assert store.rank_of_id("alexa", snapshot.date, elsewhere) is None
+            # Never interned into the store at all.
+            foreign = interner.intern("never-stored.example")
+            assert store.rank_of_id("alexa", snapshot.date, foreign) is None
+
+
+def _downgrade_shard_to_v2(path: Path) -> int:
+    """Re-encode every record of a shard as the pre-chunking v2 layout."""
+    data = path.read_bytes()
+    out = bytearray()
+    records = 0
+    for ordinal, psl_version, chunks, _ in _iter_shard_records(
+            data, path, limit=len(data)):
+        ids = _decode_chunks(chunks)
+        payload = zlib.compress(_pack_ids(ids), 6)
+        out += _HEADER.pack(_MAGIC_V2, ordinal, psl_version,
+                            len(ids), len(payload)) + payload
+        records += 1
+    path.write_bytes(bytes(out))
+    return records
+
+
+def _set_manifest_format(root: Path, version: int) -> None:
+    manifest_path = root / "manifest.json"
+    manifest = json.loads(manifest_path.read_text(encoding="utf-8"))
+    manifest["format_version"] = version
+    manifest_path.write_text(json.dumps(manifest), encoding="utf-8")
+
+
+class TestV2Compatibility:
+    def test_v2_store_reads_back_identically(self, tmp_path, small_chunks):
+        days = [_snapshot(day, size) for day, size in enumerate([5, 9, 3])]
+        root = tmp_path / "store"
+        with ArchiveStore(root) as store:
+            for snapshot in days:
+                store.append(snapshot)
+        _downgrade_shard_to_v2(_shard_path(root))
+        _set_manifest_format(root, 2)
+        with ArchiveStore(root) as store:
+            for snapshot in days:
+                loaded = store.load_snapshot("alexa", snapshot.date)
+                assert loaded.entries == snapshot.entries
+            assert store.load_head("alexa", days[1].date, 6).entries == \
+                days[1].entries[:6]
+
+    def test_appending_to_a_v2_store_mixes_formats_in_one_shard(
+            self, tmp_path, small_chunks):
+        days = [_snapshot(day, size) for day, size in enumerate([5, 9])]
+        root = tmp_path / "store"
+        with ArchiveStore(root) as store:
+            for snapshot in days:
+                store.append(snapshot)
+        _downgrade_shard_to_v2(_shard_path(root))
+        _set_manifest_format(root, 2)
+        fresh = _snapshot(2, 9)
+        with ArchiveStore(root) as store:
+            store.append(fresh)
+        # v2 records survive in place; the new day is chunked v3 and the
+        # manifest now advertises the upgraded format.
+        assert _record_chunk_counts(_shard_path(root)) == [1, 1, 3]
+        manifest = json.loads((root / "manifest.json").read_text(encoding="utf-8"))
+        assert manifest["format_version"] == store_module.FORMAT_VERSION
+        with ArchiveStore(root) as store:
+            for snapshot in days + [fresh]:
+                assert store.load_snapshot(
+                    "alexa", snapshot.date).entries == snapshot.entries
+
+    def test_unsupported_format_version_is_refused(self, tmp_path):
+        root = tmp_path / "store"
+        with ArchiveStore(root) as store:
+            store.append(_snapshot(0, 3))
+        _set_manifest_format(root, 1)
+        with pytest.raises(StoreError, match="format"):
+            ArchiveStore(root)
+
+
+class TestCorruptChunkDirectories:
+    """The record walker must reject malformed v3 framing loudly."""
+
+    def _v3_record(self, ordinal: int, ids: array, chunk: int = 4) -> bytes:
+        directory = bytearray()
+        payload = bytearray()
+        for start in range(0, len(ids), chunk):
+            piece = ids[start:start + chunk]
+            compressed = zlib.compress(_pack_ids(piece), 6)
+            directory += _CHUNK_DIR.pack(len(piece), len(compressed))
+            payload += compressed
+        return _HEADER.pack(_MAGIC, ordinal, 1, len(ids),
+                            len(directory) // _CHUNK_DIR.size) + \
+            bytes(directory) + bytes(payload)
+
+    def test_walker_round_trips_its_own_records(self):
+        ids = array("I", range(10))
+        record = self._v3_record(700000, ids)
+        [(ordinal, _, chunks, end)] = list(
+            _iter_shard_records(record, Path("mem"), limit=1))
+        assert ordinal == 700000 and end == len(record)
+        assert _decode_chunks(chunks) == ids
+
+    def test_truncated_chunk_directory_is_loud(self):
+        record = self._v3_record(700000, array("I", range(10)))
+        cut = record[:_HEADER.size + _CHUNK_DIR.size]  # 3 chunks declared, 1 present
+        with pytest.raises(StoreError, match="truncated chunk directory"):
+            list(_iter_shard_records(cut, Path("mem"), limit=1))
+
+    def test_directory_count_mismatch_is_loud(self):
+        record = bytearray(self._v3_record(700000, array("I", range(10))))
+        # Inflate the first chunk's declared entry count.
+        count, length = _CHUNK_DIR.unpack_from(record, _HEADER.size)
+        record[_HEADER.size:_HEADER.size + _CHUNK_DIR.size] = \
+            _CHUNK_DIR.pack(count + 1, length)
+        with pytest.raises(StoreError, match="disagree"):
+            list(_iter_shard_records(bytes(record), Path("mem"), limit=1))
+
+    def test_truncated_final_chunk_payload_is_loud(self):
+        record = self._v3_record(700000, array("I", range(10)))
+        with pytest.raises(StoreError, match="truncated record payload"):
+            list(_iter_shard_records(record[:-1], Path("mem"), limit=1))
+
+
+class TestCrashTruncatedFinalChunk:
+    """PR-5 tail-truncation oracle, aimed at the chunked payload.
+
+    An append that dies after writing part of its record leaves an
+    orphaned tail the manifest never names.  Recovery on reopen must
+    truncate it — wherever inside the chunk structure the cut landed —
+    and leave the published days byte-exact and appendable.
+    """
+
+    def test_cut_inside_final_chunk_recovers(self, tmp_path, small_chunks):
+        published = [_snapshot(day, size) for day, size in enumerate([5, 9])]
+        crashed = _snapshot(2, 13)
+        root = tmp_path / "store"
+        with ArchiveStore(root) as store:
+            for snapshot in published:
+                store.append(snapshot)
+        shard = _shard_path(root)
+        durable = shard.stat().st_size
+
+        # Build the crashed day's record out-of-band and cut it at every
+        # structurally interesting depth: header-only, inside the chunk
+        # directory, at each chunk boundary, and mid-final-chunk.
+        sids = array("I", range(13))
+        record = TestCorruptChunkDirectories()._v3_record(
+            crashed.date.toordinal(), sids)
+        boundaries = [4, _HEADER.size, _HEADER.size + _CHUNK_DIR.size + 1,
+                      len(record) // 2, len(record) - 3]
+        for cut in boundaries:
+            with shard.open("r+b") as handle:
+                handle.truncate(durable)
+                handle.seek(durable)
+                handle.write(record[:cut])
+            # Reads are bounded by the manifest's record counts, so the
+            # orphan bytes past them are invisible whatever they hold.
+            with ArchiveStore(root) as store:
+                assert store.dates("alexa") == [s.date for s in published]
+                for snapshot in published:
+                    assert store.load_snapshot(
+                        "alexa", snapshot.date).entries == snapshot.entries
+
+            # The next append supersedes the torn tail: the new record
+            # lands at the durable offset, never after the garbage.
+            with ArchiveStore(root) as store:
+                store.append(crashed)
+                assert store.load_snapshot(
+                    "alexa", crashed.date).entries == crashed.entries
+                assert store.load_head(
+                    "alexa", crashed.date, 5).entries == crashed.entries[:5]
+            assert _record_chunk_counts(shard) == [2, 3, 4]
+
+            # Reset for the next cut position.
+            with shard.open("r+b") as handle:
+                handle.truncate(durable)
+            manifest_path = root / "manifest.json"
+            manifest = json.loads(manifest_path.read_text(encoding="utf-8"))
+            entry = manifest["providers"]["alexa"]
+            entry["dates"] = entry["dates"][:-1]
+            entry["shards"] = {month: count - 1
+                               for month, count in entry["shards"].items()}
+            manifest_path.write_text(json.dumps(manifest), encoding="utf-8")
