@@ -7,7 +7,7 @@ export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 STORE ?= .repro-store
 
 .PHONY: test test-scale golden-test goldens chaos bench bench-service \
-	bench-interning bench-replication bench-scale store serve
+	bench-interning bench-replication bench-obs bench-scale store serve
 
 ## Tier-1 test suite (what CI runs on every push).
 test:
@@ -34,7 +34,8 @@ CHAOS_SEED ?= 0
 chaos:
 	REPRO_CHAOS_SEED=$(CHAOS_SEED) $(PYTHON) -m pytest -q \
 		tests/test_faults.py tests/test_util_retry.py \
-		tests/test_service_replica.py tests/test_service_chaos.py
+		tests/test_service_replica.py tests/test_service_chaos.py \
+		tests/test_obs.py
 
 ## Benchmark suite + seed-vs-fastpath comparison + scenario battery
 ## + serving layer.
@@ -55,6 +56,11 @@ bench-interning:
 ## dormant fault-point overhead <2%) → BENCH_replication.json.
 bench-replication:
 	$(PYTHON) benchmarks/run_benchmarks.py --replication
+
+## Observability benchmarks only (hot-path telemetry overhead <2%,
+## /v1/metrics scrape cost, byte-stable rendering) → BENCH_obs.json.
+bench-obs:
+	$(PYTHON) benchmarks/run_benchmarks.py --obs
 
 ## Scale-preset benchmarks (paper_bench + full_1m synthetic corpora):
 ## ingest/query/battery timings with hard time and memory-budget asserts

@@ -39,6 +39,7 @@ identical to recomputing from scratch with the non-cached code paths.
 from __future__ import annotations
 
 import datetime as dt
+import time
 from collections import Counter, defaultdict
 from types import MappingProxyType
 from typing import Mapping, Optional, Sequence
@@ -47,9 +48,20 @@ from repro.domain.name import normalise
 from repro.domain.psl import PublicSuffixList, default_list
 from repro.interning import base_of as _interning_base_of
 from repro.interning import default_interner
+from repro.obs import metrics
 from repro.providers.base import ListArchive, ListSnapshot
 
 _DEFAULT_PSL = default_list()
+
+# Live-append extensions run a few times per ingested day (ms-scale
+# path), cheap enough for registry instruments.
+_M_EXTENDS = metrics.counter(
+    "repro_delta_extends_total",
+    "Live snapshot extensions of the delta engine "
+    "(extend_base_id_sets calls).")
+_M_EXTEND_SECONDS = metrics.histogram(
+    "repro_delta_extend_seconds",
+    "Wall-clock seconds per extend_base_id_sets call.")
 
 #: Bound on the flat per-PSL parse memos below (unique names, not bytes).
 _PARSE_MEMO_LIMIT = 1 << 20
@@ -238,6 +250,7 @@ def extend_base_id_sets(archive: ListArchive, snapshot: ListSnapshot,
     strictly after the archive's last date: a mid-series insert would
     reorder the per-day mapping, so correctness wins over warmth.
     """
+    start = time.perf_counter()
     psl = psl or _DEFAULT_PSL
     pkey = _psl_key(psl)
     cache = archive.__dict__.get("_analysis_cache", {})
@@ -247,14 +260,16 @@ def extend_base_id_sets(archive: ListArchive, snapshot: ListSnapshot,
         if key[0] == "base-domain-sets" and key[2] is None and key[3] == pkey
     ] if last is not None and snapshot.date > last else []
     archive.add(snapshot)
-    if not captured:
-        return
-    fresh = _archive_cache(archive)
-    for top_n, view in captured:
-        snap = snapshot.top(top_n) if top_n is not None else snapshot
-        extended = dict(view)
-        extended[snap.date] = snapshot_base_ids(snap, psl)
-        fresh[("base-domain-sets", top_n, None, pkey)] = MappingProxyType(extended)
+    if captured:
+        fresh = _archive_cache(archive)
+        for top_n, view in captured:
+            snap = snapshot.top(top_n) if top_n is not None else snapshot
+            extended = dict(view)
+            extended[snap.date] = snapshot_base_ids(snap, psl)
+            fresh[("base-domain-sets", top_n, None, pkey)] = \
+                MappingProxyType(extended)
+    _M_EXTENDS.inc()
+    _M_EXTEND_SECONDS.observe(time.perf_counter() - start)
 
 
 def snapshot_base_ids(snapshot: ListSnapshot,

@@ -58,6 +58,16 @@ import time
 from dataclasses import dataclass
 from typing import Iterable, Optional
 
+from repro.obs import metrics as _metrics
+
+# Mirrors every ``plan.fired`` append into the process metrics registry,
+# so the chaos suite can assert fire counts from ``/v1/metrics`` alone.
+# Fires are rare by construction; the registry lock is affordable.
+_M_FIRED = _metrics.counter(
+    "repro_faults_fired_total",
+    "Injected faults fired, by injection point and fault kind.",
+    labelnames=("point", "kind"))
+
 __all__ = [
     "ACTIVE",
     "FaultPlan",
@@ -195,6 +205,9 @@ class FaultPlan:
                     continue
                 self._fires[index] = self._fires.get(index, 0) + 1
                 self.fired.append((point, call, rule.kind))
+                # The registry child has its own short lock; obs never
+                # calls back into faults, so the nesting cannot deadlock.
+                _M_FIRED.labels(point=point, kind=rule.kind).inc()
                 return rule, call
         return None
 

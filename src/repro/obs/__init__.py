@@ -1,0 +1,48 @@
+"""repro.obs — stdlib-only telemetry for the serving stack.
+
+Three small modules, importable from anywhere in the package (they
+import nothing from :mod:`repro` outside this subpackage, so even
+:mod:`repro.faults` can depend on them):
+
+* :mod:`repro.obs.metrics` — a process-global :class:`MetricsRegistry`
+  of counters/gauges/fixed-bucket histograms rendered in deterministic
+  Prometheus text-exposition format (served at ``GET /v1/metrics``).
+* :mod:`repro.obs.logging` — structured JSON event logging
+  (``ts``/``level``/``event``/``trace_id`` + key/values).
+* :mod:`repro.obs.tracing` — ``X-Request-Id`` propagation through a
+  :mod:`contextvars` variable, leader ↔ follower correlatable.
+
+See the README's "Observability" section for the metric catalogue and
+the cost model (hot paths use plain GIL-atomic ints merged at scrape
+time; registry instruments are for ≥ tens-of-µs paths).
+"""
+
+from repro.obs.logging import configure, enabled, log_event
+from repro.obs.metrics import (
+    DEFAULT_BUCKETS,
+    REGISTRY,
+    MetricsRegistry,
+    counter,
+    gauge,
+    histogram,
+    parse_exposition,
+    render,
+)
+from repro.obs.tracing import current_trace_id, new_trace_id, trace
+
+__all__ = [
+    "DEFAULT_BUCKETS",
+    "MetricsRegistry",
+    "REGISTRY",
+    "configure",
+    "counter",
+    "current_trace_id",
+    "enabled",
+    "gauge",
+    "histogram",
+    "log_event",
+    "new_trace_id",
+    "parse_exposition",
+    "render",
+    "trace",
+]

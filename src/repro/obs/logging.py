@@ -1,0 +1,73 @@
+"""Structured JSON logging with a shared schema.
+
+Every line is one JSON object: ``{"ts", "level", "event",
+"trace_id", ...key/values}`` — ``trace_id`` injected automatically from
+:mod:`repro.obs.tracing` when a trace is active.  Events go to stderr
+(overridable for tests via :func:`configure`).
+
+The default threshold is ``warning`` so the library stays silent under
+tests and batch use; ``repro-serve serve`` configures ``info``.  The
+``REPRO_LOG_LEVEL`` environment variable overrides the initial
+threshold (``debug``/``info``/``warning``/``error``/``off``).
+
+Emission cost is only paid above threshold — ``log_event`` at a
+suppressed level is one dict lookup and an int compare (~50 ns), cheap
+enough for debug events on warm paths.  Truly hot paths should still
+guard with :func:`enabled` before building kwargs.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+import time
+from typing import IO, Optional
+
+from repro.obs import tracing
+
+__all__ = ["configure", "enabled", "log_event"]
+
+LEVELS = {"debug": 10, "info": 20, "warning": 30, "error": 40, "off": 100}
+
+_state = {
+    "threshold": LEVELS.get(
+        os.environ.get("REPRO_LOG_LEVEL", "").strip().lower(),
+        LEVELS["warning"]),
+    "stream": None,  # None → sys.stderr resolved at call time
+}
+
+
+def configure(level: Optional[str] = None,
+              stream: Optional[IO[str]] = None) -> None:
+    """Set the threshold and/or output stream (``None`` leaves it as is)."""
+    if level is not None:
+        if level not in LEVELS:
+            raise ValueError(f"unknown log level: {level!r}")
+        _state["threshold"] = LEVELS[level]
+    if stream is not None:
+        _state["stream"] = stream
+
+
+def enabled(level: str) -> bool:
+    """True when events at ``level`` would be emitted."""
+    return LEVELS[level] >= _state["threshold"]
+
+
+def log_event(event: str, level: str = "info", **fields: object) -> None:
+    """Emit one schema-shaped JSON line (no-op below the threshold)."""
+    if LEVELS[level] < _state["threshold"]:
+        return
+    record = {
+        "ts": round(time.time(), 6),
+        "level": level,
+        "event": event,
+        "trace_id": tracing.current_trace_id(),
+    }
+    record.update(fields)
+    stream = _state["stream"] or sys.stderr
+    try:
+        stream.write(json.dumps(record, default=str) + "\n")
+        stream.flush()
+    except (OSError, ValueError):
+        pass  # a closed/broken log stream must never take the service down

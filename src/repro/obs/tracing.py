@@ -1,0 +1,65 @@
+"""Request tracing: cheap trace ids carried in a :mod:`contextvars` var.
+
+A trace id is born at the wire layer (or taken verbatim from an
+incoming ``X-Request-Id`` header), activated for the duration of the
+request, and read back by the structured logger and by outbound calls
+(the replica tailer stamps its leader fetches with the current id so a
+leader's access log lines correlate with follower sync cycles).
+
+Id generation is deliberately cheap: a per-process random prefix drawn
+once at import plus a monotonically increasing sequence — ~200 ns,
+versus ~2 µs for ``uuid4``.  Ids are 16 lowercase hex chars, unique
+per process and collision-resistant across processes.
+"""
+
+from __future__ import annotations
+
+import contextvars
+import itertools
+import os
+from contextlib import contextmanager
+from typing import Iterator, Optional
+
+__all__ = [
+    "activate",
+    "current_trace_id",
+    "deactivate",
+    "new_trace_id",
+    "trace",
+]
+
+_TRACE: contextvars.ContextVar[Optional[str]] = contextvars.ContextVar(
+    "repro_trace_id", default=None)
+
+_PREFIX = os.urandom(4).hex()
+_SEQ = itertools.count(1)
+
+
+def new_trace_id() -> str:
+    """A fresh 16-hex-char trace id (process-random prefix + sequence)."""
+    return f"{_PREFIX}{next(_SEQ):08x}"
+
+
+def current_trace_id() -> Optional[str]:
+    """The trace id active in this context, or ``None``."""
+    return _TRACE.get()
+
+
+def activate(trace_id: str) -> contextvars.Token:
+    """Make ``trace_id`` current; pass the token to :func:`deactivate`."""
+    return _TRACE.set(trace_id)
+
+
+def deactivate(token: contextvars.Token) -> None:
+    _TRACE.reset(token)
+
+
+@contextmanager
+def trace(trace_id: Optional[str] = None) -> Iterator[str]:
+    """``with trace() as tid:`` — activate a (fresh) id for the block."""
+    tid = trace_id if trace_id else new_trace_id()
+    token = _TRACE.set(tid)
+    try:
+        yield tid
+    finally:
+        _TRACE.reset(token)

@@ -19,6 +19,10 @@ to the analysis library and answers the ``/v1`` endpoints:
                                           flags (uncached)
 ``GET /v1/ready``                         readiness probe: 200 serving /
                                           503 still syncing (uncached)
+``GET /v1/metrics``                       Prometheus text exposition of the
+                                          process metrics registry plus the
+                                          service's hot-path counters
+                                          (uncached)
 ``POST /v1/ingest``                       append one day's snapshot (JSON or
                                           CSV body) — live, no restart
                                           (leader role only; followers 403)
@@ -68,6 +72,7 @@ import io
 import json
 import sys
 import threading
+import time
 from collections import OrderedDict
 from dataclasses import dataclass, field
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
@@ -76,6 +81,8 @@ from urllib.parse import parse_qs, unquote, urlencode, urlsplit
 
 from repro import faults
 from repro.core.cache import extend_base_id_sets
+from repro.obs import logging as obslog
+from repro.obs import metrics, tracing
 from repro.core.intersection import intersection_over_time
 from repro.core.stability import (
     cumulative_unique_domains,
@@ -123,7 +130,41 @@ _ROUTE_PARAMS: dict[str, frozenset[str]] = {
     "replication": frozenset({"since", "max"}),
     "health": frozenset(),
     "ready": frozenset(),
+    "metrics": frozenset(),
 }
+
+# Registry instruments for the API layer.  All of these sit on paths
+# that already cost ≥ hundreds of µs (the wire, error envelopes,
+# ingest), so the registry lock is affordable; the cached in-process
+# read path uses plain ints on QueryService instead (see
+# ``_metrics_families``).
+_M_REQUESTS = metrics.counter(
+    "repro_http_requests_total",
+    "HTTP requests received on the wire, by method.",
+    labelnames=("method",))
+_M_REQUEST_SECONDS = metrics.histogram(
+    "repro_http_request_seconds",
+    "Wall-clock seconds answering one HTTP request (wire layer).")
+_M_ERRORS = metrics.counter(
+    "repro_http_errors_total",
+    "JSON error envelopes produced, by HTTP status code.",
+    labelnames=("code",))
+_M_DEGRADED = metrics.counter(
+    "repro_http_degraded_total",
+    "503 degraded-mode answers (injected faults / shed load).")
+_M_INTERNAL = metrics.counter(
+    "repro_http_internal_errors_total",
+    "Unexpected exceptions converted to 500 envelopes.")
+_M_UNHANDLED = metrics.counter(
+    "repro_http_unhandled_errors_total",
+    "Exceptions that escaped a handler thread (server.unhandled_errors).")
+_M_INGEST_DAYS = metrics.counter(
+    "repro_ingest_days_total", "Snapshot days ingested via POST /v1/ingest.")
+_M_INGEST_ROWS = metrics.counter(
+    "repro_ingest_rows_total", "List rows accepted via POST /v1/ingest.")
+_M_INGEST_SKIPPED = metrics.counter(
+    "repro_ingest_skipped_rows_total",
+    "Malformed/overlong rows skipped during CSV ingest.")
 
 
 class ApiError(Exception):
@@ -169,7 +210,7 @@ def _etag_of(body: bytes) -> str:
 
 def _is_get_route(tail: list[str]) -> bool:
     """Whether ``tail`` (path parts after ``v1``) names a GET endpoint."""
-    if tail in (["meta"], ["compare"], ["health"], ["ready"],
+    if tail in (["meta"], ["compare"], ["health"], ["ready"], ["metrics"],
                 ["replication", "log"]):
         return True
     return len(tail) == 3 and (tail[0], tail[2]) in {
@@ -275,6 +316,14 @@ class QueryService:
         self._archives: dict[str, ListArchive] = {}
         self._index = DomainIndex()
         self._loaded_version: Optional[int] = None
+        # Hot-path telemetry: plain ints, not registry counters.  A
+        # cached read costs ~5 µs, so its entire budget (<2%, see
+        # BENCH_obs.json) is one GIL-atomic ``+= 1``; readers (the
+        # /v1/metrics scrape, /v1/health) see whole values, never torn.
+        self._cache_hits = 0
+        self._cache_misses = 0
+        self._cache_evictions = 0
+        self._bypass_reads = 0
         #: Last few unexpected exceptions answered as generic 500s; the
         #: envelope withholds their text (it can carry server paths), so
         #: this is where operators and tests find the detail.
@@ -527,6 +576,20 @@ class QueryService:
             "data_version": self.store.data_version,
             "internal_errors": len(self.internal_errors),
         }
+        hits, misses = self._cache_hits, self._cache_misses
+        lookups = hits + misses
+        payload["cache"] = {
+            "entries": len(self._result_cache),
+            "capacity": self.cache_size,
+            "hits": hits,
+            "misses": misses,
+            "evictions": self._cache_evictions,
+            "hit_ratio": _f(hits / lookups) if lookups else None,
+        }
+        payload["store_chunks"] = {
+            "inflated": self.store.chunks_inflated,
+            "bytes_inflated": self.store.chunk_bytes_inflated,
+        }
         degraded = bool(self.internal_errors)
         if self._replica is not None:
             replication = self._replica.status()
@@ -666,6 +729,54 @@ class QueryService:
                                 "rows (send JSON for a bare entry list)"
                            ) from None
 
+    def _metrics_families(self) -> list:
+        """Hot-path plain-int telemetry as render-time sample families.
+
+        These values live as GIL-atomic ``int`` attributes on this
+        service, the store and the index (never registry instruments —
+        the hot paths that bump them cannot afford the registry lock).
+        Each scrape reads the attributes directly: reads are atomic, so
+        samples are whole values (no torn reads) and monotone within
+        any one scraping thread.
+        """
+        with self._lock:
+            store = self.store
+            families = [
+                ("repro_cache_entries", "gauge",
+                 "Entries resident in the response LRU.",
+                 [({}, len(self._result_cache))]),
+                ("repro_cache_capacity", "gauge",
+                 "Bound of the response LRU.", [({}, self.cache_size)]),
+                ("repro_cache_hits_total", "counter",
+                 "Response-LRU hits.", [({}, self._cache_hits)]),
+                ("repro_cache_misses_total", "counter",
+                 "Response-LRU misses (payload built).",
+                 [({}, self._cache_misses)]),
+                ("repro_cache_evictions_total", "counter",
+                 "Response-LRU evictions.", [({}, self._cache_evictions)]),
+                ("repro_uncached_reads_total", "counter",
+                 "Reads of the uncached probe endpoints "
+                 "(health/ready/metrics).", [({}, self._bypass_reads)]),
+                ("repro_store_version", "gauge",
+                 "Store manifest version.", [({}, store.version)]),
+                ("repro_store_data_version", "gauge",
+                 "Store data version (excludes report saves).",
+                 [({}, store.data_version)]),
+                ("repro_store_chunks_inflated_total", "counter",
+                 "Compressed id chunks inflated from shards.",
+                 [({}, store.chunks_inflated)]),
+                ("repro_store_chunk_bytes_inflated_total", "counter",
+                 "Compressed bytes inflated from shards.",
+                 [({}, store.chunk_bytes_inflated)]),
+                ("repro_index_lookups_total", "counter",
+                 "DomainIndex posting-list lookups.",
+                 [({}, self._index.lookups)]),
+                ("repro_service_internal_errors", "gauge",
+                 "Unexpected exceptions retained on the service.",
+                 [({}, len(self.internal_errors))]),
+            ]
+        return families
+
     def ingest(self, snapshot: ListSnapshot) -> dict[str, Any]:
         """Append ``snapshot`` live: store → delta engine → index.
 
@@ -693,11 +804,18 @@ class QueryService:
             if self._index.last_date(snapshot.provider) != snapshot.date:
                 self._index.add(snapshot)
             self._loaded_version = self.store.data_version
+            entries = len(snapshot)
+            _M_INGEST_DAYS.inc()
+            _M_INGEST_ROWS.inc(entries)
+            obslog.log_event(
+                "ingest.day", provider=snapshot.provider,
+                date=snapshot.date.isoformat(), entries=entries,
+                store_version=self.store.version)
             return {
                 "ingested": {
                     "provider": snapshot.provider,
                     "date": snapshot.date.isoformat(),
-                    "entries": len(snapshot),
+                    "entries": entries,
                 },
                 "store_version": self.store.version,
                 "data_version": self.store.data_version,
@@ -810,12 +928,24 @@ class QueryService:
         # former must never answer the latter (which cold-paths to 400).
         canonical = path + "?" + urlencode(sorted(params.items()), doseq=True)
         parts = [part for part in path.split("/") if part]
-        if parts[:1] == ["v1"] and parts[1:] in (["health"], ["ready"]):
+        if parts[:1] == ["v1"] and parts[1:] in (["health"], ["ready"],
+                                                 ["metrics"]):
             # Probes bypass the version-keyed LRU entirely: a follower's
-            # staleness moves without its store version moving, so a
-            # memoised body would report stale health forever.
+            # staleness (and every metric) moves without its store
+            # version moving, so a memoised body would report stale
+            # state forever.
             route = parts[1]
             _check_params(params, route)
+            self._bypass_reads += 1
+            if route == "metrics":
+                body = metrics.render(extra=self._metrics_families())
+                return Response(200, body, {
+                    "Content-Type": "text/plain; version=0.0.4; "
+                                    "charset=utf-8",
+                    "Cache-Control": "no-store",
+                    "X-Repro-Store-Version": str(self.store.version),
+                    "X-Repro-Cache": "bypass",
+                })
             with self._lock:
                 if route == "health":
                     status, payload = 200, self.health_payload()
@@ -834,12 +964,14 @@ class QueryService:
             cache_key = (version, canonical)
             cached = self._result_cache.get(cache_key)
             if cached is not None:
+                self._cache_hits += 1
                 self._result_cache.move_to_end(cache_key)
                 response = Response(cached.status, cached.body,
                                     dict(cached.headers))
                 response.headers["X-Repro-Cache"] = "hit"
                 return response
             body = self._route(path, params)  # ApiError propagates
+            self._cache_misses += 1
             response = Response(200, body, {
                 "Content-Type": "application/json; charset=utf-8",
                 "ETag": _etag_of(body),
@@ -852,6 +984,7 @@ class QueryService:
                 response.status, body, dict(response.headers))
             while len(self._result_cache) > self.cache_size:
                 self._result_cache.popitem(last=False)
+                self._cache_evictions += 1
         return response
 
     def _answer_post(self, target: str, headers: Optional[Mapping[str, str]],
@@ -869,6 +1002,8 @@ class QueryService:
             snapshot, skipped = self._parse_ingest_snapshot(body, params, headers)
             payload = self.ingest(snapshot)
             payload["ingested"]["skipped_rows"] = skipped
+            if skipped:
+                _M_INGEST_SKIPPED.inc(skipped)
         elif tail == ["query"]:
             _check_params(params, "query")
             if len(body) > MAX_BODY_BYTES:
@@ -891,6 +1026,10 @@ class QueryService:
         })
 
     def _error_response(self, error: ApiError) -> Response:
+        # Single chokepoint for every JSON error envelope (direct
+        # errors, batch sub-errors, degraded 503s) — the chaos suite
+        # asserts on this counter instead of scraping exception lists.
+        _M_ERRORS.labels(code=str(error.status)).inc()
         body = json_bytes({"error": {"status": error.status,
                                      "message": str(error)}})
         headers = {
@@ -925,6 +1064,9 @@ class QueryService:
                 # deliberate, not an escape).
                 faults.ACTIVE.hit("api.request")
             except faults.InjectedFault:
+                _M_DEGRADED.inc()
+                obslog.log_event("api.degraded", level="warning",
+                                 target=target, method=method)
                 return self._error_response(ApiError(
                     503, "service degraded (injected fault)"))
         try:
@@ -945,6 +1087,10 @@ class QueryService:
             # is retained on the service for operators and tests.
             self.internal_errors.append(error)
             del self.internal_errors[:-16]
+            _M_INTERNAL.inc()
+            obslog.log_event("api.internal_error", level="error",
+                             target=target, method=method,
+                             error=type(error).__name__)
             response = self._error_response(ApiError(
                 500, f"internal error ({type(error).__name__}); "
                      "detail retained server-side"))
@@ -1029,6 +1175,7 @@ class _Handler(BaseHTTPRequestHandler):
     def _send_json_error(self, status: int, message: str,
                          close: bool = False, allow: Optional[str] = None) -> None:
         """A transport-level error in the same envelope the API uses."""
+        _M_ERRORS.labels(code=str(status)).inc()
         body = json_bytes({"error": {"status": status, "message": message}})
         self.send_response(status)
         if allow:
@@ -1083,9 +1230,42 @@ class _Handler(BaseHTTPRequestHandler):
             except OSError:
                 self.close_connection = True
 
+    def _service_call(self, method: str = "GET", body: bytes = b"") -> Response:
+        """One traced service call: the wire layer's telemetry lives here.
+
+        A request either presents an ``X-Request-Id`` (propagated
+        verbatim — this is how a leader correlates a follower's fetches)
+        or gets a fresh id; the id is active (``repro.obs.tracing``)
+        for the duration of the call, echoed on the response, and
+        stamped into every structured log line the call emits.  Wire
+        requests cost ~0.5 ms, so registry counters and a histogram
+        observation are affordable here — unlike in
+        :meth:`QueryService.handle_request`, which in-process callers
+        hit at ~5 µs per cached read.
+        """
+        trace_id = self.headers.get("X-Request-Id") or tracing.new_trace_id()
+        start = time.perf_counter()
+        token = tracing.activate(trace_id)
+        try:
+            response = self.service.handle_request(
+                self.path, dict(self.headers), method=method, body=body)
+            duration = time.perf_counter() - start
+            response.headers["X-Request-Id"] = trace_id
+            _M_REQUESTS.labels(method=self.command).inc()
+            _M_REQUEST_SECONDS.observe(duration)
+            if obslog.enabled("debug"):
+                obslog.log_event(
+                    "http.request", level="debug", method=self.command,
+                    path=self.path, status=response.status,
+                    duration_ms=round(duration * 1000.0, 3),
+                    cache=response.headers.get("X-Repro-Cache"))
+            return response
+        finally:
+            tracing.deactivate(token)
+
     def _answer(self, send_body: bool) -> None:
         must_close = self._drain_request_body()
-        response = self.service.handle_request(self.path, dict(self.headers))
+        response = self._service_call()
         self._send_service_response(response, send_body, close=must_close)
 
     def do_GET(self) -> None:  # noqa: N802 (http.server API)
@@ -1145,8 +1325,7 @@ class _Handler(BaseHTTPRequestHandler):
             body = self._read_post_body()
             if body is None:
                 return
-            response = self.service.handle_request(
-                self.path, dict(self.headers), method="POST", body=body)
+            response = self._service_call(method="POST", body=body)
             self._send_service_response(response)
 
         self._guarded(answer)
@@ -1198,6 +1377,10 @@ class ApiHTTPServer(ThreadingHTTPServer):
         if isinstance(error, (ConnectionError, TimeoutError)):
             return
         self.unhandled_errors.append(error)
+        _M_UNHANDLED.inc()
+        obslog.log_event("http.unhandled_error", level="error",
+                         client=str(client_address),
+                         error=type(error).__name__ if error else None)
 
 
 def create_server(service: QueryService, host: str = "127.0.0.1",

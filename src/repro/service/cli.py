@@ -1,14 +1,15 @@
 """``repro-serve`` — build, serve, feed and query archive stores.
 
-Four subcommands::
+Five subcommands::
 
     repro-serve init   --store DIR [--scenario NAME] [--tiny | --scale NAME]
                        [--no-report]
-    repro-serve serve  --store DIR [--host H] [--port P]
+    repro-serve serve  --store DIR [--host H] [--port P] [--log-level L]
                        [--follow URL [--poll-interval S] [--max-staleness N]]
     repro-serve ingest (--store DIR | --url URL) --provider P [--date D]
                        [--retry] FILE [FILE ...]
     repro-serve query  --store DIR TARGET [TARGET ...]
+    repro-serve stats  URL [--raw]
 
 ``init`` simulates a scenario profile, persists its three provider
 archives into an :class:`~repro.service.store.ArchiveStore` and stores
@@ -21,7 +22,12 @@ or, with ``--url``, POSTs them to a running leader, and ``--retry``
 wraps either path in the shared backoff policy
 (:mod:`repro.util.retry`); ``query`` answers requests offline through
 the same :class:`~repro.service.api.QueryService` (handy for smoke
-tests and debugging without a socket).
+tests and debugging without a socket); ``stats`` scrapes a running
+server's ``/v1/metrics`` + ``/v1/health`` and pretty-prints a snapshot.
+
+``serve`` emits structured JSON log lines (:mod:`repro.obs.logging`) on
+stderr — ``--log-level debug`` adds one ``http.request`` line per
+request, with its ``X-Request-Id`` trace id.
 
 Also runnable uninstalled: ``PYTHONPATH=src python -m repro.service.cli``.
 """
@@ -34,6 +40,7 @@ import sys
 from pathlib import Path
 from typing import Optional, Sequence
 
+from repro.obs import logging as obslog
 from repro.scale import ScaleError, scale_names
 from repro.scenarios.profiles import get_profile, profile_names
 from repro.scenarios.runner import run_scenario
@@ -90,6 +97,7 @@ def _cmd_init(args: argparse.Namespace) -> int:
 def _cmd_serve(args: argparse.Namespace) -> int:
     import threading
 
+    obslog.configure(level=args.log_level)
     follow = args.follow
     try:
         # A fresh follower bootstraps from an empty store; a leader must
@@ -112,13 +120,15 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             target=replica.run, args=(stop, args.poll_interval),
             name="replica-tailer", daemon=True)
         tailer.start()
-        print(f"repro-serve: following leader at {follow} "
-              f"(poll every {args.poll_interval}s)")
+        obslog.log_event("serve.follow", leader=follow,
+                         poll_interval=args.poll_interval,
+                         max_staleness=args.max_staleness)
     server = create_server(service, host=args.host, port=args.port)
     host, port = server.server_address[:2]
-    print(f"repro-serve: store {args.store} (version {store.version}, "
-          f"providers: {', '.join(store.providers()) or 'none'})")
-    print(f"listening on http://{host}:{port}/v1/meta")
+    obslog.log_event("serve.start", store=str(args.store),
+                     role=service.role, store_version=store.version,
+                     providers=sorted(store.providers()),
+                     url=f"http://{host}:{port}/v1/meta")
     try:
         server.serve_forever()
     except KeyboardInterrupt:
@@ -160,8 +170,9 @@ def _cmd_ingest(args: argparse.Namespace) -> int:
         if not args.retry:
             return fn()
         def note_retry(attempt_no, error, delay):
-            print(f"  retrying {what} (attempt {attempt_no} failed: "
-                  f"{error}; next in {delay:.2f}s)", file=sys.stderr)
+            obslog.log_event("ingest.retry", level="warning", what=what,
+                             attempt=attempt_no, error=str(error),
+                             next_delay_s=round(delay, 2))
         try:
             return call_with_retry(fn, policy, retry_on=(OSError,),
                                    on_retry=note_retry)
@@ -265,6 +276,63 @@ def _cmd_query(args: argparse.Namespace) -> int:
     return worst
 
 
+def _cmd_stats(args: argparse.Namespace) -> int:
+    """Scrape a running server and pretty-print a metrics snapshot."""
+    import json
+    import urllib.error
+    import urllib.request
+
+    from repro.obs.metrics import parse_exposition
+
+    base = args.url.rstrip("/")
+    try:
+        with urllib.request.urlopen(f"{base}/v1/metrics",
+                                    timeout=10) as response:
+            text = response.read().decode("utf-8")
+        if args.raw:
+            sys.stdout.write(text)
+            return 0
+        with urllib.request.urlopen(f"{base}/v1/health",
+                                    timeout=10) as response:
+            health = json.loads(response.read().decode("utf-8"))
+    except BrokenPipeError:
+        return 0  # downstream pager/head closed the pipe; not an error
+    except (OSError, urllib.error.URLError) as error:
+        print(f"error: cannot scrape {base}: {error}", file=sys.stderr)
+        return 2
+    cache = health.get("cache", {})
+    hit_ratio = cache.get("hit_ratio")
+    try:
+        print(f"{health.get('service', 'repro-serve')} @ {base}")
+        print(f"  role {health.get('role')}  status {health.get('status')}  "
+              f"store v{health.get('store_version')} "
+              f"(data v{health.get('data_version')})")
+        print(f"  lru {cache.get('entries')}/{cache.get('capacity')} entries, "
+              f"hit ratio {'n/a' if hit_ratio is None else f'{hit_ratio:.1%}'} "
+              f"({cache.get('hits')} hits / {cache.get('misses')} misses / "
+              f"{cache.get('evictions')} evictions)")
+        if "replication" in health:
+            repl = health["replication"]
+            print(f"  replication: staleness {repl.get('staleness')} "
+                  f"(breaker {repl.get('breaker')}, "
+                  f"applied {repl.get('entries_applied')})")
+        print()
+        # Histograms are summarised as their _count/_sum samples; the
+        # full bucket vectors stay behind --raw.
+        samples = parse_exposition(text)
+        width = max(len(key) for key in samples) if samples else 0
+        for key in sorted(samples):
+            if key.rpartition("{")[0].endswith("_bucket") \
+                    or key.endswith("_bucket"):
+                continue
+            value = samples[key]
+            shown = int(value) if value == int(value) else value
+            print(f"  {key:<{width}}  {shown}")
+    except BrokenPipeError:
+        pass  # downstream pager/head closed the pipe; not an error
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-serve",
@@ -302,6 +370,10 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--max-staleness", type=int, default=0,
                        help="versions a follower may lag and still answer "
                             "/v1/ready with 200 (default 0; --follow only)")
+    serve.add_argument("--log-level", default="info",
+                       choices=sorted(obslog.LEVELS),
+                       help="structured-log threshold on stderr "
+                            "(default info; debug logs every request)")
     serve.set_defaults(func=_cmd_serve)
 
     ingest = commands.add_parser(
@@ -334,6 +406,16 @@ def build_parser() -> argparse.ArgumentParser:
     query.add_argument("targets", nargs="+", metavar="TARGET",
                        help="request target, e.g. '/v1/providers/alexa/stability'")
     query.set_defaults(func=_cmd_query)
+
+    stats = commands.add_parser(
+        "stats", help="pretty-print a running server's metrics snapshot")
+    stats.add_argument("url", metavar="URL",
+                       help="base URL of a running repro-serve, "
+                            "e.g. http://127.0.0.1:8098")
+    stats.add_argument("--raw", action="store_true",
+                       help="dump the raw Prometheus exposition instead "
+                            "of the summary")
+    stats.set_defaults(func=_cmd_stats)
     return parser
 
 

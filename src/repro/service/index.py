@@ -92,6 +92,11 @@ class DomainIndex:
 
     def __init__(self) -> None:
         self._providers: dict[str, _ProviderIndex] = {}
+        #: Posting-list lookups answered (every per-domain query path
+        #: funnels through :meth:`_postings` / :meth:`base_intervals`).
+        #: A plain GIL-atomic int — lookups are ~µs-scale, too hot for
+        #: the metrics-registry lock; scraped via ``/v1/metrics``.
+        self.lookups = 0
 
     # -- construction -----------------------------------------------------
     def add(self, snapshot: ListSnapshot,
@@ -201,6 +206,7 @@ class DomainIndex:
 
     # -- queries ----------------------------------------------------------
     def _postings(self, domain: str, provider: str) -> array:
+        self.lookups += 1
         state = self._providers.get(provider)
         if state is None:
             raise KeyError(f"provider {provider!r} is not indexed")
@@ -259,6 +265,7 @@ class DomainIndex:
         events the delta engine produces, so membership follows the
         paper's base-domain normalisation (footnote 6), not raw FQDNs.
         """
+        self.lookups += 1
         state = self._providers.get(provider)
         if state is None:
             raise KeyError(f"provider {provider!r} is not indexed")

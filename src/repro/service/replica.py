@@ -38,6 +38,8 @@ from typing import Any, Callable, Mapping, Optional
 from urllib.parse import urlencode
 
 from repro import faults
+from repro.obs import logging as obslog
+from repro.obs import metrics, tracing
 from repro.providers.base import ListSnapshot
 from repro.service.api import json_bytes
 from repro.service.store import ArchiveStore
@@ -56,6 +58,37 @@ class ReplicaError(RuntimeError):
     """Replication cannot proceed (divergence, gaps, malformed entries)."""
 
 
+# Sync cycles are ms-scale (network fetch + batched appends + flush);
+# registry instruments are affordable per cycle.
+_M_SYNC_CYCLES = metrics.counter(
+    "repro_replica_sync_cycles_total", "Completed replica sync cycles.")
+_M_SYNC_SECONDS = metrics.histogram(
+    "repro_replica_sync_seconds", "Wall-clock seconds per sync cycle.")
+_M_APPLIED = metrics.counter(
+    "repro_replica_entries_applied_total",
+    "Replication log entries applied to the local store.")
+_M_SYNC_ERRORS = metrics.counter(
+    "repro_replica_sync_errors_total",
+    "Sync cycles that failed (recorded in status()).")
+_M_LAG = metrics.gauge(
+    "repro_replication_lag_versions",
+    "leader_version - local_version observed at the end of the last "
+    "sync cycle.")
+
+
+def _log_request(base: str, since: int, limit: int) -> urllib.request.Request:
+    """The replication-log fetch, stamped with the active trace id.
+
+    :meth:`Replica.sync_once` activates one trace id per cycle, so every
+    fetch of that cycle carries the same ``X-Request-Id`` — a leader's
+    access log correlates follower tailing without any other protocol.
+    """
+    query = urlencode({"since": since, "max": limit})
+    trace_id = tracing.current_trace_id() or tracing.new_trace_id()
+    return urllib.request.Request(f"{base}/v1/replication/log?{query}",
+                                  headers={"X-Request-Id": trace_id})
+
+
 def http_fetcher(base_url: str,
                  timeout: float = 10.0) -> Callable[[int, int], dict]:
     """A ``fetch(since, limit)`` callable over HTTP (stdlib only).
@@ -66,9 +99,8 @@ def http_fetcher(base_url: str,
     base = base_url.rstrip("/")
 
     def fetch(since: int, limit: int) -> dict:
-        query = urlencode({"since": since, "max": limit})
         try:
-            with urllib.request.urlopen(f"{base}/v1/replication/log?{query}",
+            with urllib.request.urlopen(_log_request(base, since, limit),
                                         timeout=timeout) as response:
                 return json.loads(response.read().decode("utf-8"))
         except http.client.HTTPException as error:
@@ -197,50 +229,72 @@ class Replica:
         are flushed durably before the cycle counts as complete.
         """
         applied = 0
+        start = time.perf_counter()
+        # One trace id per cycle: every leader fetch of this cycle (see
+        # _log_request) and every log line below carries it.
+        trace_token = tracing.activate(tracing.new_trace_id())
         try:
-            while True:
-                payload = call_with_retry(
-                    self._fetch_batch, self.policy,
-                    retry_on=(OSError, json.JSONDecodeError),
-                    rng=self._rng, clock=self._clock, sleep=self._sleep,
-                    breaker=self.breaker)
-                leader_version = payload["store_version"]
-                with self._lock:
-                    self._leader_version = leader_version
-                if leader_version < self.store.version:
-                    raise ReplicaError(
-                        f"leader at version {leader_version} is behind this "
-                        f"replica ({self.store.version}); refusing to diverge")
-                for entry in payload["entries"]:
-                    if self._apply(entry):
-                        applied += 1
-                if not payload["remaining"] \
-                        and self.store.version >= leader_version:
-                    break
-        except BaseException as error:
-            if applied and not faults.is_crash(error):
-                # Keep the prefix that did land: it is valid data and the
-                # next cycle resumes after it.  (Not on a simulated
-                # crash — a dead process runs no cleanup; recovery
-                # happens at the next open instead.)
+            try:
+                while True:
+                    payload = call_with_retry(
+                        self._fetch_batch, self.policy,
+                        retry_on=(OSError, json.JSONDecodeError),
+                        rng=self._rng, clock=self._clock, sleep=self._sleep,
+                        breaker=self.breaker)
+                    leader_version = payload["store_version"]
+                    with self._lock:
+                        self._leader_version = leader_version
+                    if leader_version < self.store.version:
+                        raise ReplicaError(
+                            f"leader at version {leader_version} is behind "
+                            f"this replica ({self.store.version}); refusing "
+                            f"to diverge")
+                    for entry in payload["entries"]:
+                        if self._apply(entry):
+                            applied += 1
+                    if not payload["remaining"] \
+                            and self.store.version >= leader_version:
+                        break
+            except BaseException as error:
+                if applied and not faults.is_crash(error):
+                    # Keep the prefix that did land: it is valid data and
+                    # the next cycle resumes after it.  (Not on a
+                    # simulated crash — a dead process runs no cleanup;
+                    # recovery happens at the next open instead.)
+                    self.store.flush()
+                if not faults.is_crash(error):
+                    recorded = error
+                    if isinstance(error, RetryExhaustedError) \
+                            and error.last_error is not None:
+                        # Health pages want the root cause ("leader
+                        # refused connection"), not the retry wrapper.
+                        recorded = error.last_error
+                    with self._lock:
+                        self._last_error = recorded
+                    _M_SYNC_ERRORS.inc()
+                    obslog.log_event(
+                        "replica.sync_error", level="warning",
+                        applied=applied,
+                        error=f"{type(recorded).__name__}: {recorded}")
+                raise
+            if applied:
                 self.store.flush()
-            if not faults.is_crash(error):
-                recorded = error
-                if isinstance(error, RetryExhaustedError) \
-                        and error.last_error is not None:
-                    # Health pages want the root cause ("leader refused
-                    # connection"), not the retry wrapper.
-                    recorded = error.last_error
-                with self._lock:
-                    self._last_error = recorded
-            raise
-        if applied:
-            self.store.flush()
-        with self._lock:
-            self._last_error = None
-            self._sync_cycles += 1
-            self._applied_total += applied
-        return applied
+            with self._lock:
+                self._last_error = None
+                self._sync_cycles += 1
+                self._applied_total += applied
+            lag = max(0, leader_version - self.store.version)
+            _M_SYNC_CYCLES.inc()
+            _M_APPLIED.inc(applied)
+            _M_LAG.set(lag)
+            _M_SYNC_SECONDS.observe(time.perf_counter() - start)
+            obslog.log_event(
+                "replica.sync", level="debug", applied=applied,
+                local_version=self.store.version,
+                leader_version=leader_version, staleness=lag)
+            return applied
+        finally:
+            tracing.deactivate(trace_token)
 
     def sync_to_leader(self, attempts: int = 10) -> int:
         """Sync until staleness 0, tolerating leader churn in between.

@@ -66,6 +66,7 @@ import os
 import struct
 import sys
 import threading
+import time
 import zlib
 from array import array
 from pathlib import Path
@@ -73,6 +74,8 @@ from typing import Iterable, Iterator, Mapping, Optional
 
 from repro import faults
 from repro.core.cache import seed_base_id_sets
+from repro.obs import logging as obslog
+from repro.obs import metrics
 from repro.domain.psl import default_list
 from repro.interning import default_interner
 from repro.providers.base import ListArchive, ListSnapshot
@@ -118,6 +121,22 @@ class StoreConflictError(StoreError):
     out-of-order/duplicate days to 409 Conflict without matching on the
     error message.
     """
+
+
+# Store spans are ms-scale (an append fsyncs, a load walks shards), so
+# registry instruments are affordable on them; per-chunk decompression
+# is hotter and keeps plain-int tallies on the store instead (exposed
+# at scrape time by QueryService._metrics_families).
+_M_APPENDS = metrics.counter(
+    "repro_store_appends_total", "Snapshot days appended to the store.")
+_M_APPEND_SECONDS = metrics.histogram(
+    "repro_store_append_seconds",
+    "Wall-clock seconds per store append (lock wait included).")
+_M_ARCHIVE_LOADS = metrics.counter(
+    "repro_store_archive_loads_total", "Full archive rebuilds from shards.")
+_M_ARCHIVE_LOAD_SECONDS = metrics.histogram(
+    "repro_store_load_archive_seconds",
+    "Wall-clock seconds per full archive rebuild.")
 
 
 def _month_key(date: dt.date) -> str:
@@ -332,6 +351,11 @@ class ArchiveStore:
         #: Whether the in-memory manifest is ahead of the durable one
         #: (batched ``sync=False`` appends); ``close()`` flushes iff set.
         self._manifest_dirty = False
+        #: Chunk-decompression tallies.  Plain GIL-atomic ints (the
+        #: per-chunk path is too hot for the metrics-registry lock);
+        #: scraped via /v1/metrics and reported by /v1/health.
+        self.chunks_inflated = 0
+        self.chunk_bytes_inflated = 0
         stale_tmp = self._manifest_path.with_suffix(".json.tmp")
         if stale_tmp.exists():
             # A crash mid-publish leaves a (possibly truncated) tmp
@@ -622,6 +646,7 @@ class ArchiveStore:
         append; batch callers may pass ``sync=False`` and :meth:`flush`
         once, which fsyncs the accumulated tails first.
         """
+        start = time.perf_counter()
         provider = snapshot.provider
         if (not provider or "/" in provider or "\\" in provider
                 or provider.startswith(".")):
@@ -777,6 +802,14 @@ class ArchiveStore:
             self._manifest = new_manifest
             if not sync:
                 self._manifest_dirty = True
+        # Only a fully published append is counted; the rollback paths
+        # above re-raise before reaching here.
+        _M_APPENDS.inc()
+        _M_APPEND_SECONDS.observe(time.perf_counter() - start)
+        obslog.log_event(
+            "store.append", level="debug", provider=provider,
+            date=snapshot.date.isoformat(), entries=len(snapshot),
+            store_version=new_manifest["store_version"])
 
     def append_archive(self, archive: ListArchive) -> None:
         """Append every snapshot of ``archive`` (one manifest write)."""
@@ -855,6 +888,12 @@ class ArchiveStore:
         return entries
 
     # -- loads ------------------------------------------------------------
+    def _inflate(self, raw: bytes) -> bytes:
+        """Decompress one chunk, tallying the store's inflation counters."""
+        self.chunks_inflated += 1
+        self.chunk_bytes_inflated += len(raw)
+        return zlib.decompress(raw)
+
     def _replay(self, provider: str,
                 manifest: Optional[dict] = None) -> Iterator[tuple[int, int, array]]:
         """Yield ``(ordinal, psl_version, entry_gids)`` per stored day.
@@ -884,7 +923,7 @@ class ArchiveStore:
                 entry_gids = array("I")
                 for _count, raw in chunks:
                     entry_gids.extend(
-                        map(lookup, _unpack_ids(zlib.decompress(raw))))
+                        map(lookup, _unpack_ids(self._inflate(raw))))
                 yield ordinal, psl_version, entry_gids
             if records < expected:
                 raise StoreError(
@@ -919,7 +958,9 @@ class ArchiveStore:
 
     def load_snapshot(self, provider: str, date: dt.date) -> ListSnapshot:
         """Load one snapshot, decoding only its month shard."""
-        store_ids = _decode_chunks(self._record_chunks(provider, date))
+        store_ids = array("I")
+        for _count, raw in self._record_chunks(provider, date):
+            store_ids += _unpack_ids(self._inflate(raw))
         gids = self._table().gids
         entry_gids = array("I", map(gids.__getitem__, store_ids))
         return ListSnapshot.from_ids(provider=provider, date=date,
@@ -938,7 +979,7 @@ class ArchiveStore:
         for count, raw in self._record_chunks(provider, date):
             if len(head_sids) >= n:
                 break
-            head_sids += _unpack_ids(zlib.decompress(raw))
+            head_sids += _unpack_ids(self._inflate(raw))
         gids = self._table().gids
         entry_gids = array("I", map(gids.__getitem__, head_sids[:n]))
         return ListSnapshot.from_ids(provider=provider, date=date,
@@ -959,7 +1000,7 @@ class ArchiveStore:
             return None
         rank_base = 0
         for count, raw in self._record_chunks(provider, date):
-            chunk = _unpack_ids(zlib.decompress(raw))
+            chunk = _unpack_ids(self._inflate(raw))
             try:
                 return rank_base + chunk.index(sid) + 1
             except ValueError:
@@ -977,6 +1018,7 @@ class ArchiveStore:
         longer matches the one recorded at append time (the stored bases
         would be stale); the archive itself is always exact.
         """
+        start = time.perf_counter()
         manifest = self._manifest
         if provider not in manifest["providers"]:
             raise KeyError(f"no archive stored for provider {provider!r}")
@@ -1035,6 +1077,13 @@ class ArchiveStore:
         archive = ListArchive.from_snapshots(snapshots, provider=provider)
         if warmable and len(per_day) == len(snapshots):
             seed_base_id_sets(archive, per_day, psl=psl)
+        duration = time.perf_counter() - start
+        _M_ARCHIVE_LOADS.inc()
+        _M_ARCHIVE_LOAD_SECONDS.observe(duration)
+        obslog.log_event(
+            "store.load_archive", level="debug", provider=provider,
+            days=len(snapshots), warm_started=warmable and bool(per_day),
+            duration_ms=round(duration * 1000.0, 3))
         return archive
 
     def load_archives(self, providers: Optional[Iterable[str]] = None,

@@ -34,6 +34,23 @@ import time
 from dataclasses import dataclass
 from typing import Callable, Iterator, Optional, Tuple, Type
 
+from repro.obs import metrics
+
+# Retries only run when something is already failing (or about to be
+# tried over a network); the registry lock is noise at that point.
+_M_ATTEMPTS = metrics.counter(
+    "repro_retry_attempts_total", "Attempts started under call_with_retry.")
+_M_FAILURES = metrics.counter(
+    "repro_retry_failures_total",
+    "Retryable failures caught by call_with_retry.")
+_M_EXHAUSTED = metrics.counter(
+    "repro_retry_exhausted_total",
+    "call_with_retry giving up (attempts or deadline exhausted).")
+_M_BREAKER = metrics.counter(
+    "repro_breaker_transitions_total",
+    "Circuit-breaker state transitions, by destination state.",
+    labelnames=("to",))
+
 __all__ = [
     "CircuitBreaker",
     "CircuitOpenError",
@@ -152,9 +169,11 @@ def call_with_retry(fn: Callable[[], object],
             raise CircuitOpenError(
                 f"circuit open after {breaker.consecutive_failures} "
                 f"consecutive failures") from last_error
+        _M_ATTEMPTS.inc()
         try:
             result = fn()
         except retry_on as error:
+            _M_FAILURES.inc()
             last_error = error
             if breaker is not None:
                 breaker.record_failure()
@@ -177,6 +196,7 @@ def call_with_retry(fn: Callable[[], object],
             if breaker is not None:
                 breaker.record_success()
             return result
+    _M_EXHAUSTED.inc()
     raise RetryExhaustedError(
         f"gave up after {attempt} attempt(s)", last_error) from last_error
 
@@ -228,10 +248,13 @@ class CircuitBreaker:
             return False
         if self._clock() - self._opened_at >= self.reset_timeout:
             self._half_open = True
+            _M_BREAKER.labels(to="half-open").inc()
             return True
         return False
 
     def record_success(self) -> None:
+        if self._opened_at is not None:
+            _M_BREAKER.labels(to="closed").inc()
         self.consecutive_failures = 0
         self._opened_at = None
         self._half_open = False
@@ -239,5 +262,10 @@ class CircuitBreaker:
     def record_failure(self) -> None:
         self.consecutive_failures += 1
         if self._half_open or self.consecutive_failures >= self.failure_threshold:
+            if self._opened_at is None or self._half_open:
+                # closed→open and half-open→open are transitions; a
+                # further failure while already open merely restarts
+                # the timeout.
+                _M_BREAKER.labels(to="open").inc()
             self._opened_at = self._clock()
             self._half_open = False

@@ -165,3 +165,43 @@ class TestScheduling:
             with pytest.raises(InjectedFault):
                 plan.hit("p")
         assert faults.ACTIVE is None
+
+
+class TestFireCounters:
+    def test_fired_counter_matches_plan_trace(self):
+        # Satellite of the observability PR: every plan.fired append is
+        # mirrored into repro_faults_fired_total{point,kind}, so the
+        # chaos CI job can assert fire counts from /v1/metrics alone.
+        from collections import Counter
+
+        from repro.obs import metrics
+
+        def counts():
+            samples = metrics.parse_exposition(metrics.render().decode("utf-8"))
+            return {key: value for key, value in samples.items()
+                    if key.startswith("repro_faults_fired_total{")}
+
+        before = counts()
+        plan = FaultPlan(11, [
+            FaultRule("store.shard.write", "error", probability=0.5),
+            FaultRule("api.*", "drop", on_calls=(2, 3)),
+            FaultRule("replica.fetch", "torn", max_fires=1),
+        ])
+        for _ in range(20):
+            for point in ("store.shard.write", "api.response.write",
+                          "replica.fetch"):
+                try:
+                    plan.hit(point)
+                except (InjectedFault, ConnectionResetError):
+                    pass
+        assert plan.fired  # the schedule actually executed
+        after = counts()
+        expected = Counter((point, kind) for point, _, kind in plan.fired)
+        deltas = {key: after.get(key, 0) - before.get(key, 0)
+                  for key in set(before) | set(after)}
+        for (point, kind), fires in expected.items():
+            key = (f'repro_faults_fired_total{{point="{point}",'
+                   f'kind="{kind}"}}')
+            assert deltas.pop(key) == fires
+        # No other fired-counter sample moved.
+        assert not any(deltas.values())
