@@ -7,7 +7,8 @@ export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 STORE ?= .repro-store
 
 .PHONY: test test-scale golden-test goldens chaos bench bench-service \
-	bench-interning bench-replication bench-obs bench-scale store serve
+	bench-interning bench-replication bench-obs bench-scale \
+	bench-workers smoke-scaleout store serve
 
 ## Tier-1 test suite (what CI runs on every push).
 test:
@@ -61,6 +62,18 @@ bench-replication:
 ## /v1/metrics scrape cost, byte-stable rendering) → BENCH_obs.json.
 bench-obs:
 	$(PYTHON) benchmarks/run_benchmarks.py --obs
+
+## Pre-fork worker-pool benchmark (4 read workers vs single process,
+## per-request + keep-alive client modes, byte-identity at every store
+## version, >=5x cached-throughput assert) → BENCH_workers.json.
+bench-workers:
+	$(PYTHON) benchmarks/run_benchmarks.py --workers 4
+
+## The CI scale-out smoke: 4-worker pool + follower behind
+## repro-serve balance; mixed load, worker SIGKILL, follower
+## ejection/re-admission, aggregated-metrics checks.
+smoke-scaleout:
+	$(PYTHON) scripts/scaleout_smoke.py
 
 ## Scale-preset benchmarks (paper_bench + full_1m synthetic corpora):
 ## ingest/query/battery timings with hard time and memory-budget asserts

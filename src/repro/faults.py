@@ -59,6 +59,13 @@ from dataclasses import dataclass
 from typing import Iterable, Optional
 
 from repro.obs import metrics as _metrics
+from repro.util.ringlog import RingLog
+
+#: Capacity of :attr:`FaultPlan.fired`.  Large enough that every test
+#: schedule's full trace fits (the densest chaos run fires a few
+#: hundred faults); small enough that a plan left installed in a
+#: long-running worker is bounded memory.
+FIRED_CAPACITY = 4096
 
 # Mirrors every ``plan.fired`` append into the process metrics registry,
 # so the chaos suite can assert fire counts from ``/v1/metrics`` alone.
@@ -157,13 +164,19 @@ class FaultPlan:
     guarded by one lock (chaos tests run writers, readers and the
     replica tailer concurrently).  The plan records every fired fault in
     :attr:`fired` as ``(point, call_index, kind)`` so a test can assert
-    its schedule actually executed.
+    its schedule actually executed.  ``fired`` is a bounded
+    :class:`~repro.util.ringlog.RingLog` (capacity
+    :data:`FIRED_CAPACITY`): a plan left installed in a long-running
+    worker must not leak memory through its own trace, and
+    ``fired.dropped`` records whether eviction ever happened — every
+    test schedule fires far fewer faults than the cap, so full-trace
+    equality assertions still see the complete history.
     """
 
     def __init__(self, seed: int, rules: Iterable[FaultRule] = ()) -> None:
         self.seed = seed
         self.rules = tuple(rules)
-        self.fired: list[tuple[str, int, str]] = []
+        self.fired: RingLog = RingLog(FIRED_CAPACITY)
         self._lock = threading.Lock()
         self._calls: dict[str, int] = {}
         self._fires: dict[int, int] = {}  # rule index -> times fired

@@ -35,6 +35,7 @@ __all__ = [
     "Histogram",
     "MetricsRegistry",
     "REGISTRY",
+    "aggregate_expositions",
     "counter",
     "gauge",
     "histogram",
@@ -369,6 +370,86 @@ def parse_exposition(text: str) -> Dict[str, float]:
             raise ValueError(f"malformed sample line: {line!r}")
         samples[key] = float(value)
     return samples
+
+
+def aggregate_expositions(texts: Iterable[str]) -> str:
+    """Merge several exposition scrapes into one combined exposition.
+
+    This is how the pre-fork worker pool presents one ``/v1/metrics``
+    for N processes: the parent scrapes every worker and serves the
+    merged text.  Counters and histogram samples (``_bucket``/``_sum``/
+    ``_count``) **sum** across inputs — per-worker request tallies
+    become pool totals — while gauges take the **maximum** (the pool's
+    staleness is its worst worker's, not the sum of everyone's).
+
+    ``HELP``/``TYPE`` metadata comes from the first scrape mentioning a
+    family; samples keep first-appearance order inside each family (so
+    histogram buckets stay in ascending ``le`` order — every worker
+    renders from the same registry code) and families sort by name.
+    The output round-trips through :func:`parse_exposition` like any
+    single-process render.
+    """
+    helps: Dict[str, str] = {}
+    kinds: Dict[str, str] = {}
+    family_order: List[str] = []
+    sample_order: Dict[str, List[str]] = {}
+    values: Dict[str, float] = {}
+
+    for text in texts:
+        current: Optional[str] = None
+        for raw in text.splitlines():
+            line = raw.strip()
+            if not line:
+                continue
+            if line.startswith("#"):
+                parts = line.split(None, 3)
+                if len(parts) >= 3 and parts[1] in ("HELP", "TYPE"):
+                    name = parts[2]
+                    rest = parts[3] if len(parts) > 3 else ""
+                    if parts[1] == "TYPE":
+                        kinds.setdefault(name, rest)
+                        current = name
+                        if name not in sample_order:
+                            family_order.append(name)
+                            sample_order[name] = []
+                    else:
+                        helps.setdefault(name, rest)
+                continue
+            key, _, value_text = line.rpartition(" ")
+            if not key:
+                raise ValueError(f"malformed sample line: {line!r}")
+            bare = key.split("{", 1)[0]
+            # Samples belong to the family of the preceding TYPE line
+            # (histogram children carry _bucket/_sum/_count suffixes);
+            # a sample with no TYPE at all is its own untyped family.
+            family = bare
+            if current is not None and (
+                    bare == current
+                    or bare in (current + "_bucket", current + "_sum",
+                                current + "_count")):
+                family = current
+            if family not in sample_order:
+                family_order.append(family)
+                sample_order[family] = []
+                kinds.setdefault(family, "untyped")
+            value = float(value_text)
+            if key not in values:
+                values[key] = value
+                sample_order[family].append(key)
+            elif kinds.get(family) == "gauge":
+                values[key] = max(values[key], value)
+            else:
+                values[key] += value
+
+    lines: List[str] = []
+    for family in sorted(family_order):
+        help_text = helps.get(family)
+        if help_text is not None:
+            lines.append(f"# HELP {family} {help_text}")
+        lines.append(f"# TYPE {family} {kinds.get(family, 'untyped')}")
+        for key in sample_order[family]:
+            lines.append(f"{key} {_format_value(values[key])}")
+    return "\n".join(lines) + "\n" if lines else ""
 
 
 #: The process-global registry every subsystem registers into.

@@ -19,25 +19,43 @@ answer queries without rebuilding the world per request:
   tails a leader's mutation log over ``GET /v1/replication/log`` and
   converges to byte-identical store files and payloads (retry/backoff
   and circuit breaking via :mod:`repro.util.retry`; failure modes are
-  reproducible through :mod:`repro.faults`).
+  reproducible through :mod:`repro.faults`), plus :class:`StoreTailer`,
+  the same convergence loop over a shared filesystem.
+* :mod:`repro.service.workers` — :class:`WorkerPool`, the pre-fork
+  multi-process server: N read-only workers accepting on one shared
+  socket, one writer owning ingest, supervised respawn, and an
+  aggregated metrics control endpoint.
+* :mod:`repro.service.shared_cache` — :class:`SharedPayloadCache`, the
+  mmap-shared rendered-payload segment the pool's workers serve from.
+* :mod:`repro.service.balance` — :class:`Balancer`, a stdlib
+  round-robin proxy that ejects backends failing ``/v1/ready`` and
+  re-admits them on recovery.
 
 The command-line entry point lives in :mod:`repro.service.cli`
 (``repro-serve`` / ``python -m repro.service.cli``).
 """
 
 from repro.service.api import QueryService, Response, create_server
+from repro.service.balance import Backend, Balancer
 from repro.service.index import DomainIndex, DomainLongevity
-from repro.service.replica import Replica, ReplicaError, http_fetcher
+from repro.service.replica import Replica, ReplicaError, StoreTailer, http_fetcher
+from repro.service.shared_cache import SharedPayloadCache
 from repro.service.store import ArchiveStore
+from repro.service.workers import WorkerPool
 
 __all__ = [
     "ArchiveStore",
+    "Backend",
+    "Balancer",
     "DomainIndex",
     "DomainLongevity",
     "QueryService",
     "Replica",
     "ReplicaError",
     "Response",
+    "SharedPayloadCache",
+    "StoreTailer",
+    "WorkerPool",
     "create_server",
     "http_fetcher",
 ]

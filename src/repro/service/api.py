@@ -99,9 +99,16 @@ from repro.providers.base import ListArchive, ListSnapshot
 from repro.scenarios.runner import canonical_float as _f
 from repro.service.index import DomainIndex
 from repro.service.store import ArchiveStore, StoreConflictError, StoreError
+from repro.util.ringlog import RingLog
 
 #: Default bound of the per-service response LRU.
 DEFAULT_CACHE_SIZE = 256
+
+#: Retained unexpected-exception detail on the service (drop-oldest).
+INTERNAL_ERRORS_CAPACITY = 16
+
+#: Retained handler-thread escapes on the server (drop-oldest).
+UNHANDLED_ERRORS_CAPACITY = 64
 
 #: Largest accepted ingest/batch request body (transport and service).
 #: A real top-1M daily list is ~25 MB as JSON, so the cap leaves
@@ -165,6 +172,9 @@ _M_INGEST_ROWS = metrics.counter(
 _M_INGEST_SKIPPED = metrics.counter(
     "repro_ingest_skipped_rows_total",
     "Malformed/overlong rows skipped during CSV ingest.")
+_M_INGEST_FORWARDED = metrics.counter(
+    "repro_ingest_forwarded_total",
+    "Ingest requests a pool read-worker proxied to the writer.")
 
 
 class ApiError(Exception):
@@ -305,13 +315,21 @@ class QueryService:
     def __init__(self, store: ArchiveStore,
                  cache_size: int = DEFAULT_CACHE_SIZE,
                  role: str = "leader") -> None:
-        if role not in ("leader", "follower"):
-            raise ValueError(f"role must be 'leader' or 'follower' (got {role!r})")
+        if role not in ("leader", "follower", "reader"):
+            raise ValueError(f"role must be 'leader', 'follower' or "
+                             f"'reader' (got {role!r})")
         self.store = store
         self.cache_size = cache_size
         self.role = role
         #: The follower's tailer, bound via :meth:`attach_replica`.
         self._replica = None
+        #: Writer base URL a pool read-worker forwards ingest to
+        #: (:meth:`set_ingest_proxy`); ``None`` keeps the follower 403.
+        self._ingest_proxy: Optional[str] = None
+        #: Cross-worker payload segment (:meth:`attach_shared_cache`).
+        self._shared_cache = None
+        self._shared_hits = 0
+        self._shared_fills = 0
         self._result_cache: OrderedDict[tuple[int, str], Response] = OrderedDict()
         self._archives: dict[str, ListArchive] = {}
         self._index = DomainIndex()
@@ -326,8 +344,10 @@ class QueryService:
         self._bypass_reads = 0
         #: Last few unexpected exceptions answered as generic 500s; the
         #: envelope withholds their text (it can carry server paths), so
-        #: this is where operators and tests find the detail.
-        self.internal_errors: list[BaseException] = []
+        #: this is where operators and tests find the detail.  Bounded
+        #: (drop-oldest) so a client that can trigger 500s cannot grow
+        #: server memory; ``internal_errors.dropped`` tallies evictions.
+        self.internal_errors: RingLog = RingLog(INTERNAL_ERRORS_CAPACITY)
         # Serves under ThreadingHTTPServer: one lock guards the LRU, the
         # materialised archives/index, AND the store-version reads the
         # cache keys derive from.  Every shared-state touch in this class
@@ -397,6 +417,45 @@ class QueryService:
         """Bind the follower's tailer so health/ready report its staleness."""
         with self._lock:
             self._replica = replica
+
+    def attach_shared_cache(self, cache) -> None:
+        """Bind a :class:`~repro.service.shared_cache.SharedPayloadCache`.
+
+        GET misses probe it before building (a payload rendered by any
+        worker serves from every worker), and freshly built payloads
+        are published into it.
+        """
+        with self._lock:
+            self._shared_cache = cache
+
+    def set_ingest_proxy(self, base_url: str) -> None:
+        """Forward ``POST /v1/ingest`` to the writer at ``base_url``.
+
+        A pool read-worker is not a leader, but the pool's shared
+        listening socket means ingest requests land on whichever worker
+        accepted the connection — a reader proxies them to the single
+        designated writer instead of answering 403, then refreshes from
+        disk so its own next read observes the write.
+        """
+        with self._lock:
+            self._ingest_proxy = base_url.rstrip("/")
+
+    def refresh_from_disk(self) -> bool:
+        """Adopt store versions another process published to disk.
+
+        The pool read-worker discovery path: :meth:`ArchiveStore.refresh`
+        re-reads the manifest (atomic — old or new, never torn) and
+        extends the table state incrementally; the ordinary
+        :meth:`_refresh` then catches the archives/index up through the
+        same ``extend_base_id_sets`` + ``DomainIndex.add`` tail replay
+        an in-process ingest uses.  Returns whether new versions were
+        adopted.
+        """
+        with self._lock:
+            changed = self.store.refresh()
+            if changed:
+                self._refresh()
+            return changed
 
     # -- payload builders (pure, deterministic) ---------------------------
     def meta_payload(self) -> dict[str, Any]:
@@ -590,6 +649,8 @@ class QueryService:
             "inflated": self.store.chunks_inflated,
             "bytes_inflated": self.store.chunk_bytes_inflated,
         }
+        if self._shared_cache is not None:
+            payload["shared_cache"] = self._shared_cache.stats()
         degraded = bool(self.internal_errors)
         if self._replica is not None:
             replication = self._replica.status()
@@ -775,6 +836,22 @@ class QueryService:
                  "Unexpected exceptions retained on the service.",
                  [({}, len(self.internal_errors))]),
             ]
+            shared = self._shared_cache
+            if shared is not None:
+                families += [
+                    ("repro_shared_cache_hits_total", "counter",
+                     "Payloads adopted from the cross-worker segment.",
+                     [({}, shared.hits)]),
+                    ("repro_shared_cache_misses_total", "counter",
+                     "Cross-worker segment probes that missed.",
+                     [({}, shared.misses)]),
+                    ("repro_shared_cache_puts_total", "counter",
+                     "Payloads published into the cross-worker segment.",
+                     [({}, shared.puts)]),
+                    ("repro_shared_cache_skipped_puts_total", "counter",
+                     "Publishes skipped at the segment's size cap.",
+                     [({}, shared.skipped_puts)]),
+                ]
         return families
 
     def ingest(self, snapshot: ListSnapshot) -> dict[str, Any]:
@@ -970,11 +1047,33 @@ class QueryService:
                                     dict(cached.headers))
                 response.headers["X-Repro-Cache"] = "hit"
                 return response
+            shared = self._shared_cache
+            if shared is not None:
+                found = shared.get(version, canonical)
+                if found is not None:
+                    # Another worker already rendered these bytes; adopt
+                    # them (and their ETag) without re-routing, and seed
+                    # this process's LRU so the next read is a dict hit.
+                    body, etag = found
+                    self._shared_hits += 1
+                    response = Response(200, body, {
+                        "Content-Type": "application/json; charset=utf-8",
+                        "ETag": etag,
+                        "X-Repro-Store-Version": str(version),
+                        "X-Repro-Cache": "shared",
+                    })
+                    self._result_cache[cache_key] = Response(
+                        response.status, body, dict(response.headers))
+                    while len(self._result_cache) > self.cache_size:
+                        self._result_cache.popitem(last=False)
+                        self._cache_evictions += 1
+                    return response
             body = self._route(path, params)  # ApiError propagates
             self._cache_misses += 1
+            etag = _etag_of(body)
             response = Response(200, body, {
                 "Content-Type": "application/json; charset=utf-8",
-                "ETag": _etag_of(body),
+                "ETag": etag,
                 "X-Repro-Store-Version": str(version),
                 "X-Repro-Cache": "miss",
             })
@@ -985,6 +1084,12 @@ class QueryService:
             while len(self._result_cache) > self.cache_size:
                 self._result_cache.popitem(last=False)
                 self._cache_evictions += 1
+            if shared is not None:
+                # Publish after the local insert: a racing worker putting
+                # the same key appends identical bytes (determinism per
+                # version), so ordering does not matter for correctness.
+                if shared.put(version, canonical, body, etag):
+                    self._shared_fills += 1
         return response
 
     def _answer_post(self, target: str, headers: Optional[Mapping[str, str]],
@@ -997,6 +1102,8 @@ class QueryService:
         if tail == ["ingest"]:
             _check_params(params, "ingest")
             if self.role != "leader":
+                if self._ingest_proxy is not None:
+                    return self._forward_ingest(target, headers, body)
                 raise ApiError(403, "this node is a read-only follower; "
                                     "POST /v1/ingest on the leader")
             snapshot, skipped = self._parse_ingest_snapshot(body, params, headers)
@@ -1024,6 +1131,52 @@ class QueryService:
             "X-Repro-Store-Version": str(payload["store_version"]),
             "X-Repro-Cache": "miss",
         })
+
+    def _forward_ingest(self, target: str,
+                        headers: Optional[Mapping[str, str]],
+                        body: bytes) -> Response:
+        """Proxy one ingest to the designated writer, then catch up.
+
+        The writer's response (status, body, ETag) passes through
+        verbatim with an ``X-Repro-Forwarded`` marker; on a 2xx the
+        reader immediately refreshes from disk, so the worker that
+        answered the ingest serves the new day on its very next read —
+        read-your-writes through the pool's shared socket.
+        """
+        import http.client
+
+        parsed = urlsplit(self._ingest_proxy)
+        fwd_headers = {"Content-Type": "application/json"}
+        for name, value in (headers or {}).items():
+            if name.lower() in ("content-type", "x-request-id"):
+                fwd_headers[name.title()] = value
+        _M_INGEST_FORWARDED.inc()
+        try:
+            conn = http.client.HTTPConnection(
+                parsed.hostname, parsed.port, timeout=60)
+            try:
+                conn.request("POST", target, body=body, headers=fwd_headers)
+                upstream = conn.getresponse()
+                data = upstream.read()
+                status = upstream.status
+                passthrough = {
+                    "Content-Type": upstream.getheader(
+                        "Content-Type", "application/json; charset=utf-8"),
+                }
+                for name in ("ETag", "X-Repro-Store-Version"):
+                    value = upstream.getheader(name)
+                    if value is not None:
+                        passthrough[name] = value
+            finally:
+                conn.close()
+        except OSError as error:
+            raise ApiError(503, "ingest writer unavailable: "
+                                f"{type(error).__name__}") from None
+        if 200 <= status < 300:
+            self.refresh_from_disk()
+        passthrough["X-Repro-Cache"] = "bypass"
+        passthrough["X-Repro-Forwarded"] = "writer"
+        return Response(status, data, passthrough)
 
     def _error_response(self, error: ApiError) -> Response:
         # Single chokepoint for every JSON error envelope (direct
@@ -1086,7 +1239,6 @@ class QueryService:
             # remote client has no business seeing.  The full exception
             # is retained on the service for operators and tests.
             self.internal_errors.append(error)
-            del self.internal_errors[:-16]
             _M_INTERNAL.inc()
             obslog.log_event("api.internal_error", level="error",
                              target=target, method=method,
@@ -1113,6 +1265,13 @@ class _Handler(BaseHTTPRequestHandler):
     #: Per-connection socket timeout, so a stalled client cannot pin a
     #: handler thread forever.
     timeout = 30
+    #: TCP_NODELAY on every accepted connection.  Keep-alive clients
+    #: otherwise hit the Nagle/delayed-ACK interaction: headers and body
+    #: go out as two sub-MSS segments, the second waits ~40 ms for the
+    #: client's delayed ACK, and a connection-reusing client measures
+    #: tens of requests per second instead of thousands.  Per-request
+    #: clients never noticed (their connection close flushed the tail).
+    disable_nagle_algorithm = True
 
     #: Upper bound on an accepted POST body (413 beyond it, unread).
     _MAX_BODY = MAX_BODY_BYTES
@@ -1370,7 +1529,10 @@ class ApiHTTPServer(ThreadingHTTPServer):
 
     def __init__(self, *args: Any, **kwargs: Any) -> None:
         super().__init__(*args, **kwargs)
-        self.unhandled_errors: list[BaseException] = []
+        #: Bounded drop-oldest trace (a tripwire, not a leak): tests
+        #: assert it stays empty, long-running workers keep only the
+        #: most recent failures plus a ``dropped`` count.
+        self.unhandled_errors: RingLog = RingLog(UNHANDLED_ERRORS_CAPACITY)
 
     def handle_error(self, request, client_address) -> None:  # noqa: D102
         error = sys.exc_info()[1]
@@ -1384,12 +1546,35 @@ class ApiHTTPServer(ThreadingHTTPServer):
 
 
 def create_server(service: QueryService, host: str = "127.0.0.1",
-                  port: int = 0) -> ApiHTTPServer:
+                  port: int = 0, server_class: Optional[type] = None,
+                  listen_socket=None) -> ApiHTTPServer:
     """A ready-to-run threaded HTTP server bound to ``service``.
 
     ``port=0`` picks a free port (``server.server_address[1]``); call
     ``serve_forever()`` to run and ``shutdown()`` to stop.  The returned
     server exposes ``unhandled_errors`` (see :class:`ApiHTTPServer`).
+
+    ``listen_socket`` adopts an already-bound, already-listening socket
+    instead of binding a fresh one — the pre-fork worker pool's path: the
+    parent binds once, every forked worker builds its server around the
+    inherited file descriptor, and the kernel load-balances accepts
+    across the workers' accept loops.  ``server_class`` substitutes an
+    :class:`ApiHTTPServer` subclass (the pool's crash-to-exit wrapper).
     """
     handler = type("BoundHandler", (_Handler,), {"service": service})
-    return ApiHTTPServer((host, port), handler)
+    cls = server_class or ApiHTTPServer
+    if listen_socket is None:
+        return cls((host, port), handler)
+    server = cls(listen_socket.getsockname()[:2], handler,
+                 bind_and_activate=False)
+    # Adopt the shared socket: close the unbound one the constructor
+    # made, skip server_bind/server_activate entirely (the parent
+    # already bound and listened), and fix up the address fields those
+    # steps would have filled in.
+    server.socket.close()
+    server.socket = listen_socket
+    server.server_address = listen_socket.getsockname()[:2]
+    host, port = server.server_address
+    server.server_name = host
+    server.server_port = port
+    return server

@@ -1,0 +1,312 @@
+"""``repro-serve balance`` — a stdlib round-robin HTTP balancer.
+
+The pool (:mod:`repro.service.workers`) scales one machine; the
+replication layer (:mod:`repro.service.replica`) scales to many.  What
+joins them into one endpoint is deliberately boring: a threaded
+reverse proxy that round-robins requests across backends, **ejects** a
+backend whose ``/v1/ready`` probe fails (a follower that fell past its
+staleness bound answers 503 there — that is the contract this proxy
+consumes), and **re-admits** it as soon as the probe passes again.
+
+No queueing, no weights, no sticky sessions: every backend serves
+byte-identical payloads for a given store version (the differential
+tests assert it), so any admitted backend is as good as any other and
+round-robin is optimal.  A request that hits a backend dying
+mid-connection is retried on the next admitted backend — connection
+errors are the proxy's to absorb; HTTP statuses (including a
+backend's own 5xx) are the backend's to answer and pass through
+verbatim.
+
+``GET /v1/balancer`` on the proxy itself reports the rotation: per
+backend admitted/ejected state, probe counters, proxied request
+tallies, ejection/re-admission counts.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import threading
+import time
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Optional
+from urllib.parse import urlsplit
+
+from repro.obs import logging as obslog
+
+__all__ = ["Backend", "Balancer"]
+
+#: Request headers the proxy must not forward (hop-by-hop; the proxy
+#: manages its own connections and re-frames bodies by length).
+_HOP_BY_HOP = frozenset({
+    "connection", "keep-alive", "proxy-authenticate",
+    "proxy-authorization", "te", "trailers", "transfer-encoding",
+    "upgrade", "host", "content-length",
+})
+
+
+class Backend:
+    """One upstream server in the rotation."""
+
+    def __init__(self, url: str) -> None:
+        parts = urlsplit(url if "//" in url else f"http://{url}")
+        if parts.scheme not in ("", "http") or parts.hostname is None:
+            raise ValueError(f"backend must be a plain http URL (got {url!r})")
+        self.host: str = parts.hostname
+        self.port: int = parts.port or 80
+        self.url = f"http://{self.host}:{self.port}"
+        self.admitted = True
+        self.consecutive_failures = 0
+        self.probes = 0
+        self.requests = 0
+        self.errors = 0
+        self.ejections = 0
+        self.readmissions = 0
+        self.last_probe_error: Optional[str] = None
+
+    def describe(self) -> dict[str, Any]:
+        return {
+            "url": self.url,
+            "admitted": self.admitted,
+            "probes": self.probes,
+            "consecutive_failures": self.consecutive_failures,
+            "requests": self.requests,
+            "errors": self.errors,
+            "ejections": self.ejections,
+            "readmissions": self.readmissions,
+            "last_probe_error": self.last_probe_error,
+        }
+
+
+class Balancer:
+    """Round-robin proxy with readiness-driven ejection.
+
+    ``start()`` boots the health-check thread and the proxy server;
+    ``stop()`` drains both.  ``eject_after`` consecutive failed probes
+    remove a backend from rotation; one passing probe re-admits it.
+    A proxied request that fails at the connection level also ejects
+    its backend immediately — faster than waiting out a probe period —
+    and is retried on the next admitted backend.
+    """
+
+    def __init__(self, backends: list[str] | list[Backend], *,
+                 host: str = "127.0.0.1", port: int = 0,
+                 check_interval: float = 0.25, eject_after: int = 1,
+                 timeout: float = 10.0) -> None:
+        if not backends:
+            raise ValueError("at least one backend required")
+        if eject_after < 1:
+            raise ValueError(f"eject_after must be >= 1 (got {eject_after})")
+        self.backends = [b if isinstance(b, Backend) else Backend(b)
+                         for b in backends]
+        self.host = host
+        self._requested_port = port
+        self.check_interval = check_interval
+        self.eject_after = eject_after
+        self.timeout = timeout
+        self.port: Optional[int] = None
+        self._lock = threading.Lock()
+        self._rr = 0
+        self._stop = threading.Event()
+        self._server: Optional[ThreadingHTTPServer] = None
+        self._threads: list[threading.Thread] = []
+
+    # -- rotation ---------------------------------------------------------
+    def _admitted(self) -> list[Backend]:
+        with self._lock:
+            return [b for b in self.backends if b.admitted]
+
+    def pick(self) -> Optional[Backend]:
+        """Next admitted backend (round-robin), or ``None`` if all out."""
+        with self._lock:
+            admitted = [b for b in self.backends if b.admitted]
+            if not admitted:
+                return None
+            backend = admitted[self._rr % len(admitted)]
+            self._rr += 1
+            return backend
+
+    def _eject(self, backend: Backend, reason: str) -> None:
+        with self._lock:
+            if not backend.admitted:
+                return
+            backend.admitted = False
+            backend.ejections += 1
+        obslog.log_event("balance.eject", level="warning",
+                         backend=backend.url, reason=reason)
+
+    def _readmit(self, backend: Backend) -> None:
+        with self._lock:
+            if backend.admitted:
+                return
+            backend.admitted = True
+            backend.readmissions += 1
+        obslog.log_event("balance.readmit", backend=backend.url)
+
+    # -- health probing ---------------------------------------------------
+    def check_once(self) -> None:
+        """Probe every backend's ``/v1/ready`` once and adjust rotation."""
+        for backend in self.backends:
+            backend.probes += 1
+            try:
+                conn = http.client.HTTPConnection(
+                    backend.host, backend.port, timeout=self.timeout)
+                try:
+                    conn.request("GET", "/v1/ready")
+                    status = conn.getresponse().status
+                finally:
+                    conn.close()
+                ok = status == 200
+                error = None if ok else f"status {status}"
+            except OSError as probe_error:
+                ok = False
+                error = f"{type(probe_error).__name__}: {probe_error}"
+            backend.last_probe_error = error
+            if ok:
+                backend.consecutive_failures = 0
+                self._readmit(backend)
+            else:
+                backend.consecutive_failures += 1
+                if backend.consecutive_failures >= self.eject_after:
+                    self._eject(backend, error or "probe failed")
+
+    def _probe_loop(self) -> None:
+        while not self._stop.is_set():
+            self.check_once()
+            self._stop.wait(self.check_interval)
+
+    # -- status -----------------------------------------------------------
+    def status(self) -> dict[str, Any]:
+        with self._lock:
+            backends = [b.describe() for b in self.backends]
+        return {
+            "service": "repro-serve balance",
+            "port": self.port,
+            "check_interval": self.check_interval,
+            "eject_after": self.eject_after,
+            "admitted": sum(1 for b in backends if b["admitted"]),
+            "backends": backends,
+        }
+
+    # -- proxying ---------------------------------------------------------
+    def _forward(self, backend: Backend, method: str, path: str,
+                 headers: dict[str, str], body: bytes
+                 ) -> tuple[int, list[tuple[str, str]], bytes]:
+        conn = http.client.HTTPConnection(backend.host, backend.port,
+                                          timeout=self.timeout)
+        try:
+            out = {k: v for k, v in headers.items()
+                   if k.lower() not in _HOP_BY_HOP}
+            conn.request(method, path, body=body or None, headers=out)
+            response = conn.getresponse()
+            payload = response.read()
+            kept = [(k, v) for k, v in response.getheaders()
+                    if k.lower() not in _HOP_BY_HOP]
+            return response.status, kept, payload
+        finally:
+            conn.close()
+
+    def handle(self, method: str, path: str, headers: dict[str, str],
+               body: bytes) -> tuple[int, list[tuple[str, str]], bytes]:
+        """Route one request; retries connection failures across backends."""
+        attempts = max(1, len(self.backends))
+        for _ in range(attempts):
+            backend = self.pick()
+            if backend is None:
+                break
+            backend.requests += 1
+            try:
+                return self._forward(backend, method, path, headers, body)
+            except OSError:
+                backend.errors += 1
+                self._eject(backend, "connection failure")
+        body_out = json.dumps({"error": {
+            "status": 503,
+            "message": "no admitted backend available"}}).encode("utf-8")
+        return 503, [("Content-Type", "application/json"),
+                     ("Retry-After", "1")], body_out
+
+    # -- server lifecycle -------------------------------------------------
+    def start(self) -> "Balancer":
+        balancer = self
+
+        class _ProxyHandler(BaseHTTPRequestHandler):
+            protocol_version = "HTTP/1.1"
+            disable_nagle_algorithm = True
+
+            def _respond(self, status: int,
+                         headers: list[tuple[str, str]],
+                         body: bytes) -> None:
+                self.send_response(status)
+                for key, value in headers:
+                    self.send_header(key, value)
+                self.send_header("Content-Length", str(len(body)))
+                self.end_headers()
+                if self.command != "HEAD":
+                    self.wfile.write(body)
+
+            def _proxy(self) -> None:
+                if self.path == "/v1/balancer":
+                    body = (json.dumps(balancer.status(), indent=2) + "\n"
+                            ).encode("utf-8")
+                    self._respond(200, [("Content-Type",
+                                         "application/json")], body)
+                    return
+                length = int(self.headers.get("Content-Length") or 0)
+                request_body = self.rfile.read(length) if length else b""
+                status, headers, body = balancer.handle(
+                    self.command, self.path, dict(self.headers.items()),
+                    request_body)
+                self._respond(status, headers, body)
+
+            def _guarded(self) -> None:
+                try:
+                    self._proxy()
+                except (BrokenPipeError, ConnectionResetError,
+                        TimeoutError):
+                    self.close_connection = True
+                except Exception:  # noqa: BLE001 — proxy must not die
+                    try:
+                        self._respond(502, [("Content-Type",
+                                             "application/json")],
+                                      b'{"error": {"status": 502, '
+                                      b'"message": "proxy failure"}}')
+                    except OSError:
+                        self.close_connection = True
+
+            do_GET = do_HEAD = do_POST = do_PUT = do_DELETE = _guarded  # noqa: N815
+
+            def log_message(self, format: str, *args: Any) -> None:  # noqa: A002
+                pass
+
+        server = ThreadingHTTPServer((self.host, self._requested_port),
+                                     _ProxyHandler)
+        server.daemon_threads = True
+        self._server = server
+        self.port = server.server_address[1]
+        self.check_once()  # seed rotation state before the first request
+        for name, target in (("balance-probe", self._probe_loop),
+                             ("balance-serve", server.serve_forever)):
+            thread = threading.Thread(target=target, name=name, daemon=True)
+            thread.start()
+            self._threads.append(thread)
+        obslog.log_event("balance.start", port=self.port,
+                         backends=[b.url for b in self.backends])
+        return self
+
+    def __enter__(self) -> "Balancer":
+        return self.start()
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.stop()
+
+    def stop(self) -> None:
+        if self._stop.is_set():
+            return
+        self._stop.set()
+        if self._server is not None:
+            self._server.shutdown()
+            self._server.server_close()
+        for thread in self._threads:
+            thread.join(timeout=5)
+        obslog.log_event("balance.stop", port=self.port)

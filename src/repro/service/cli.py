@@ -1,11 +1,14 @@
 """``repro-serve`` — build, serve, feed and query archive stores.
 
-Five subcommands::
+Six subcommands::
 
     repro-serve init   --store DIR [--scenario NAME] [--tiny | --scale NAME]
                        [--no-report]
     repro-serve serve  --store DIR [--host H] [--port P] [--log-level L]
                        [--follow URL [--poll-interval S] [--max-staleness N]]
+                       [--workers N [--ready-file PATH]]
+    repro-serve balance --backend URL [--backend URL ...] [--host H]
+                       [--port P] [--check-interval S] [--eject-after N]
     repro-serve ingest (--store DIR | --url URL) --provider P [--date D]
                        [--retry] FILE [FILE ...]
     repro-serve query  --store DIR TARGET [TARGET ...]
@@ -16,7 +19,12 @@ archives into an :class:`~repro.service.store.ArchiveStore` and stores
 the scenario's report document; ``serve`` boots the ``/v1`` JSON API on
 stdlib ``http.server`` — with ``--follow`` it serves a read-only
 *follower* that tails the named leader's replication log and reports its
-staleness on ``/v1/health``; ``ingest`` appends downloaded top-list CSVs
+staleness on ``/v1/health`` — and with ``--workers N`` it pre-forks a
+pool of read-only worker processes plus one writer over a shared
+listening socket (:mod:`repro.service.workers`); ``balance``
+round-robins requests across serve/pool backends, ejecting any whose
+``/v1/ready`` fails (:mod:`repro.service.balance`); ``ingest`` appends
+downloaded top-list CSVs
 (``rank,domain``, ``.zip``/``.csv.gz`` supported) to an existing store —
 or, with ``--url``, POSTs them to a running leader, and ``--retry``
 wraps either path in the shared backoff policy
@@ -94,10 +102,84 @@ def _cmd_init(args: argparse.Namespace) -> int:
     return 0
 
 
+def _serve_pool(args: argparse.Namespace) -> int:
+    """``serve --workers N``: run the pre-fork pool in the foreground."""
+    import signal
+    import threading
+
+    from repro.service.workers import WorkerPool
+
+    if args.follow:
+        print("error: --workers and --follow are mutually exclusive "
+              "(a pool's readers already tail the local store; run a "
+              "separate follower process and front both with "
+              "'repro-serve balance')", file=sys.stderr)
+        return 2
+    pool = WorkerPool(
+        Path(args.store), workers=args.workers, host=args.host,
+        port=args.port,
+        ready_file=Path(args.ready_file) if args.ready_file else None)
+    stop = threading.Event()
+    signal.signal(signal.SIGTERM, lambda signum, frame: stop.set())
+    try:
+        pool.start()
+    except (StoreError, OSError, TimeoutError, RuntimeError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    print(f"pool ready: http://{args.host}:{pool.port}/v1/meta "
+          f"({args.workers} readers; writer :{pool.writer_port}; "
+          f"control :{pool.control_port})")
+    try:
+        while not stop.is_set():
+            stop.wait(1.0)
+    except KeyboardInterrupt:
+        pass
+    finally:
+        pool.stop()
+    return 0
+
+
+def _cmd_balance(args: argparse.Namespace) -> int:
+    """``balance``: round-robin proxy over serve/pool backends."""
+    import signal
+    import threading
+
+    from repro.service.balance import Balancer
+
+    obslog.configure(level=args.log_level)
+    try:
+        balancer = Balancer(args.backends, host=args.host, port=args.port,
+                            check_interval=args.check_interval,
+                            eject_after=args.eject_after)
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    stop = threading.Event()
+    signal.signal(signal.SIGTERM, lambda signum, frame: stop.set())
+    try:
+        balancer.start()
+    except OSError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    print(f"balancing http://{args.host}:{balancer.port} across "
+          f"{len(balancer.backends)} backends "
+          f"(status: /v1/balancer)")
+    try:
+        while not stop.is_set():
+            stop.wait(1.0)
+    except KeyboardInterrupt:
+        pass
+    finally:
+        balancer.stop()
+    return 0
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     import threading
 
     obslog.configure(level=args.log_level)
+    if getattr(args, "workers", 0):
+        return _serve_pool(args)
     follow = args.follow
     try:
         # A fresh follower bootstraps from an empty store; a leader must
@@ -370,6 +452,15 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--max-staleness", type=int, default=0,
                        help="versions a follower may lag and still answer "
                             "/v1/ready with 200 (default 0; --follow only)")
+    serve.add_argument("--workers", type=int, default=0, metavar="N",
+                       help="pre-fork N read-only worker processes plus "
+                            "one writer over a shared listening socket "
+                            "(POSIX only; 0 = single process, the "
+                            "default; incompatible with --follow)")
+    serve.add_argument("--ready-file", default=None, metavar="PATH",
+                       help="write a JSON description of the pool's "
+                            "ports and pids once every worker is ready "
+                            "(--workers only)")
     serve.add_argument("--log-level", default="info",
                        choices=sorted(obslog.LEVELS),
                        help="structured-log threshold on stderr "
@@ -399,6 +490,24 @@ def build_parser() -> argparse.ArgumentParser:
     ingest.add_argument("files", nargs="+", metavar="FILE",
                         help="top-list files (.csv, .csv.gz or .zip)")
     ingest.set_defaults(func=_cmd_ingest)
+
+    balance = commands.add_parser(
+        "balance", help="round-robin proxy over repro-serve backends")
+    balance.add_argument("--backend", action="append", required=True,
+                         metavar="URL", dest="backends",
+                         help="backend base URL (repeatable), e.g. "
+                              "http://127.0.0.1:8098")
+    balance.add_argument("--host", default="127.0.0.1")
+    balance.add_argument("--port", type=int, default=8090)
+    balance.add_argument("--check-interval", type=float, default=0.25,
+                         help="seconds between /v1/ready probes "
+                              "(default 0.25)")
+    balance.add_argument("--eject-after", type=int, default=1,
+                         help="consecutive failed probes before a "
+                              "backend leaves rotation (default 1)")
+    balance.add_argument("--log-level", default="info",
+                         choices=sorted(obslog.LEVELS))
+    balance.set_defaults(func=_cmd_balance)
 
     query = commands.add_parser(
         "query", help="answer API requests offline (no server)")

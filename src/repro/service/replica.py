@@ -51,7 +51,7 @@ from repro.util.retry import (
     call_with_retry,
 )
 
-__all__ = ["Replica", "ReplicaError", "http_fetcher"]
+__all__ = ["Replica", "ReplicaError", "StoreTailer", "http_fetcher"]
 
 
 class ReplicaError(RuntimeError):
@@ -325,4 +325,128 @@ class Replica:
             except (RetryExhaustedError, CircuitOpenError, ReplicaError,
                     OSError, KeyError, ValueError):
                 pass  # recorded in status(); retried next tick
+            stop.wait(poll_interval)
+
+
+_M_TAILER_REFRESHES = metrics.counter(
+    "repro_tailer_refreshes_total",
+    "Disk-tail refresh cycles that adopted new store versions.")
+_M_TAILER_LAG = metrics.gauge(
+    "repro_tailer_lag_versions",
+    "published_version - adopted_version observed at the end of the "
+    "last disk-tail refresh cycle.")
+
+
+class StoreTailer:
+    """Follow versions another *process* publishes to this store's disk.
+
+    The worker pool's consistency primitive: the writer process appends
+    and publishes the manifest; each read worker runs one ``StoreTailer``
+    that polls :meth:`QueryService.refresh_from_disk` — the same
+    incremental ``extend_base_id_sets`` + ``DomainIndex.add`` path a
+    network follower replays, minus the network (the "log transport" is
+    the shared filesystem, and the shard bytes are already local, so
+    nothing is re-appended — just adopted).
+
+    Interface-compatible with :class:`Replica` where
+    :meth:`QueryService.attach_replica` consumes it (``status()`` /
+    ``staleness()`` / ``ready()`` / ``run()``), so ``/v1/health`` and
+    ``/v1/ready`` report a read worker's staleness with no new plumbing.
+    """
+
+    def __init__(self, service, *, max_staleness: int = 0,
+                 clock: Callable[[], float] = time.monotonic) -> None:
+        self.service = service
+        #: Largest ``published - adopted`` version gap ``ready()`` accepts.
+        self.max_staleness = max_staleness
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._refresh_cycles = 0
+        self._versions_adopted = 0
+        self._last_error: Optional[BaseException] = None
+        #: Wall-clock seconds the last adopting refresh observed between
+        #: polls — the *measured* staleness bound the pool tests assert.
+        self._last_adopt_seconds: Optional[float] = None
+        self._last_poll: Optional[float] = None
+
+    def _published_version(self) -> Optional[int]:
+        """The durable manifest's version (what the writer has made real)."""
+        store = self.service.store
+        try:
+            manifest = json.loads(
+                store._manifest_path.read_text(encoding="utf-8"))
+            return int(manifest["store_version"])
+        except (OSError, ValueError, KeyError):
+            return None
+
+    def status(self) -> dict[str, Any]:
+        """Staleness report in the shape ``/v1/health`` renders."""
+        with self._lock:
+            cycles = self._refresh_cycles
+            adopted = self._versions_adopted
+            last_error = self._last_error
+            adopt_seconds = self._last_adopt_seconds
+        local = self.service.store.version
+        published = self._published_version()
+        staleness = (None if published is None
+                     else max(0, published - local))
+        return {
+            "mode": "disk-tail",
+            "leader_version": published,
+            "local_version": local,
+            "staleness": staleness,
+            "max_staleness": self.max_staleness,
+            "last_error": (f"{type(last_error).__name__}: {last_error}"
+                           if last_error is not None else None),
+            "sync_cycles": cycles,
+            "entries_applied": adopted,
+            "last_adopt_seconds": adopt_seconds,
+        }
+
+    def staleness(self) -> Optional[int]:
+        return self.status()["staleness"]
+
+    def ready(self) -> bool:
+        staleness = self.staleness()
+        return staleness is not None and staleness <= self.max_staleness
+
+    def sync_once(self) -> int:
+        """One refresh cycle; returns versions adopted."""
+        store = self.service.store
+        before = store.version
+        now = self._clock()
+        try:
+            self.service.refresh_from_disk()
+        except Exception as error:  # noqa: BLE001 — recorded, retried
+            with self._lock:
+                self._last_error = error
+            raise
+        adopted = store.version - before
+        with self._lock:
+            self._refresh_cycles += 1
+            self._last_error = None
+            if adopted:
+                self._versions_adopted += adopted
+                if self._last_poll is not None:
+                    self._last_adopt_seconds = now - self._last_poll
+            self._last_poll = now
+        if adopted:
+            _M_TAILER_REFRESHES.inc()
+        _M_TAILER_LAG.set(max(0, (self._published_version() or 0)
+                              - store.version))
+        return adopted
+
+    def run(self, stop: threading.Event, poll_interval: float = 0.2) -> None:
+        """Tail the disk until ``stop`` — a read worker's refresh thread.
+
+        ``poll_interval`` *is* the configured staleness bound in seconds
+        (plus one refresh's work): a version the writer publishes at time
+        *t* is adopted by ``t + poll_interval`` in the absence of faults.
+        """
+        while not stop.is_set():
+            try:
+                self.sync_once()
+            except Exception:  # noqa: BLE001 — recorded in status();
+                pass           # retried next tick (InjectedCrash is a
+                               # BaseException and still kills the loop)
             stop.wait(poll_interval)

@@ -1,0 +1,228 @@
+"""Cross-process payload cache: one mmap'd segment, every worker serves it.
+
+The response LRU (:class:`~repro.service.api.QueryService`) memoises
+canonical-JSON bodies per ``(store.version, canonical target)`` — but it
+is per *process*.  A pre-fork worker pool would pay the payload build
+(route → analysis → canonical encode → SHA-256 ETag) once per worker
+per payload, N times for the same bytes.  This module shares the
+rendered bytes instead: an **append-only file of framed records**, one
+per payload, that every worker maps read-only.  A payload rendered once
+by any worker serves from every worker without re-encoding — the pages
+are shared through the OS page cache, so N workers cost one copy of the
+bytes in memory.
+
+Why append-only (no eviction, no in-place mutation):
+
+* Readers never lock.  A record, once its bytes are on disk, is
+  immutable; readers validate frames with a length + CRC32 check, so
+  the only unsafe state — a writer's half-written tail — is detected
+  and simply not indexed until it completes.
+* Writers coordinate with one ``flock`` around the append, which makes
+  the segment safe across *processes* (the pool's whole point), not
+  just threads.
+* Version-keyed entries age out naturally: a new store version stops
+  probing the old version's keys.  The segment is bounded by
+  ``max_bytes`` — at the cap, puts are skipped (and tallied), never
+  torn or compacted under a reader.
+
+The cache is strictly an optimisation: a skipped put or an unindexed
+tail only means a worker re-renders bytes it would have rendered
+anyway.  Byte-identity is preserved by construction — the cache stores
+the canonical bytes and their ETag, and the differential tests assert
+pool-served payloads equal single-process ones.
+"""
+
+from __future__ import annotations
+
+import mmap
+import os
+import struct
+import threading
+import zlib
+from pathlib import Path
+from typing import Optional
+
+try:
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX fallback (degrades safely)
+    fcntl = None  # type: ignore[assignment]
+
+#: Per-record frame magic ("RPC1" little-endian).
+_REC_MAGIC = 0x31435052
+
+#: Frame header: magic, crc32, store version, target bytes, etag bytes,
+#: body bytes.  The CRC covers the three variable-length fields, so a
+#: torn append (header complete, payload cut) can never be indexed.
+_REC = struct.Struct("<IIQIII")
+
+#: Default segment bound.  Payloads are canonical JSON of analysis
+#: answers (KBs each); 64 MiB holds tens of thousands of them.
+DEFAULT_MAX_BYTES = 64 << 20
+
+__all__ = ["SharedPayloadCache", "DEFAULT_MAX_BYTES"]
+
+
+class SharedPayloadCache:
+    """Append-only, mmap-shared ``(version, target) -> (body, etag)`` map.
+
+    One instance per process; every instance of the same ``path`` sees
+    every other's completed appends.  All methods are thread-safe.
+    ``stats()`` exposes plain-int tallies for the metrics layer.
+    """
+
+    def __init__(self, path: str | Path,
+                 max_bytes: int = DEFAULT_MAX_BYTES) -> None:
+        self.path = Path(path)
+        self.max_bytes = int(max_bytes)
+        self._lock = threading.Lock()
+        #: (version, target) -> (body_offset, body_len, etag)
+        self._index: dict[tuple[int, str], tuple[int, int, str]] = {}
+        self._scanned = 0          # file offset the index covers
+        self._map: Optional[mmap.mmap] = None
+        self._map_size = 0
+        # Plain GIL-atomic tallies (scraped by /v1/metrics).
+        self.hits = 0
+        self.misses = 0
+        self.puts = 0
+        self.skipped_puts = 0      # cap reached / oversized record
+        self.path.touch(exist_ok=True)
+
+    # -- mapping plumbing -------------------------------------------------
+    def _remap(self, need: int) -> Optional[mmap.mmap]:
+        """Ensure the read mapping covers at least ``need`` bytes."""
+        if self._map is not None and self._map_size >= need:
+            return self._map
+        size = os.path.getsize(self.path)
+        if size < need:
+            return None
+        if self._map is not None:
+            self._map.close()
+            self._map = None
+            self._map_size = 0
+        with self.path.open("rb") as handle:
+            try:
+                self._map = mmap.mmap(handle.fileno(), 0,
+                                      access=mmap.ACCESS_READ)
+            except (ValueError, OSError):
+                return None
+        self._map_size = len(self._map)
+        return self._map
+
+    def _scan_tail(self) -> None:
+        """Index every completed record appended since the last scan.
+
+        Called under ``self._lock``.  Stops at the first incomplete or
+        CRC-failing frame: that is another process's append in flight
+        (or a torn write a crash left), and everything before it is
+        still perfectly valid.
+        """
+        size = os.path.getsize(self.path)
+        if size <= self._scanned:
+            return
+        mapping = self._remap(size)
+        if mapping is None:
+            return
+        offset = self._scanned
+        total = len(mapping)
+        while offset + _REC.size <= total:
+            magic, crc, version, target_len, etag_len, body_len = \
+                _REC.unpack_from(mapping, offset)
+            if magic != _REC_MAGIC:
+                break
+            end = offset + _REC.size + target_len + etag_len + body_len
+            if end > total:
+                break
+            payload = mapping[offset + _REC.size:end]
+            if zlib.crc32(payload) != crc:
+                break
+            target = payload[:target_len].decode("utf-8")
+            etag = payload[target_len:target_len + etag_len].decode("ascii")
+            body_off = offset + _REC.size + target_len + etag_len
+            self._index[(version, target)] = (body_off, body_len, etag)
+            offset = end
+            self._scanned = offset
+
+    # -- the shared read/write interface ----------------------------------
+    def get(self, version: int, target: str) -> Optional[tuple[bytes, str]]:
+        """The shared ``(body, etag)`` for this key, or ``None``.
+
+        A miss rescans the segment tail once (new records appear only
+        at the end), so the first probe after another worker's put pays
+        one tail walk and later probes are a dict hit.
+        """
+        key = (version, target)
+        with self._lock:
+            entry = self._index.get(key)
+            if entry is None:
+                self._scan_tail()
+                entry = self._index.get(key)
+            if entry is None:
+                self.misses += 1
+                return None
+            body_off, body_len, etag = entry
+            mapping = self._remap(body_off + body_len)
+            if mapping is None:  # pragma: no cover - shrunk/replaced file
+                self.misses += 1
+                return None
+            self.hits += 1
+            return bytes(mapping[body_off:body_off + body_len]), etag
+
+    def put(self, version: int, target: str, body: bytes, etag: str) -> bool:
+        """Publish a rendered payload; returns whether it was appended.
+
+        Cross-process safe: the append happens under an exclusive
+        ``flock`` at the file's end, and the size cap is re-checked
+        inside the lock so racing workers cannot overshoot it together.
+        A duplicate key (two workers rendering the same payload
+        concurrently) is harmless — both bodies are byte-identical by
+        determinism, and the index keeps the later record.
+        """
+        raw_target = target.encode("utf-8")
+        raw_etag = etag.encode("ascii")
+        payload = raw_target + raw_etag + body
+        record = _REC.pack(_REC_MAGIC, zlib.crc32(payload), version,
+                           len(raw_target), len(raw_etag), len(body)) + payload
+        with self._lock:
+            if (version, target) in self._index:
+                return False
+            with self.path.open("ab") as handle:
+                if fcntl is not None:
+                    fcntl.flock(handle.fileno(), fcntl.LOCK_EX)
+                try:
+                    end = handle.seek(0, os.SEEK_END)
+                    if end + len(record) > self.max_bytes:
+                        self.skipped_puts += 1
+                        return False
+                    handle.write(record)
+                    handle.flush()
+                finally:
+                    if fcntl is not None:
+                        fcntl.flock(handle.fileno(), fcntl.LOCK_UN)
+            self.puts += 1
+            # Index our own record immediately (offset arithmetic matches
+            # _scan_tail's); other processes discover it on their next
+            # miss's tail scan.
+            body_off = end + _REC.size + len(raw_target) + len(raw_etag)
+            self._index[(version, target)] = (body_off, len(body), etag)
+            if self._scanned == end:
+                self._scanned = end + len(record)
+        return True
+
+    def stats(self) -> dict[str, int]:
+        with self._lock:
+            return {
+                "entries": len(self._index),
+                "bytes": os.path.getsize(self.path),
+                "max_bytes": self.max_bytes,
+                "hits": self.hits,
+                "misses": self.misses,
+                "puts": self.puts,
+                "skipped_puts": self.skipped_puts,
+            }
+
+    def close(self) -> None:
+        with self._lock:
+            if self._map is not None:
+                self._map.close()
+                self._map = None
+                self._map_size = 0

@@ -174,24 +174,35 @@ class _TableState:
         return sid
 
 
-def _decode_table(data: bytes, limit: int, path: Path) -> _TableState:
-    """Replay up to ``limit`` table records into the process interner.
+def _decode_table(data: bytes, limit: int, path: Path,
+                  state: Optional[_TableState] = None,
+                  base_offset: int = 0) -> _TableState:
+    """Replay table records into the process interner until ``limit``.
 
     The one place a store load touches domain strings: each distinct
     name is decoded and interned exactly once per open, after which
     every snapshot and base lookup is id arithmetic.
+
+    Passing an existing ``state`` (with ``data`` starting at its
+    ``consumed_bytes`` = ``base_offset``) *continues* a previous decode:
+    the incremental path a read-only worker uses when another process
+    published new table entries — only the tail bytes are read and
+    interned, never the whole table again.
     """
     interner = default_interner()
-    state = _TableState()
+    if state is None:
+        state = _TableState()
     offset = 0
     total = len(data)
     while len(state.gids) < limit:
         if offset + _U16.size > total:
-            raise StoreError(f"{path}: truncated table record at byte {offset}")
+            raise StoreError(
+                f"{path}: truncated table record at byte {base_offset + offset}")
         (name_len,) = _U16.unpack_from(data, offset)
         offset += _U16.size
         if offset + name_len + _U32.size > total:
-            raise StoreError(f"{path}: truncated table record at byte {offset}")
+            raise StoreError(
+                f"{path}: truncated table record at byte {base_offset + offset}")
         name = data[offset:offset + name_len].decode("utf-8")
         offset += name_len
         (base_sid,) = _U32.unpack_from(data, offset)
@@ -202,7 +213,7 @@ def _decode_table(data: bytes, limit: int, path: Path) -> _TableState:
         gid = interner.intern(name)
         base_gid = gid if base_sid == sid else state.gids[base_sid]
         state.append(gid, base_gid)
-        state.consumed_bytes = offset
+        state.consumed_bytes = base_offset + offset
     return state
 
 
@@ -334,7 +345,15 @@ class ArchiveStore:
           reports/<profile>.json         # stored ScenarioReport documents
     """
 
-    def __init__(self, root: str | Path, create: bool = True) -> None:
+    def __init__(self, root: str | Path, create: bool = True,
+                 read_only: bool = False) -> None:
+        #: A read-only store never mutates the directory — not even the
+        #: recovery truncations a writable open performs.  This is what
+        #: makes multi-process serving safe: a pre-fork read worker that
+        #: opens the store while the writer has an append in flight must
+        #: treat bytes past the manifest's counts as *someone else's
+        #: in-progress tail*, not as an orphan to truncate away.
+        self.read_only = bool(read_only)
         self.root = Path(root)
         self._manifest_path = self.root / "manifest.json"
         self._table_path = self.root / "interner.tbl"
@@ -357,9 +376,11 @@ class ArchiveStore:
         self.chunks_inflated = 0
         self.chunk_bytes_inflated = 0
         stale_tmp = self._manifest_path.with_suffix(".json.tmp")
-        if stale_tmp.exists():
+        if stale_tmp.exists() and not self.read_only:
             # A crash mid-publish leaves a (possibly truncated) tmp
             # manifest; the real manifest is intact, the tmp is garbage.
+            # A read-only opener must leave it alone — a live writer may
+            # be between its tmp write and the atomic rename right now.
             stale_tmp.unlink()
         if self._manifest_path.exists():
             manifest = json.loads(self._manifest_path.read_text(encoding="utf-8"))
@@ -371,7 +392,7 @@ class ArchiveStore:
             if "log" not in manifest:
                 manifest = self._synthesise_log(manifest)
             self._manifest = manifest
-        elif create:
+        elif create and not self.read_only:
             self.root.mkdir(parents=True, exist_ok=True)
             self._manifest = {"format_version": FORMAT_VERSION,
                               "store_version": 0, "data_version": 0,
@@ -531,7 +552,12 @@ class ArchiveStore:
                 if self._table_path.exists():
                     data = self._table_path.read_bytes()
                     state = _decode_table(data, expected, self._table_path)
-                    if state.consumed_bytes < len(data):
+                    if state.consumed_bytes < len(data) and not self.read_only:
+                        # Bytes past the manifest's count: an orphaned
+                        # tail from a crashed append — unless this opener
+                        # is read-only, in which case they may equally be
+                        # another process's append in flight and must
+                        # stay untouched.
                         with self._table_path.open("r+b") as handle:
                             handle.truncate(state.consumed_bytes)
                 else:
@@ -647,6 +673,7 @@ class ArchiveStore:
         once, which fsyncs the accumulated tails first.
         """
         start = time.perf_counter()
+        self._forbid_mutation("append")
         provider = snapshot.provider
         if (not provider or "/" in provider or "\\" in provider
                 or provider.startswith(".")):
@@ -837,9 +864,81 @@ class ArchiveStore:
         since the last flush, then rewrites the manifest — the same
         write-ahead order a synced append uses, amortised over the batch.
         """
+        self._forbid_mutation("flush")
         with self._write_lock:
             self._sync_dirty()
             self._write_manifest()
+
+    def _forbid_mutation(self, operation: str) -> None:
+        if self.read_only:
+            raise StoreError(
+                f"{self.root}: store opened read_only; {operation} is not "
+                f"allowed (another process owns writes)")
+
+    def refresh(self) -> bool:
+        """Adopt mutations another process published to this store's disk.
+
+        The multi-process discovery path: a writer process appends and
+        publishes its manifest with an atomic rename, and each read-only
+        worker calls ``refresh()`` to observe it — re-reading the
+        manifest (readers see the old or the new file, never a tear) and
+        *extending* the in-memory table state from ``consumed_bytes``
+        with only the new tail bytes, interning just the new names.  The
+        table is extended **before** the manifest reference is swapped,
+        so an in-process reader can never hold a manifest whose record
+        counts outrun the decoded table.  Returns whether anything new
+        was adopted.
+
+        Safe against a writer appending concurrently: table bytes are on
+        disk (page-cache coherent) before the manifest names them, and
+        bytes beyond the refreshed manifest's counts are simply left
+        undecoded until a later refresh.
+        """
+        with self._write_lock:
+            manifest = json.loads(
+                self._manifest_path.read_text(encoding="utf-8"))
+            if manifest.get("format_version") not in SUPPORTED_FORMATS:
+                raise StoreError(
+                    f"{self._manifest_path}: unsupported store format "
+                    f"{manifest.get('format_version')!r}")
+            if "log" not in manifest:
+                manifest = self._synthesise_log(manifest)
+            current = self._manifest["store_version"]
+            if manifest["store_version"] == current:
+                return False
+            if manifest["store_version"] < current:
+                raise StoreError(
+                    f"{self._manifest_path}: store version went backwards "
+                    f"({current} -> {manifest['store_version']}); "
+                    f"the store was replaced underneath this process")
+            state = self._table_state
+            if state is not None:
+                expected = manifest["interner"]["entries"]
+                if expected < len(state.gids):
+                    raise StoreError(
+                        f"{self._table_path}: table shrank from "
+                        f"{len(state.gids)} to {expected} entries; "
+                        f"the store was replaced underneath this process")
+                if expected > len(state.gids):
+                    before = len(state.gids)
+                    with self._table_path.open("rb") as handle:
+                        handle.seek(state.consumed_bytes)
+                        data = handle.read()
+                    _decode_table(data, expected, self._table_path,
+                                  state=state,
+                                  base_offset=state.consumed_bytes)
+                    psl = default_list()
+                    if manifest["interner"]["psl_version"] == psl.version:
+                        seed = default_interner().base_column(psl).seed
+                        for gid, base_gid in zip(state.gids[before:],
+                                                 state.base_gids[before:]):
+                            seed(gid, base_gid)
+            # Another process may have appended more records to months
+            # this process had already scanned; drop the cached offsets
+            # so a (writable) store re-scans before its next append.
+            self._shard_offsets.clear()
+            self._manifest = manifest
+        return True
 
     # -- replication ------------------------------------------------------
     def mutation_log(self, since: int = 0,
@@ -1118,6 +1217,7 @@ class ArchiveStore:
         report bytes and persists them verbatim, so the two stores serve
         identical documents.
         """
+        self._forbid_mutation("save_report")
         path = self._report_path(profile)
         with self._write_lock:
             new_dir = not path.parent.exists()

@@ -6,8 +6,12 @@ re-implementing per call site:
 * :mod:`repro.util.retry` — retry with decorrelated-jitter backoff,
   deadline budgets and a circuit breaker (used by the replica tailer
   and the ``repro-serve ingest --retry`` client path).
+* :mod:`repro.util.ringlog` — a drop-oldest bounded list for
+  diagnostic traces that must not grow without bound in long-running
+  processes.
 """
 
+from repro.util.ringlog import RingLog
 from repro.util.retry import (
     CircuitBreaker,
     CircuitOpenError,
@@ -18,6 +22,7 @@ from repro.util.retry import (
 )
 
 __all__ = [
+    "RingLog",
     "CircuitBreaker",
     "CircuitOpenError",
     "RetryExhaustedError",

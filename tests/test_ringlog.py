@@ -1,0 +1,72 @@
+"""RingLog: a bounded drop-oldest list the error/fault traces ride on.
+
+The contract under test: every *list* idiom existing call sites use
+(`== []`, truthiness, `list(x)`, slicing, `len`) keeps working, while
+appends past capacity silently evict the oldest entries and tally them
+in ``dropped``.
+"""
+
+import threading
+
+import pytest
+
+from repro.util.ringlog import RingLog
+
+
+class TestRingLog:
+    def test_behaves_like_a_list_under_capacity(self):
+        log = RingLog(8)
+        assert log == []
+        assert not log
+        log.append("a")
+        log.append("b")
+        assert log == ["a", "b"]
+        assert list(log) == ["a", "b"]
+        assert log[0] == "a"
+        assert log[-1:] == ["b"]
+        assert len(log) == 2
+        assert log.dropped == 0
+
+    def test_drops_oldest_past_capacity(self):
+        log = RingLog(3)
+        for i in range(7):
+            log.append(i)
+        assert list(log) == [4, 5, 6]
+        assert log.dropped == 4
+        assert len(log) == 3
+
+    def test_extend_and_seed_iterable(self):
+        log = RingLog(4, "ab")
+        log.extend("cdef")
+        assert list(log) == ["c", "d", "e", "f"]
+        assert log.dropped == 2
+
+    def test_clear_resets_dropped(self):
+        log = RingLog(2)
+        log.extend(range(5))
+        log.clear()
+        assert log == []
+        assert log.dropped == 0
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ValueError):
+            RingLog(0)
+
+    def test_concurrent_appends_never_exceed_capacity(self):
+        log = RingLog(16)
+        per_thread = 500
+        threads = [threading.Thread(
+            target=lambda: [log.append(object()) for _ in range(per_thread)])
+            for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert len(log) == 16
+        assert log.dropped == 4 * per_thread - 16
+
+    def test_repr_names_capacity_and_dropped(self):
+        log = RingLog(2)
+        log.extend(range(3))
+        text = repr(log)
+        assert "2" in text and "dropped" in text

@@ -1,0 +1,193 @@
+"""Balancer tests: round-robin, readiness ejection, re-admission.
+
+The proxy's contract: any admitted backend may answer any request
+(byte-identical payloads make round-robin safe), a backend failing
+``/v1/ready`` leaves the rotation until the probe passes again, and
+backend HTTP statuses — including clean 4xx — pass through verbatim
+while connection-level failures are absorbed by retrying the next
+backend.
+"""
+
+import datetime as dt
+import json
+import threading
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.providers.base import ListArchive, ListSnapshot
+from repro.service.api import QueryService, create_server
+from repro.service.balance import Backend, Balancer
+from repro.service.store import ArchiveStore
+
+
+def _get(url: str) -> tuple[int, bytes]:
+    try:
+        with urllib.request.urlopen(url, timeout=10) as response:
+            return response.status, response.read()
+    except urllib.error.HTTPError as error:
+        return error.code, error.read()
+
+
+@pytest.fixture()
+def backends(tmp_path):
+    """Two single-process servers over one store, plus their service."""
+    snapshots = [
+        ListSnapshot("alexa", dt.date(2018, 5, 1) + dt.timedelta(days=day),
+                     ("a.com", "b.org"))
+        for day in range(3)
+    ]
+    store = ArchiveStore.from_archives(
+        tmp_path / "store",
+        {"alexa": ListArchive.from_snapshots(snapshots)})
+    service = QueryService(store)
+    servers = [create_server(service) for _ in range(2)]
+    for server in servers:
+        threading.Thread(target=server.serve_forever, daemon=True).start()
+    yield servers, service
+    for server in servers:
+        server.shutdown()
+        server.server_close()
+    store.close()
+
+
+def _urls(servers) -> list[str]:
+    return [f"http://127.0.0.1:{server.server_address[1]}"
+            for server in servers]
+
+
+class TestRotation:
+    def test_round_robin_spreads_requests(self, backends):
+        servers, _ = backends
+        with Balancer(_urls(servers), check_interval=0.1) as balancer:
+            for _ in range(8):
+                status, _ = _get(f"http://127.0.0.1:{balancer.port}/v1/meta")
+                assert status == 200
+            counts = [b["requests"] for b in balancer.status()["backends"]]
+            assert counts == [4, 4]
+
+    def test_payloads_and_clean_errors_pass_through(self, backends):
+        servers, service = backends
+        expected = service.handle_request("/v1/meta")
+        with Balancer(_urls(servers), check_interval=0.1) as balancer:
+            base = f"http://127.0.0.1:{balancer.port}"
+            status, body = _get(base + "/v1/meta")
+            assert (status, body) == (200, expected.body)
+            status, body = _get(base + "/v1/nope")
+            assert status == 404
+            assert json.loads(body)["error"]["status"] == 404
+
+    def test_balancer_status_endpoint(self, backends):
+        servers, _ = backends
+        with Balancer(_urls(servers), check_interval=0.1) as balancer:
+            status, body = _get(
+                f"http://127.0.0.1:{balancer.port}/v1/balancer")
+            payload = json.loads(body)
+            assert status == 200
+            assert payload["admitted"] == 2
+            assert all(b["admitted"] for b in payload["backends"])
+
+
+class TestEjection:
+    def test_dead_backend_is_ejected_and_traffic_continues(self, backends):
+        servers, _ = backends
+        with Balancer(_urls(servers), check_interval=0.05) as balancer:
+            base = f"http://127.0.0.1:{balancer.port}"
+            servers[0].shutdown()
+            servers[0].server_close()
+            deadline = _deadline(5)
+            while _now() < deadline:
+                payload = json.loads(_get(base + "/v1/balancer")[1])
+                if payload["admitted"] == 1:
+                    break
+            assert payload["admitted"] == 1
+            dead, live = payload["backends"]
+            assert not dead["admitted"] and dead["ejections"] == 1
+            for _ in range(6):
+                status, _ = _get(base + "/v1/meta")
+                assert status == 200
+
+    def test_unready_backend_is_ejected_then_readmitted(self, backends):
+        """A follower answering 503 on /v1/ready leaves and re-enters."""
+        servers, service = backends
+
+        class _Gate:
+            ready = True
+
+            def staleness(self):
+                return 0 if self.ready else 99
+
+            def status(self):
+                return {"mode": "test-gate", "last_error": None,
+                        "breaker": "closed"}
+
+            def ready(self=None):  # bound below
+                raise NotImplementedError
+
+        gate = _Gate()
+        gate.ready_flag = True
+        gate.ready = lambda: gate.ready_flag
+        service.role = "follower"
+        service._replica = gate
+        try:
+            with Balancer(_urls(servers), check_interval=0.05) as balancer:
+                base = f"http://127.0.0.1:{balancer.port}"
+                gate.ready_flag = False
+                deadline = _deadline(5)
+                while _now() < deadline:
+                    payload = json.loads(_get(base + "/v1/balancer")[1])
+                    if payload["admitted"] == 0:
+                        break
+                assert payload["admitted"] == 0
+                status, _ = _get(base + "/v1/meta")
+                assert status == 503  # no admitted backend
+                gate.ready_flag = True
+                deadline = _deadline(5)
+                while _now() < deadline:
+                    payload = json.loads(_get(base + "/v1/balancer")[1])
+                    if payload["admitted"] == 2:
+                        break
+                assert payload["admitted"] == 2
+                assert all(b["readmissions"] >= 1
+                           for b in payload["backends"])
+                status, _ = _get(base + "/v1/meta")
+                assert status == 200
+        finally:
+            service.role = "leader"
+            service._replica = None
+
+    def test_all_backends_out_answers_503(self, backends):
+        servers, _ = backends
+        urls = _urls(servers)
+        for server in servers:
+            server.shutdown()
+            server.server_close()
+        with Balancer(urls, check_interval=0.05) as balancer:
+            status, body = _get(f"http://127.0.0.1:{balancer.port}/v1/meta")
+            assert status == 503
+            assert json.loads(body)["error"]["status"] == 503
+
+
+class TestBackendParsing:
+    def test_accepts_url_and_hostport(self):
+        assert Backend("http://127.0.0.1:8098").port == 8098
+        assert Backend("127.0.0.1:8099").port == 8099
+
+    def test_rejects_non_http(self):
+        with pytest.raises(ValueError):
+            Backend("https://127.0.0.1:1")
+
+    def test_requires_backends(self):
+        with pytest.raises(ValueError):
+            Balancer([])
+
+
+def _now():
+    import time
+
+    return time.monotonic()
+
+
+def _deadline(seconds: float) -> float:
+    return _now() + seconds

@@ -372,3 +372,133 @@ def test_degraded_admission_answers_503(tmp_path: Path) -> None:
         assert service.handle_request("/v1/meta").status == 200
     # Deliberate degradation is not an internal error.
     assert service.internal_errors == []
+
+
+class TestPoolWriterChaos:
+    """Writer-process death under the pre-fork pool — real processes.
+
+    The harness-level schedules above *simulate* a process death by
+    unwinding ``InjectedCrash`` to the test.  Here the same seeded
+    schedule runs under :class:`~repro.service.workers.WorkerPool`,
+    where the crash is a real ``os._exit`` in a forked writer: the
+    parent respawns the slot, the retried ingest goes through the
+    store's recovery path on disk, and every read worker converges to
+    byte-identical payloads.
+    """
+
+    POOL_TARGETS = (
+        "/v1/meta",
+        "/v1/providers/alexa/stability",
+        "/v1/domains/shared.org/history",
+    )
+
+    @staticmethod
+    def _writer_init_factory(counter: Path):
+        """Per-incarnation seeded plans for the writer process.
+
+        Incarnation 0 crashes deterministically on its second shard
+        append (mid-run, with data already durable); later incarnations
+        draw from their own child streams with bounded fires, so every
+        respawn can make progress and the whole schedule replays from
+        ``REPRO_CHAOS_SEED``.
+        """
+        def worker_init(role: str, index: int) -> None:
+            if role != "writer":
+                return
+            incarnation = int(counter.read_text()) if counter.exists() else 0
+            counter.write_text(str(incarnation + 1))
+            if incarnation == 0:
+                rules = [FaultRule("store.shard.write", "crash",
+                                   on_calls=(2,))]
+            else:
+                rules = [FaultRule("store.*.write", "crash",
+                                   probability=0.2, max_fires=1)]
+            faults.install(
+                FaultPlan(CHAOS_SEED * 4099 + incarnation, rules))
+        return worker_init
+
+    @pytest.mark.skipif(not hasattr(os, "fork"),
+                        reason="worker pool requires os.fork")
+    def test_writer_crash_mid_append_under_pool(self, tmp_path: Path) -> None:
+        from repro.service.workers import CRASH_EXIT_CODE, WorkerPool
+
+        root = tmp_path / "pool-store"
+        store = ArchiveStore(root)
+        store.append(_snapshot("alexa", 0))
+        store.append(_snapshot("umbrella", 0))
+        store.close()
+
+        import time
+
+        def post_ingest(base: str, snapshot: ListSnapshot) -> None:
+            body = json.dumps({
+                "provider": snapshot.provider,
+                "date": snapshot.date.isoformat(),
+                "entries": list(snapshot.entries)}).encode()
+            deadline = time.monotonic() + 30
+            while time.monotonic() < deadline:
+                request = urllib.request.Request(
+                    base + "/v1/ingest", data=body,
+                    headers={"Content-Type": "application/json"},
+                    method="POST")
+                try:
+                    with urllib.request.urlopen(request, timeout=10) as r:
+                        assert r.status == 200
+                        return
+                except urllib.error.HTTPError as error:
+                    if error.code == 409:
+                        return  # durable before the death: success
+                    assert error.code == 503, error.code
+                except (ConnectionError, http.client.RemoteDisconnected,
+                        TimeoutError, OSError):
+                    pass  # writer mid-death; retry
+                time.sleep(0.1)
+            raise AssertionError(f"ingest of {snapshot.date} never landed")
+
+        def converged_bodies(base: str, version: int) -> dict:
+            deadline = time.monotonic() + 15
+            while time.monotonic() < deadline:
+                meta = set()
+                for _ in range(6):
+                    try:
+                        with urllib.request.urlopen(base + "/v1/meta",
+                                                    timeout=10) as r:
+                            meta.add(r.read())
+                    except (ConnectionError,
+                            http.client.RemoteDisconnected):
+                        break
+                if len(meta) == 1 and json.loads(
+                        meta.pop())["store_version"] == version:
+                    return {
+                        target: urllib.request.urlopen(
+                            base + target, timeout=10).read()
+                        for target in TestPoolWriterChaos.POOL_TARGETS}
+                time.sleep(0.1)
+            raise AssertionError(f"pool never converged on v{version}")
+
+        counter = tmp_path / "writer-incarnation"
+        with WorkerPool(root, workers=2, poll_interval=0.05,
+                        worker_init=self._writer_init_factory(counter)
+                        ) as pool:
+            base = f"http://127.0.0.1:{pool.port}"
+            with urllib.request.urlopen(base + "/v1/meta") as r:
+                start_version = json.loads(r.read())["store_version"]
+            for day in range(1, DAYS):
+                for provider in PROVIDERS:
+                    post_ingest(base, _snapshot(provider, day))
+            final = start_version + (DAYS - 1) * len(PROVIDERS)
+            bodies = converged_bodies(base, final)
+            # The schedule executed: the writer really died and came
+            # back (incarnation counter past 1, crash exit recorded).
+            writer = next(w for w in pool.describe()["workers"]
+                          if w["role"] == "writer")
+            assert writer["restarts"] >= 1
+            assert writer["last_exit"] == CRASH_EXIT_CODE
+            assert int(counter.read_text()) == writer["restarts"] + 1
+            # Byte-identity at the converged version, across many hits
+            # of the kernel-balanced accept loop.
+            for target, expected in bodies.items():
+                for _ in range(6):
+                    with urllib.request.urlopen(base + target,
+                                                timeout=10) as r:
+                        assert r.read() == expected, target

@@ -1,0 +1,101 @@
+"""SharedPayloadCache: the pool's mmap-shared rendered-payload segment.
+
+Safety properties under test: two instances over one file see each
+other's completed appends; a torn tail (a writer's append in flight or
+a crash's leftovers) is never indexed but never hides the valid prefix;
+the size cap skips puts instead of tearing or compacting; and the
+bytes a reader gets back are exactly the bytes the writer put.
+"""
+
+import struct
+
+import pytest
+
+from repro.service.shared_cache import _REC, _REC_MAGIC, SharedPayloadCache
+
+
+@pytest.fixture()
+def path(tmp_path):
+    return tmp_path / "payloads.bin"
+
+
+class TestSharedPayloadCache:
+    def test_roundtrip_within_one_instance(self, path):
+        cache = SharedPayloadCache(path)
+        assert cache.get(1, "/v1/meta") is None
+        assert cache.put(1, "/v1/meta", b'{"a": 1}', "w/abc")
+        assert cache.get(1, "/v1/meta") == (b'{"a": 1}', "w/abc")
+        assert cache.hits == 1 and cache.misses == 1 and cache.puts == 1
+
+    def test_cross_instance_visibility(self, path):
+        writer = SharedPayloadCache(path)
+        reader = SharedPayloadCache(path)
+        writer.put(3, "/v1/meta", b"payload-bytes", "w/tag")
+        # The reader indexed nothing yet; its miss path rescans the tail.
+        assert reader.get(3, "/v1/meta") == (b"payload-bytes", "w/tag")
+        writer.put(3, "/v1/compare", b"second", "w/tag2")
+        assert reader.get(3, "/v1/compare") == (b"second", "w/tag2")
+
+    def test_version_keys_are_distinct(self, path):
+        cache = SharedPayloadCache(path)
+        cache.put(1, "/v1/meta", b"v1", "w/1")
+        cache.put(2, "/v1/meta", b"v2", "w/2")
+        assert cache.get(1, "/v1/meta") == (b"v1", "w/1")
+        assert cache.get(2, "/v1/meta") == (b"v2", "w/2")
+
+    def test_duplicate_put_is_refused(self, path):
+        cache = SharedPayloadCache(path)
+        assert cache.put(1, "/v1/meta", b"x", "w/x")
+        assert not cache.put(1, "/v1/meta", b"x", "w/x")
+        assert cache.puts == 1
+
+    def test_torn_tail_is_ignored_but_prefix_survives(self, path):
+        writer = SharedPayloadCache(path)
+        writer.put(1, "/v1/meta", b"good-bytes", "w/good")
+        # Simulate a crash mid-append: a complete header whose payload
+        # was cut short.
+        with path.open("ab") as handle:
+            header = _REC.pack(_REC_MAGIC, 0, 1, 10, 5, 100)
+            handle.write(header + b"only-a-bit")
+        reader = SharedPayloadCache(path)
+        assert reader.get(1, "/v1/meta") == (b"good-bytes", "w/good")
+        assert reader.get(1, "/v1/other") is None
+
+    def test_corrupt_crc_stops_the_scan(self, path):
+        writer = SharedPayloadCache(path)
+        writer.put(1, "/v1/meta", b"good", "w/g")
+        with path.open("ab") as handle:
+            payload = b"/v1/badw/bBODY"
+            handle.write(_REC.pack(_REC_MAGIC, 0xDEADBEEF, 1,
+                                   7, 3, 4) + payload)
+        reader = SharedPayloadCache(path)
+        assert reader.get(1, "/v1/meta") == (b"good", "w/g")
+        assert reader.get(1, "/v1/bad") is None
+
+    def test_size_cap_skips_puts(self, path):
+        cache = SharedPayloadCache(path, max_bytes=256)
+        assert cache.put(1, "/a", b"x" * 64, "w/1")
+        assert not cache.put(1, "/b", b"y" * 300, "w/2")
+        assert cache.skipped_puts == 1
+        # The cap never tears an existing record.
+        assert cache.get(1, "/a") == (b"x" * 64, "w/1")
+
+    def test_stats_shape(self, path):
+        cache = SharedPayloadCache(path, max_bytes=1024)
+        cache.put(1, "/a", b"x", "w/1")
+        cache.get(1, "/a")
+        cache.get(1, "/missing")
+        stats = cache.stats()
+        assert stats["entries"] == 1
+        assert stats["hits"] == 1
+        assert stats["misses"] == 1
+        assert stats["puts"] == 1
+        assert stats["max_bytes"] == 1024
+        assert stats["bytes"] == path.stat().st_size
+
+    def test_close_is_idempotent(self, path):
+        cache = SharedPayloadCache(path)
+        cache.put(1, "/a", b"x", "w/1")
+        cache.get(1, "/a")
+        cache.close()
+        cache.close()
