@@ -190,10 +190,15 @@ class ApiError(Exception):
 
 @dataclass
 class Response:
-    """One materialised API response (transport-independent)."""
+    """One materialised API response (transport-independent).
+
+    ``body`` may be a :class:`memoryview` over the shared payload
+    segment (:mod:`repro.service.shared_cache`): transports write it to
+    the socket without ever materialising a Python ``bytes`` copy.
+    """
 
     status: int
-    body: bytes
+    body: bytes | memoryview
     headers: dict[str, str] = field(default_factory=dict)
 
     @property
@@ -202,7 +207,7 @@ class Response:
 
     def json(self) -> Any:
         """The decoded body (test/CLI convenience)."""
-        return json.loads(self.body.decode("utf-8"))
+        return json.loads(bytes(self.body).decode("utf-8"))
 
 
 def json_bytes(payload: Any) -> bytes:
@@ -216,6 +221,28 @@ def json_bytes(payload: Any) -> bytes:
 
 def _etag_of(body: bytes) -> str:
     return '"' + hashlib.sha256(body).hexdigest() + '"'
+
+
+def _if_none_match_hit(header: str, etag: Optional[str]) -> bool:
+    """RFC 7232 §3.2: does an ``If-None-Match`` header match ``etag``?
+
+    The header is a comma-separated list of entity-tags or a bare
+    ``*``.  Comparison is *weak* (§3.2 mandates it for If-None-Match):
+    a ``W/`` weakness prefix on either side is ignored and the opaque
+    tags compared byte-for-byte.
+    """
+    if etag is None:
+        return False
+    opaque = etag[2:] if etag.startswith("W/") else etag
+    for candidate in header.split(","):
+        candidate = candidate.strip()
+        if candidate == "*":
+            return True
+        if candidate.startswith("W/"):
+            candidate = candidate[2:]
+        if candidate and candidate == opaque:
+            return True
+    return False
 
 
 def _is_get_route(tail: list[str]) -> bool:
@@ -936,7 +963,7 @@ class QueryService:
                 responses.append({
                     "target": target,
                     "status": sub.status,
-                    "payload": json.loads(sub.body.decode("utf-8")),
+                    "payload": json.loads(bytes(sub.body).decode("utf-8")),
                 })
         return {
             "requests": len(responses),
@@ -1250,8 +1277,7 @@ class QueryService:
                          for key, value in (headers or {}).items()
                          }.get("if-none-match")
         if response.status == 200 and method in ("GET", "HEAD") and if_none_match:
-            tags = {tag.strip() for tag in if_none_match.split(",")}
-            if "*" in tags or response.headers.get("ETag") in tags:
+            if _if_none_match_hit(if_none_match, response.headers.get("ETag")):
                 return Response(304, b"", dict(response.headers))
         return response
 

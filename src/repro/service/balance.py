@@ -11,11 +11,19 @@ consumes), and **re-admits** it as soon as the probe passes again.
 No queueing, no weights, no sticky sessions: every backend serves
 byte-identical payloads for a given store version (the differential
 tests assert it), so any admitted backend is as good as any other and
-round-robin is optimal.  A request that hits a backend dying
-mid-connection is retried on the next admitted backend — connection
-errors are the proxy's to absorb; HTTP statuses (including a
-backend's own 5xx) are the backend's to answer and pass through
-verbatim.
+round-robin is optimal.  Connection errors are the proxy's to absorb;
+HTTP statuses (including a backend's own 5xx) are the backend's to
+answer and pass through verbatim.  Retries respect idempotency:
+
+* **GET/HEAD** are retried on the next admitted backend after *any*
+  connection failure — re-reading is always safe.
+* **POST** (and anything else non-idempotent) fails over only when the
+  connection died *before* the request was transmitted.  Once any
+  request byte may have reached a backend, a replay could apply the
+  same ingest twice (the first backend may have appended the day and
+  died before answering), so the proxy answers 502 and leaves the
+  retry decision to the client, who can ask the store whether the
+  write landed.
 
 ``GET /v1/balancer`` on the proxy itself reports the rotation: per
 backend admitted/ejected state, probe counters, proxied request
@@ -33,8 +41,22 @@ from typing import Any, Optional
 from urllib.parse import urlsplit
 
 from repro.obs import logging as obslog
+from repro.service.api import MAX_BODY_BYTES, json_bytes
 
 __all__ = ["Backend", "Balancer"]
+
+#: Methods safe to replay on another backend after a mid-request
+#: connection failure (RFC 9110 §9.2.2).
+_IDEMPOTENT_METHODS = frozenset({"GET", "HEAD"})
+
+
+def _error_body(status: int, message: str) -> bytes:
+    """The API layer's canonical JSON error envelope."""
+    return json_bytes({"error": {"status": status, "message": message}})
+
+
+class _ConnectFailed(OSError):
+    """Connection failed before a single request byte was transmitted."""
 
 #: Request headers the proxy must not forward (hop-by-hop; the proxy
 #: manages its own connections and re-frames bodies by length).
@@ -192,11 +214,23 @@ class Balancer:
     def _forward(self, backend: Backend, method: str, path: str,
                  headers: dict[str, str], body: bytes
                  ) -> tuple[int, list[tuple[str, str]], bytes]:
+        """One proxied exchange.
+
+        Raises :class:`_ConnectFailed` when the TCP connection could not
+        be established at all (nothing was transmitted, so the caller may
+        fail the request over to another backend regardless of method);
+        any other :class:`OSError` means the request was at least
+        partially on the wire when the backend died.
+        """
         conn = http.client.HTTPConnection(backend.host, backend.port,
                                           timeout=self.timeout)
         try:
             out = {k: v for k, v in headers.items()
                    if k.lower() not in _HOP_BY_HOP}
+            try:
+                conn.connect()
+            except OSError as error:
+                raise _ConnectFailed(str(error)) from error
             conn.request(method, path, body=body or None, headers=out)
             response = conn.getresponse()
             payload = response.read()
@@ -208,7 +242,7 @@ class Balancer:
 
     def handle(self, method: str, path: str, headers: dict[str, str],
                body: bytes) -> tuple[int, list[tuple[str, str]], bytes]:
-        """Route one request; retries connection failures across backends."""
+        """Route one request; retry semantics depend on idempotency."""
         attempts = max(1, len(self.backends))
         for _ in range(attempts):
             backend = self.pick()
@@ -217,14 +251,31 @@ class Balancer:
             backend.requests += 1
             try:
                 return self._forward(backend, method, path, headers, body)
-            except OSError:
+            except _ConnectFailed:
+                # Nothing reached the backend: safe to try the next one
+                # whatever the method.
                 backend.errors += 1
                 self._eject(backend, "connection failure")
-        body_out = json.dumps({"error": {
-            "status": 503,
-            "message": "no admitted backend available"}}).encode("utf-8")
+            except OSError:
+                backend.errors += 1
+                self._eject(backend, "connection failure mid-request")
+                if method.upper() in _IDEMPOTENT_METHODS:
+                    continue
+                # The request (an ingest, say) may already have been
+                # applied by the dead backend; replaying it elsewhere
+                # could double-apply.  Surface the ambiguity instead.
+                obslog.log_event("balance.abort_nonidempotent",
+                                 level="warning", backend=backend.url,
+                                 method=method, path=path)
+                return 502, [("Content-Type", "application/json")], \
+                    _error_body(
+                        502,
+                        "backend connection lost after the request was "
+                        "sent; not retried because the method is not "
+                        "idempotent — the request may have been applied")
         return 503, [("Content-Type", "application/json"),
-                     ("Retry-After", "1")], body_out
+                     ("Retry-After", "1")], \
+            _error_body(503, "no admitted backend available")
 
     # -- server lifecycle -------------------------------------------------
     def start(self) -> "Balancer":
@@ -252,7 +303,30 @@ class Balancer:
                     self._respond(200, [("Content-Type",
                                          "application/json")], body)
                     return
-                length = int(self.headers.get("Content-Length") or 0)
+                declared = self.headers.get("Content-Length")
+                try:
+                    length = int(declared) if declared is not None else 0
+                except ValueError:
+                    length = -1
+                if length < 0:
+                    # Framing is unknowable from here on: answer the API
+                    # layer's envelope and drop the connection.
+                    self.close_connection = True
+                    self._respond(
+                        400, [("Content-Type", "application/json"),
+                              ("Connection", "close")],
+                        _error_body(
+                            400, f"invalid Content-Length {declared!r}"))
+                    return
+                if length > MAX_BODY_BYTES:
+                    self.close_connection = True
+                    self._respond(
+                        413, [("Content-Type", "application/json"),
+                              ("Connection", "close")],
+                        _error_body(
+                            413, f"request body exceeds "
+                                 f"{MAX_BODY_BYTES} bytes"))
+                    return
                 request_body = self.rfile.read(length) if length else b""
                 status, headers, body = balancer.handle(
                     self.command, self.path, dict(self.headers.items()),

@@ -1,0 +1,717 @@
+"""``selectors``/epoll event-loop HTTP server for read workers.
+
+The threaded server (:func:`repro.service.api.create_server`) costs one
+thread per live connection.  That is the right trade for a handful of
+clients, but a pool front-ending thousands of *mostly idle* keep-alive
+connections (monitoring agents, balancer back-links, long-polling
+clients) pays a thread stack and a scheduler entry for every socket
+that is doing nothing.  This module serves the same
+:class:`~repro.service.api.QueryService` contract from a single
+non-blocking event loop: an idle connection costs one registered file
+descriptor and a ~200-byte state object, nothing else.
+
+Wire semantics are the *same contract* the threaded layer locks down in
+``tests/test_service_keepalive.py`` and ``tests/test_service_fuzz.py``
+(the event-loop parity suites re-run those classes against this
+server):
+
+* clean client errors (404/400/405-without-body) answer inside the
+  persistent connection; protocol failures (chunked, missing/oversized/
+  short ``Content-Length``) answer with ``Connection: close``;
+* malformed request lines and unsupported HTTP versions answer bare
+  JSON envelopes exactly like the stdlib's HTTP/0.9 degradation;
+* a drained body keeps pipelined keep-alive connections in sync, with
+  the same 1 MiB discard bound;
+* ``unhandled_errors`` is the same tripwire, and the fault-injection
+  points (``api.request.read``, ``api.response.write``) fire the same
+  way.
+
+Responses are written **zero-copy**: the service's shared-payload-cache
+hits arrive as :class:`memoryview` slices over the mmap'd segment
+(:meth:`repro.service.shared_cache.SharedPayloadCache.get`), and the
+loop hands header and body straight to ``socket.sendmsg`` (scatter-
+gather ``writev``) — the payload bytes go from the page cache to the
+socket without ever being copied into a Python ``bytes`` object.
+
+Dispatch is inline: route handlers run on the loop thread.  Cached
+reads cost microseconds, so this is the latency-optimal choice; the
+one blocking call a *reader* can make — forwarding ``POST /v1/ingest``
+to the pool's writer — briefly parks the loop, which is acceptable
+because ingests are rare and bounded (and the writer worker stays
+threaded).
+"""
+
+from __future__ import annotations
+
+import os
+import selectors
+import socket
+import threading
+import time
+from email.utils import formatdate
+from http.client import responses as _REASONS
+from typing import Any, Optional
+from urllib.parse import urlsplit
+
+from repro import faults
+from repro.obs import logging as obslog
+from repro.obs import tracing
+from repro.service.api import (
+    MAX_BODY_BYTES, UNHANDLED_ERRORS_CAPACITY, QueryService, Response,
+    _M_ERRORS, _M_REQUESTS, _M_REQUEST_SECONDS, _M_UNHANDLED,
+    allowed_methods, json_bytes)
+from repro.util.ringlog import RingLog
+
+__all__ = ["EventLoopServer"]
+
+#: One recv per readiness event reads up to this much.
+_RECV_CHUNK = 65536
+
+#: Longest tolerated request line (stdlib parity: 65536 + fudge).
+_MAX_REQUEST_LINE = 65536
+
+#: Total request-head bound (line + headers) before 431.
+_MAX_HEAD_BYTES = 1 << 20
+
+#: Upper bound on a discarded non-POST body (same constant as the
+#: threaded handler's ``_MAX_DISCARDED_BODY``).
+_MAX_DISCARDED_BODY = 1 << 20
+
+#: Methods the service layer answers; everything else is 405/501.
+_SERVICE_METHODS = frozenset({"GET", "HEAD", "POST"})
+_WRITEISH_METHODS = frozenset({"PUT", "DELETE", "PATCH"})
+
+_READ = selectors.EVENT_READ
+_WRITE = selectors.EVENT_WRITE
+
+
+class _Connection:
+    """Per-socket state: one of these per client, however idle."""
+
+    __slots__ = ("sock", "fd", "inbuf", "scan_pos", "out", "events",
+                 "closing", "draining", "discard", "pending", "need", "eof",
+                 "last_activity")
+
+    def __init__(self, sock: socket.socket, now: float) -> None:
+        self.sock: Optional[socket.socket] = sock
+        self.fd = sock.fileno()
+        self.inbuf = bytearray()
+        self.scan_pos = 0           # head-scan resume point (O(n) total)
+        self.out: list[Any] = []    # bytes / memoryview, in write order
+        self.events = _READ
+        self.closing = False        # no more requests; close once flushed
+        self.draining = False       # FIN sent; discarding until client EOF
+        self.discard = 0            # request-body bytes still to skip
+        self.pending: Optional[tuple[str, str, dict[str, str], bool]] = None
+        self.need = 0               # body bytes the pending POST awaits
+        self.eof = False
+        self.last_activity = now
+
+
+class _HandlerShim:
+    """Duck-typed stand-in for the threaded server's handler class.
+
+    The wire-contract suites poke ``server.RequestHandlerClass`` for two
+    things — the bound ``service`` (to monkeypatch routes) and
+    ``disable_nagle_algorithm`` — so the event-loop server exposes the
+    same surface and reads ``service`` through it on every dispatch,
+    keeping monkeypatches effective.
+    """
+
+    disable_nagle_algorithm = True
+
+    def __init__(self, service: QueryService) -> None:
+        self.service = service
+
+
+class EventLoopServer:
+    """Single-threaded non-blocking HTTP server over ``selectors``.
+
+    API mirrors the threaded server where the pool and tests touch it:
+    ``server_address``, ``serve_forever()``/``shutdown()``/
+    ``server_close()``, ``unhandled_errors``, ``RequestHandlerClass``.
+    Construct with either ``host``/``port`` or an already-listening
+    ``listen_socket`` (the pre-fork pool's shared socket).
+
+    ``crash_exit_code``: when set, an injected crash
+    (:class:`repro.faults.InjectedCrash`) terminates the process with
+    this exit code — the pool's crash-to-exit contract.
+    """
+
+    #: Idle keep-alive connections are reaped after this many seconds
+    #: (same bound as the threaded handler's socket timeout).
+    timeout = 30.0
+
+    def __init__(self, service: QueryService, host: str = "127.0.0.1",
+                 port: int = 0, listen_socket: Optional[socket.socket] = None,
+                 crash_exit_code: Optional[int] = None) -> None:
+        self.RequestHandlerClass = _HandlerShim(service)
+        self.unhandled_errors: RingLog = RingLog(UNHANDLED_ERRORS_CAPACITY)
+        self.crash_exit_code = crash_exit_code
+        if listen_socket is None:
+            self._listen = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+            self._listen.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+            self._listen.bind((host, port))
+            self._listen.listen(128)
+            self._owns_listen = True
+        else:
+            self._listen = listen_socket
+            self._owns_listen = False
+        self._listen.setblocking(False)
+        self.server_address = self._listen.getsockname()[:2]
+        self._selector = selectors.DefaultSelector()
+        self._conns: dict[int, _Connection] = {}
+        self._wake_recv, self._wake_send = socket.socketpair()
+        self._wake_recv.setblocking(False)
+        self._shutdown_request = False
+        self._stopped = threading.Event()
+        self._stopped.set()
+        self._loop_thread: Optional[threading.Thread] = None
+        self._date_cache: tuple[int, bytes] = (0, b"")
+        self._closed = False
+
+    @property
+    def service(self) -> QueryService:
+        return self.RequestHandlerClass.service
+
+    # -- lifecycle --------------------------------------------------------
+    def serve_forever(self, poll_interval: float = 0.5) -> None:
+        self._loop_thread = threading.current_thread()
+        self._shutdown_request = False
+        self._stopped.clear()
+        sel = self._selector
+        sel.register(self._listen, _READ, data="listen")
+        sel.register(self._wake_recv, _READ, data="wake")
+        next_sweep = time.monotonic() + poll_interval
+        try:
+            while not self._shutdown_request:
+                for key, _mask in sel.select(poll_interval):
+                    if key.data == "listen":
+                        self._accept()
+                    elif key.data == "wake":
+                        try:
+                            self._wake_recv.recv(4096)
+                        except OSError:
+                            pass
+                    else:
+                        self._handle_event(key.data, _mask)
+                now = time.monotonic()
+                if now >= next_sweep:
+                    self._sweep_idle(now)
+                    next_sweep = now + poll_interval
+        finally:
+            for fd in (self._listen, self._wake_recv):
+                try:
+                    sel.unregister(fd)
+                except (KeyError, ValueError):
+                    pass
+            self._stopped.set()
+
+    def shutdown(self) -> None:
+        self._shutdown_request = True
+        try:
+            self._wake_send.send(b"x")
+        except OSError:
+            pass
+        if threading.current_thread() is not self._loop_thread:
+            self._stopped.wait(timeout=10)
+
+    def server_close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        for conn in list(self._conns.values()):
+            self._close_conn(conn)
+        if self._owns_listen:
+            self._listen.close()
+        for sock in (self._wake_recv, self._wake_send):
+            sock.close()
+        self._selector.close()
+
+    # -- connection plumbing ----------------------------------------------
+    def _accept(self) -> None:
+        while True:
+            try:
+                sock, _addr = self._listen.accept()
+            except (BlockingIOError, InterruptedError):
+                return
+            except OSError:
+                return
+            sock.setblocking(False)
+            try:
+                sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            except OSError:  # pragma: no cover - non-TCP test sockets
+                pass
+            conn = _Connection(sock, time.monotonic())
+            self._conns[conn.fd] = conn
+            self._selector.register(sock, _READ, data=conn)
+
+    def _set_events(self, conn: _Connection, events: int) -> None:
+        if conn.sock is None or conn.events == events:
+            return
+        conn.events = events
+        self._selector.modify(conn.sock, events, data=conn)
+
+    def _close_conn(self, conn: _Connection) -> None:
+        if conn.sock is None:
+            return
+        try:
+            self._selector.unregister(conn.sock)
+        except (KeyError, ValueError):
+            pass
+        self._conns.pop(conn.fd, None)
+        try:
+            conn.sock.close()
+        except OSError:
+            pass
+        conn.sock = None
+        conn.out.clear()
+
+    def _sweep_idle(self, now: float) -> None:
+        cutoff = now - self.timeout
+        for conn in [c for c in self._conns.values()
+                     if c.last_activity < cutoff]:
+            self._close_conn(conn)
+
+    def _handle_event(self, conn: _Connection, mask: int) -> None:
+        try:
+            if mask & _WRITE:
+                self._flush(conn)
+            if conn.sock is not None and mask & _READ:
+                self._read(conn)
+        except BaseException as error:  # noqa: BLE001 — loop must survive
+            if faults.is_crash(error):
+                if self.crash_exit_code is not None:
+                    os._exit(self.crash_exit_code)
+                raise
+            if isinstance(error, (ConnectionResetError, BrokenPipeError,
+                                  TimeoutError)):
+                self._close_conn(conn)
+                return
+            self.unhandled_errors.append(error)
+            _M_UNHANDLED.inc()
+            obslog.log_event("http.unhandled_error", level="error",
+                             error=type(error).__name__)
+            try:
+                self._queue_error(conn, 500, "internal server error",
+                                  close=True)
+                self._flush(conn)
+            except OSError:
+                self._close_conn(conn)
+
+    def _read(self, conn: _Connection) -> None:
+        assert conn.sock is not None
+        while True:
+            try:
+                data = conn.sock.recv(_RECV_CHUNK)
+            except (BlockingIOError, InterruptedError):
+                break
+            except OSError:
+                self._close_conn(conn)
+                return
+            if not data:
+                conn.eof = True
+                break
+            if conn.draining:
+                continue  # lingering close: discard until client EOF
+            conn.inbuf += data
+            if len(data) < _RECV_CHUNK:
+                break
+        if conn.draining:
+            if conn.eof:
+                self._close_conn(conn)
+            return
+        conn.last_activity = time.monotonic()
+        self._process(conn)
+
+    # -- request parsing ---------------------------------------------------
+    def _process(self, conn: _Connection) -> None:
+        """Drive the parse state machine over whatever is buffered."""
+        while conn.sock is not None and not conn.closing:
+            if conn.discard:
+                take = min(len(conn.inbuf), conn.discard)
+                del conn.inbuf[:take]
+                conn.scan_pos = 0
+                conn.discard -= take
+                if conn.discard:
+                    if conn.eof:
+                        conn.closing = True  # drained body never arriving
+                    break
+            if conn.pending is not None:
+                if len(conn.inbuf) < conn.need:
+                    if conn.eof:
+                        self._queue_error(
+                            conn, 400,
+                            "request body shorter than Content-Length",
+                            close=True)
+                    break
+                body = bytes(conn.inbuf[:conn.need])
+                del conn.inbuf[:conn.need]
+                conn.scan_pos = 0
+                method, target, headers, close_requested = conn.pending
+                conn.pending = None
+                self._dispatch_with_body(conn, method, target, headers,
+                                         close_requested, body)
+                continue
+            if not self._parse_head(conn):
+                break
+        self._flush(conn)
+
+    def _parse_head(self, conn: _Connection) -> bool:
+        """Parse one request head if fully buffered.
+
+        Returns ``True`` when a request was consumed (the caller loops
+        for pipelining), ``False`` when more bytes are needed — after
+        queueing whatever protocol-error answer applies.
+        """
+        buf = conn.inbuf
+        nl = buf.find(b"\n")
+        if nl < 0:
+            if len(buf) > _MAX_REQUEST_LINE:
+                self._queue_bare_error(conn, 414, "Request-URI Too Long")
+            elif conn.eof:
+                if buf.strip():
+                    self._queue_bare_error(conn, 400, "Bad request syntax")
+                else:
+                    conn.closing = True  # clean half-close between requests
+            return False
+        line = bytes(buf[:nl]).rstrip(b"\r")
+        parts = line.split()
+        if len(parts) == 2:
+            # An HTTP/0.9 simple request: serve the bare body (no status
+            # line, no headers) and close — stdlib parity.
+            del buf[:nl + 1]
+            conn.scan_pos = 0
+            if parts[0] == b"GET":
+                self._dispatch_simple(conn, parts[1].decode("latin-1"))
+            else:
+                self._queue_bare_error(conn, 400, "Bad HTTP/0.9 request type")
+            return False
+        if len(parts) != 3:
+            del buf[:nl + 1]
+            conn.scan_pos = 0
+            self._queue_bare_error(conn, 400, "Bad request syntax")
+            return False
+        version = parts[2]
+        version_ok = False
+        if version.startswith(b"HTTP/"):
+            fields = version[5:].split(b".")
+            if len(fields) == 2 and fields[0].isdigit() and fields[1].isdigit():
+                version_ok = True
+                vnum = (int(fields[0]), int(fields[1]))
+        if not version_ok:
+            del buf[:nl + 1]
+            conn.scan_pos = 0
+            self._queue_bare_error(conn, 400,
+                                   f"Bad request version {version!r}")
+            return False
+        if vnum >= (2, 0):
+            del buf[:nl + 1]
+            conn.scan_pos = 0
+            self._queue_bare_error(
+                conn, 505, f"Invalid HTTP version ({vnum[0]}.{vnum[1]})")
+            return False
+        # HTTP/1.x: the full head (terminated by a blank line) must be
+        # buffered before anything dispatches.
+        head_end = self._find_head_end(conn, nl + 1)
+        if head_end < 0:
+            if len(buf) > _MAX_HEAD_BYTES:
+                self._queue_error(conn, 431,
+                                  "request header section too large",
+                                  close=True)
+            elif conn.eof:
+                self._queue_bare_error(conn, 400, "truncated request head")
+            return False
+        headers: dict[str, str] = {}
+        for raw in bytes(buf[nl + 1:head_end]).split(b"\n"):
+            raw = raw.rstrip(b"\r")
+            if not raw:
+                continue
+            key, sep, value = raw.partition(b":")
+            if not sep:
+                continue
+            headers[key.decode("latin-1").strip().title()] = \
+                value.decode("latin-1").strip()
+        del buf[:head_end + 1]
+        conn.scan_pos = 0
+        method = parts[0].decode("latin-1")
+        target = parts[1].decode("latin-1")
+        if vnum < (1, 1):
+            keep = headers.get("Connection", "").lower() == "keep-alive"
+        else:
+            keep = "close" not in headers.get("Connection", "").lower()
+        self._dispatch_head(conn, method, target, headers,
+                            close_requested=not keep)
+        return True
+
+    def _find_head_end(self, conn: _Connection, start: int) -> int:
+        """Index of the ``\\n`` ending the blank line after the headers.
+
+        Resumes from ``conn.scan_pos`` (always a line start) so repeated
+        partial fills stay linear in total bytes received.
+        """
+        buf = conn.inbuf
+        pos = max(start, conn.scan_pos)
+        while True:
+            nl = buf.find(b"\n", pos)
+            if nl < 0:
+                conn.scan_pos = pos
+                return -1
+            if buf[pos:nl].rstrip(b"\r") == b"":
+                return nl
+            pos = nl + 1
+
+    # -- dispatch ----------------------------------------------------------
+    def _dispatch_head(self, conn: _Connection, method: str, target: str,
+                       headers: dict[str, str],
+                       close_requested: bool) -> None:
+        if method == "POST":
+            if headers.get("Transfer-Encoding"):
+                self._queue_error(
+                    conn, 400, "chunked transfer encoding is not supported; "
+                               "send Content-Length", close=True)
+                return
+            declared = headers.get("Content-Length")
+            if declared is None:
+                self._queue_error(conn, 411, "POST requires Content-Length",
+                                  close=True)
+                return
+            try:
+                length = int(declared)
+            except ValueError:
+                length = -1
+            if length < 0:
+                self._queue_error(conn, 400,
+                                  f"invalid Content-Length {declared!r}",
+                                  close=True)
+                return
+            if length > MAX_BODY_BYTES:
+                # Answer without reading a single body byte.
+                self._queue_error(
+                    conn, 413,
+                    f"request body exceeds {MAX_BODY_BYTES} bytes",
+                    close=True)
+                return
+            conn.pending = (method, target, headers, close_requested)
+            conn.need = length
+            return
+        # Non-POST: drain any declared body so pipelining stays in sync
+        # (same rules as the threaded handler's _drain_request_body).
+        must_close = close_requested
+        if headers.get("Transfer-Encoding"):
+            must_close = True
+        else:
+            declared = headers.get("Content-Length")
+            if declared is not None:
+                try:
+                    length = int(declared)
+                except ValueError:
+                    length = -1
+                if length < 0:
+                    must_close = True
+                else:
+                    conn.discard = min(length, _MAX_DISCARDED_BODY)
+                    must_close = must_close or length > _MAX_DISCARDED_BODY
+        if method in ("GET", "HEAD"):
+            response = self._service_call(conn, "GET", target, headers,
+                                          b"", command=method)
+            if response is not None:
+                self._queue_response(conn, response,
+                                     send_body=method != "HEAD",
+                                     close=must_close)
+        elif method in _WRITEISH_METHODS:
+            allow = allowed_methods(urlsplit(target).path)
+            self._queue_error(
+                conn, 405,
+                f"method {method} not allowed (allowed: {allow})",
+                close=must_close, allow=allow)
+        else:
+            self._queue_error(conn, 501,
+                              f"unsupported method ({method!r})", close=True)
+
+    def _dispatch_with_body(self, conn: _Connection, method: str,
+                            target: str, headers: dict[str, str],
+                            close_requested: bool, body: bytes) -> None:
+        if faults.ACTIVE is not None:
+            # Injection point "api.request.read": same semantics as the
+            # threaded handler — a drop is the client vanishing
+            # mid-upload, an error rule a socket-level read failure.
+            try:
+                faults.ACTIVE.hit("api.request.read")
+            except ConnectionResetError:
+                self._close_conn(conn)
+                return
+            except faults.InjectedFault:
+                self.unhandled_errors.append(
+                    faults.InjectedFault("api.request.read"))
+                self._queue_error(conn, 500, "internal server error",
+                                  close=True)
+                return
+        response = self._service_call(conn, method, target, headers, body,
+                                      command=method)
+        if response is not None:
+            self._queue_response(conn, response, send_body=True,
+                                 close=close_requested)
+
+    def _dispatch_simple(self, conn: _Connection, target: str) -> None:
+        """HTTP/0.9: body only, then close (stdlib degradation parity)."""
+        response = self._service_call(conn, "GET", target, {}, b"",
+                                      command="GET")
+        if response is not None and response.body:
+            conn.out.append(self._fault_body(conn, response.body))
+        conn.closing = True
+
+    def _service_call(self, conn: _Connection, method: str, target: str,
+                      headers: dict[str, str], body: bytes,
+                      command: str) -> Optional[Response]:
+        """One traced service call (the threaded ``_service_call`` twin)."""
+        trace_id = headers.get("X-Request-Id") or tracing.new_trace_id()
+        start = time.perf_counter()
+        token = tracing.activate(trace_id)
+        try:
+            response = self.service.handle_request(
+                target, headers, method=method, body=body)
+            duration = time.perf_counter() - start
+            response.headers["X-Request-Id"] = trace_id
+            _M_REQUESTS.labels(method=command).inc()
+            _M_REQUEST_SECONDS.observe(duration)
+            if obslog.enabled("debug"):
+                obslog.log_event(
+                    "http.request", level="debug", method=command,
+                    path=target, status=response.status,
+                    duration_ms=round(duration * 1000.0, 3),
+                    cache=response.headers.get("X-Repro-Cache"))
+            return response
+        finally:
+            tracing.deactivate(token)
+
+    # -- response assembly -------------------------------------------------
+    def _date_bytes(self) -> bytes:
+        now = int(time.time())
+        if self._date_cache[0] != now:
+            self._date_cache = (
+                now, formatdate(now, usegmt=True).encode("latin-1"))
+        return self._date_cache[1]
+
+    def _fault_body(self, conn: _Connection, body) -> Any:
+        """Apply the ``api.response.write`` injection point to ``body``.
+
+        A ``torn`` rule truncates the body (the declared Content-Length
+        stays full, so the client observes a torn response) and closes;
+        a ``drop`` ships nothing and closes — matching the threaded
+        server's ``torn_write`` mapping to a mid-body connection loss.
+        """
+        if faults.ACTIVE is None:
+            return body
+        try:
+            keep = faults.ACTIVE.on_write("api.response.write", len(body))
+        except (faults.InjectedFault, ConnectionResetError):
+            conn.closing = True
+            return b""
+        if keep is None:
+            return body
+        conn.closing = True
+        return body[:keep]
+
+    def _queue_response(self, conn: _Connection, response: Response,
+                        send_body: bool, close: bool) -> None:
+        status = response.status
+        reason = _REASONS.get(status, "")
+        head = [f"HTTP/1.1 {status} {reason}\r\n".encode("latin-1"),
+                b"Server: repro-serve/1.1\r\nDate: ", self._date_bytes(),
+                b"\r\n"]
+        for name, value in response.headers.items():
+            head.append(f"{name}: {value}\r\n".encode("latin-1"))
+        head.append(b"Content-Length: %d\r\n" % len(response.body))
+        if close:
+            head.append(b"Connection: close\r\n")
+        head.append(b"\r\n")
+        conn.out.append(b"".join(head))
+        if (send_body and response.body and status >= 200
+                and status not in (204, 205, 304)):
+            # The body rides as its own iovec: a shared-cache memoryview
+            # goes to sendmsg untouched (zero-copy), bytes likewise.
+            conn.out.append(self._fault_body(conn, response.body))
+        if close:
+            conn.closing = True
+
+    def _queue_error(self, conn: _Connection, status: int, message: str,
+                     close: bool = False,
+                     allow: Optional[str] = None) -> None:
+        """The threaded ``_send_json_error`` twin: framed JSON envelope."""
+        _M_ERRORS.labels(code=str(status)).inc()
+        body = json_bytes({"error": {"status": status, "message": message}})
+        headers = {"Content-Type": "application/json; charset=utf-8"}
+        if allow:
+            headers = {"Allow": allow, **headers}
+        self._queue_response(
+            conn, Response(status, body, headers), send_body=True,
+            close=close)
+
+    def _queue_bare_error(self, conn: _Connection, status: int,
+                          message: str) -> None:
+        """Protocol failure before HTTP/1.1 framing was agreed.
+
+        Stdlib parity: when the request line never parsed (or declared
+        an unsupported version), the answer is the JSON envelope *body
+        only* — no status line, no headers — and the connection closes.
+        """
+        conn.out.append(json_bytes(
+            {"error": {"status": status, "message": message}}))
+        conn.closing = True
+
+    # -- writing -----------------------------------------------------------
+    def _flush(self, conn: _Connection) -> None:
+        if conn.sock is None:
+            return
+        while conn.out:
+            try:
+                sent = conn.sock.sendmsg(conn.out[:32])
+            except (BlockingIOError, InterruptedError):
+                break
+            except OSError:
+                self._close_conn(conn)
+                return
+            while sent and conn.out:
+                first = conn.out[0]
+                size = len(first)
+                if sent >= size:
+                    sent -= size
+                    conn.out.pop(0)
+                else:
+                    view = first if isinstance(first, memoryview) \
+                        else memoryview(first)
+                    conn.out[0] = view[sent:]
+                    sent = 0
+        if conn.out:
+            self._set_events(conn, _READ | _WRITE)
+            return
+        self._set_events(conn, _READ)
+        if conn.closing or (conn.eof and conn.pending is None
+                            and not conn.inbuf.strip()):
+            if conn.eof:
+                # The client already finished sending: a plain close
+                # delivers a clean FIN.
+                self._close_conn(conn)
+            else:
+                self._linger_close(conn)
+
+    def _linger_close(self, conn: _Connection) -> None:
+        """Send FIN, then drain until the client closes its side.
+
+        Closing outright here would RST a pipelined request the client
+        already has in flight (data arriving at a closed socket), and
+        the client would see a connection *reset* instead of the clean
+        EOF the wire contract promises after a ``Connection: close``
+        answer.  The drain is bounded by the idle sweep.
+        """
+        if conn.draining or conn.sock is None:
+            return
+        conn.draining = True
+        conn.inbuf.clear()
+        try:
+            conn.sock.shutdown(socket.SHUT_WR)
+        except OSError:
+            self._close_conn(conn)
+            return
+        self._set_events(conn, _READ)

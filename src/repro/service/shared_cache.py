@@ -88,6 +88,25 @@ class SharedPayloadCache:
         self.path.touch(exist_ok=True)
 
     # -- mapping plumbing -------------------------------------------------
+    def _release_map(self) -> None:
+        """Drop the current mapping, tolerating exported memoryviews.
+
+        ``get()`` hands out zero-copy :class:`memoryview` slices of the
+        mapping; closing an mmap with live exports raises
+        ``BufferError``.  In that case we just drop our reference — each
+        view keeps the mmap object alive, and the pages are unmapped
+        when the last view is released.  The file itself is append-only,
+        so a superseded mapping still shows valid bytes for every record
+        it covers.
+        """
+        assert self._map is not None
+        try:
+            self._map.close()
+        except BufferError:
+            pass
+        self._map = None
+        self._map_size = 0
+
     def _remap(self, need: int) -> Optional[mmap.mmap]:
         """Ensure the read mapping covers at least ``need`` bytes."""
         if self._map is not None and self._map_size >= need:
@@ -96,9 +115,7 @@ class SharedPayloadCache:
         if size < need:
             return None
         if self._map is not None:
-            self._map.close()
-            self._map = None
-            self._map_size = 0
+            self._release_map()
         with self.path.open("rb") as handle:
             try:
                 self._map = mmap.mmap(handle.fileno(), 0,
@@ -143,8 +160,16 @@ class SharedPayloadCache:
             self._scanned = offset
 
     # -- the shared read/write interface ----------------------------------
-    def get(self, version: int, target: str) -> Optional[tuple[bytes, str]]:
+    def get(self, version: int, target: str
+            ) -> Optional[tuple[memoryview, str]]:
         """The shared ``(body, etag)`` for this key, or ``None``.
+
+        The body is a zero-copy :class:`memoryview` over the mmap'd
+        segment — transports can hand it straight to ``sendmsg`` /
+        ``wfile.write`` without the payload ever becoming a Python
+        ``bytes``.  Records are immutable once appended, so a view stays
+        valid for as long as the caller holds it (it pins the mapping it
+        came from; see :meth:`_release_map`).
 
         A miss rescans the segment tail once (new records appear only
         at the end), so the first probe after another worker's put pays
@@ -165,7 +190,7 @@ class SharedPayloadCache:
                 self.misses += 1
                 return None
             self.hits += 1
-            return bytes(mapping[body_off:body_off + body_len]), etag
+            return memoryview(mapping)[body_off:body_off + body_len], etag
 
     def put(self, version: int, target: str, body: bytes, etag: str) -> bool:
         """Publish a rendered payload; returns whether it was appended.
@@ -223,6 +248,4 @@ class SharedPayloadCache:
     def close(self) -> None:
         with self._lock:
             if self._map is not None:
-                self._map.close()
-                self._map = None
-                self._map_size = 0
+                self._release_map()

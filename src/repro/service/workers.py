@@ -166,6 +166,7 @@ class WorkerPool:
                  control: bool = True,
                  ready_file: Optional[str | Path] = None,
                  worker_init: Optional[Callable[[str, int], None]] = None,
+                 event_loop: bool = False,
                  ) -> None:
         if workers < 1:
             raise ValueError(f"workers must be >= 1 (got {workers})")
@@ -173,6 +174,10 @@ class WorkerPool:
             raise RuntimeError("WorkerPool requires os.fork (POSIX)")
         self.store_dir = Path(store_dir)
         self.workers = workers
+        #: Readers run the selectors event loop instead of a thread per
+        #: connection (the writer stays threaded — ingests are rare and
+        #: benefit from request threads).
+        self.event_loop = event_loop
         self.host = host
         self._requested_port = port
         self.cache_path = (Path(cache_path) if cache_path is not None
@@ -398,12 +403,20 @@ class WorkerPool:
             thread.start()
             threads.append(thread)
 
-        servers = [create_server(service, listen_socket=slot.sock,
-                                 server_class=CrashExitServer)]
+        if slot.role == "reader" and self.event_loop:
+            from repro.service.eventloop import EventLoopServer
+
+            def make_server(listen_socket: socket.socket) -> Any:
+                return EventLoopServer(service, listen_socket=listen_socket,
+                                       crash_exit_code=CRASH_EXIT_CODE)
+        else:
+            def make_server(listen_socket: socket.socket) -> Any:
+                return create_server(service, listen_socket=listen_socket,
+                                     server_class=CrashExitServer)
+
+        servers = [make_server(slot.sock)]
         if slot.role == "reader":
-            servers.append(create_server(service,
-                                         listen_socket=self._listen_sock,
-                                         server_class=CrashExitServer))
+            servers.append(make_server(self._listen_sock))
 
         def drain() -> None:
             stop.set()
@@ -441,6 +454,7 @@ class WorkerPool:
             "writer_port": self.writer_port,
             "control_port": self.control_port,
             "cache_path": str(self.cache_path),
+            "event_loop": self.event_loop,
             "poll_interval": self.poll_interval,
             "restarts": sum(w["restarts"] for w in workers),
             "workers": workers,

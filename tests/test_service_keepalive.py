@@ -158,6 +158,56 @@ class TestProtocolFailuresClose:
         assert responses[0][1]["connection"] == "close"
 
 
+class TestIfNoneMatchRFC7232:
+    """RFC 7232 §3.2 revalidation: ETag lists, ``*``, weak prefixes."""
+
+    def _etag(self, port: int) -> str:
+        responses = _request(port, [_get("/v1/meta")])
+        assert responses[0][0] == 200
+        return responses[0][1]["etag"]
+
+    def test_etag_inside_comma_list_revalidates(self, keepalive_server):
+        port = _port(keepalive_server)
+        etag = self._etag(port)
+        responses = _request(port, [
+            _get("/v1/meta",
+                 f'If-None-Match: "deadbeef", {etag}, "cafef00d"\r\n'),
+            _get("/v1/meta"),
+        ])
+        # The 304 answers in-connection and keep-alive survives it.
+        assert [status for status, _, _ in responses] == [304, 200]
+        assert responses[0][2] == b""
+
+    def test_weak_prefix_is_ignored(self, keepalive_server):
+        port = _port(keepalive_server)
+        etag = self._etag(port)
+        responses = _request(port, [
+            _get("/v1/meta", f"If-None-Match: W/{etag}\r\n")])
+        assert responses[0][0] == 304
+
+    def test_star_matches_any_representation(self, keepalive_server):
+        responses = _request(_port(keepalive_server), [
+            _get("/v1/meta", "If-None-Match: *\r\n")])
+        assert responses[0][0] == 304
+
+    def test_list_without_match_serves_200(self, keepalive_server):
+        responses = _request(_port(keepalive_server), [
+            _get("/v1/meta",
+                 'If-None-Match: "deadbeef", W/"cafef00d"\r\n')])
+        assert responses[0][0] == 200
+        assert responses[0][2]
+
+    def test_etag_substring_does_not_match(self, keepalive_server):
+        # A candidate equal to a *prefix* of the stored opaque tag must
+        # not revalidate — comparison is whole-tag, not substring.
+        port = _port(keepalive_server)
+        etag = self._etag(port)
+        truncated = etag[:-2] + '"'
+        responses = _request(port, [
+            _get("/v1/meta", f"If-None-Match: {truncated}\r\n")])
+        assert responses[0][0] == 200
+
+
 class TestNoDelay:
     def test_handler_disables_nagle(self, keepalive_server):
         """TCP_NODELAY is the keep-alive throughput fix: without it every
